@@ -1,0 +1,59 @@
+//! Criterion companion of Figure 4: the attestation fast path.
+//!
+//! Measures the wall-clock of the simulated CAS and IAS attestation
+//! flows (the virtual-time figures come from `fig4_attestation`); the
+//! interesting real work here is quote signing + verification (HMAC)
+//! and policy lookup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use securetf_cas::ias::IasAttestor;
+use securetf_cas::policy::ServicePolicy;
+use securetf_cas::service::CasService;
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+
+fn bench_attestation(c: &mut Criterion) {
+    let platform = Platform::builder().build();
+    let image = EnclaveImage::builder().code(b"bench worker").build();
+    let worker = platform
+        .create_enclave(&image, ExecutionMode::Hardware)
+        .expect("worker");
+    let policy = ServicePolicy::new("svc")
+        .allow_measurement(image.measurement())
+        .with_secret("k", &[1u8; 32]);
+
+    let cas_enclave = platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"cas").build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("cas");
+    let mut cas = CasService::new(cas_enclave, platform.fleet_verifier());
+    cas.register_policy(policy.clone()).expect("policy");
+    let mut ias = IasAttestor::new(
+        platform.fleet_verifier(),
+        platform.cost_model().clone(),
+        platform.clock().clone(),
+    );
+    ias.register_policy(policy);
+
+    c.bench_function("attestation/quote_generation", |b| {
+        b.iter(|| worker.quote(black_box(b"report data")).expect("quote"))
+    });
+
+    let quote = worker.quote(b"bench").expect("quote");
+    c.bench_function("attestation/cas_verify_and_provision", |b| {
+        b.iter(|| {
+            cas.attest_and_provision(black_box(&quote), "svc")
+                .expect("attest")
+        })
+    });
+    c.bench_function("attestation/ias_verify_and_provision", |b| {
+        b.iter(|| {
+            ias.attest_and_provision(black_box(&quote), "svc")
+                .expect("attest")
+        })
+    });
+}
+
+criterion_group!(benches, bench_attestation);
+criterion_main!(benches);

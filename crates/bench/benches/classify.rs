@@ -1,0 +1,65 @@
+//! Criterion companion of Figures 5–6: the classification service path.
+//!
+//! Uses a small synthetic model so iterations stay fast; the
+//! paper-sized-model virtual latencies come from `fig5_model_sizes`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use securetf::deployment::Deployment;
+use securetf::profile::RuntimeProfile;
+use securetf_tee::ExecutionMode;
+use securetf_tflite::models::{self, ModelSpec};
+
+const SMALL: ModelSpec = ModelSpec {
+    name: "bench-small",
+    bytes: 4 * 1024 * 1024,
+    flops: 1.0e8,
+};
+
+fn bench_classify(c: &mut Criterion) {
+    let input = models::input_for(2);
+    for (label, mode, profile) in [
+        ("native", ExecutionMode::Native, RuntimeProfile::native_glibc()),
+        ("sim", ExecutionMode::Simulation, RuntimeProfile::scone_lite()),
+        ("hw", ExecutionMode::Hardware, RuntimeProfile::scone_lite()),
+        ("graphene", ExecutionMode::Hardware, RuntimeProfile::graphene()),
+    ] {
+        let model = models::build(SMALL);
+        let mut deployment = Deployment::new(mode);
+        deployment
+            .publish_model("svc", "/m", &model)
+            .expect("publish");
+        let mut classifier = deployment
+            .deploy_classifier("svc", "/m", profile)
+            .expect("deploy");
+        c.bench_function(&format!("classify/{label}"), |b| {
+            b.iter(|| classifier.classify(black_box(&input)).expect("classify"))
+        });
+    }
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    c.bench_function("classify/deploy_attest_and_load", |b| {
+        b.iter_with_setup(
+            || {
+                let model = models::build(SMALL);
+                let mut deployment = Deployment::new(ExecutionMode::Hardware);
+                deployment
+                    .publish_model("svc", "/m", &model)
+                    .expect("publish");
+                deployment
+            },
+            |mut deployment| {
+                deployment
+                    .deploy_classifier("svc", "/m", RuntimeProfile::scone_lite())
+                    .expect("deploy")
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classify, bench_deploy
+}
+criterion_main!(benches);

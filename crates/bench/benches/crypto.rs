@@ -1,0 +1,51 @@
+//! Wall-clock benchmarks of the cryptographic substrate.
+//!
+//! These measure the real primitives that bound the shields' throughput
+//! (the virtual cost model charges an AES-NI-like 4 GB/s; these numbers
+//! show what the pure-Rust implementations actually achieve).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use securetf_crypto::aead::{self, Key, Nonce};
+use securetf_crypto::sha256;
+use securetf_crypto::x25519::{PublicKey, StaticSecret};
+
+fn bench_aead(c: &mut Criterion) {
+    let key = Key::from_bytes([7; 32]);
+    let nonce = Nonce::from_bytes([1; 12]);
+    let mut group = c.benchmark_group("aead");
+    for size in [1024usize, 64 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("seal/{size}"), |b| {
+            b.iter(|| aead::seal(&key, &nonce, black_box(&data), b""))
+        });
+        let sealed = aead::seal(&key, &nonce, &data, b"");
+        group.bench_function(format!("open/{size}"), |b| {
+            b.iter(|| aead::open(&key, &nonce, black_box(&sealed), b"").expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 64 * 1024] {
+        let data = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest/{size}"), |b| {
+            b.iter(|| sha256::digest(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let secret = StaticSecret::from_bytes([0x42; 32]);
+    let peer = PublicKey::from(&StaticSecret::from_bytes([0x24; 32]));
+    c.bench_function("x25519/diffie_hellman", |b| {
+        b.iter(|| black_box(&secret).diffie_hellman(black_box(&peer)))
+    });
+}
+
+criterion_group!(benches, bench_aead, bench_sha256, bench_x25519);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Wall-clock benchmarks of the file-system and network shields.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use securetf_shield::fs::{FsShield, PathPolicy, Policy, UntrustedStore};
+use securetf_shield::net::{duplex, Role, SecureChannel, Transport};
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use std::sync::Arc;
+
+fn enclave() -> Arc<securetf_tee::Enclave> {
+    let platform = Platform::builder().build();
+    platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"bench shield").build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave")
+}
+
+fn bench_fs_shield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_shield");
+    for size in [4 * 1024usize, 256 * 1024] {
+        let data = vec![0x3cu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave(), store);
+        shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+        group.bench_function(format!("write/{size}"), |b| {
+            b.iter(|| shield.write("/f", black_box(&data)).expect("write"))
+        });
+        shield.write("/f", &data).expect("write");
+        group.bench_function(format!("read/{size}"), |b| {
+            b.iter(|| shield.read(black_box("/f")).expect("read"))
+        });
+    }
+    group.finish();
+}
+
+/// Spin-waiting transport so the handshake halves can run on two threads.
+struct Spin(securetf_shield::net::PipeEnd);
+
+impl Transport for Spin {
+    fn send(&self, m: Vec<u8>) {
+        self.0.send(m);
+    }
+
+    fn recv(&self) -> Option<Vec<u8>> {
+        for _ in 0..1_000_000 {
+            if let Some(m) = self.0.recv() {
+                return Some(m);
+            }
+            std::thread::yield_now();
+        }
+        None
+    }
+}
+
+fn bench_net_shield(c: &mut Criterion) {
+    let (a, b) = duplex(None);
+    let eb = enclave();
+    let resp =
+        std::thread::spawn(move || SecureChannel::handshake(Spin(b), eb, Role::Responder));
+    let mut alice =
+        SecureChannel::handshake(Spin(a), enclave(), Role::Initiator).expect("handshake");
+    let mut bob = resp.join().expect("join").expect("handshake");
+
+    let mut group = c.benchmark_group("net_shield");
+    for size in [1024usize, 64 * 1024] {
+        let payload = vec![0x77u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("roundtrip/{size}"), |b| {
+            b.iter(|| {
+                alice.send(black_box(&payload));
+                bob.recv().expect("recv")
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("net_shield/handshake", |b| {
+        b.iter(|| {
+            let (a, bb) = duplex(None);
+            let eb = enclave();
+            let resp = std::thread::spawn(move || {
+                SecureChannel::handshake(Spin(bb), eb, Role::Responder)
+            });
+            let init = SecureChannel::handshake(Spin(a), enclave(), Role::Initiator)
+                .expect("handshake");
+            let _ = resp.join().expect("join").expect("handshake");
+            init
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fs_shield, bench_net_shield
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Wall-clock benchmarks of the ML framework's kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+use securetf_tensor::graph::{Graph, Padding};
+use securetf_tensor::layers;
+use securetf_tensor::optimizer::Sgd;
+use securetf_tensor::session::Session;
+use securetf_tensor::tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 256] {
+        let a = Tensor::full(&[n, n], 1.01);
+        let b = Tensor::full(&[n, n], 0.99);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_function(format!("{n}x{n}"), |bencher| {
+            bencher.iter(|| black_box(&a).matmul(black_box(&b)).expect("matmul"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut g = Graph::new();
+    let x = g.placeholder("x", &[0, 28, 28, 1]);
+    let f = g.variable("f", Tensor::full(&[3, 3, 1, 8], 0.1));
+    let conv = g.conv2d(x, f, Padding::Same).expect("conv");
+    let mut session = Session::new(&g);
+    let input = Tensor::full(&[8, 28, 28, 1], 0.5);
+    c.bench_function("conv2d/28x28x1x8_batch8", |b| {
+        b.iter(|| {
+            session
+                .run(&g, &[(x, input.clone())], &[conv])
+                .expect("run")
+        })
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let model = layers::mlp_classifier(784, &[64], 10, &mut rng).expect("model");
+    let mut session = Session::new(&model.graph);
+    let mut sgd = Sgd::new(0.05);
+    let data = securetf_data::synthetic_mnist(64, 1);
+    let (xs, ys) = data.batch(0, 64).expect("batch");
+    c.bench_function("train_step/mlp_784_64_10_batch64", |b| {
+        b.iter(|| {
+            session
+                .train_step(
+                    &model.graph,
+                    &[(model.input, xs.clone()), (model.labels, ys.clone())],
+                    model.loss,
+                    &mut sgd,
+                )
+                .expect("step")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv2d, bench_train_step
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion companion of Figure 8: distributed training steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use securetf_distrib::cluster::{Cluster, ClusterConfig};
+use securetf_distrib::trainer::DistributedTrainer;
+use securetf_tee::ExecutionMode;
+use securetf_tensor::layers;
+
+fn trainer(workers: usize, mode: ExecutionMode, shield: bool) -> DistributedTrainer {
+    let cluster = Cluster::new(ClusterConfig {
+        workers,
+        parameter_servers: 1,
+        mode,
+        network_shield: shield,
+        runtime_bytes: 8 * 1024 * 1024,
+        heap_bytes: 16 * 1024 * 1024,
+        cost_model: None,
+    })
+    .expect("cluster");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let model = layers::mlp_classifier(784, &[32], 10, &mut rng).expect("model");
+    let data = securetf_data::synthetic_mnist(300, 3);
+    DistributedTrainer::new(cluster, model, data, 50, 0.05).expect("trainer")
+}
+
+fn bench_training(c: &mut Criterion) {
+    for (label, mode, shield) in [
+        ("native", ExecutionMode::Native, false),
+        ("sim_noshield", ExecutionMode::Simulation, false),
+        ("sim_shield", ExecutionMode::Simulation, true),
+        ("hw_full", ExecutionMode::Hardware, true),
+    ] {
+        let mut t = trainer(2, mode, shield);
+        c.bench_function(&format!("train_step/{label}"), |b| {
+            b.iter(|| t.step().expect("step"))
+        });
+    }
+    // Scaling series.
+    for workers in [1usize, 2, 3] {
+        let mut t = trainer(workers, ExecutionMode::Simulation, true);
+        c.bench_function(&format!("train_step/sim_workers_{workers}"), |b| {
+            b.iter(|| t.step().expect("step"))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

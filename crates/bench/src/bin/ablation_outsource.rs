@@ -1,0 +1,78 @@
+//! Ablation (§7.4): outsourcing linear layers to an untrusted GPU.
+//!
+//! The paper discusses GPU support as an open problem; Slalom-style
+//! blinding + Freivalds verification lets the enclave use an untrusted
+//! accelerator for matrix products without extending trust to it. This
+//! ablation sweeps layer widths and batch sizes: outsourcing wins when
+//! O(m·k·n)/gpu_speed + O(k·n) verification beats in-enclave O(m·k·n).
+
+use securetf::outsource::{OutsourcedMatMul, UntrustedGpu};
+use securetf_bench::{fmt_ns, fmt_ratio, header};
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tensor::tensor::Tensor;
+use std::sync::Arc;
+
+fn enclave() -> Arc<securetf_tee::Enclave> {
+    let platform = Platform::builder().build();
+    platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"outsource ablation").build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave")
+}
+
+fn weights(k: usize, n: usize) -> Tensor {
+    Tensor::from_vec(
+        &[k, n],
+        (0..k * n).map(|i| ((i % 13) as f32 - 6.0) * 0.02).collect(),
+    )
+    .expect("sized")
+}
+
+fn main() {
+    header(
+        "Ablation: GPU outsourcing of x·W (10x GPU, 2 Freivalds rounds)",
+        &["batch m", "width k=n", "in-enclave ", "outsourced ", "speedup"],
+    );
+    for &(m, k) in &[(1usize, 256usize), (8, 256), (64, 256), (64, 1024), (256, 1024)] {
+        let e = enclave();
+        let clock = e.clock().clone();
+        let x = Tensor::full(&[m, k], 0.5);
+        let mut layer = OutsourcedMatMul::new(e, weights(k, k), UntrustedGpu::honest(10.0), 2);
+
+        let t0 = clock.now_ns();
+        layer.forward_local(&x).expect("local");
+        let local = clock.now_ns() - t0;
+
+        let t0 = clock.now_ns();
+        layer.forward(&x).expect("outsourced");
+        let outsourced = clock.now_ns() - t0;
+
+        println!(
+            "{m:>7} | {k:>9} | {:>11} | {:>11} | {:>7}",
+            fmt_ns(local),
+            fmt_ns(outsourced),
+            fmt_ratio(local, outsourced),
+        );
+    }
+
+    // Security half: a cheating GPU is caught.
+    let e = enclave();
+    let mut layer = OutsourcedMatMul::new(
+        e,
+        weights(256, 256),
+        UntrustedGpu::cheating(10.0, 1, 0.5),
+        2,
+    );
+    let caught = layer.forward(&Tensor::full(&[8, 256], 0.5)).is_err();
+    println!(
+        "\ncheating accelerator (corrupts one element per call): {}",
+        if caught { "detected ✓" } else { "MISSED ✗" }
+    );
+    println!(
+        "verified {} / rejected {} forward passes",
+        layer.verified(),
+        layer.rejected()
+    );
+}

@@ -1,0 +1,100 @@
+//! Figure 8: distributed MNIST training latency.
+//!
+//! The paper trains on MNIST (batch 100, learning rate 5e-4) with 1–3
+//! workers under: native TensorFlow, secureTF SIM without the network
+//! shield, secureTF SIM with it, and secureTF HW with all features.
+//! Headlines:
+//!
+//! * near-linear scaling: 1.96× / 2.57× speedup with 2 / 3 workers,
+//! * HW-full ≈ 14× slower than native (EPC paging of the full-TF
+//!   runtime + activations),
+//! * SIM with / without the network shield ≈ 6× / 2.3× native — i.e.
+//!   the network shield is the main non-EPC overhead.
+
+use rand::SeedableRng;
+use securetf_bench::{fmt_ns, fmt_ratio, header};
+use securetf_distrib::cluster::{Cluster, ClusterConfig};
+use securetf_distrib::trainer::DistributedTrainer;
+use securetf_tee::{CostModel, ExecutionMode};
+use securetf_tensor::layers;
+
+const STEPS: u64 = 6;
+const BATCH: usize = 100;
+
+fn fig8_cost_model() -> CostModel {
+    CostModel {
+        // The paper's network shield (TLS-wrapping of gRPC inside the
+        // enclave, §5.4) processes records at ~12 MB/s effective.
+        shield_net_bytes_per_sec: 12.0e6,
+        ..CostModel::default()
+    }
+}
+
+fn run(workers: usize, mode: ExecutionMode, shield: bool) -> (u64, f64) {
+    let cluster = Cluster::new(ClusterConfig {
+        workers,
+        mode,
+        network_shield: shield,
+        cost_model: Some(fig8_cost_model()),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let model = layers::conv_classifier(28, 28, 1, 16, 10, &mut rng).expect("model");
+    let data = securetf_data::synthetic_mnist(600, 7);
+    let mut trainer =
+        DistributedTrainer::new(cluster, model, data, BATCH, 5e-4).expect("trainer");
+    let report = trainer.train_steps(STEPS).expect("training");
+    (report.elapsed_ns / STEPS, report.samples_per_sec())
+}
+
+fn main() {
+    header(
+        "Figure 8: distributed MNIST training (batch 100, lr 5e-4, CNN)",
+        &[
+            "workers",
+            "native       ",
+            "sim -netshld ",
+            "sim +netshld ",
+            "hw full      ",
+        ],
+    );
+    let mut native1 = 0u64;
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 3] {
+        let native = run(workers, ExecutionMode::Native, false);
+        let sim_off = run(workers, ExecutionMode::Simulation, false);
+        let sim_on = run(workers, ExecutionMode::Simulation, true);
+        let hw = run(workers, ExecutionMode::Hardware, true);
+        if workers == 1 {
+            native1 = native.0;
+        }
+        println!(
+            "{workers:>7} | {:>12} | {:>12} | {:>12} | {:>12}   (per step)",
+            fmt_ns(native.0),
+            fmt_ns(sim_off.0),
+            fmt_ns(sim_on.0),
+            fmt_ns(hw.0),
+        );
+        rows.push((workers, native, sim_off, sim_on, hw));
+    }
+
+    println!("\nslowdowns vs native (1 worker, paper values in parentheses):");
+    let (_, native, sim_off, sim_on, hw) = &rows[0];
+    println!(
+        "  sim without network shield: {} (2.3x)",
+        fmt_ratio(sim_off.0, native.0)
+    );
+    println!(
+        "  sim with network shield:    {} (6x)",
+        fmt_ratio(sim_on.0, native.0)
+    );
+    println!("  hw full:                    {} (14x)", fmt_ratio(hw.0, native.0));
+    let _ = native1;
+
+    println!("\nhw-full scaling (throughput speedup vs 1 worker, paper: 1.96x / 2.57x):");
+    let base = rows[0].4 .1;
+    for (workers, _, _, _, hw) in &rows {
+        println!("  {workers} workers: {:.2}x", hw.1 / base);
+    }
+}

@@ -1,0 +1,48 @@
+//! Runs every figure and ablation harness in sequence — the one-shot
+//! "regenerate the paper's evaluation" entry point.
+//!
+//! ```console
+//! cargo run --release -p securetf-bench --bin make_figures
+//! ```
+//!
+//! Each harness is an independent binary too; this runner simply invokes
+//! them in paper order via the already-built artifacts next to itself.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+const HARNESSES: [&str; 10] = [
+    "fig4_attestation",
+    "fig5_model_sizes",
+    "fig6_fs_shield",
+    "fig7_scalability",
+    "fig8_training",
+    "tf_vs_lite",
+    "ablation_epc_size",
+    "ablation_threading",
+    "ablation_optimize",
+    "ablation_outsource",
+];
+
+fn main() -> ExitCode {
+    let own = std::env::current_exe().expect("own path");
+    let dir: PathBuf = own.parent().expect("target dir").to_path_buf();
+    for harness in HARNESSES {
+        let path = dir.join(harness);
+        if !path.exists() {
+            eprintln!(
+                "{harness}: not built ({}) — run `cargo build --release -p securetf-bench --bins` first",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("\n################ {harness} ################");
+        let status = Command::new(&path).status().expect("spawn harness");
+        if !status.success() {
+            eprintln!("{harness} failed with {status}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("\nall figures regenerated — compare against EXPERIMENTS.md");
+    ExitCode::SUCCESS
+}

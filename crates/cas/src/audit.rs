@@ -1,0 +1,169 @@
+//! The auditing (freshness) service of CAS (paper §3.3.2).
+//!
+//! The file-system shield detects *tampering* on its own, and detects
+//! rollback while the enclave is alive (the version lives in enclave
+//! memory). Across enclave restarts, however, the in-enclave metadata is
+//! gone — an attacker could restore both an old file *and* let a fresh
+//! enclave accept it. The auditing service closes that hole: enclaves
+//! report each protected object's `(path, version, digest)` to CAS after
+//! every update, and re-validate against CAS when they (re)open state.
+//!
+//! # Examples
+//!
+//! ```
+//! use securetf_cas::audit::AuditService;
+//!
+//! let mut audit = AuditService::new();
+//! audit.record_update("w1", "/secure/ckpt", 1, [0xaa; 32]);
+//! audit.record_update("w1", "/secure/ckpt", 2, [0xbb; 32]);
+//! // Presenting the stale version-1 digest is detected:
+//! assert!(audit.verify("/secure/ckpt", 1, [0xaa; 32]).is_err());
+//! assert!(audit.verify("/secure/ckpt", 2, [0xbb; 32]).is_ok());
+//! ```
+
+use crate::CasError;
+use std::collections::HashMap;
+
+/// Record of the latest accepted state of one protected object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Which enclave/container reported the update.
+    pub reporter: String,
+    /// Object version at the time of the update.
+    pub version: u64,
+    /// Digest binding path, version and content structure.
+    pub digest: [u8; 32],
+}
+
+/// Tracks the freshest known state of every audited object.
+#[derive(Debug, Default)]
+pub struct AuditService {
+    records: HashMap<String, AuditRecord>,
+    violations: u64,
+}
+
+impl AuditService {
+    /// Creates an empty auditing service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `reporter` wrote `path` at `version` with `digest`.
+    /// Updates must be monotone; an out-of-order report is ignored (the
+    /// network may reorder, but state never goes backwards).
+    pub fn record_update(&mut self, reporter: &str, path: &str, version: u64, digest: [u8; 32]) {
+        let entry = self.records.get(path);
+        if entry.map(|r| version > r.version).unwrap_or(true) {
+            self.records.insert(
+                path.to_string(),
+                AuditRecord {
+                    reporter: reporter.to_string(),
+                    version,
+                    digest,
+                },
+            );
+        }
+    }
+
+    /// Verifies that `(version, digest)` is the freshest known state of
+    /// `path`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CasError::NotFound`] — the object was never audited.
+    /// * [`CasError::RollbackDetected`] — the presented state is stale or
+    ///   its digest does not match the freshest record.
+    pub fn verify(&mut self, path: &str, version: u64, digest: [u8; 32]) -> Result<(), CasError> {
+        let record = self
+            .records
+            .get(path)
+            .ok_or_else(|| CasError::NotFound(path.to_string()))?;
+        if record.version != version || record.digest != digest {
+            self.violations += 1;
+            return Err(CasError::RollbackDetected(path.to_string()));
+        }
+        Ok(())
+    }
+
+    /// The freshest record of `path`, if audited.
+    pub fn latest(&self, path: &str) -> Option<&AuditRecord> {
+        self.records.get(path)
+    }
+
+    /// Number of detected violations so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of audited objects.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether any objects are audited.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_verifies() {
+        let mut a = AuditService::new();
+        a.record_update("w", "/f", 1, [1; 32]);
+        assert!(a.verify("/f", 1, [1; 32]).is_ok());
+    }
+
+    #[test]
+    fn stale_version_rejected() {
+        let mut a = AuditService::new();
+        a.record_update("w", "/f", 1, [1; 32]);
+        a.record_update("w", "/f", 2, [2; 32]);
+        assert!(matches!(
+            a.verify("/f", 1, [1; 32]),
+            Err(CasError::RollbackDetected(_))
+        ));
+        assert_eq!(a.violations(), 1);
+    }
+
+    #[test]
+    fn wrong_digest_rejected_even_at_right_version() {
+        let mut a = AuditService::new();
+        a.record_update("w", "/f", 1, [1; 32]);
+        assert!(matches!(
+            a.verify("/f", 1, [9; 32]),
+            Err(CasError::RollbackDetected(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_object_is_not_found() {
+        let mut a = AuditService::new();
+        assert!(matches!(
+            a.verify("/nope", 1, [0; 32]),
+            Err(CasError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_order_reports_ignored() {
+        let mut a = AuditService::new();
+        a.record_update("w", "/f", 5, [5; 32]);
+        a.record_update("w", "/f", 3, [3; 32]); // late/replayed report
+        assert_eq!(a.latest("/f").unwrap().version, 5);
+        assert!(a.verify("/f", 5, [5; 32]).is_ok());
+    }
+
+    #[test]
+    fn objects_tracked_independently() {
+        let mut a = AuditService::new();
+        a.record_update("w1", "/a", 1, [1; 32]);
+        a.record_update("w2", "/b", 7, [7; 32]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.latest("/a").unwrap().reporter, "w1");
+        assert_eq!(a.latest("/b").unwrap().version, 7);
+    }
+}

@@ -1,0 +1,309 @@
+//! Certificates generated inside the CAS enclave (paper §7.3).
+//!
+//! "In secureTF, the TLS certificates are generated inside the SGX
+//! enclave running CAS, and thus they cannot be seen by any human."
+//! This module provides that issuance flow: the CA signing secret is
+//! derived from the CAS enclave identity (it never exists outside
+//! enclave memory), certificates bind a subject name, an X25519 channel
+//! key and the subject enclave's measurement, and attested services
+//! receive the verification secret through normal CAS provisioning.
+//!
+//! Substitution note: the offline crate set has no asymmetric signature
+//! primitive, so certificates are authenticated with HMAC under a
+//! fleet-internal secret (symmetric PKI). The trust structure is the
+//! paper's — only attested enclaves can verify — while a production
+//! build would swap in Ed25519.
+
+use crate::CasError;
+use securetf_crypto::hmac::hmac_sha256;
+use securetf_tee::{Enclave, MrEnclave};
+use std::sync::Arc;
+
+/// A certificate binding (subject, channel public key, enclave identity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Subject name (e.g. `"training-worker-3"`).
+    pub subject: String,
+    /// The subject's X25519 public key for channel establishment.
+    pub public_key: [u8; 32],
+    /// Measurement of the enclave the key was issued to.
+    pub measurement: MrEnclave,
+    /// Issuance sequence number (monotone per CA).
+    pub serial: u64,
+    /// HMAC over all of the above under the CA secret.
+    pub signature: [u8; 32],
+}
+
+impl Certificate {
+    fn signed_bytes(
+        subject: &str,
+        public_key: &[u8; 32],
+        measurement: &MrEnclave,
+        serial: u64,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(subject.len() + 32 + 32 + 8 + 4);
+        out.extend_from_slice(&(subject.len() as u32).to_le_bytes());
+        out.extend_from_slice(subject.as_bytes());
+        out.extend_from_slice(public_key);
+        out.extend_from_slice(measurement.as_bytes());
+        out.extend_from_slice(&serial.to_le_bytes());
+        out
+    }
+
+    /// Serializes the certificate for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Self::signed_bytes(&self.subject, &self.public_key, &self.measurement, self.serial);
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Deserializes a certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::StoreCorrupted`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Certificate, CasError> {
+        if bytes.len() < 4 {
+            return Err(CasError::StoreCorrupted("certificate truncated"));
+        }
+        let subject_len = u32::from_le_bytes(bytes[..4].try_into().expect("4")) as usize;
+        let expect = 4 + subject_len + 32 + 32 + 8 + 32;
+        if bytes.len() != expect {
+            return Err(CasError::StoreCorrupted("certificate length mismatch"));
+        }
+        let subject = String::from_utf8(bytes[4..4 + subject_len].to_vec())
+            .map_err(|_| CasError::StoreCorrupted("certificate subject not utf-8"))?;
+        let mut cursor = 4 + subject_len;
+        let public_key: [u8; 32] = bytes[cursor..cursor + 32].try_into().expect("32");
+        cursor += 32;
+        let measurement = MrEnclave(bytes[cursor..cursor + 32].try_into().expect("32"));
+        cursor += 32;
+        let serial = u64::from_le_bytes(bytes[cursor..cursor + 8].try_into().expect("8"));
+        cursor += 8;
+        let signature: [u8; 32] = bytes[cursor..cursor + 32].try_into().expect("32");
+        Ok(Certificate {
+            subject,
+            public_key,
+            measurement,
+            serial,
+            signature,
+        })
+    }
+}
+
+/// The in-enclave certificate authority.
+pub struct CertificateAuthority {
+    enclave: Arc<Enclave>,
+    secret: [u8; 32],
+    next_serial: u64,
+}
+
+impl std::fmt::Debug for CertificateAuthority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CertificateAuthority")
+            .field("next_serial", &self.next_serial)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CertificateAuthority {
+    /// Creates a CA whose signing secret derives from (and never leaves)
+    /// the CAS enclave.
+    pub fn new(cas_enclave: Arc<Enclave>) -> Self {
+        let secret = *cas_enclave.derived_key(b"cas-certificate-authority-v1").as_bytes();
+        CertificateAuthority {
+            enclave: cas_enclave,
+            secret,
+            next_serial: 1,
+        }
+    }
+
+    /// Issues a certificate binding `subject` and `public_key` to the
+    /// enclave identity in `measurement`.
+    pub fn issue(
+        &mut self,
+        subject: &str,
+        public_key: [u8; 32],
+        measurement: MrEnclave,
+    ) -> Certificate {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.enclave.charge_compute(1.0e5);
+        let body = Certificate::signed_bytes(subject, &public_key, &measurement, serial);
+        Certificate {
+            subject: subject.to_string(),
+            public_key,
+            measurement,
+            serial,
+            signature: hmac_sha256(&self.secret, &body),
+        }
+    }
+
+    /// Issues a certificate from an attestation quote: the subject's
+    /// channel public key is taken from the quote's report data (the
+    /// enclave bound it there before attesting), and the measurement from
+    /// the quote body. Call only after the quote has been verified by the
+    /// CAS service.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for parity with real
+    /// issuance flows (revocation checks, rate limits).
+    pub fn issue_after_attestation(
+        &self,
+        subject: &str,
+        quote: &securetf_tee::Quote,
+    ) -> Result<Certificate, CasError> {
+        let mut public_key = [0u8; 32];
+        public_key.copy_from_slice(&quote.report_data[..32]);
+        // Interior mutability is deliberately avoided; derive the serial
+        // from the quote so issuance stays deterministic and `&self`.
+        let serial = u64::from_le_bytes(
+            securetf_crypto::sha256::digest(&quote.signature)[..8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.enclave.charge_compute(1.0e5);
+        let body =
+            Certificate::signed_bytes(subject, &public_key, &quote.mrenclave, serial);
+        Ok(Certificate {
+            subject: subject.to_string(),
+            public_key,
+            measurement: quote.mrenclave,
+            serial,
+            signature: hmac_sha256(&self.secret, &body),
+        })
+    }
+
+    /// Exports the verification secret, to be handed to attested enclaves
+    /// through a CAS policy (never to anything unattested).
+    pub fn verification_secret(&self) -> [u8; 32] {
+        self.secret
+    }
+
+    /// Verifies a certificate with the CA's own secret.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::QuoteRejected`] if the signature is invalid.
+    pub fn verify(&self, cert: &Certificate) -> Result<(), CasError> {
+        verify_with_secret(&self.secret, cert)
+    }
+}
+
+/// Verifies a certificate against a provisioned verification secret.
+///
+/// # Errors
+///
+/// Returns [`CasError::QuoteRejected`] if the signature is invalid.
+pub fn verify_with_secret(secret: &[u8; 32], cert: &Certificate) -> Result<(), CasError> {
+    let body = Certificate::signed_bytes(
+        &cert.subject,
+        &cert.public_key,
+        &cert.measurement,
+        cert.serial,
+    );
+    let expect = hmac_sha256(secret, &body);
+    if securetf_crypto::ct::eq(&expect, &cert.signature) {
+        Ok(())
+    } else {
+        Err(CasError::QuoteRejected("certificate signature"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securetf_crypto::x25519::{PublicKey, StaticSecret};
+    use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+
+    fn ca() -> CertificateAuthority {
+        let platform = Platform::builder().build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"cas-with-ca").build(),
+                ExecutionMode::Hardware,
+            )
+            .expect("enclave");
+        CertificateAuthority::new(enclave)
+    }
+
+    fn mr(b: u8) -> MrEnclave {
+        MrEnclave([b; 32])
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let mut ca = ca();
+        let key = PublicKey::from(&StaticSecret::from_bytes([5; 32]));
+        let cert = ca.issue("worker-1", key.0, mr(1));
+        assert!(ca.verify(&cert).is_ok());
+        assert!(verify_with_secret(&ca.verification_secret(), &cert).is_ok());
+    }
+
+    #[test]
+    fn serials_are_monotone() {
+        let mut ca = ca();
+        let a = ca.issue("a", [1; 32], mr(1));
+        let b = ca.issue("b", [2; 32], mr(2));
+        assert!(b.serial > a.serial);
+    }
+
+    #[test]
+    fn any_field_tamper_detected() {
+        let mut ca = ca();
+        let base = ca.issue("worker", [7; 32], mr(3));
+        let mut c = base.clone();
+        c.subject = "w0rker".to_string();
+        assert!(ca.verify(&c).is_err());
+        let mut c = base.clone();
+        c.public_key[0] ^= 1;
+        assert!(ca.verify(&c).is_err());
+        let mut c = base.clone();
+        c.measurement = mr(4);
+        assert!(ca.verify(&c).is_err());
+        let mut c = base.clone();
+        c.serial += 1;
+        assert!(ca.verify(&c).is_err());
+        let mut c = base;
+        c.signature[0] ^= 1;
+        assert!(ca.verify(&c).is_err());
+    }
+
+    #[test]
+    fn foreign_ca_rejected() {
+        let mut ours = ca();
+        let theirs = ca();
+        let cert = ours.issue("worker", [7; 32], mr(1));
+        // Different CAS enclave (different platform secret) => different
+        // CA secret.
+        assert!(theirs.verify(&cert).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip_and_corruption() {
+        let mut ca = ca();
+        let cert = ca.issue("edge-device-17", [9; 32], mr(8));
+        let bytes = cert.to_bytes();
+        let restored = Certificate::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, cert);
+        assert!(ca.verify(&restored).is_ok());
+        assert!(Certificate::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Certificate::from_bytes(&[1, 2, 3]).is_err());
+        // Subject-length confusion is caught.
+        let mut bad = bytes;
+        bad[0] ^= 1;
+        assert!(Certificate::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn subject_boundary_is_unambiguous() {
+        let mut ca = ca();
+        // ("ab", key starting with 'c'...) must not verify as ("abc", …).
+        let cert1 = ca.issue("ab", [b'c'; 32], mr(1));
+        let mut forged = cert1.clone();
+        forged.subject = "abc".to_string();
+        assert!(ca.verify(&forged).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! The encrypted embedded database of CAS (paper §4.3).
+//!
+//! The paper embeds an encrypted SQLite inside the CAS enclave; secrets,
+//! certificates and policies never exist in plaintext outside enclave
+//! memory. This module provides the equivalent: a log-structured key-value
+//! store whose log records are sealed to the CAS enclave identity and
+//! whose manifest carries a version checked against a monotonic counter —
+//! restoring an older database file is detected as a rollback.
+//!
+//! # Examples
+//!
+//! ```
+//! use securetf_cas::kvstore::KvStore;
+//! use securetf_shield::fs::UntrustedStore;
+//! use securetf_tee::{Platform, EnclaveImage, ExecutionMode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::builder().build();
+//! let enclave = platform.create_enclave(
+//!     &EnclaveImage::builder().code(b"cas").build(),
+//!     ExecutionMode::Hardware,
+//! )?;
+//! let disk = UntrustedStore::new();
+//! let mut db = KvStore::create(enclave.clone(), disk.clone(), "/cas/db")?;
+//! db.put(b"api-key", b"secret")?;
+//! drop(db);
+//!
+//! let db2 = KvStore::open(enclave, disk, "/cas/db")?;
+//! assert_eq!(db2.get(b"api-key"), Some(b"secret".to_vec()));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::CasError;
+use parking_lot::Mutex;
+use securetf_shield::fs::UntrustedStore;
+use securetf_tee::counter::{CounterId, CounterStore};
+use securetf_tee::sealing::SealPolicy;
+use securetf_tee::Enclave;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Global store of hardware monotonic counters, shared across "restarts"
+/// of the CAS enclave on the same simulated machine.
+static HW_COUNTERS: Mutex<Option<CounterStore>> = Mutex::new(None);
+
+fn with_hw_counters<T>(f: impl FnOnce(&mut CounterStore) -> T) -> T {
+    let mut guard = HW_COUNTERS.lock();
+    let store = guard.get_or_insert_with(CounterStore::new);
+    f(store)
+}
+
+/// An encrypted, rollback-protected key-value store.
+#[derive(Debug)]
+pub struct KvStore {
+    enclave: Arc<Enclave>,
+    disk: UntrustedStore,
+    path: String,
+    /// Plaintext view, inside enclave memory only.
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    version: u64,
+    counter: CounterId,
+}
+
+impl KvStore {
+    /// Creates a fresh store persisted at `path` on the untrusted disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::StoreCorrupted`] if a store already exists at
+    /// `path` (refusing to silently overwrite state).
+    pub fn create(
+        enclave: Arc<Enclave>,
+        disk: UntrustedStore,
+        path: &str,
+    ) -> Result<Self, CasError> {
+        if disk.raw_contents(path).is_some() {
+            return Err(CasError::StoreCorrupted("store already exists at path"));
+        }
+        let counter = with_hw_counters(|c| c.find_or_create_at(path, 0));
+        let mut store = KvStore {
+            enclave,
+            disk,
+            path: path.to_string(),
+            map: BTreeMap::new(),
+            version: 0,
+            counter,
+        };
+        store.persist()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store, verifying integrity and freshness.
+    ///
+    /// # Errors
+    ///
+    /// * [`CasError::NotFound`] if nothing exists at `path`.
+    /// * [`CasError::StoreCorrupted`] if unsealing fails (tampering, or a
+    ///   different enclave identity) or the version does not match the
+    ///   hardware counter (rollback).
+    pub fn open(
+        enclave: Arc<Enclave>,
+        disk: UntrustedStore,
+        path: &str,
+    ) -> Result<Self, CasError> {
+        let blob = disk
+            .raw_contents(path)
+            .ok_or_else(|| CasError::NotFound(path.to_string()))?;
+        let plain = enclave
+            .unseal(SealPolicy::Measurement, &blob, path.as_bytes())
+            .map_err(|_| CasError::StoreCorrupted("unseal failed"))?;
+        let (version, map) =
+            Self::decode(&plain).ok_or(CasError::StoreCorrupted("malformed image"))?;
+        // Freshness: the sealed image must carry the counter's value.
+        let counter = with_hw_counters(|c| {
+            // Re-associate with the existing counter for this path if the
+            // same process created it; otherwise create one at the stored
+            // version (models counter continuity on one machine).
+            c.find_or_create_at(path, version)
+        });
+        with_hw_counters(|c| c.verify_exact(counter, version))
+            .map_err(|_| CasError::StoreCorrupted("version rollback detected"))?;
+        Ok(KvStore {
+            enclave,
+            disk,
+            path: path.to_string(),
+            map,
+            version,
+            counter,
+        })
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        for (k, v) in &self.map {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<(u64, BTreeMap<Vec<u8>, Vec<u8>>)> {
+        let mut cursor = 0usize;
+        let take = |cursor: &mut usize, n: usize| -> Option<&[u8]> {
+            if *cursor + n > bytes.len() {
+                return None;
+            }
+            let s = &bytes[*cursor..*cursor + n];
+            *cursor += n;
+            Some(s)
+        };
+        let version = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().ok()?);
+        let entries = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().ok()?);
+        let mut map = BTreeMap::new();
+        for _ in 0..entries {
+            let klen = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().ok()?) as usize;
+            let k = take(&mut cursor, klen)?.to_vec();
+            let vlen = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().ok()?) as usize;
+            let v = take(&mut cursor, vlen)?.to_vec();
+            map.insert(k, v);
+        }
+        if cursor != bytes.len() {
+            return None;
+        }
+        Some((version, map))
+    }
+
+    fn persist(&mut self) -> Result<(), CasError> {
+        self.version += 1;
+        with_hw_counters(|c| {
+            let v = c.increment(self.counter)?;
+            if v != self.version {
+                // The counter moved independently (another instance wrote):
+                // adopt its value to stay monotone.
+                self.version = v;
+            }
+            Ok::<_, securetf_tee::TeeError>(())
+        })?;
+        let image = self.encode();
+        let sealed = self
+            .enclave
+            .seal(SealPolicy::Measurement, &image, self.path.as_bytes());
+        self.enclave.charge_syscall();
+        self.disk.raw_put(&self.path, sealed);
+        Ok(())
+    }
+
+    /// Inserts or replaces a value, persisting the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::Tee`] on counter failures.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), CasError> {
+        self.map.insert(key.to_vec(), value.to_vec());
+        self.persist()
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Deletes a key, persisting the store. Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::Tee`] on counter failures.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, CasError> {
+        let had = self.map.remove(key).is_some();
+        if had {
+            self.persist()?;
+        }
+        Ok(had)
+    }
+
+    /// Iterates keys with a prefix.
+    pub fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        self.map
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current persisted version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+
+    fn enclave_named(platform: &Platform, code: &[u8]) -> Arc<Enclave> {
+        platform
+            .create_enclave(
+                &EnclaveImage::builder().code(code).build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap()
+    }
+
+    fn unique_path(tag: &str) -> String {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        format!("/cas/{tag}-{}", N.fetch_add(1, Ordering::Relaxed))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        let mut db = KvStore::create(e, disk, &path).unwrap();
+        db.put(b"k1", b"v1").unwrap();
+        db.put(b"k2", b"v2").unwrap();
+        assert_eq!(db.get(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(db.get(b"missing"), None);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn reopen_preserves_data() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        {
+            let mut db = KvStore::create(e.clone(), disk.clone(), &path).unwrap();
+            db.put(b"persisted", b"yes").unwrap();
+        }
+        let db = KvStore::open(e, disk, &path).unwrap();
+        assert_eq!(db.get(b"persisted"), Some(b"yes".to_vec()));
+    }
+
+    #[test]
+    fn disk_holds_only_ciphertext() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        let mut db = KvStore::create(e, disk.clone(), &path).unwrap();
+        db.put(b"key-name", b"super-secret-value").unwrap();
+        let raw = disk.raw_contents(&path).unwrap();
+        assert!(!raw.windows(18).any(|w| w == b"super-secret-value"));
+        assert!(!raw.windows(8).any(|w| w == b"key-name"));
+    }
+
+    #[test]
+    fn tampered_disk_detected_on_open() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        {
+            let mut db = KvStore::create(e.clone(), disk.clone(), &path).unwrap();
+            db.put(b"a", b"b").unwrap();
+        }
+        disk.corrupt(&path, 20);
+        assert!(matches!(
+            KvStore::open(e, disk, &path),
+            Err(CasError::StoreCorrupted(_))
+        ));
+    }
+
+    #[test]
+    fn rollback_of_database_file_detected() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        let mut db = KvStore::create(e.clone(), disk.clone(), &path).unwrap();
+        db.put(b"key", b"old").unwrap();
+        let old_image = disk.raw_contents(&path).unwrap();
+        db.put(b"key", b"new").unwrap();
+        drop(db);
+        // Attacker restores the older (validly sealed) database file.
+        disk.raw_put(&path, old_image);
+        assert!(matches!(
+            KvStore::open(e, disk, &path),
+            Err(CasError::StoreCorrupted("version rollback detected"))
+        ));
+    }
+
+    #[test]
+    fn different_enclave_cannot_open() {
+        let platform = Platform::builder().build();
+        let cas = enclave_named(&platform, b"cas v1");
+        let other = enclave_named(&platform, b"evil cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        {
+            let mut db = KvStore::create(cas, disk.clone(), &path).unwrap();
+            db.put(b"a", b"b").unwrap();
+        }
+        assert!(matches!(
+            KvStore::open(other, disk, &path),
+            Err(CasError::StoreCorrupted(_))
+        ));
+    }
+
+    #[test]
+    fn delete_and_prefix_scan() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        let mut db = KvStore::create(e, disk, &path).unwrap();
+        db.put(b"secret/a", b"1").unwrap();
+        db.put(b"secret/b", b"2").unwrap();
+        db.put(b"policy/x", b"3").unwrap();
+        assert_eq!(db.keys_with_prefix(b"secret/").len(), 2);
+        assert!(db.delete(b"secret/a").unwrap());
+        assert!(!db.delete(b"secret/a").unwrap());
+        assert_eq!(db.keys_with_prefix(b"secret/").len(), 1);
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        let disk = UntrustedStore::new();
+        let path = unique_path("db");
+        let _db = KvStore::create(e.clone(), disk.clone(), &path).unwrap();
+        assert!(matches!(
+            KvStore::create(e, disk, &path),
+            Err(CasError::StoreCorrupted(_))
+        ));
+    }
+
+    #[test]
+    fn open_missing_is_not_found() {
+        let platform = Platform::builder().build();
+        let e = enclave_named(&platform, b"cas");
+        assert!(matches!(
+            KvStore::open(e, UntrustedStore::new(), "/cas/never-created"),
+            Err(CasError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Service policies: who may receive which secrets.
+//!
+//! A policy names a service (e.g. "training-workers"), lists the enclave
+//! measurements allowed to attest as that service, sets a minimum TCB
+//! security version, and carries the named secrets (keys, certificates,
+//! configuration) to inject after successful attestation. This mirrors
+//! the session descriptions of the paper's CAS.
+
+use securetf_tee::MrEnclave;
+use std::collections::BTreeMap;
+
+/// A named secret to provision into attested enclaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Secret {
+    /// Name the application uses to look the secret up.
+    pub name: String,
+    /// The secret bytes (key material, certificate, config value).
+    pub value: Vec<u8>,
+}
+
+/// Policy describing one service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServicePolicy {
+    name: String,
+    allowed: Vec<MrEnclave>,
+    min_tcb_svn: u32,
+    secrets: BTreeMap<String, Vec<u8>>,
+}
+
+impl ServicePolicy {
+    /// Creates an empty policy for `name`.
+    pub fn new(name: &str) -> Self {
+        ServicePolicy {
+            name: name.to_string(),
+            allowed: Vec::new(),
+            min_tcb_svn: 0,
+            secrets: BTreeMap::new(),
+        }
+    }
+
+    /// Allows enclaves with this measurement to attest as the service.
+    pub fn allow_measurement(mut self, m: MrEnclave) -> Self {
+        if !self.allowed.contains(&m) {
+            self.allowed.push(m);
+        }
+        self
+    }
+
+    /// Requires at least this TCB security version.
+    pub fn min_tcb_svn(mut self, svn: u32) -> Self {
+        self.min_tcb_svn = svn;
+        self
+    }
+
+    /// Attaches a named secret.
+    pub fn with_secret(mut self, name: &str, value: &[u8]) -> Self {
+        self.secrets.insert(name.to_string(), value.to_vec());
+        self
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `m` is an allowed measurement.
+    pub fn allows(&self, m: &MrEnclave) -> bool {
+        self.allowed.contains(m)
+    }
+
+    /// The minimum acceptable TCB SVN.
+    pub fn required_tcb_svn(&self) -> u32 {
+        self.min_tcb_svn
+    }
+
+    /// Iterates the policy's secrets.
+    pub fn secrets(&self) -> impl Iterator<Item = Secret> + '_ {
+        self.secrets.iter().map(|(k, v)| Secret {
+            name: k.clone(),
+            value: v.clone(),
+        })
+    }
+
+    /// Total size of the secrets payload in bytes (used for transfer-cost
+    /// accounting).
+    pub fn secrets_len(&self) -> u64 {
+        self.secrets
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    /// Serializes the policy for the encrypted store.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let put_bytes = |out: &mut Vec<u8>, b: &[u8]| {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        };
+        put_bytes(&mut out, self.name.as_bytes());
+        out.extend_from_slice(&self.min_tcb_svn.to_le_bytes());
+        out.extend_from_slice(&(self.allowed.len() as u32).to_le_bytes());
+        for m in &self.allowed {
+            out.extend_from_slice(m.as_bytes());
+        }
+        out.extend_from_slice(&(self.secrets.len() as u32).to_le_bytes());
+        for (k, v) in &self.secrets {
+            put_bytes(&mut out, k.as_bytes());
+            put_bytes(&mut out, v);
+        }
+        out
+    }
+
+    /// Deserializes a policy written by [`ServicePolicy::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut cursor = 0usize;
+        let take = |cursor: &mut usize, n: usize| -> Option<&[u8]> {
+            if *cursor + n > bytes.len() {
+                return None;
+            }
+            let s = &bytes[*cursor..*cursor + n];
+            *cursor += n;
+            Some(s)
+        };
+        let take_bytes = |cursor: &mut usize| -> Option<Vec<u8>> {
+            let len = u32::from_le_bytes(take(cursor, 4)?.try_into().ok()?) as usize;
+            Some(take(cursor, len)?.to_vec())
+        };
+        let name = String::from_utf8(take_bytes(&mut cursor)?).ok()?;
+        let min_tcb_svn = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().ok()?);
+        let n_allowed = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().ok()?);
+        let mut allowed = Vec::new();
+        for _ in 0..n_allowed {
+            let m: [u8; 32] = take(&mut cursor, 32)?.try_into().ok()?;
+            allowed.push(MrEnclave(m));
+        }
+        let n_secrets = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().ok()?);
+        let mut secrets = BTreeMap::new();
+        for _ in 0..n_secrets {
+            let k = String::from_utf8(take_bytes(&mut cursor)?).ok()?;
+            let v = take_bytes(&mut cursor)?;
+            secrets.insert(k, v);
+        }
+        if cursor != bytes.len() {
+            return None;
+        }
+        Some(ServicePolicy {
+            name,
+            allowed,
+            min_tcb_svn,
+            secrets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mr(b: u8) -> MrEnclave {
+        MrEnclave([b; 32])
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let p = ServicePolicy::new("svc")
+            .allow_measurement(mr(1))
+            .allow_measurement(mr(2))
+            .min_tcb_svn(3)
+            .with_secret("k", b"v");
+        assert!(p.allows(&mr(1)));
+        assert!(p.allows(&mr(2)));
+        assert!(!p.allows(&mr(3)));
+        assert_eq!(p.required_tcb_svn(), 3);
+        assert_eq!(p.secrets().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_measurement_deduped() {
+        let p = ServicePolicy::new("svc")
+            .allow_measurement(mr(1))
+            .allow_measurement(mr(1));
+        assert_eq!(p.encode(), p.clone().allow_measurement(mr(1)).encode());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = ServicePolicy::new("training")
+            .allow_measurement(mr(7))
+            .min_tcb_svn(2)
+            .with_secret("model-key", &[1, 2, 3])
+            .with_secret("tls-cert", b"PEM");
+        let decoded = ServicePolicy::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        let p = ServicePolicy::new("x").with_secret("a", b"b");
+        let enc = p.encode();
+        assert!(ServicePolicy::decode(&enc[..enc.len() - 1]).is_none());
+        let mut extended = enc.clone();
+        extended.push(0);
+        assert!(ServicePolicy::decode(&extended).is_none());
+        assert!(ServicePolicy::decode(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn secrets_len_counts_names_and_values() {
+        let p = ServicePolicy::new("x").with_secret("ab", &[0u8; 10]);
+        assert_eq!(p.secrets_len(), 12);
+    }
+}

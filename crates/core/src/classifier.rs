@@ -1,0 +1,268 @@
+//! The secure classification service (paper §4.2, Figures 5–7).
+//!
+//! A [`SecureClassifier`] is the paper's `label_image`-style service: an
+//! enclave that attests to CAS, receives the model-decryption key, loads
+//! the encrypted model into enclave memory, and serves classification
+//! requests. Every request's virtual latency reflects the runtime
+//! profile: compute (with the mode's slowdown), EPC traffic over model +
+//! workspace, and the syscall/threading model.
+
+use crate::deployment::{service_image, MODEL_DIGEST_SECRET, MODEL_KEY_SECRET};
+use crate::profile::RuntimeProfile;
+use crate::SecureTfError;
+use securetf_cas::service::CasService;
+use securetf_crypto::aead::{self, Key, Nonce};
+use securetf_crypto::sha256;
+use securetf_shield::fs::UntrustedStore;
+use securetf_shield::sched::ThreadingModel;
+use securetf_tee::{Enclave, EnclaveImage, ExecutionMode, Platform, RegionId};
+use securetf_tensor::tensor::Tensor;
+use securetf_tflite::interpreter::Interpreter;
+use securetf_tflite::model::LiteModel;
+use std::sync::Arc;
+
+/// A deployed, attested classification service.
+pub struct SecureClassifier {
+    platform: Platform,
+    enclave: Arc<Enclave>,
+    interpreter: Interpreter,
+    profile: RuntimeProfile,
+    model_region: RegionId,
+    workspace_region: RegionId,
+    inferences: u64,
+}
+
+impl std::fmt::Debug for SecureClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureClassifier")
+            .field("profile", &self.profile.name)
+            .field("model", &self.interpreter.model().name())
+            .field("inferences", &self.inferences)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureClassifier {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn deploy(
+        cas: &mut CasService,
+        store: &UntrustedStore,
+        image: &EnclaveImage,
+        mode: ExecutionMode,
+        service: &str,
+        path: &str,
+        profile: RuntimeProfile,
+    ) -> Result<SecureClassifier, SecureTfError> {
+        // A fresh machine with this profile's cost model.
+        let _ = image;
+        let platform = Platform::builder().cost_model(profile.cost_model()).build();
+        let image = service_image(profile.runtime_bytes);
+        let enclave = platform.create_enclave(&image, mode)?;
+
+        // Attest and fetch the model key (skipped when run natively — the
+        // baseline has no protection at all, so the model is used as-is).
+        let (key, expected_digest) = if mode.has_runtime() {
+            let quote = enclave.quote(format!("classifier:{service}").as_bytes())?;
+            let provision = cas.attest_and_provision(&quote, service)?;
+            let key_bytes: [u8; 32] = provision
+                .secret(MODEL_KEY_SECRET)
+                .ok_or(SecureTfError::ModelIntegrity("policy missing model key"))?
+                .try_into()
+                .map_err(|_| SecureTfError::ModelIntegrity("bad key length"))?;
+            let digest: [u8; 32] = provision
+                .secret(MODEL_DIGEST_SECRET)
+                .ok_or(SecureTfError::ModelIntegrity("policy missing digest"))?
+                .try_into()
+                .map_err(|_| SecureTfError::ModelIntegrity("bad digest length"))?;
+            (Some(Key::from_bytes(key_bytes)), Some(digest))
+        } else {
+            // Native baseline still needs the key to read the stored file.
+            let mut key_bytes = [0u8; 32];
+            key_bytes.copy_from_slice(&sha256::digest(
+                format!("owner-model-key:{service}:{path}").as_bytes(),
+            ));
+            (Some(Key::from_bytes(key_bytes)), None)
+        };
+
+        // Load the encrypted model from untrusted storage.
+        enclave.charge_syscall();
+        let sealed = store
+            .raw_contents(path)
+            .ok_or(SecureTfError::ModelIntegrity("model file missing"))?;
+        let key = key.expect("always set above");
+        let nonce = Nonce::from_counter(0x4d4f_4445, 1);
+        enclave.charge_shield_crypto(sealed.len() as u64);
+        let plaintext = aead::open(&key, &nonce, &sealed, path.as_bytes())
+            .map_err(|_| SecureTfError::ModelIntegrity("decryption/authentication failed"))?;
+        if let Some(digest) = expected_digest {
+            if sha256::digest(&plaintext) != digest {
+                return Err(SecureTfError::ModelIntegrity("digest mismatch"));
+            }
+        }
+        let model = LiteModel::from_bytes(&plaintext)?;
+
+        // Model and workspace live in enclave memory.
+        let model_bytes = model.param_bytes();
+        let workspace_bytes =
+            ((model_bytes as f64 * profile.workspace_fraction) as u64).max(512 * 1024);
+        let model_region = enclave.alloc("model", model_bytes);
+        let workspace_region = enclave.alloc("workspace", workspace_bytes);
+        // Cold load: fault the whole model in once (the paper warms up
+        // before measuring).
+        enclave.touch_all(model_region)?;
+
+        Ok(SecureClassifier {
+            platform,
+            enclave,
+            interpreter: Interpreter::new(model),
+            profile,
+            model_region,
+            workspace_region,
+            inferences: 0,
+        })
+    }
+
+    /// Classifies one input, returning `(label, virtual latency in ns)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecureTfError::Lite`] on execution failure.
+    pub fn classify(&mut self, input: &Tensor) -> Result<(usize, u64), SecureTfError> {
+        let clock = self.platform.clock().clone();
+        let t0 = clock.now_ns();
+
+        // Input arrives via the (shielded) network/file system.
+        for _ in 0..self.profile.syscalls_per_inference {
+            match self.profile.threading {
+                ThreadingModel::UserLevel => self.enclave.charge_syscall(),
+                ThreadingModel::OsThreads => self.enclave.charge_transition(),
+            }
+        }
+
+        // The interpreter traverses model + workspace memory.
+        for _ in 0..self.profile.memory_passes {
+            self.enclave.touch_all(self.model_region)?;
+            self.enclave.touch_all(self.workspace_region)?;
+        }
+
+        // Real inference math (reduced extent), charged at declared FLOPs.
+        let before = self.interpreter.stats().flops;
+        let label = self.interpreter.classify(input)?;
+        let flops = self.interpreter.stats().flops - before;
+        self.enclave.charge_compute(flops);
+
+        self.inferences += 1;
+        Ok((label, clock.now_ns() - t0))
+    }
+
+    /// Mean virtual latency of `runs` classifications of `input`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SecureClassifier::classify`] errors.
+    pub fn mean_latency_ns(&mut self, input: &Tensor, runs: u32) -> Result<u64, SecureTfError> {
+        let mut total = 0u64;
+        for _ in 0..runs {
+            total += self.classify(input)?.1;
+        }
+        Ok(total / runs.max(1) as u64)
+    }
+
+    /// The enclave serving this classifier.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// The runtime profile in use.
+    pub fn profile(&self) -> &RuntimeProfile {
+        &self.profile
+    }
+
+    /// The loaded model.
+    pub fn model(&self) -> &LiteModel {
+        self.interpreter.model()
+    }
+
+    /// Inferences served so far.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use securetf_tensor::graph::Graph;
+
+    fn tiny_model() -> LiteModel {
+        let mut g = Graph::new();
+        let x = g.placeholder("input", &[0, 8]);
+        let w = g.constant(
+            "w",
+            Tensor::from_vec(&[8, 3], (0..24).map(|i| (i % 5) as f32 * 0.1).collect()).unwrap(),
+        );
+        let y = g.matmul(x, w).unwrap();
+        let name = g.nodes()[y.index()].name.clone();
+        LiteModel::convert(&g, "input", &name).unwrap()
+    }
+
+    fn deployed(mode: ExecutionMode, profile: RuntimeProfile) -> SecureClassifier {
+        let mut d = Deployment::new(mode);
+        d.publish_model("svc", "/m", &tiny_model()).unwrap();
+        d.deploy_classifier("svc", "/m", profile).unwrap()
+    }
+
+    #[test]
+    fn classification_is_mode_independent() {
+        // Accuracy parity: the same input classifies identically in every
+        // mode (the paper's "accuracy" design goal).
+        let input = Tensor::full(&[1, 8], 0.5);
+        let mut native = deployed(ExecutionMode::Native, RuntimeProfile::scone_lite());
+        let mut sim = deployed(ExecutionMode::Simulation, RuntimeProfile::scone_lite());
+        let mut hw = deployed(ExecutionMode::Hardware, RuntimeProfile::scone_lite());
+        let l_native = native.classify(&input).unwrap().0;
+        let l_sim = sim.classify(&input).unwrap().0;
+        let l_hw = hw.classify(&input).unwrap().0;
+        assert_eq!(l_native, l_sim);
+        assert_eq!(l_sim, l_hw);
+    }
+
+    #[test]
+    fn latency_ordering_native_sim_hw() {
+        let input = Tensor::full(&[1, 8], 0.5);
+        let native = deployed(ExecutionMode::Native, RuntimeProfile::scone_lite())
+            .mean_latency_ns(&input, 5)
+            .unwrap();
+        let sim = deployed(ExecutionMode::Simulation, RuntimeProfile::scone_lite())
+            .mean_latency_ns(&input, 5)
+            .unwrap();
+        let hw = deployed(ExecutionMode::Hardware, RuntimeProfile::scone_lite())
+            .mean_latency_ns(&input, 5)
+            .unwrap();
+        assert!(native <= sim, "native {native} > sim {sim}");
+        assert!(sim < hw, "sim {sim} >= hw {hw}");
+    }
+
+    #[test]
+    fn inference_counter_increments() {
+        let input = Tensor::full(&[1, 8], 0.5);
+        let mut c = deployed(ExecutionMode::Hardware, RuntimeProfile::scone_lite());
+        assert_eq!(c.inferences(), 0);
+        c.classify(&input).unwrap();
+        c.classify(&input).unwrap();
+        assert_eq!(c.inferences(), 2);
+    }
+
+    #[test]
+    fn full_tf_profile_is_slower_than_lite_in_hw() {
+        let input = Tensor::full(&[1, 8], 0.5);
+        let lite = deployed(ExecutionMode::Hardware, RuntimeProfile::scone_lite())
+            .mean_latency_ns(&input, 3)
+            .unwrap();
+        let full = deployed(ExecutionMode::Hardware, RuntimeProfile::scone_full_tf())
+            .mean_latency_ns(&input, 3)
+            .unwrap();
+        assert!(full > lite, "full {full} <= lite {lite}");
+    }
+}

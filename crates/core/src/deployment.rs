@@ -1,0 +1,229 @@
+//! End-to-end deployments: data owner ↔ CAS ↔ service enclaves.
+//!
+//! A [`Deployment`] bundles what the paper's Figure 1 shows: the user
+//! (data owner) encrypts models and registers policies with CAS; service
+//! enclaves on untrusted machines attest to CAS and receive the keys.
+
+use crate::classifier::SecureClassifier;
+use crate::profile::RuntimeProfile;
+use crate::SecureTfError;
+use securetf_cas::policy::ServicePolicy;
+use securetf_cas::service::CasService;
+use securetf_crypto::aead::{self, Key, Nonce};
+use securetf_crypto::sha256;
+use securetf_shield::fs::UntrustedStore;
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tflite::model::LiteModel;
+
+/// Builds the measured identity of a classifier-service enclave with the
+/// given runtime footprint. The footprint is part of the enclave layout
+/// and therefore of the measurement, so each [`RuntimeProfile`] has its
+/// own identity that policies must allow explicitly.
+pub fn service_image(runtime_bytes: u64) -> EnclaveImage {
+    EnclaveImage::builder()
+        .code(b"securetf-classifier-service-v1")
+        .name("classifier")
+        .runtime_bytes(runtime_bytes)
+        .build()
+}
+
+/// Label of the model-decryption key within a service's secrets.
+pub const MODEL_KEY_SECRET: &str = "model-key";
+/// Label of the model digest within a service's secrets.
+pub const MODEL_DIGEST_SECRET: &str = "model-digest";
+
+/// A deployment context: one CAS, one untrusted storage system, and the
+/// machines services get deployed onto.
+#[derive(Debug)]
+pub struct Deployment {
+    mode: ExecutionMode,
+    cas: CasService,
+    store: UntrustedStore,
+    service_image: EnclaveImage,
+}
+
+impl Deployment {
+    /// Creates a deployment whose service enclaves run in `mode`.
+    pub fn new(mode: ExecutionMode) -> Self {
+        let cas_platform = Platform::builder().build();
+        let cas_enclave = cas_platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"securetf-cas").name("cas").build(),
+                if mode == ExecutionMode::Native {
+                    ExecutionMode::Simulation
+                } else {
+                    mode
+                },
+            )
+            .expect("CAS image fits any EPC");
+        let cas = CasService::new(cas_enclave, cas_platform.fleet_verifier());
+        let service_image = EnclaveImage::builder()
+            .code(b"securetf-classifier-service-v1")
+            .name("classifier")
+            .build();
+        Deployment {
+            mode,
+            cas,
+            store: UntrustedStore::new(),
+            service_image,
+        }
+    }
+
+    /// The untrusted storage backing this deployment.
+    pub fn store(&self) -> &UntrustedStore {
+        &self.store
+    }
+
+    /// The execution mode of service enclaves.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Data-owner operation: encrypts `model`, stores it at `path` on the
+    /// untrusted store, and registers a CAS policy named `service`
+    /// carrying the decryption key and expected digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecureTfError::Cas`] if the service name is taken.
+    pub fn publish_model(
+        &mut self,
+        service: &str,
+        path: &str,
+        model: &LiteModel,
+    ) -> Result<(), SecureTfError> {
+        let plaintext = model.to_bytes();
+        let digest = sha256::digest(&plaintext);
+        let mut key_bytes = [0u8; 32];
+        // The owner's key derives from the service identity in this
+        // simulation; a real owner draws it from an HSM or CSPRNG.
+        key_bytes.copy_from_slice(&sha256::digest(
+            format!("owner-model-key:{service}:{path}").as_bytes(),
+        ));
+        let key = Key::from_bytes(key_bytes);
+        let nonce = Nonce::from_counter(0x4d4f_4445, 1);
+        let sealed = aead::seal(&key, &nonce, &plaintext, path.as_bytes());
+        self.store.raw_put(path, sealed);
+        // Allow every runtime profile's enclave identity: the data owner
+        // reviews and approves each runtime build it trusts.
+        let mut policy = ServicePolicy::new(service)
+            .with_secret(MODEL_KEY_SECRET, key.as_bytes())
+            .with_secret(MODEL_DIGEST_SECRET, &digest);
+        for profile in [
+            RuntimeProfile::scone_lite(),
+            RuntimeProfile::scone_full_tf(),
+            RuntimeProfile::graphene(),
+        ] {
+            policy = policy.allow_measurement(service_image(profile.runtime_bytes).measurement());
+        }
+        self.cas.register_policy(policy)?;
+        Ok(())
+    }
+
+    /// Boots a classifier service on a fresh machine: creates the enclave,
+    /// attests to CAS, fetches the model key, loads and verifies the
+    /// encrypted model.
+    ///
+    /// # Errors
+    ///
+    /// * [`SecureTfError::Cas`] on attestation/policy failure.
+    /// * [`SecureTfError::ModelIntegrity`] if the stored model was
+    ///   tampered with or substituted.
+    pub fn deploy_classifier(
+        &mut self,
+        service: &str,
+        path: &str,
+        profile: RuntimeProfile,
+    ) -> Result<SecureClassifier, SecureTfError> {
+        SecureClassifier::deploy(
+            &mut self.cas,
+            &self.store,
+            &self.service_image,
+            self.mode,
+            service,
+            path,
+            profile,
+        )
+    }
+
+    /// The deployment's CAS (for policy management in tests/examples).
+    pub fn cas_mut(&mut self) -> &mut CasService {
+        &mut self.cas
+    }
+
+    /// The measured identity of classifier-service enclaves.
+    pub fn service_image(&self) -> &EnclaveImage {
+        &self.service_image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securetf_tensor::graph::Graph;
+    use securetf_tensor::tensor::Tensor;
+
+    fn tiny_model() -> LiteModel {
+        let mut g = Graph::new();
+        let x = g.placeholder("input", &[0, 4]);
+        let w = g.constant("w", Tensor::full(&[4, 2], 0.3));
+        let y = g.matmul(x, w).unwrap();
+        let name = g.nodes()[y.index()].name.clone();
+        LiteModel::convert(&g, "input", &name).unwrap()
+    }
+
+    #[test]
+    fn publish_encrypts_at_rest() {
+        let mut d = Deployment::new(ExecutionMode::Hardware);
+        let model = tiny_model();
+        d.publish_model("svc", "/models/m", &model).unwrap();
+        let raw = d.store().raw_contents("/models/m").unwrap();
+        let plain = model.to_bytes();
+        // No plaintext window of the model appears in storage.
+        assert!(!raw.windows(16).any(|w| plain.windows(16).next() == Some(w)));
+        assert_ne!(raw, plain);
+    }
+
+    #[test]
+    fn duplicate_service_rejected() {
+        let mut d = Deployment::new(ExecutionMode::Hardware);
+        d.publish_model("svc", "/m1", &tiny_model()).unwrap();
+        assert!(matches!(
+            d.publish_model("svc", "/m2", &tiny_model()),
+            Err(SecureTfError::Cas(_))
+        ));
+    }
+
+    #[test]
+    fn deploy_and_classify_end_to_end() {
+        let mut d = Deployment::new(ExecutionMode::Hardware);
+        d.publish_model("svc", "/models/m", &tiny_model()).unwrap();
+        let mut c = d
+            .deploy_classifier("svc", "/models/m", RuntimeProfile::scone_lite())
+            .unwrap();
+        let (label, ns) = c.classify(&Tensor::full(&[1, 4], 1.0)).unwrap();
+        assert!(label < 2);
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn tampered_model_rejected_at_deploy() {
+        let mut d = Deployment::new(ExecutionMode::Hardware);
+        d.publish_model("svc", "/models/m", &tiny_model()).unwrap();
+        d.store().corrupt("/models/m", 30);
+        assert!(matches!(
+            d.deploy_classifier("svc", "/models/m", RuntimeProfile::scone_lite()),
+            Err(SecureTfError::ModelIntegrity(_))
+        ));
+    }
+
+    #[test]
+    fn missing_model_file_rejected() {
+        let mut d = Deployment::new(ExecutionMode::Hardware);
+        d.publish_model("svc", "/models/m", &tiny_model()).unwrap();
+        d.store().raw_delete("/models/m");
+        assert!(d
+            .deploy_classifier("svc", "/models/m", RuntimeProfile::scone_lite())
+            .is_err());
+    }
+}

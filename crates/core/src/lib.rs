@@ -1,0 +1,144 @@
+//! # secureTF — secure machine learning on untrusted infrastructure
+//!
+//! A from-scratch Rust reproduction of *secureTF: A Secure TensorFlow
+//! Framework* (Middleware 2020). secureTF runs unmodified machine-learning
+//! workloads inside Intel SGX enclaves and extends single-node enclave
+//! trust to distributed, stateful deployments: a local Configuration and
+//! Attestation Service (CAS) bootstraps trust and provisions secrets,
+//! file-system and network shields protect all state leaving the enclave,
+//! and the TensorFlow / TensorFlow Lite runtimes are adapted to the
+//! enclave's constraints (most importantly the ~94 MiB EPC).
+//!
+//! This reproduction has no SGX hardware; the TEE is simulated by
+//! [`securetf_tee`] with a calibrated cost model (see `DESIGN.md`). All
+//! *functional* behaviour — attestation, sealing, shields, training,
+//! inference — is real; *latencies* are virtual time.
+//!
+//! The layers, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | `securetf-crypto` | primitives (ChaCha20-Poly1305, X25519, SHA-256 …) |
+//! | `securetf-tee` | SGX simulator: enclaves, EPC, quotes, sealing |
+//! | `securetf-shield` | SCONE-like runtime: fs/net shields, scheduling |
+//! | `securetf-cas` | attestation + configuration service, IAS baseline |
+//! | `securetf-tensor` | trainable dataflow-graph framework ("full TF") |
+//! | `securetf-tflite` | inference-only interpreter ("TF Lite") |
+//! | `securetf-distrib` | parameter-server training, elastic workers |
+//! | `securetf` (this) | end-to-end public API |
+//!
+//! # Examples
+//!
+//! Deploy a classification service whose model is encrypted at rest and
+//! whose enclave must attest before receiving the decryption key:
+//!
+//! ```
+//! use securetf::deployment::Deployment;
+//! use securetf::profile::RuntimeProfile;
+//! use securetf_tee::ExecutionMode;
+//! use securetf_tensor::{graph::Graph, tensor::Tensor};
+//! use securetf_tflite::model::LiteModel;
+//!
+//! # fn main() -> Result<(), securetf::SecureTfError> {
+//! // Build and freeze a (tiny) model, as the data owner.
+//! let mut g = Graph::new();
+//! let x = g.placeholder("input", &[0, 4]);
+//! let w = g.constant("w", Tensor::full(&[4, 3], 0.2));
+//! let logits = g.matmul(x, w)?;
+//! let out_name = g.nodes()[logits.index()].name.clone();
+//! let model = LiteModel::convert(&g, "input", &out_name)?;
+//!
+//! // Deploy: the owner publishes the encrypted model + policy, the
+//! // service enclave attests, fetches the key, and serves.
+//! let mut deployment = Deployment::new(ExecutionMode::Hardware);
+//! deployment.publish_model("svc", "/models/m", &model)?;
+//! let mut classifier = deployment.deploy_classifier(
+//!     "svc",
+//!     "/models/m",
+//!     RuntimeProfile::scone_lite(),
+//! )?;
+//! let (label, latency_ns) = classifier.classify(&Tensor::full(&[1, 4], 1.0))?;
+//! assert!(label < 3);
+//! assert!(latency_ns > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod classifier;
+pub mod deployment;
+pub mod outsource;
+pub mod profile;
+pub mod serving;
+pub mod secure_session;
+
+use std::error::Error;
+use std::fmt;
+
+/// Top-level error type of the secureTF API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SecureTfError {
+    /// TEE failure (quote, sealing, EPC).
+    Tee(securetf_tee::TeeError),
+    /// Shield failure (file tampering, channel violation).
+    Shield(securetf_shield::ShieldError),
+    /// Attestation / provisioning failure.
+    Cas(securetf_cas::CasError),
+    /// Model execution failure.
+    Tensor(securetf_tensor::TensorError),
+    /// Lite-runtime failure.
+    Lite(securetf_tflite::LiteError),
+    /// Distributed-runtime failure.
+    Distrib(securetf_distrib::DistribError),
+    /// Model integrity check failed at load time.
+    ModelIntegrity(&'static str),
+    /// An outsourced computation failed its verification check
+    /// (a cheating or faulty accelerator).
+    OutsourceVerification(&'static str),
+}
+
+impl fmt::Display for SecureTfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecureTfError::Tee(e) => write!(f, "tee: {e}"),
+            SecureTfError::Shield(e) => write!(f, "shield: {e}"),
+            SecureTfError::Cas(e) => write!(f, "cas: {e}"),
+            SecureTfError::Tensor(e) => write!(f, "tensor: {e}"),
+            SecureTfError::Lite(e) => write!(f, "lite: {e}"),
+            SecureTfError::Distrib(e) => write!(f, "distrib: {e}"),
+            SecureTfError::ModelIntegrity(why) => write!(f, "model integrity: {why}"),
+            SecureTfError::OutsourceVerification(why) => write!(f, "outsourcing: {why}"),
+        }
+    }
+}
+
+impl Error for SecureTfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SecureTfError::Tee(e) => Some(e),
+            SecureTfError::Shield(e) => Some(e),
+            SecureTfError::Cas(e) => Some(e),
+            SecureTfError::Tensor(e) => Some(e),
+            SecureTfError::Lite(e) => Some(e),
+            SecureTfError::Distrib(e) => Some(e),
+            SecureTfError::ModelIntegrity(_) | SecureTfError::OutsourceVerification(_) => None,
+        }
+    }
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for SecureTfError {
+            fn from(e: $ty) -> Self {
+                SecureTfError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Tee, securetf_tee::TeeError);
+from_err!(Shield, securetf_shield::ShieldError);
+from_err!(Cas, securetf_cas::CasError);
+from_err!(Tensor, securetf_tensor::TensorError);
+from_err!(Lite, securetf_tflite::LiteError);
+from_err!(Distrib, securetf_distrib::DistribError);

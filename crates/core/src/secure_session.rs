@@ -1,0 +1,325 @@
+//! Single-node secure training/inference sessions.
+//!
+//! A [`SecureSession`] wraps a `securetf-tensor` session inside an
+//! enclave: variable state and activations are accounted against the
+//! EPC, compute is charged at the mode's rate, and checkpoints are
+//! sealed before touching untrusted storage. This is the building block
+//! the quickstart example and the accuracy-parity tests use.
+
+use crate::SecureTfError;
+use securetf_shield::fs::UntrustedStore;
+use securetf_tee::sealing::SealPolicy;
+use securetf_tee::{Enclave, RegionId};
+use securetf_tensor::freeze;
+use securetf_tensor::graph::NodeId;
+use securetf_tensor::layers::Classifier;
+use securetf_tensor::optimizer::Optimizer;
+use securetf_tensor::session::Session;
+use securetf_tensor::tensor::Tensor;
+use std::sync::Arc;
+
+/// A training/inference session running inside an enclave.
+pub struct SecureSession {
+    enclave: Arc<Enclave>,
+    model: Classifier,
+    session: Session,
+    params_region: RegionId,
+    activations_region: RegionId,
+}
+
+impl std::fmt::Debug for SecureSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureSession")
+            .field("mode", &self.enclave.mode())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureSession {
+    /// Creates a session for `model` inside `enclave`.
+    pub fn new(enclave: Arc<Enclave>, model: Classifier) -> SecureSession {
+        let session = Session::new(&model.graph);
+        let params_region = enclave.alloc("params", session.param_bytes());
+        let activations_region = enclave.alloc("activations", 1);
+        SecureSession {
+            enclave,
+            model,
+            session,
+            params_region,
+            activations_region,
+        }
+    }
+
+    fn charge(&mut self) -> Result<(), SecureTfError> {
+        let stats = self.session.stats();
+        self.session.reset_stats();
+        self.enclave.charge_compute(stats.flops);
+        self.enclave.touch_all(self.params_region)?;
+        let act = stats.activation_bytes.max(1);
+        self.enclave.free(self.activations_region)?;
+        self.activations_region = self.enclave.alloc("activations", act);
+        self.enclave.touch_all(self.activations_region)?;
+        Ok(())
+    }
+
+    /// Runs one training step, returning the loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution and TEE errors.
+    pub fn train_step(
+        &mut self,
+        images: Tensor,
+        labels: Tensor,
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<f32, SecureTfError> {
+        self.enclave.charge_syscall();
+        self.session.reset_stats();
+        let loss = self.session.train_step(
+            &self.model.graph,
+            &[(self.model.input, images), (self.model.labels, labels)],
+            self.model.loss,
+            optimizer,
+        )?;
+        self.charge()?;
+        Ok(loss)
+    }
+
+    /// Classifies a batch, returning predicted labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution and TEE errors.
+    pub fn classify(&mut self, images: Tensor) -> Result<Vec<usize>, SecureTfError> {
+        self.session.reset_stats();
+        let out = self.session.run(
+            &self.model.graph,
+            &[(self.model.input, images)],
+            &[self.model.logits],
+        )?;
+        self.charge()?;
+        Ok(out[0].argmax_rows()?)
+    }
+
+    /// Classification accuracy over a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution and TEE errors.
+    pub fn accuracy(&mut self, data: &securetf_data::Dataset) -> Result<f64, SecureTfError> {
+        let (x, _) = data.batch(0, data.len())?;
+        let preds = self.classify(x)?;
+        let correct = preds
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| data.label(*i) == Some(p))
+            .count();
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Saves a checkpoint, sealed to this enclave, onto untrusted storage.
+    pub fn save_checkpoint(&self, store: &UntrustedStore, path: &str) {
+        let plaintext = freeze::save_checkpoint(&self.model.graph, &self.session);
+        let sealed = self
+            .enclave
+            .seal(SealPolicy::Measurement, &plaintext, path.as_bytes());
+        self.enclave.charge_syscall();
+        store.raw_put(path, sealed);
+    }
+
+    /// Restores a checkpoint sealed by the same enclave identity.
+    ///
+    /// # Errors
+    ///
+    /// * [`SecureTfError::ModelIntegrity`] if the file is missing.
+    /// * [`SecureTfError::Tee`] if unsealing fails (tampering or foreign
+    ///   identity).
+    pub fn restore_checkpoint(
+        &mut self,
+        store: &UntrustedStore,
+        path: &str,
+    ) -> Result<(), SecureTfError> {
+        self.enclave.charge_syscall();
+        let sealed = store
+            .raw_contents(path)
+            .ok_or(SecureTfError::ModelIntegrity("checkpoint missing"))?;
+        let plaintext = self
+            .enclave
+            .unseal(SealPolicy::Measurement, &sealed, path.as_bytes())?;
+        freeze::restore_checkpoint(&self.model.graph, &mut self.session, &plaintext)?;
+        Ok(())
+    }
+
+    /// Exports the trained model as a frozen Lite model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors.
+    pub fn export_lite(&self) -> Result<securetf_tflite::model::LiteModel, SecureTfError> {
+        let frozen = freeze::freeze(&self.model.graph, &self.session)?;
+        // Export only the inference prefix (up to the probabilities node):
+        // the loss head references the labels placeholder and is not part
+        // of the served model.
+        let mut inference = securetf_tensor::graph::Graph::new();
+        for node in frozen.nodes().iter().take(self.model.probabilities.index() + 1) {
+            inference.append_node(node.clone())?;
+        }
+        let input_name = inference.nodes()[self.model.input.index()].name.clone();
+        let output_name = inference.nodes()[self.model.probabilities.index()]
+            .name
+            .clone();
+        let converted = securetf_tflite::model::LiteModel::convert(
+            &inference,
+            &input_name,
+            &output_name,
+        )?;
+        // Drop anything the output doesn't need (e.g. the labels
+        // placeholder of the training head).
+        Ok(securetf_tflite::optimize::strip_unreachable(&converted))
+    }
+
+    /// The enclave hosting the session.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &Classifier {
+        &self.model
+    }
+
+    /// Raw access to the underlying session (variables, stats).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Overwrites one variable's value (federated-learning install path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::set_variable`] errors.
+    pub fn set_variable(
+        &mut self,
+        id: NodeId,
+        value: Tensor,
+    ) -> Result<(), SecureTfError> {
+        self.session.set_variable(id, value)?;
+        Ok(())
+    }
+
+    /// Looks up a graph node id by raw index.
+    pub fn node_id(&self, index: usize) -> Option<NodeId> {
+        self.model.graph.node_id(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+    use securetf_tensor::layers;
+    use securetf_tensor::optimizer::Sgd;
+
+    fn session(mode: ExecutionMode) -> SecureSession {
+        let platform = Platform::builder().build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"trainer").build(),
+                mode,
+            )
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let model = layers::mlp_classifier(784, &[32], 10, &mut rng).unwrap();
+        SecureSession::new(enclave, model)
+    }
+
+    #[test]
+    fn secure_training_converges() {
+        let mut s = session(ExecutionMode::Hardware);
+        let data = securetf_data::synthetic_mnist(200, 4);
+        let mut sgd = Sgd::new(0.05);
+        let mut loss = f32::INFINITY;
+        for epoch in 0..15 {
+            for start in (0..200).step_by(50) {
+                let (x, y) = data.batch(start, 50).unwrap();
+                loss = s.train_step(x, y, &mut sgd).unwrap();
+            }
+            let _ = epoch;
+        }
+        assert!(loss < 0.5, "loss {loss}");
+        let acc = s.accuracy(&data).unwrap();
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_parity_native_vs_hardware() {
+        // The paper's core "accuracy" goal: protection changes latency,
+        // never results. Train identically in both modes and compare.
+        let data = securetf_data::synthetic_mnist(100, 8);
+        let run = |mode| {
+            let mut s = session(mode);
+            let mut sgd = Sgd::new(0.05);
+            for _ in 0..10 {
+                let (x, y) = data.batch(0, 100).unwrap();
+                s.train_step(x, y, &mut sgd).unwrap();
+            }
+            let (x, _) = data.batch(0, 100).unwrap();
+            s.classify(x).unwrap()
+        };
+        assert_eq!(run(ExecutionMode::Native), run(ExecutionMode::Hardware));
+    }
+
+    #[test]
+    fn checkpoint_seal_roundtrip_and_tamper() {
+        let store = UntrustedStore::new();
+        let mut s = session(ExecutionMode::Hardware);
+        let data = securetf_data::synthetic_mnist(50, 4);
+        let mut sgd = Sgd::new(0.3);
+        let (x, y) = data.batch(0, 50).unwrap();
+        s.train_step(x, y, &mut sgd).unwrap();
+        s.save_checkpoint(&store, "/ckpt/m");
+        // Restores cleanly.
+        s.restore_checkpoint(&store, "/ckpt/m").unwrap();
+        // Tampered checkpoint rejected.
+        store.corrupt("/ckpt/m", 40);
+        assert!(matches!(
+            s.restore_checkpoint(&store, "/ckpt/m"),
+            Err(SecureTfError::Tee(_))
+        ));
+    }
+
+    #[test]
+    fn export_lite_serves_same_predictions() {
+        let mut s = session(ExecutionMode::Hardware);
+        let data = securetf_data::synthetic_mnist(100, 4);
+        let mut sgd = Sgd::new(0.3);
+        for _ in 0..10 {
+            let (x, y) = data.batch(0, 100).unwrap();
+            s.train_step(x, y, &mut sgd).unwrap();
+        }
+        let (x, _) = data.batch(0, 20).unwrap();
+        let train_preds = s.classify(x.clone()).unwrap();
+        let lite = s.export_lite().unwrap();
+        let mut interp = securetf_tflite::interpreter::Interpreter::new(lite);
+        let out = interp.run(&x).unwrap();
+        let lite_preds = out.argmax_rows().unwrap();
+        assert_eq!(train_preds, lite_preds);
+    }
+
+    #[test]
+    fn hardware_training_slower_than_native() {
+        let native = session(ExecutionMode::Native);
+        let hw = session(ExecutionMode::Hardware);
+        let data = securetf_data::synthetic_mnist(100, 4);
+        let run = |mut s: SecureSession| {
+            let clock = s.enclave().clock().clone();
+            let t0 = clock.now_ns();
+            let mut sgd = Sgd::new(0.3);
+            let (x, y) = data.batch(0, 100).unwrap();
+            s.train_step(x, y, &mut sgd).unwrap();
+            clock.now_ns() - t0
+        };
+        assert!(run(hw) > run(native));
+    }
+}

@@ -1,0 +1,254 @@
+//! ChaCha20-Poly1305 AEAD (RFC 7539 §2.8).
+//!
+//! This is the authenticated-encryption workhorse of the whole stack: the
+//! file-system shield, the network shield record layer, EPC page sealing
+//! and the CAS secret database all encrypt through this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use securetf_crypto::aead::{seal, open, Key, Nonce};
+//!
+//! # fn main() -> Result<(), securetf_crypto::CryptoError> {
+//! let key = Key::from_bytes([3u8; 32]);
+//! let nonce = Nonce::from_bytes([5u8; 12]);
+//! let ct = seal(&key, &nonce, b"plaintext", b"aad");
+//! assert_eq!(open(&key, &nonce, &ct, b"aad")?, b"plaintext");
+//! assert!(open(&key, &nonce, &ct, b"other aad").is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::chacha20::ChaCha20;
+use crate::ct;
+use crate::poly1305::Poly1305;
+use crate::CryptoError;
+
+/// Length of the authentication tag appended to each ciphertext.
+pub const TAG_LEN: usize = 16;
+/// Length of an AEAD key.
+pub const KEY_LEN: usize = 32;
+/// Length of an AEAD nonce.
+pub const NONCE_LEN: usize = 12;
+
+/// A 256-bit AEAD key. Zeroed on drop.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Key([u8; KEY_LEN]);
+
+impl Drop for Key {
+    fn drop(&mut self) {
+        // Best-effort scrubbing of key material from memory.
+        for b in self.0.iter_mut() {
+            // Volatile write prevents the store from being elided.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Key(..)")
+    }
+}
+
+impl Key {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        Key(bytes)
+    }
+
+    /// Derives a key from a byte slice by hashing (for non-uniform input).
+    pub fn derive_from(material: &[u8]) -> Self {
+        Key(crate::sha256::digest(material))
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+}
+
+/// A 96-bit AEAD nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nonce([u8; NONCE_LEN]);
+
+impl Nonce {
+    /// Wraps raw nonce bytes.
+    pub fn from_bytes(bytes: [u8; NONCE_LEN]) -> Self {
+        Nonce(bytes)
+    }
+
+    /// Builds a nonce from a 64-bit sequence number and a 32-bit stream id.
+    ///
+    /// The network shield derives record nonces this way so that a single
+    /// key never reuses a nonce across directions.
+    pub fn from_counter(stream_id: u32, seq: u64) -> Self {
+        let mut n = [0u8; NONCE_LEN];
+        n[..4].copy_from_slice(&stream_id.to_le_bytes());
+        n[4..].copy_from_slice(&seq.to_le_bytes());
+        Nonce(n)
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; NONCE_LEN] {
+        &self.0
+    }
+}
+
+fn poly_key(key: &Key, nonce: &Nonce) -> [u8; 32] {
+    let mut c = ChaCha20::new(&key.0, &nonce.0, 0);
+    let block = c.next_block();
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+fn compute_tag(pk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+    let mut mac = Poly1305::new(pk);
+    mac.update(aad);
+    mac.update(&vec![0u8; (16 - aad.len() % 16) % 16]);
+    mac.update(ciphertext);
+    mac.update(&vec![0u8; (16 - ciphertext.len() % 16) % 16]);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+/// Encrypts and authenticates `plaintext` with associated data `aad`.
+///
+/// Returns `ciphertext || tag`.
+pub fn seal(key: &Key, nonce: &Nonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    ChaCha20::new(&key.0, &nonce.0, 1).apply_keystream(&mut out);
+    let tag = compute_tag(&poly_key(key, nonce), aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Verifies and decrypts `sealed` (as produced by [`seal`]).
+///
+/// # Errors
+///
+/// * [`CryptoError::TruncatedInput`] if `sealed` is shorter than a tag.
+/// * [`CryptoError::TagMismatch`] if authentication fails (tampered
+///   ciphertext, wrong key/nonce or wrong associated data).
+pub fn open(key: &Key, nonce: &Nonce, sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if sealed.len() < TAG_LEN {
+        return Err(CryptoError::TruncatedInput);
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expect = compute_tag(&poly_key(key, nonce), aad, ciphertext);
+    if !ct::eq(&expect, tag) {
+        return Err(CryptoError::TagMismatch);
+    }
+    let mut out = ciphertext.to_vec();
+    ChaCha20::new(&key.0, &nonce.0, 1).apply_keystream(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 7539 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc7539_aead_vector() {
+        let key = Key::from_bytes(
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap(),
+        );
+        let nonce = Nonce::from_bytes(unhex("070000004041424344454647").try_into().unwrap());
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let sealed = seal(&key, &nonce, plaintext, &aad);
+        let (ct_part, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        assert_eq!(
+            hex(&ct_part[..16]),
+            "d31a8d34648e60db7b86afbc53ef7ec2"
+        );
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(open(&key, &nonce, &sealed, &aad).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let key = Key::from_bytes([1; 32]);
+        let nonce = Nonce::from_bytes([2; 12]);
+        let mut sealed = seal(&key, &nonce, b"hello world", b"");
+        sealed[3] ^= 0x80;
+        assert_eq!(open(&key, &nonce, &sealed, b""), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let key = Key::from_bytes([1; 32]);
+        let nonce = Nonce::from_bytes([2; 12]);
+        let mut sealed = seal(&key, &nonce, b"hello world", b"");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert_eq!(open(&key, &nonce, &sealed, b""), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let key = Key::from_bytes([1; 32]);
+        let nonce = Nonce::from_bytes([2; 12]);
+        let sealed = seal(&key, &nonce, b"payload", b"v1");
+        assert!(open(&key, &nonce, &sealed, b"v2").is_err());
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let key = Key::from_bytes([1; 32]);
+        let sealed = seal(&key, &Nonce::from_bytes([2; 12]), b"payload", b"");
+        assert!(open(&key, &Nonce::from_bytes([3; 12]), &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let key = Key::from_bytes([1; 32]);
+        let nonce = Nonce::from_bytes([2; 12]);
+        assert_eq!(
+            open(&key, &nonce, &[0u8; 5], b""),
+            Err(CryptoError::TruncatedInput)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let key = Key::from_bytes([7; 32]);
+        let nonce = Nonce::from_bytes([8; 12]);
+        let sealed = seal(&key, &nonce, b"", b"just aad");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&key, &nonce, &sealed, b"just aad").unwrap(), b"");
+    }
+
+    #[test]
+    fn counter_nonces_are_distinct() {
+        let a = Nonce::from_counter(1, 1);
+        let b = Nonce::from_counter(1, 2);
+        let c = Nonce::from_counter(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn key_debug_does_not_leak() {
+        let key = Key::from_bytes([0xcd; 32]);
+        assert!(!format!("{key:?}").contains("cd"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The ChaCha20 stream cipher (RFC 7539).
+//!
+//! # Examples
+//!
+//! ```
+//! use securetf_crypto::chacha20::ChaCha20;
+//!
+//! let mut data = *b"secret tensor bytes";
+//! ChaCha20::new(&[0u8; 32], &[0u8; 12], 1).apply_keystream(&mut data);
+//! assert_ne!(&data, b"secret tensor bytes");
+//! ChaCha20::new(&[0u8; 32], &[0u8; 12], 1).apply_keystream(&mut data);
+//! assert_eq!(&data, b"secret tensor bytes");
+//! ```
+
+/// ChaCha20 stream cipher state.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance from a 256-bit key, 96-bit nonce and the
+    /// initial 32-bit block counter.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                key[i * 4],
+                key[i * 4 + 1],
+                key[i * 4 + 2],
+                key[i * 4 + 3],
+            ]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        ChaCha20 { state }
+    }
+
+    /// Produces the next 64-byte keystream block and advances the counter.
+    pub fn next_block(&mut self) -> [u8; 64] {
+        let mut working = self.state;
+        for _ in 0..10 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(self.state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encrypts or decrypts).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let block = self.next_block();
+            for (byte, k) in chunk.iter_mut().zip(block.iter()) {
+                *byte ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7539 §2.3.2 block function test vector.
+    #[test]
+    fn rfc7539_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut c = ChaCha20::new(&key, &nonce, 1);
+        let block = c.next_block();
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    // RFC 7539 §2.4.2 encryption test vector (the "sunscreen" plaintext).
+    #[test]
+    fn rfc7539_encryption_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could \
+offer you only one tip for the future, sunscreen would be it."
+            .to_vec();
+        ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(hex(&data[data.len() - 8..]), "8eedf2785e42874d");
+    }
+
+    // RFC 7539 A.1 test vector #1: all-zero key and nonce, counter 0.
+    #[test]
+    fn rfc7539_a1_zero_vector() {
+        let mut c = ChaCha20::new(&[0u8; 32], &[0u8; 12], 0);
+        let block = c.next_block();
+        assert_eq!(
+            hex(&block[..32]),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+        );
+    }
+
+    // RFC 7539 A.1 test vector #2: counter 1.
+    #[test]
+    fn rfc7539_a1_counter_one() {
+        let mut c = ChaCha20::new(&[0u8; 32], &[0u8; 12], 1);
+        let block = c.next_block();
+        assert_eq!(
+            hex(&block[..16]),
+            "9f07e7be5551387a98ba977c732d080d"
+        );
+    }
+
+    #[test]
+    fn keystream_counter_advances() {
+        let mut c = ChaCha20::new(&[1u8; 32], &[2u8; 12], 0);
+        let b0 = c.next_block();
+        let b1 = c.next_block();
+        assert_ne!(b0, b1);
+        // Restarting at counter 1 reproduces the second block.
+        let mut c1 = ChaCha20::new(&[1u8; 32], &[2u8; 12], 1);
+        assert_eq!(c1.next_block(), b1);
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_lengths() {
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let mut data = original.clone();
+            ChaCha20::new(&[9u8; 32], &[3u8; 12], 5).apply_keystream(&mut data);
+            ChaCha20::new(&[9u8; 32], &[3u8; 12], 5).apply_keystream(&mut data);
+            assert_eq!(data, original, "len {len}");
+        }
+    }
+}

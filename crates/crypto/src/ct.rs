@@ -1,0 +1,56 @@
+//! Constant-time comparison helpers.
+//!
+//! Tag comparisons in the AEAD, the file-system shield and the attestation
+//! protocol must not leak where the first differing byte is.
+//!
+//! # Examples
+//!
+//! ```
+//! assert!(securetf_crypto::ct::eq(b"abc", b"abc"));
+//! assert!(!securetf_crypto::ct::eq(b"abc", b"abd"));
+//! ```
+
+/// Compares two byte slices in constant time (for equal lengths).
+///
+/// Returns `false` immediately if the lengths differ — the length of a tag
+/// is public information.
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse to 0/1 without a data-dependent branch.
+    (1u8 & ((diff as u16).wrapping_sub(1) >> 8) as u8) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(b"", b""));
+        assert!(eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_lengths() {
+        assert!(!eq(b"a", b"ab"));
+    }
+
+    #[test]
+    fn every_single_bit_flip_detected() {
+        let a = [0x5au8; 16];
+        for byte in 0..16 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[byte] ^= 1 << bit;
+                assert!(!eq(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! HKDF with SHA-256 (RFC 5869).
+//!
+//! Used by the network shield handshake and the CAS secret-provisioning
+//! protocol to derive traffic keys from Diffie-Hellman shared secrets.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), securetf_crypto::CryptoError> {
+//! let prk = securetf_crypto::hkdf::extract(b"salt", b"input keying material");
+//! let okm = securetf_crypto::hkdf::expand(&prk, b"context", 42)?;
+//! assert_eq!(okm.len(), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::CryptoError;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derives `len` bytes of output keying material.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::OutputTooLong`] if `len > 255 * 32`.
+pub fn expand(prk: &[u8; 32], info: &[u8], len: usize) -> Result<Vec<u8>, CryptoError> {
+    if len > 255 * 32 {
+        return Err(CryptoError::OutputTooLong);
+    }
+    let mut okm = Vec::with_capacity(len);
+    let mut prev: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&prev);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (len - okm.len()).min(32);
+        okm.extend_from_slice(&block[..take]);
+        prev = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    Ok(okm)
+}
+
+/// Convenience: extract-then-expand in one call.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::OutputTooLong`] if `len > 255 * 32`.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Result<Vec<u8>, CryptoError> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3: zero-length salt and info.
+    #[test]
+    fn rfc5869_case3_empty_salt_info() {
+        let ikm = [0x0b; 22];
+        let prk = extract(b"", &ikm);
+        let okm = expand(&prk, b"", 42).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn max_output_length_enforced() {
+        let prk = [0u8; 32];
+        assert!(expand(&prk, b"", 255 * 32).is_ok());
+        assert_eq!(
+            expand(&prk, b"", 255 * 32 + 1),
+            Err(CryptoError::OutputTooLong)
+        );
+    }
+
+    #[test]
+    fn different_info_yields_independent_keys() {
+        let prk = extract(b"s", b"ikm");
+        let a = expand(&prk, b"client", 32).unwrap();
+        let b = expand(&prk, b"server", 32).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expand_is_prefix_consistent() {
+        // Shorter outputs must be prefixes of longer ones (RFC property).
+        let prk = extract(b"salt", b"ikm");
+        let long = expand(&prk, b"i", 100).unwrap();
+        let short = expand(&prk, b"i", 33).unwrap();
+        assert_eq!(&long[..33], &short[..]);
+    }
+}

@@ -1,0 +1,447 @@
+//! X25519 Diffie-Hellman over Curve25519 (RFC 7748).
+//!
+//! Field arithmetic uses five 51-bit limbs over 2^255 - 19 with `u128`
+//! intermediates; scalar multiplication is the constant-time Montgomery
+//! ladder from the RFC.
+//!
+//! # Examples
+//!
+//! ```
+//! use securetf_crypto::x25519::{PublicKey, StaticSecret};
+//!
+//! let alice = StaticSecret::from_bytes([0x11; 32]);
+//! let bob = StaticSecret::from_bytes([0x22; 32]);
+//! let shared_a = alice.diffie_hellman(&PublicKey::from(&bob));
+//! let shared_b = bob.diffie_hellman(&PublicKey::from(&alice));
+//! assert_eq!(shared_a, shared_b);
+//! ```
+
+/// An element of GF(2^255 - 19) in five 51-bit limbs.
+#[derive(Debug, Clone, Copy)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |b: &[u8]| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(b);
+            u64::from_le_bytes(v)
+        };
+        // RFC 7748: the top bit of the u-coordinate is masked.
+        let l0 = load(&bytes[0..8]) & MASK51;
+        let l1 = (load(&bytes[6..14]) >> 3) & MASK51;
+        let l2 = (load(&bytes[12..20]) >> 6) & MASK51;
+        let l3 = (load(&bytes[19..27]) >> 1) & MASK51;
+        let l4 = (load(&bytes[24..32]) >> 12) & MASK51;
+        Fe([l0, l1, l2, l3, l4])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Fully reduce mod 2^255-19.
+        let mut t = self.reduce_weak().0;
+        // Conditionally subtract p: compute t - p and keep if non-negative.
+        let mut q = (t[0].wrapping_add(19)) >> 51;
+        q = (t[1].wrapping_add(q)) >> 51;
+        q = (t[2].wrapping_add(q)) >> 51;
+        q = (t[3].wrapping_add(q)) >> 51;
+        q = (t[4].wrapping_add(q)) >> 51;
+        t[0] = t[0].wrapping_add(19u64.wrapping_mul(q));
+        let mut carry = t[0] >> 51;
+        t[0] &= MASK51;
+        t[1] = t[1].wrapping_add(carry);
+        carry = t[1] >> 51;
+        t[1] &= MASK51;
+        t[2] = t[2].wrapping_add(carry);
+        carry = t[2] >> 51;
+        t[2] &= MASK51;
+        t[3] = t[3].wrapping_add(carry);
+        carry = t[3] >> 51;
+        t[3] &= MASK51;
+        t[4] = t[4].wrapping_add(carry);
+        t[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let words = [
+            t[0] | (t[1] << 51),
+            (t[1] >> 13) | (t[2] << 38),
+            (t[2] >> 26) | (t[3] << 25),
+            (t[3] >> 39) | (t[4] << 12),
+        ];
+        for (i, w) in words.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn reduce_weak(self) -> Fe {
+        let mut t = self.0;
+        let mut c = t[0] >> 51;
+        t[0] &= MASK51;
+        t[1] += c;
+        c = t[1] >> 51;
+        t[1] &= MASK51;
+        t[2] += c;
+        c = t[2] >> 51;
+        t[2] &= MASK51;
+        t[3] += c;
+        c = t[3] >> 51;
+        t[3] &= MASK51;
+        t[4] += c;
+        c = t[4] >> 51;
+        t[4] &= MASK51;
+        t[0] += c * 19;
+        Fe(t)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+        .reduce_weak()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 2*p before subtracting to keep limbs non-negative.
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda * 2,
+            0xffffffffffffe * 2,
+            0xffffffffffffe * 2,
+            0xffffffffffffe * 2,
+            0xffffffffffffe * 2,
+        ];
+        Fe([
+            self.0[0] + TWO_P[0] - rhs.0[0],
+            self.0[1] + TWO_P[1] - rhs.0[1],
+            self.0[2] + TWO_P[2] - rhs.0[2],
+            self.0[3] + TWO_P[3] - rhs.0[3],
+            self.0[4] + TWO_P[4] - rhs.0[4],
+        ])
+        .reduce_weak()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.reduce_weak().0;
+        let b = rhs.reduce_weak().0;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        let b19: [u64; 5] = [b[0], b[1] * 19, b[2] * 19, b[3] * 19, b[4] * 19];
+
+        let c0 = m(a[0], b[0]) + m(a[1], b19[4]) + m(a[2], b19[3]) + m(a[3], b19[2]) + m(a[4], b19[1]);
+        let c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b19[4]) + m(a[3], b19[3]) + m(a[4], b19[2]);
+        let c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b19[4]) + m(a[4], b19[3]);
+        let c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b19[4]);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        Fe::carry128([c0, c1, c2, c3, c4])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn carry128(mut c: [u128; 5]) -> Fe {
+        let mut t = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            c[i] += carry;
+            t[i] = (c[i] as u64) & MASK51;
+            carry = c[i] >> 51;
+        }
+        t[0] += (carry as u64) * 19;
+        Fe(t).reduce_weak()
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let a = self.reduce_weak().0;
+        Fe::carry128([
+            a[0] as u128 * k as u128,
+            a[1] as u128 * k as u128,
+            a[2] as u128 * k as u128,
+            a[3] as u128 * k as u128,
+            a[4] as u128 * k as u128,
+        ])
+    }
+
+    /// Computes self^(p-2) = self^-1 via Fermat's little theorem.
+    fn invert(self) -> Fe {
+        // Addition chain for 2^255 - 21.
+        let z2 = self.square();
+        let z9 = z2.square().square().mul(self);
+        let z11 = z9.mul(z2);
+        let z2_5_0 = z11.square().mul(z9);
+        let mut t = z2_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z2_10_0 = t.mul(z2_5_0);
+        t = z2_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z2_20_0 = t.mul(z2_10_0);
+        t = z2_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z2_40_0 = t.mul(z2_20_0);
+        t = z2_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z2_50_0 = t.mul(z2_10_0);
+        t = z2_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z2_100_0 = t.mul(z2_50_0);
+        t = z2_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z2_200_0 = t.mul(z2_100_0);
+        t = z2_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z2_250_0 = t.mul(z2_50_0);
+        t = z2_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11)
+    }
+
+    /// Constant-time conditional swap driven by `swap` ∈ {0, 1}.
+    fn cswap(a: &mut Fe, b: &mut Fe, swap: u64) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..5 {
+            let x = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= x;
+            b.0[i] ^= x;
+        }
+    }
+}
+
+/// Performs the raw X25519 function: scalar multiplication of the point with
+/// u-coordinate `u` by `scalar` (clamped per RFC 7748).
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The X25519 base point (u = 9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// A private X25519 scalar. Zeroed on drop.
+#[derive(Clone)]
+pub struct StaticSecret {
+    scalar: [u8; 32],
+}
+
+impl Drop for StaticSecret {
+    fn drop(&mut self) {
+        for b in self.scalar.iter_mut() {
+            // Volatile write prevents the store from being elided.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+    }
+}
+
+impl std::fmt::Debug for StaticSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "StaticSecret(..)")
+    }
+}
+
+impl StaticSecret {
+    /// Creates a secret from raw bytes (clamping happens at use time).
+    pub fn from_bytes(scalar: [u8; 32]) -> Self {
+        StaticSecret { scalar }
+    }
+
+    /// Generates a secret from an RNG.
+    pub fn random<R: rand::RngCore>(rng: &mut R) -> Self {
+        let mut scalar = [0u8; 32];
+        rng.fill_bytes(&mut scalar);
+        StaticSecret { scalar }
+    }
+
+    /// Computes the shared secret with a peer's public key.
+    pub fn diffie_hellman(&self, peer: &PublicKey) -> [u8; 32] {
+        x25519(&self.scalar, &peer.0)
+    }
+}
+
+/// A public X25519 point (u-coordinate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl From<&StaticSecret> for PublicKey {
+    fn from(secret: &StaticSecret) -> Self {
+        PublicKey(x25519(&secret.scalar, &BASEPOINT))
+    }
+}
+
+impl PublicKey {
+    /// Returns the raw 32-byte encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..64)
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar =
+            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar =
+            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 §5.2 iterated test, 1 iteration.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let k = unhex32("0900000000000000000000000000000000000000000000000000000000000000");
+        let out = x25519(&k, &k);
+        assert_eq!(
+            hex(&out),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    // RFC 7748 §5.2 iterated test, 1000 iterations.
+    #[test]
+    fn rfc7748_iterated_thousand() {
+        let mut k = unhex32("0900000000000000000000000000000000000000000000000000000000000000");
+        let mut u = k;
+        for _ in 0..1000 {
+            let out = x25519(&k, &u);
+            u = k;
+            k = out;
+        }
+        assert_eq!(
+            hex(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman example.
+    #[test]
+    fn rfc7748_dh_example() {
+        let alice_priv =
+            unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv =
+            unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = x25519(&alice_priv, &BASEPOINT);
+        let bob_pub = x25519(&bob_priv, &BASEPOINT);
+        assert_eq!(
+            hex(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let shared = x25519(&alice_priv, &bob_pub);
+        assert_eq!(
+            hex(&shared),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+        assert_eq!(shared, x25519(&bob_priv, &alice_pub));
+    }
+
+    #[test]
+    fn key_exchange_api_agrees() {
+        let a = StaticSecret::from_bytes([0x42; 32]);
+        let b = StaticSecret::from_bytes([0x24; 32]);
+        assert_eq!(
+            a.diffie_hellman(&PublicKey::from(&b)),
+            b.diffie_hellman(&PublicKey::from(&a))
+        );
+    }
+
+    #[test]
+    fn debug_does_not_leak_secret() {
+        let s = StaticSecret::from_bytes([0xab; 32]);
+        assert!(!format!("{s:?}").contains("ab"));
+    }
+}

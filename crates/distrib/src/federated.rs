@@ -1,0 +1,124 @@
+//! Federated learning support (paper §6.2).
+//!
+//! In the paper's medical use-case, hospitals train locally on private
+//! data and share only model parameters with a *global aggregation
+//! enclave*, which averages them (FedAvg) after attesting each party.
+//! This module provides the aggregation; the full flow (local training,
+//! attestation, secure upload) lives in the `federated_learning` example.
+
+use crate::wire;
+use crate::DistribError;
+use securetf_tensor::tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Averages parameter sets from multiple parties (FedAvg with equal
+/// weights).
+///
+/// Input: each party's encoded `(variable, tensor)` message (as produced
+/// by [`crate::wire::encode`]). Output: the averaged parameter message.
+///
+/// # Errors
+///
+/// * [`DistribError::NoWorkers`] if `parties` is empty.
+/// * [`DistribError::BadMessage`] if parties disagree on variables or
+///   shapes (a malicious or corrupted update).
+pub fn federated_average(parties: &[Vec<u8>]) -> Result<Vec<u8>, DistribError> {
+    if parties.is_empty() {
+        return Err(DistribError::NoWorkers);
+    }
+    let mut sums: BTreeMap<u32, Tensor> = BTreeMap::new();
+    let mut expected_vars: Option<Vec<u32>> = None;
+    for message in parties {
+        let entries = wire::decode(message)?;
+        let vars: Vec<u32> = entries.iter().map(|(id, _)| *id).collect();
+        match &expected_vars {
+            None => expected_vars = Some(vars),
+            Some(e) if *e != vars => {
+                return Err(DistribError::BadMessage("parties disagree on variables"));
+            }
+            _ => {}
+        }
+        for (id, tensor) in entries {
+            match sums.get_mut(&id) {
+                Some(sum) => {
+                    *sum = sum
+                        .zip(&tensor, |a, b| a + b)
+                        .map_err(|_| DistribError::BadMessage("shape disagreement"))?;
+                }
+                None => {
+                    sums.insert(id, tensor);
+                }
+            }
+        }
+    }
+    let n = parties.len() as f32;
+    let averaged: Vec<(u32, Tensor)> = sums
+        .into_iter()
+        .map(|(id, sum)| (id, sum.map(|v| v / n)))
+        .collect();
+    Ok(wire::encode(&averaged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn message(values: &[f32]) -> Vec<u8> {
+        wire::encode(&[(0, Tensor::from_vec(&[values.len()], values.to_vec()).unwrap())])
+    }
+
+    #[test]
+    fn average_of_two_parties() {
+        let avg = federated_average(&[message(&[1.0, 2.0]), message(&[3.0, 6.0])]).unwrap();
+        let decoded = wire::decode(&avg).unwrap();
+        assert_eq!(decoded[0].1.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn single_party_is_identity() {
+        let avg = federated_average(&[message(&[5.0])]).unwrap();
+        assert_eq!(wire::decode(&avg).unwrap()[0].1.data(), &[5.0]);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            federated_average(&[]),
+            Err(DistribError::NoWorkers)
+        ));
+    }
+
+    #[test]
+    fn disagreeing_variables_rejected() {
+        let a = wire::encode(&[(0, Tensor::zeros(&[2]))]);
+        let b = wire::encode(&[(1, Tensor::zeros(&[2]))]);
+        assert!(matches!(
+            federated_average(&[a, b]),
+            Err(DistribError::BadMessage(_))
+        ));
+    }
+
+    #[test]
+    fn disagreeing_shapes_rejected() {
+        let a = wire::encode(&[(0, Tensor::zeros(&[2]))]);
+        let b = wire::encode(&[(0, Tensor::zeros(&[3]))]);
+        assert!(matches!(
+            federated_average(&[a, b]),
+            Err(DistribError::BadMessage(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_message_rejected() {
+        let mut a = message(&[1.0]);
+        a.truncate(a.len() - 2);
+        assert!(federated_average(&[a]).is_err());
+    }
+
+    #[test]
+    fn average_of_many_parties() {
+        let msgs: Vec<Vec<u8>> = (0..10).map(|i| message(&[i as f32])).collect();
+        let avg = federated_average(&msgs).unwrap();
+        assert_eq!(wire::decode(&avg).unwrap()[0].1.data(), &[4.5]);
+    }
+}

@@ -1,0 +1,755 @@
+//! Synchronous data-parallel training with a parameter server (§5.4).
+//!
+//! Each step: every live worker pulls the current weights, computes
+//! gradients on its own batch, and pushes them to the parameter server,
+//! which averages and applies the update. The latency model follows the
+//! deployment:
+//!
+//! * worker gradient computation runs **in parallel** across nodes (the
+//!   step takes the slowest worker, including that node's own EPC paging),
+//! * weight/gradient transfers serialize at the parameter server's NIC,
+//! * the network shield adds record-processing cost at both endpoints,
+//! * under the shielded runtime, multi-threaded training compute pays the
+//!   scheduler slowdown the paper reports (§5.4).
+
+use crate::cluster::Cluster;
+use crate::wire;
+use crate::DistribError;
+use securetf_data::Dataset;
+use securetf_tensor::graph::NodeId;
+use securetf_tensor::layers::Classifier;
+use securetf_tensor::session::Session;
+use securetf_tensor::tensor::Tensor;
+use securetf_tee::{ExecutionMode, RegionId};
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainReport {
+    /// Steps executed.
+    pub steps: u64,
+    /// Loss after the final step (averaged over workers).
+    pub final_loss: f32,
+    /// End-to-end virtual time of the run, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Samples processed across all workers.
+    pub samples: u64,
+}
+
+impl TrainReport {
+    /// Training throughput in samples per virtual second.
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.samples as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+struct WorkerState {
+    session: Session,
+    cursor: usize,
+    /// The enclave these regions belong to; a respawned node gets a fresh
+    /// enclave, which invalidates the old state.
+    enclave: std::sync::Arc<securetf_tee::Enclave>,
+    params_region: RegionId,
+    activations_region: RegionId,
+}
+
+/// Drives synchronous data-parallel training over a [`Cluster`].
+pub struct DistributedTrainer {
+    cluster: Cluster,
+    model: Classifier,
+    data: Dataset,
+    batch: usize,
+    lr: f32,
+    ps_session: Session,
+    ps_params_region: RegionId,
+    workers: Vec<WorkerState>,
+    global_ns: u64,
+    steps: u64,
+    samples: u64,
+}
+
+impl std::fmt::Debug for DistributedTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedTrainer")
+            .field("workers", &self.workers.len())
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DistributedTrainer {
+    /// Creates a trainer for `model` over `cluster`, sharding `data`
+    /// among workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns TEE errors from region allocation.
+    pub fn new(
+        cluster: Cluster,
+        model: Classifier,
+        data: Dataset,
+        batch: usize,
+        lr: f32,
+    ) -> Result<Self, DistribError> {
+        let ps_session = Session::new(&model.graph);
+        let param_bytes = ps_session.param_bytes();
+        let ps_params_region = cluster.ps.enclave.alloc("ps-params", param_bytes);
+        let workers = cluster
+            .workers
+            .iter()
+            .map(|node| WorkerState {
+                session: Session::new(&model.graph),
+                cursor: 0,
+                enclave: node.enclave.clone(),
+                params_region: node.enclave.alloc("params", param_bytes),
+                activations_region: node.enclave.alloc("activations", 1),
+            })
+            .collect();
+        Ok(DistributedTrainer {
+            cluster,
+            model,
+            data,
+            batch,
+            lr,
+            ps_session,
+            ps_params_region,
+            workers,
+            global_ns: 0,
+            steps: 0,
+            samples: 0,
+        })
+    }
+
+    fn sync_worker_states(&mut self) -> Result<(), DistribError> {
+        let param_bytes = self.ps_session.param_bytes();
+        // New workers may have joined the cluster (elastic scaling).
+        while self.workers.len() < self.cluster.workers.len() {
+            let node = &self.cluster.workers[self.workers.len()];
+            self.workers.push(WorkerState {
+                session: Session::new(&self.model.graph),
+                cursor: 0,
+                enclave: node.enclave.clone(),
+                params_region: node.enclave.alloc("params", param_bytes),
+                activations_region: node.enclave.alloc("activations", 1),
+            });
+        }
+        // Respawned workers run in fresh enclaves; rebuild their state.
+        for (state, node) in self.workers.iter_mut().zip(self.cluster.workers.iter()) {
+            if !std::sync::Arc::ptr_eq(&state.enclave, &node.enclave) {
+                *state = WorkerState {
+                    session: Session::new(&self.model.graph),
+                    cursor: 0,
+                    enclave: node.enclave.clone(),
+                    params_region: node.enclave.alloc("params", param_bytes),
+                    activations_region: node.enclave.alloc("activations", 1),
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one synchronous training step across all live workers.
+    /// Returns the mean worker loss.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistribError::NoWorkers`] if every worker has failed.
+    /// * Execution/TEE errors otherwise.
+    pub fn step(&mut self) -> Result<f32, DistribError> {
+        self.sync_worker_states()?;
+        let live = self.cluster.live_workers();
+        if live.is_empty() {
+            return Err(DistribError::NoWorkers);
+        }
+        let mode = self.cluster.config().mode;
+        let shield = self.cluster.config().network_shield && mode.has_runtime();
+        let model = self.cluster.ps.platform.cost_model().clone();
+        let sched_slowdown = if mode.has_runtime() {
+            model.runtime_sched_slowdown
+        } else {
+            1.0
+        };
+
+        let ps_count = self.cluster.parameter_server_count() as u64;
+        // 1. Broadcast current weights. With model sharding each PS node
+        //    sends its shard concurrently with the others, so the serial
+        //    bottleneck divides across the PS NICs.
+        let weights: Vec<(u32, Tensor)> = self
+            .ps_session
+            .variables()
+            .iter()
+            .map(|(id, t)| (id.index() as u32, (*t).clone()))
+            .collect();
+        let weight_bytes = wire::encode(&weights);
+        // Network-shield record processing happens at both endpoints: the
+        // PS side serializes, the worker side runs on each worker's own
+        // CPU (parallel across workers).
+        let mut comm_ns = 0u64;
+        for &w in &live {
+            comm_ns += model.lan_transfer_ns(weight_bytes.len() as u64) / ps_count;
+            if shield {
+                comm_ns += model.shield_net_ns(weight_bytes.len() as u64) / ps_count;
+            }
+            let decoded = wire::decode(&weight_bytes)?;
+            let state = &mut self.workers[w];
+            for (raw_id, tensor) in decoded {
+                let id = self
+                    .model
+                    .graph
+                    .node_id(raw_id as usize)
+                    .ok_or(DistribError::BadMessage("unknown variable"))?;
+                state.session.set_variable(id, tensor)?;
+            }
+        }
+
+        // 2. Parallel gradient computation; the step takes the slowest
+        //    worker (each on its own clock, so paging is node-local).
+        let mut max_worker_ns = 0u64;
+        let mut grad_messages: Vec<Vec<u8>> = Vec::with_capacity(live.len());
+        let mut loss_sum = 0.0f32;
+        for &w in &live {
+            let node = &self.cluster.workers[w];
+            let state = &mut self.workers[w];
+            let clock = node.clock().clone();
+            let t0 = clock.now_ns();
+            if shield {
+                // Worker-side record processing of the weight broadcast.
+                clock.advance(model.shield_net_ns(weight_bytes.len() as u64));
+            }
+
+            // Fetch this worker's batch (wraps around its shard).
+            if state.cursor + self.batch > self.data.len() {
+                state.cursor = 0;
+            }
+            let cursor = state.cursor;
+            state.cursor += self.batch;
+            let (x, y) = self.batch_for_model(cursor, self.batch)?;
+            let state = &mut self.workers[w];
+            node.enclave.charge_syscall(); // input read
+
+            state.session.reset_stats();
+            let (loss, grads) = state.session.gradients(
+                &self.model.graph,
+                &[(self.model.input, x), (self.model.labels, y)],
+                self.model.loss,
+            )?;
+            loss_sum += loss;
+            let stats = state.session.stats();
+            node.enclave
+                .charge_compute(stats.flops * sched_slowdown);
+
+            // Memory traffic: parameters + activations, through the EPC.
+            node.enclave.touch_all(state.params_region)?;
+            let act_bytes = stats.activation_bytes.max(1);
+            node.enclave.free(state.activations_region)?;
+            state.activations_region = node.enclave.alloc("activations", act_bytes);
+            node.enclave.touch_all(state.activations_region)?;
+
+            let message: Vec<(u32, Tensor)> = grads
+                .into_iter()
+                .map(|(id, g)| (id.index() as u32, g))
+                .collect();
+            let encoded = wire::encode(&message);
+            if shield {
+                // Worker-side record processing of the gradient push.
+                clock.advance(model.shield_net_ns(encoded.len() as u64));
+            }
+            grad_messages.push(encoded);
+            max_worker_ns = max_worker_ns.max(clock.now_ns() - t0);
+        }
+
+        // 3. Gradient pushes: worker-side shield cost was charged to each
+        //    worker above; transfers and PS-side processing serialize here.
+        for message in &grad_messages {
+            comm_ns += model.lan_transfer_ns(message.len() as u64) / ps_count;
+            if shield {
+                comm_ns += model.shield_net_ns(message.len() as u64) / ps_count;
+            }
+        }
+
+        // 4. PS averages and applies (on the PS node's clock).
+        let ps_clock = self.cluster.ps.clock().clone();
+        let t0 = ps_clock.now_ns();
+        let scale = self.lr / live.len() as f32;
+        let mut param_flops = 0.0f64;
+        for message in grad_messages {
+            for (raw_id, grad) in wire::decode(&message)? {
+                let id = self
+                    .model
+                    .graph
+                    .node_id(raw_id as usize)
+                    .ok_or(DistribError::BadMessage("unknown variable"))?;
+                let current = self
+                    .ps_session
+                    .variable(id)
+                    .ok_or(DistribError::BadMessage("gradient for non-variable"))?;
+                let updated = current.zip(&grad, |v, g| v - scale * g)?;
+                param_flops += 2.0 * updated.len() as f64;
+                self.ps_session.set_variable(id, updated)?;
+            }
+        }
+        // Shard application parallelizes across the PS nodes.
+        self.cluster
+            .ps
+            .enclave
+            .charge_compute(param_flops / ps_count as f64);
+        self.cluster.ps.enclave.touch_all(self.ps_params_region)?;
+        let ps_ns = ps_clock.now_ns() - t0;
+
+        self.global_ns += max_worker_ns + comm_ns + ps_ns;
+        self.steps += 1;
+        self.samples += (self.batch * live.len()) as u64;
+        Ok(loss_sum / live.len() as f32)
+    }
+
+    /// Runs `n` steps, returning the final report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DistributedTrainer::step`] errors.
+    pub fn train_steps(&mut self, n: u64) -> Result<TrainReport, DistribError> {
+        let mut last = f32::NAN;
+        for _ in 0..n {
+            last = self.step()?;
+        }
+        Ok(self.report(last))
+    }
+
+    fn report(&self, final_loss: f32) -> TrainReport {
+        TrainReport {
+            steps: self.steps,
+            final_loss,
+            elapsed_ns: self.global_ns,
+            samples: self.samples,
+        }
+    }
+
+    /// Fetches a batch shaped for the model's input placeholder (flat for
+    /// MLPs, NHWC for convolutional models).
+    fn batch_for_model(
+        &self,
+        start: usize,
+        n: usize,
+    ) -> Result<(securetf_tensor::tensor::Tensor, securetf_tensor::tensor::Tensor), DistribError>
+    {
+        if self.model_wants_nhwc() {
+            Ok(self.data.batch_nhwc(start, n)?)
+        } else {
+            Ok(self.data.batch(start, n)?)
+        }
+    }
+
+    fn model_wants_nhwc(&self) -> bool {
+        matches!(
+            &self.model.graph.nodes()[self.model.input.index()].op,
+            securetf_tensor::graph::Op::Placeholder { shape } if shape.len() == 4
+        )
+    }
+
+    /// Evaluates classification accuracy of the parameter-server model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn evaluate(&mut self, data: &Dataset) -> Result<f64, DistribError> {
+        let (x, _) = if self.model_wants_nhwc() {
+            data.batch_nhwc(0, data.len())?
+        } else {
+            data.batch(0, data.len())?
+        };
+        let out = self.ps_session.run(
+            &self.model.graph,
+            &[(self.model.input, x)],
+            &[self.model.logits],
+        )?;
+        let preds = out[0].argmax_rows()?;
+        let correct = preds
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| data.label(*i) == Some(p))
+            .count();
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Saves the global model to untrusted storage, encrypted under the
+    /// CAS-provisioned `fs-key` — so a *new* cluster (fresh machines, same
+    /// attested service) can restore it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::BadMessage`] if the PS was provisioned
+    /// without an `fs-key` secret.
+    pub fn save_checkpoint(
+        &self,
+        store: &securetf_shield::fs::UntrustedStore,
+        path: &str,
+    ) -> Result<(), DistribError> {
+        let key = self.checkpoint_key()?;
+        let entries: Vec<(u32, Tensor)> = self
+            .ps_session
+            .variables()
+            .iter()
+            .map(|(id, t)| (id.index() as u32, (*t).clone()))
+            .collect();
+        let plaintext = wire::encode(&entries);
+        let nonce = securetf_crypto::aead::Nonce::from_counter(0xC4EC, self.steps);
+        let mut sealed = nonce.as_bytes().to_vec();
+        sealed.extend_from_slice(&securetf_crypto::aead::seal(
+            &key,
+            &nonce,
+            &plaintext,
+            path.as_bytes(),
+        ));
+        self.cluster.ps.enclave.charge_syscall();
+        self.cluster
+            .ps
+            .enclave
+            .charge_shield_crypto(plaintext.len() as u64);
+        store.raw_put(path, sealed);
+        Ok(())
+    }
+
+    /// Restores a checkpoint written by [`DistributedTrainer::save_checkpoint`]
+    /// (possibly by a previous cluster).
+    ///
+    /// # Errors
+    ///
+    /// * [`DistribError::BadMessage`] if the file is missing, tampered
+    ///   with, or the PS lacks the `fs-key` secret.
+    pub fn restore_checkpoint(
+        &mut self,
+        store: &securetf_shield::fs::UntrustedStore,
+        path: &str,
+    ) -> Result<(), DistribError> {
+        let key = self.checkpoint_key()?;
+        self.cluster.ps.enclave.charge_syscall();
+        let sealed = store
+            .raw_contents(path)
+            .ok_or(DistribError::BadMessage("checkpoint missing"))?;
+        if sealed.len() < securetf_crypto::aead::NONCE_LEN {
+            return Err(DistribError::BadMessage("checkpoint truncated"));
+        }
+        let (nonce_bytes, ciphertext) = sealed.split_at(securetf_crypto::aead::NONCE_LEN);
+        let nonce = securetf_crypto::aead::Nonce::from_bytes(
+            nonce_bytes.try_into().expect("length checked"),
+        );
+        let plaintext =
+            securetf_crypto::aead::open(&key, &nonce, ciphertext, path.as_bytes())
+                .map_err(|_| DistribError::BadMessage("checkpoint failed authentication"))?;
+        self.cluster
+            .ps
+            .enclave
+            .charge_shield_crypto(plaintext.len() as u64);
+        for (raw, tensor) in wire::decode(&plaintext)? {
+            let id = self
+                .model
+                .graph
+                .node_id(raw as usize)
+                .ok_or(DistribError::BadMessage("unknown variable in checkpoint"))?;
+            self.ps_session.set_variable(id, tensor)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint_key(&self) -> Result<securetf_crypto::aead::Key, DistribError> {
+        let secret = self
+            .cluster
+            .ps
+            .provision
+            .secret("fs-key")
+            .ok_or(DistribError::BadMessage("no fs-key provisioned"))?;
+        let bytes: [u8; 32] = secret
+            .try_into()
+            .map_err(|_| DistribError::BadMessage("fs-key has wrong length"))?;
+        Ok(securetf_crypto::aead::Key::from_bytes(bytes))
+    }
+
+    /// The underlying cluster (for fault injection / elastic scaling).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The parameter-server session (current global model).
+    pub fn ps_session(&self) -> &Session {
+        &self.ps_session
+    }
+
+    /// The model under training.
+    pub fn model(&self) -> &Classifier {
+        &self.model
+    }
+
+    /// Total virtual time spent so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.global_ns
+    }
+
+    /// The execution mode of the cluster.
+    pub fn mode(&self) -> ExecutionMode {
+        self.cluster.config().mode
+    }
+
+    /// Convenience: variable node id from a raw index.
+    pub fn variable_id(&self, raw: usize) -> Option<NodeId> {
+        self.model.graph.node_id(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use rand::SeedableRng;
+    use securetf_tensor::layers;
+
+    fn small_model() -> Classifier {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        layers::mlp_classifier(784, &[32], 10, &mut rng).unwrap()
+    }
+
+    fn config(workers: usize, mode: ExecutionMode, shield: bool) -> ClusterConfig {
+        ClusterConfig {
+            workers,
+            parameter_servers: 1,
+            mode,
+            network_shield: shield,
+            runtime_bytes: 8 * 1024 * 1024,
+            heap_bytes: 16 * 1024 * 1024,
+            cost_model: None,
+        }
+    }
+
+    fn trainer(workers: usize, mode: ExecutionMode, shield: bool) -> DistributedTrainer {
+        let cluster = Cluster::new(config(workers, mode, shield)).unwrap();
+        let data = securetf_data::synthetic_mnist(300, 5);
+        DistributedTrainer::new(cluster, small_model(), data, 100, 0.2).unwrap()
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut t = trainer(2, ExecutionMode::Simulation, true);
+        let first = t.step().unwrap();
+        let mut last = first;
+        for _ in 0..15 {
+            last = t.step().unwrap();
+        }
+        assert!(last < first, "{last} >= {first}");
+    }
+
+    #[test]
+    fn accuracy_improves_over_training() {
+        let mut t = trainer(2, ExecutionMode::Simulation, true);
+        let test = securetf_data::synthetic_mnist(100, 99);
+        let before = t.evaluate(&test).unwrap();
+        t.train_steps(25).unwrap();
+        let after = t.evaluate(&test).unwrap();
+        assert!(after > before, "accuracy {before} -> {after}");
+        assert!(after > 0.5, "accuracy only {after}");
+    }
+
+    #[test]
+    fn more_workers_increase_throughput() {
+        let r1 = trainer(1, ExecutionMode::Simulation, true)
+            .train_steps(5)
+            .unwrap();
+        let r3 = trainer(3, ExecutionMode::Simulation, true)
+            .train_steps(5)
+            .unwrap();
+        assert!(
+            r3.samples_per_sec() > 1.4 * r1.samples_per_sec(),
+            "1w {} vs 3w {}",
+            r1.samples_per_sec(),
+            r3.samples_per_sec()
+        );
+    }
+
+    #[test]
+    fn native_is_fastest_hw_slowest() {
+        let native = trainer(1, ExecutionMode::Native, false)
+            .train_steps(3)
+            .unwrap();
+        let sim = trainer(1, ExecutionMode::Simulation, true)
+            .train_steps(3)
+            .unwrap();
+        let hw = trainer(1, ExecutionMode::Hardware, true)
+            .train_steps(3)
+            .unwrap();
+        assert!(native.elapsed_ns < sim.elapsed_ns);
+        assert!(sim.elapsed_ns < hw.elapsed_ns);
+    }
+
+    #[test]
+    fn network_shield_costs_time() {
+        let with = trainer(2, ExecutionMode::Simulation, true)
+            .train_steps(3)
+            .unwrap();
+        let without = trainer(2, ExecutionMode::Simulation, false)
+            .train_steps(3)
+            .unwrap();
+        assert!(with.elapsed_ns > without.elapsed_ns);
+    }
+
+    #[test]
+    fn worker_failure_is_survived() {
+        let mut t = trainer(3, ExecutionMode::Simulation, true);
+        t.step().unwrap();
+        t.cluster_mut().fail_worker(1).unwrap();
+        let loss = t.step().unwrap();
+        assert!(loss.is_finite());
+        // All workers dead -> error.
+        t.cluster_mut().fail_worker(0).unwrap();
+        t.cluster_mut().fail_worker(2).unwrap();
+        assert!(matches!(t.step(), Err(DistribError::NoWorkers)));
+        // Respawn one and continue.
+        t.cluster_mut().respawn_worker(0).unwrap();
+        assert!(t.step().unwrap().is_finite());
+    }
+
+    #[test]
+    fn elastic_worker_joins_mid_training() {
+        let mut t = trainer(1, ExecutionMode::Simulation, true);
+        t.step().unwrap();
+        t.cluster_mut().add_worker().unwrap();
+        let samples_before = t.samples;
+        t.step().unwrap();
+        assert_eq!(t.samples - samples_before, 200, "two workers × batch 100");
+    }
+
+    #[test]
+    fn checkpoint_survives_full_cluster_replacement() {
+        let store = securetf_shield::fs::UntrustedStore::new();
+        // Cluster A trains and checkpoints.
+        let mut a = trainer(2, ExecutionMode::Hardware, true);
+        let first = a.step().unwrap();
+        for _ in 0..10 {
+            a.step().unwrap();
+        }
+        let trained_loss = a.step().unwrap();
+        assert!(trained_loss < first);
+        a.save_checkpoint(&store, "/ckpt/global").unwrap();
+        let saved_vars: Vec<Vec<f32>> = a
+            .ps_session()
+            .variables()
+            .iter()
+            .map(|(_, t)| t.data().to_vec())
+            .collect();
+        drop(a);
+
+        // Cluster B: entirely new machines, same attested service.
+        let mut b = trainer(2, ExecutionMode::Hardware, true);
+        b.restore_checkpoint(&store, "/ckpt/global").unwrap();
+        let restored_vars: Vec<Vec<f32>> = b
+            .ps_session()
+            .variables()
+            .iter()
+            .map(|(_, t)| t.data().to_vec())
+            .collect();
+        assert_eq!(saved_vars, restored_vars);
+        // Training continues from the restored state.
+        let resumed = b.step().unwrap();
+        assert!(resumed < first, "resumed {resumed} vs cold start {first}");
+    }
+
+    #[test]
+    fn tampered_checkpoint_rejected() {
+        let store = securetf_shield::fs::UntrustedStore::new();
+        let mut t = trainer(1, ExecutionMode::Hardware, true);
+        t.step().unwrap();
+        t.save_checkpoint(&store, "/ckpt/m").unwrap();
+        store.corrupt("/ckpt/m", 50);
+        assert!(matches!(
+            t.restore_checkpoint(&store, "/ckpt/m"),
+            Err(DistribError::BadMessage(_))
+        ));
+        assert!(matches!(
+            t.restore_checkpoint(&store, "/ckpt/missing"),
+            Err(DistribError::BadMessage(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_is_ciphertext_at_rest() {
+        let store = securetf_shield::fs::UntrustedStore::new();
+        let mut t = trainer(1, ExecutionMode::Hardware, true);
+        t.step().unwrap();
+        t.save_checkpoint(&store, "/ckpt/m").unwrap();
+        let raw = store.raw_contents("/ckpt/m").unwrap();
+        // The plaintext wire encoding of the variables must not appear.
+        let entries: Vec<(u32, Tensor)> = t
+            .ps_session()
+            .variables()
+            .iter()
+            .map(|(id, v)| (id.index() as u32, (*v).clone()))
+            .collect();
+        let plain = crate::wire::encode(&entries);
+        assert!(!raw
+            .windows(64.min(plain.len()))
+            .any(|w| plain.windows(64.min(plain.len())).next() == Some(w)));
+    }
+
+    #[test]
+    fn sharding_across_parameter_servers_cuts_comm_time() {
+        let run = |ps: usize| {
+            let cluster = Cluster::new(ClusterConfig {
+                workers: 2,
+                parameter_servers: ps,
+                mode: ExecutionMode::Simulation,
+                network_shield: true,
+                runtime_bytes: 8 * 1024 * 1024,
+                heap_bytes: 16 * 1024 * 1024,
+                cost_model: None,
+            })
+            .unwrap();
+            let mut rng = rand::SeedableRng::seed_from_u64(3);
+            let model = securetf_tensor::layers::mlp_classifier(
+                784,
+                &[256],
+                10,
+                &mut rng as &mut rand::rngs::StdRng,
+            )
+            .unwrap();
+            let data = securetf_data::synthetic_mnist(200, 5);
+            let mut t = DistributedTrainer::new(cluster, model, data, 50, 0.05).unwrap();
+            t.train_steps(3).unwrap()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(
+            two.elapsed_ns < one.elapsed_ns,
+            "2 PS {} >= 1 PS {}",
+            two.elapsed_ns,
+            one.elapsed_ns
+        );
+        // Training math is unaffected by sharding.
+        assert_eq!(one.final_loss, two.final_loss);
+    }
+
+    #[test]
+    fn workers_converge_to_same_model() {
+        let mut t = trainer(2, ExecutionMode::Simulation, true);
+        t.step().unwrap();
+        t.step().unwrap();
+        // After a step, worker sessions hold the weights broadcast at the
+        // start of the step; they match each other exactly.
+        let w0: Vec<f32> = t.workers[0]
+            .session
+            .variables()
+            .iter()
+            .flat_map(|(_, v)| v.data().to_vec())
+            .collect();
+        let w1: Vec<f32> = t.workers[1]
+            .session
+            .variables()
+            .iter()
+            .flat_map(|(_, v)| v.data().to_vec())
+            .collect();
+        assert_eq!(w0, w1);
+    }
+}

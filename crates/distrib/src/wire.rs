@@ -1,0 +1,130 @@
+//! Wire format for weights and gradients.
+//!
+//! Messages between workers and the parameter server carry lists of
+//! `(variable index, tensor)` pairs. The encoding is length-prefixed and
+//! strict: any truncation, trailing bytes or shape inconsistency is
+//! rejected (the network is untrusted; see §2.3).
+
+use crate::DistribError;
+use securetf_tensor::tensor::Tensor;
+
+/// Encodes `(variable index, tensor)` pairs.
+pub fn encode(entries: &[(u32, Tensor)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (id, tensor) in entries {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(tensor.shape().len() as u32).to_le_bytes());
+        for &d in tensor.shape() {
+            out.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&(tensor.data().len() as u32).to_le_bytes());
+        for v in tensor.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a message produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DistribError::BadMessage`] on any structural violation.
+pub fn decode(bytes: &[u8]) -> Result<Vec<(u32, Tensor)>, DistribError> {
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> Result<&[u8], DistribError> {
+        if *cursor + n > bytes.len() {
+            return Err(DistribError::BadMessage("truncated"));
+        }
+        let s = &bytes[*cursor..*cursor + n];
+        *cursor += n;
+        Ok(s)
+    };
+    let u32_field = |cursor: &mut usize| -> Result<u32, DistribError> {
+        Ok(u32::from_le_bytes(take(cursor, 4)?.try_into().expect("4")))
+    };
+    let count = u32_field(&mut cursor)? as usize;
+    if count > 100_000 {
+        return Err(DistribError::BadMessage("entry count too large"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = u32_field(&mut cursor)?;
+        let rank = u32_field(&mut cursor)? as usize;
+        if rank > 8 {
+            return Err(DistribError::BadMessage("rank too large"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(u32_field(&mut cursor)? as usize);
+        }
+        let n = u32_field(&mut cursor)? as usize;
+        if n != shape.iter().product::<usize>() {
+            return Err(DistribError::BadMessage("element count mismatch"));
+        }
+        let raw = take(&mut cursor, n * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+            .collect();
+        let tensor =
+            Tensor::from_vec(&shape, data).map_err(|_| DistribError::BadMessage("bad tensor"))?;
+        entries.push((id, tensor));
+    }
+    if cursor != bytes.len() {
+        return Err(DistribError::BadMessage("trailing bytes"));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            (0u32, Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]).unwrap()),
+            (7u32, Tensor::from_vec(&[3], vec![-1., 0., 1.]).unwrap()),
+        ];
+        let bytes = encode(&entries);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].0, 0);
+        assert_eq!(decoded[0].1.data(), entries[0].1.data());
+        assert_eq!(decoded[1].0, 7);
+        assert_eq!(decoded[1].1.shape(), &[3]);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = encode(&[]);
+        assert!(decode(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode(&[(1, Tensor::zeros(&[4]))]);
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&[(1, Tensor::zeros(&[2]))]);
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes),
+            Err(DistribError::BadMessage("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn hostile_count_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+}

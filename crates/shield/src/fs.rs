@@ -1,0 +1,801 @@
+//! The file-system shield (paper §3.3.3).
+//!
+//! Files written through the shield are split into chunks that are
+//! individually encrypted and authenticated; the metadata for these chunks
+//! (sizes, versions, and the authentication structure) is kept *inside*
+//! the enclave, where the untrusted host cannot touch it. Per-path-prefix
+//! policies select the protection level, exactly as SCONE's configuration
+//! does: full encryption + authentication, authentication only, or
+//! passthrough.
+//!
+//! The untrusted side is modeled by [`UntrustedStore`], which stands in
+//! for the host filesystem: tests (and the Dolev-Yao adversary) mutate it
+//! directly to exercise tamper and rollback detection.
+
+use crate::ShieldError;
+use parking_lot::Mutex;
+use securetf_crypto::aead::{self, Key, Nonce};
+use securetf_crypto::sha256;
+use securetf_tee::Enclave;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Chunk size used by the shield (64 KiB, matching SCONE's default).
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// Protection level applied to a path prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Encrypt and authenticate (confidentiality + integrity + freshness).
+    #[default]
+    EncryptAuth,
+    /// Authenticate only (integrity + freshness, contents in clear).
+    AuthOnly,
+    /// No protection (the file bypasses the shield).
+    Passthrough,
+}
+
+/// A path-prefix → policy rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPolicy {
+    prefix: String,
+    policy: Policy,
+}
+
+impl PathPolicy {
+    /// Creates a rule covering every path starting with `prefix`.
+    pub fn new(prefix: &str, policy: Policy) -> Self {
+        PathPolicy {
+            prefix: prefix.to_string(),
+            policy,
+        }
+    }
+}
+
+/// The untrusted host filesystem: an adversary-accessible byte store.
+///
+/// Cloning shares the underlying storage (it models one host disk).
+#[derive(Debug, Clone, Default)]
+pub struct UntrustedStore {
+    files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+}
+
+impl UntrustedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Host-side write (what the OS does on behalf of the enclave — or
+    /// what an attacker does directly).
+    pub fn raw_put(&self, path: &str, bytes: Vec<u8>) {
+        self.files.lock().insert(path.to_string(), bytes);
+    }
+
+    /// Host-side read.
+    pub fn raw_contents(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.lock().get(path).cloned()
+    }
+
+    /// Host-side delete.
+    pub fn raw_delete(&self, path: &str) -> bool {
+        self.files.lock().remove(path).is_some()
+    }
+
+    /// Flips one bit of a stored file (adversary helper for tests).
+    pub fn corrupt(&self, path: &str, byte_index: usize) -> bool {
+        let mut files = self.files.lock();
+        match files.get_mut(path) {
+            Some(data) if byte_index < data.len() => {
+                data[byte_index] ^= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lists stored paths.
+    pub fn paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// In-enclave metadata for one protected file.
+#[derive(Debug, Clone)]
+struct FileMeta {
+    policy: Policy,
+    /// Monotone version; part of every chunk nonce and authenticated data,
+    /// so replaying an older on-disk file is detected.
+    version: u64,
+    len: u64,
+    /// Digest of each chunk's stored bytes (detects tampering for
+    /// `AuthOnly`; for `EncryptAuth` the AEAD tag already covers it, and
+    /// the digest additionally pins the exact ciphertext).
+    chunk_digests: Vec<[u8; 32]>,
+    file_id: u64,
+}
+
+/// The file-system shield.
+///
+/// Holds the file key (derived from the enclave identity) and the
+/// in-enclave metadata table. See the crate-level example.
+#[derive(Debug)]
+pub struct FsShield {
+    enclave: Arc<Enclave>,
+    store: UntrustedStore,
+    policies: Vec<PathPolicy>,
+    meta: HashMap<String, FileMeta>,
+    key: Key,
+    next_file_id: u64,
+}
+
+impl FsShield {
+    /// Creates a shield over `store` with keys bound to `enclave`.
+    pub fn new(enclave: Arc<Enclave>, store: UntrustedStore) -> Self {
+        let key = enclave.derived_key(b"fs-shield-v1");
+        FsShield {
+            enclave,
+            store,
+            policies: Vec::new(),
+            meta: HashMap::new(),
+            key,
+            next_file_id: 1,
+        }
+    }
+
+    /// Creates a shield with an explicit key (for files shared between
+    /// enclaves, e.g. encrypted models provisioned by CAS).
+    pub fn with_key(enclave: Arc<Enclave>, store: UntrustedStore, key: Key) -> Self {
+        FsShield {
+            enclave,
+            store,
+            policies: Vec::new(),
+            meta: HashMap::new(),
+            key,
+            next_file_id: 1,
+        }
+    }
+
+    /// Adds a path-prefix policy. Longest matching prefix wins.
+    pub fn add_policy(&mut self, policy: PathPolicy) {
+        self.policies.push(policy);
+        self.policies
+            .sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()));
+    }
+
+    /// Returns the policy that applies to `path` (default:
+    /// [`Policy::EncryptAuth`] — secure by default).
+    pub fn policy_for(&self, path: &str) -> Policy {
+        self.policies
+            .iter()
+            .find(|p| path.starts_with(&p.prefix))
+            .map(|p| p.policy)
+            .unwrap_or_default()
+    }
+
+    fn chunk_nonce(file_id: u64, version: u64, chunk: u32) -> Nonce {
+        let mut n = [0u8; 12];
+        n[..4].copy_from_slice(&(file_id as u32 ^ chunk).to_le_bytes());
+        n[4..].copy_from_slice(&(version.rotate_left(17) ^ ((chunk as u64) << 32) ^ file_id).to_le_bytes());
+        Nonce::from_bytes(n)
+    }
+
+    fn chunk_aad(path: &str, version: u64, chunk: u32, total_chunks: u32) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(path.len() + 16);
+        aad.extend_from_slice(path.as_bytes());
+        aad.extend_from_slice(&version.to_le_bytes());
+        aad.extend_from_slice(&chunk.to_le_bytes());
+        aad.extend_from_slice(&total_chunks.to_le_bytes());
+        aad
+    }
+
+    /// Writes `data` to `path`, protecting it per the matching policy.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice, but returns `Result` for
+    /// interface stability with real I/O backends.
+    pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), ShieldError> {
+        self.enclave.charge_syscall();
+        let policy = self.policy_for(path);
+        if policy == Policy::Passthrough {
+            self.store.raw_put(path, data.to_vec());
+            self.meta.remove(path);
+            return Ok(());
+        }
+        let version = self.meta.get(path).map(|m| m.version + 1).unwrap_or(1);
+        let file_id = self
+            .meta
+            .get(path)
+            .map(|m| m.file_id)
+            .unwrap_or_else(|| {
+                let id = self.next_file_id;
+                self.next_file_id += 1;
+                id
+            });
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            vec![&[][..]]
+        } else {
+            data.chunks(CHUNK_SIZE).collect()
+        };
+        let total = chunks.len() as u32;
+        let mut stored = Vec::with_capacity(data.len() + chunks.len() * aead::TAG_LEN + 8);
+        stored.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        let mut digests = Vec::with_capacity(chunks.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let aad = Self::chunk_aad(path, version, i as u32, total);
+            let record = match policy {
+                Policy::EncryptAuth => {
+                    let nonce = Self::chunk_nonce(file_id, version, i as u32);
+                    aead::seal(&self.key, &nonce, chunk, &aad)
+                }
+                Policy::AuthOnly => {
+                    // Store plaintext followed by a MAC over chunk + aad.
+                    let mut mac_input = chunk.to_vec();
+                    mac_input.extend_from_slice(&aad);
+                    let tag =
+                        securetf_crypto::hmac::hmac_sha256(self.key.as_bytes(), &mac_input);
+                    let mut rec = chunk.to_vec();
+                    rec.extend_from_slice(&tag);
+                    rec
+                }
+                Policy::Passthrough => unreachable!("handled above"),
+            };
+            digests.push(sha256::digest(&record));
+            stored.extend_from_slice(&(record.len() as u32).to_le_bytes());
+            stored.extend_from_slice(&record);
+        }
+        // The crypto work happens at AES-NI-like streaming rates (§5.3 #2).
+        self.enclave.charge_shield_crypto(data.len() as u64);
+        self.store.raw_put(path, stored);
+        self.meta.insert(
+            path.to_string(),
+            FileMeta {
+                policy,
+                version,
+                len: data.len() as u64,
+                chunk_digests: digests,
+                file_id,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reads and verifies `path`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ShieldError::FileNotFound`] if the path is unknown.
+    /// * [`ShieldError::FileTampered`] if the host-stored bytes fail
+    ///   authentication, were truncated, or belong to a stale version
+    ///   (rollback).
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, ShieldError> {
+        self.enclave.charge_syscall();
+        let stored = self
+            .store
+            .raw_contents(path)
+            .ok_or_else(|| ShieldError::FileNotFound(path.to_string()))?;
+        let meta = match self.meta.get(path) {
+            Some(m) => m,
+            // No metadata: only passthrough files are readable.
+            None => {
+                if self.policy_for(path) == Policy::Passthrough {
+                    return Ok(stored);
+                }
+                return Err(ShieldError::FileTampered(format!(
+                    "{path}: no in-enclave metadata for protected file"
+                )));
+            }
+        };
+        if meta.policy == Policy::Passthrough {
+            return Ok(stored);
+        }
+        let mut cursor = 0usize;
+        let take = |cursor: &mut usize, n: usize| -> Result<&[u8], ShieldError> {
+            if *cursor + n > stored.len() {
+                return Err(ShieldError::FileTampered(format!("{path}: truncated")));
+            }
+            let s = &stored[*cursor..*cursor + n];
+            *cursor += n;
+            Ok(s)
+        };
+        let len_bytes = take(&mut cursor, 8)?;
+        let claimed_len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes"));
+        if claimed_len != meta.len {
+            return Err(ShieldError::FileTampered(format!(
+                "{path}: length mismatch (rollback or truncation)"
+            )));
+        }
+        let total = meta.chunk_digests.len() as u32;
+        let mut out = Vec::with_capacity(meta.len as usize);
+        for (i, digest) in meta.chunk_digests.iter().enumerate() {
+            let rec_len_bytes = take(&mut cursor, 4)?;
+            let rec_len = u32::from_le_bytes(rec_len_bytes.try_into().expect("4 bytes")) as usize;
+            let record = take(&mut cursor, rec_len)?;
+            if &sha256::digest(record) != digest {
+                return Err(ShieldError::FileTampered(format!(
+                    "{path}: chunk {i} digest mismatch"
+                )));
+            }
+            let aad = Self::chunk_aad(path, meta.version, i as u32, total);
+            match meta.policy {
+                Policy::EncryptAuth => {
+                    let nonce = Self::chunk_nonce(meta.file_id, meta.version, i as u32);
+                    let plain = aead::open(&self.key, &nonce, record, &aad).map_err(|_| {
+                        ShieldError::FileTampered(format!("{path}: chunk {i} auth failure"))
+                    })?;
+                    out.extend_from_slice(&plain);
+                }
+                Policy::AuthOnly => {
+                    if record.len() < 32 {
+                        return Err(ShieldError::FileTampered(format!(
+                            "{path}: chunk {i} too short"
+                        )));
+                    }
+                    let (chunk, tag) = record.split_at(record.len() - 32);
+                    let mut mac_input = chunk.to_vec();
+                    mac_input.extend_from_slice(&aad);
+                    let expect =
+                        securetf_crypto::hmac::hmac_sha256(self.key.as_bytes(), &mac_input);
+                    if !securetf_crypto::ct::eq(&expect, tag) {
+                        return Err(ShieldError::FileTampered(format!(
+                            "{path}: chunk {i} mac failure"
+                        )));
+                    }
+                    out.extend_from_slice(chunk);
+                }
+                Policy::Passthrough => unreachable!("handled above"),
+            }
+        }
+        if cursor != stored.len() {
+            return Err(ShieldError::FileTampered(format!(
+                "{path}: trailing bytes appended"
+            )));
+        }
+        out.truncate(meta.len as usize);
+        self.enclave.charge_shield_crypto(meta.len);
+        Ok(out)
+    }
+
+    /// Reads `len` bytes at `offset`, decrypting **only the chunks that
+    /// overlap the range** — the reason the shield stores files in
+    /// independently-sealed chunks rather than one blob.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`FsShield::read`]; additionally
+    /// [`ShieldError::FileTampered`] if the range exceeds the file.
+    pub fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, ShieldError> {
+        self.enclave.charge_syscall();
+        let meta = self
+            .meta
+            .get(path)
+            .ok_or_else(|| ShieldError::FileNotFound(path.to_string()))?;
+        if meta.policy == Policy::Passthrough {
+            let stored = self
+                .store
+                .raw_contents(path)
+                .ok_or_else(|| ShieldError::FileNotFound(path.to_string()))?;
+            let end = (offset + len) as usize;
+            if end > stored.len() {
+                return Err(ShieldError::FileTampered(format!("{path}: range out of bounds")));
+            }
+            return Ok(stored[offset as usize..end].to_vec());
+        }
+        if offset + len > meta.len {
+            return Err(ShieldError::FileTampered(format!(
+                "{path}: range out of bounds"
+            )));
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let stored = self
+            .store
+            .raw_contents(path)
+            .ok_or_else(|| ShieldError::FileNotFound(path.to_string()))?;
+
+        // Walk the chunk records, decrypting only overlapping chunks.
+        let first_chunk = (offset / CHUNK_SIZE as u64) as usize;
+        let last_chunk = ((offset + len - 1) / CHUNK_SIZE as u64) as usize;
+        let total = meta.chunk_digests.len() as u32;
+        let mut cursor = 8usize; // skip the length header
+        let mut out = Vec::with_capacity(len as usize);
+        let mut decrypted_bytes = 0u64;
+        for (i, digest) in meta.chunk_digests.iter().enumerate() {
+            if cursor + 4 > stored.len() {
+                return Err(ShieldError::FileTampered(format!("{path}: truncated")));
+            }
+            let rec_len = u32::from_le_bytes(
+                stored[cursor..cursor + 4].try_into().expect("4 bytes"),
+            ) as usize;
+            cursor += 4;
+            if cursor + rec_len > stored.len() {
+                return Err(ShieldError::FileTampered(format!("{path}: truncated")));
+            }
+            let record = &stored[cursor..cursor + rec_len];
+            cursor += rec_len;
+            if i < first_chunk || i > last_chunk {
+                continue;
+            }
+            if &sha256::digest(record) != digest {
+                return Err(ShieldError::FileTampered(format!(
+                    "{path}: chunk {i} digest mismatch"
+                )));
+            }
+            let aad = Self::chunk_aad(path, meta.version, i as u32, total);
+            let plain = match meta.policy {
+                Policy::EncryptAuth => {
+                    let nonce = Self::chunk_nonce(meta.file_id, meta.version, i as u32);
+                    aead::open(&self.key, &nonce, record, &aad).map_err(|_| {
+                        ShieldError::FileTampered(format!("{path}: chunk {i} auth failure"))
+                    })?
+                }
+                Policy::AuthOnly => {
+                    if record.len() < 32 {
+                        return Err(ShieldError::FileTampered(format!(
+                            "{path}: chunk {i} too short"
+                        )));
+                    }
+                    let (chunk, tag) = record.split_at(record.len() - 32);
+                    let mut mac_input = chunk.to_vec();
+                    mac_input.extend_from_slice(&aad);
+                    let expect =
+                        securetf_crypto::hmac::hmac_sha256(self.key.as_bytes(), &mac_input);
+                    if !securetf_crypto::ct::eq(&expect, tag) {
+                        return Err(ShieldError::FileTampered(format!(
+                            "{path}: chunk {i} mac failure"
+                        )));
+                    }
+                    chunk.to_vec()
+                }
+                Policy::Passthrough => unreachable!("handled above"),
+            };
+            decrypted_bytes += plain.len() as u64;
+            let chunk_start = i as u64 * CHUNK_SIZE as u64;
+            let take_from = offset.max(chunk_start) - chunk_start;
+            let take_to = ((offset + len).min(chunk_start + plain.len() as u64)) - chunk_start;
+            out.extend_from_slice(&plain[take_from as usize..take_to as usize]);
+        }
+        self.enclave.charge_shield_crypto(decrypted_bytes);
+        Ok(out)
+    }
+
+    /// Deletes a file from the store and the metadata table.
+    pub fn delete(&mut self, path: &str) -> bool {
+        self.enclave.charge_syscall();
+        let had = self.store.raw_delete(path);
+        self.meta.remove(path).is_some() || had
+    }
+
+    /// Whether `path` currently exists (written through this shield or
+    /// host-visible for passthrough paths).
+    pub fn exists(&self, path: &str) -> bool {
+        self.meta.contains_key(path) || self.store.raw_contents(path).is_some()
+    }
+
+    /// Returns the current version of a protected file (for the CAS
+    /// auditing service).
+    pub fn version(&self, path: &str) -> Option<u64> {
+        self.meta.get(path).map(|m| m.version)
+    }
+
+    /// Exports the metadata digest for `path`, binding (path, version,
+    /// chunk digests) — this is what the CAS auditing service stores to
+    /// detect rollbacks across enclave restarts.
+    pub fn audit_digest(&self, path: &str) -> Option<[u8; 32]> {
+        let meta = self.meta.get(path)?;
+        let mut h = securetf_crypto::sha256::Sha256::new();
+        h.update(path.as_bytes());
+        h.update(&meta.version.to_le_bytes());
+        h.update(&meta.len.to_le_bytes());
+        for d in &meta.chunk_digests {
+            h.update(d);
+        }
+        Some(h.finalize())
+    }
+
+    /// The enclave this shield is bound to.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+
+    fn setup() -> (FsShield, UntrustedStore) {
+        let platform = Platform::builder().build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"fs test").build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap();
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield.add_policy(PathPolicy::new("/auth/", Policy::AuthOnly));
+        shield.add_policy(PathPolicy::new("/plain/", Policy::Passthrough));
+        (shield, store)
+    }
+
+    #[test]
+    fn encrypt_roundtrip() {
+        let (mut shield, _store) = setup();
+        shield.write("/secure/a", b"hello world").unwrap();
+        assert_eq!(shield.read("/secure/a").unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut shield, store) = setup();
+        let secret = b"very secret model weights";
+        shield.write("/secure/model", secret).unwrap();
+        let raw = store.raw_contents("/secure/model").unwrap();
+        assert!(!raw.windows(secret.len()).any(|w| w == secret));
+    }
+
+    #[test]
+    fn auth_only_stores_plaintext_but_detects_tamper() {
+        let (mut shield, store) = setup();
+        shield.write("/auth/log", b"plainly readable").unwrap();
+        let raw = store.raw_contents("/auth/log").unwrap();
+        assert!(raw.windows(16).any(|w| w == b"plainly readable"));
+        // Flip a plaintext byte -> detected.
+        store.corrupt("/auth/log", 12);
+        assert!(matches!(
+            shield.read("/auth/log"),
+            Err(ShieldError::FileTampered(_))
+        ));
+    }
+
+    #[test]
+    fn passthrough_is_unprotected() {
+        let (mut shield, store) = setup();
+        shield.write("/plain/notes", b"public").unwrap();
+        store.corrupt("/plain/notes", 0);
+        // No protection: corrupted data is returned as-is.
+        assert_ne!(shield.read("/plain/notes").unwrap(), b"public");
+    }
+
+    #[test]
+    fn every_corrupted_byte_position_detected() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/f", &[7u8; 300]).unwrap();
+        let len = store.raw_contents("/secure/f").unwrap().len();
+        for pos in (0..len).step_by(13) {
+            let (mut shield2, store2) = setup();
+            shield2.write("/secure/f", &[7u8; 300]).unwrap();
+            store2.corrupt("/secure/f", pos);
+            assert!(
+                matches!(shield2.read("/secure/f"), Err(ShieldError::FileTampered(_))),
+                "corruption at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn rollback_to_previous_version_detected() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/ckpt", b"version 1").unwrap();
+        let old = store.raw_contents("/secure/ckpt").unwrap();
+        shield.write("/secure/ckpt", b"version 2").unwrap();
+        // Attacker restores the old (correctly encrypted!) file.
+        store.raw_put("/secure/ckpt", old);
+        assert!(matches!(
+            shield.read("/secure/ckpt"),
+            Err(ShieldError::FileTampered(_))
+        ));
+    }
+
+    #[test]
+    fn cross_file_swap_detected() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/a", b"contents of a").unwrap();
+        shield.write("/secure/b", b"contents of b").unwrap();
+        // Attacker swaps the two files on disk.
+        let a = store.raw_contents("/secure/a").unwrap();
+        let b = store.raw_contents("/secure/b").unwrap();
+        store.raw_put("/secure/a", b);
+        store.raw_put("/secure/b", a);
+        assert!(shield.read("/secure/a").is_err());
+        assert!(shield.read("/secure/b").is_err());
+    }
+
+    #[test]
+    fn deletion_detected() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/x", b"data").unwrap();
+        store.raw_delete("/secure/x");
+        assert!(matches!(
+            shield.read("/secure/x"),
+            Err(ShieldError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/x", &[9u8; 1000]).unwrap();
+        let mut raw = store.raw_contents("/secure/x").unwrap();
+        raw.truncate(raw.len() - 1);
+        store.raw_put("/secure/x", raw);
+        assert!(matches!(
+            shield.read("/secure/x"),
+            Err(ShieldError::FileTampered(_))
+        ));
+    }
+
+    #[test]
+    fn appended_bytes_detected() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/x", b"data").unwrap();
+        let mut raw = store.raw_contents("/secure/x").unwrap();
+        raw.push(0);
+        store.raw_put("/secure/x", raw);
+        assert!(matches!(
+            shield.read("/secure/x"),
+            Err(ShieldError::FileTampered(_))
+        ));
+    }
+
+    #[test]
+    fn multi_chunk_files_roundtrip() {
+        let (mut shield, _store) = setup();
+        let big: Vec<u8> = (0..3 * CHUNK_SIZE + 123).map(|i| (i % 251) as u8).collect();
+        shield.write("/secure/big", &big).unwrap();
+        assert_eq!(shield.read("/secure/big").unwrap(), big);
+    }
+
+    #[test]
+    fn chunk_reorder_detected() {
+        let (mut shield, store) = setup();
+        let big: Vec<u8> = vec![1u8; 2 * CHUNK_SIZE];
+        shield.write("/secure/big", &big).unwrap();
+        // Swap the two chunk records on disk.
+        let raw = store.raw_contents("/secure/big").unwrap();
+        let mut cursor = 8usize;
+        let rec1_len =
+            u32::from_le_bytes(raw[cursor..cursor + 4].try_into().unwrap()) as usize;
+        let rec1 = raw[cursor..cursor + 4 + rec1_len].to_vec();
+        cursor += 4 + rec1_len;
+        let rec2 = raw[cursor..].to_vec();
+        let mut swapped = raw[..8].to_vec();
+        swapped.extend_from_slice(&rec2);
+        swapped.extend_from_slice(&rec1);
+        store.raw_put("/secure/big", swapped);
+        assert!(shield.read("/secure/big").is_err());
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let (mut shield, _store) = setup();
+        shield.write("/secure/empty", b"").unwrap();
+        assert_eq!(shield.read("/secure/empty").unwrap(), b"");
+    }
+
+    #[test]
+    fn longest_prefix_policy_wins() {
+        let (mut shield, _store) = setup();
+        shield.add_policy(PathPolicy::new("/secure/public/", Policy::Passthrough));
+        assert_eq!(shield.policy_for("/secure/a"), Policy::EncryptAuth);
+        assert_eq!(shield.policy_for("/secure/public/a"), Policy::Passthrough);
+        assert_eq!(shield.policy_for("/unmatched"), Policy::EncryptAuth);
+    }
+
+    #[test]
+    fn version_increments_per_write() {
+        let (mut shield, _store) = setup();
+        shield.write("/secure/v", b"1").unwrap();
+        assert_eq!(shield.version("/secure/v"), Some(1));
+        shield.write("/secure/v", b"2").unwrap();
+        assert_eq!(shield.version("/secure/v"), Some(2));
+    }
+
+    #[test]
+    fn audit_digest_changes_with_content() {
+        let (mut shield, _store) = setup();
+        shield.write("/secure/m", b"v1").unwrap();
+        let d1 = shield.audit_digest("/secure/m").unwrap();
+        shield.write("/secure/m", b"v2").unwrap();
+        let d2 = shield.audit_digest("/secure/m").unwrap();
+        assert_ne!(d1, d2);
+        assert_eq!(shield.audit_digest("/nope"), None);
+    }
+
+    #[test]
+    fn shared_key_shields_interoperate() {
+        // Two enclaves (e.g. two workers) provisioned with the same file
+        // key by CAS can read each other's files.
+        let platform = Platform::builder().build();
+        let store = UntrustedStore::new();
+        let key = Key::from_bytes([0x77; 32]);
+        let make = |code: &[u8]| {
+            platform
+                .create_enclave(
+                    &EnclaveImage::builder().code(code).build(),
+                    ExecutionMode::Hardware,
+                )
+                .unwrap()
+        };
+        let mut w1 = FsShield::with_key(make(b"w1"), store.clone(), key.clone());
+        let mut w2 = FsShield::with_key(make(b"w2"), store.clone(), key);
+        w1.write("/secure/shared", b"model").unwrap();
+        // Metadata is per-shield; w2 must import it by re-reading after its
+        // own write, so here we only check w2's writes don't clash.
+        w2.write("/secure/other", b"data").unwrap();
+        assert_eq!(w1.read("/secure/shared").unwrap(), b"model");
+        assert_eq!(w2.read("/secure/other").unwrap(), b"data");
+    }
+
+    #[test]
+    fn read_range_matches_full_read() {
+        let (mut shield, _store) = setup();
+        let big: Vec<u8> = (0..3 * CHUNK_SIZE + 500).map(|i| (i % 253) as u8).collect();
+        shield.write("/secure/big", &big).unwrap();
+        for (offset, len) in [
+            (0u64, 10u64),
+            (CHUNK_SIZE as u64 - 5, 10),
+            (CHUNK_SIZE as u64 * 2, CHUNK_SIZE as u64 + 100),
+            (big.len() as u64 - 7, 7),
+            (1000, 0),
+        ] {
+            let range = shield.read_range("/secure/big", offset, len).unwrap();
+            assert_eq!(
+                range,
+                &big[offset as usize..(offset + len) as usize],
+                "range ({offset}, {len})"
+            );
+        }
+    }
+
+    #[test]
+    fn read_range_is_cheaper_than_full_read() {
+        let (mut shield, _store) = setup();
+        let big = vec![5u8; 8 * CHUNK_SIZE];
+        shield.write("/secure/big", &big).unwrap();
+        let clock = shield.enclave().clock().clone();
+        let t0 = clock.now_ns();
+        shield.read_range("/secure/big", 0, 100).unwrap();
+        let partial = clock.now_ns() - t0;
+        let t0 = clock.now_ns();
+        shield.read("/secure/big").unwrap();
+        let full = clock.now_ns() - t0;
+        assert!(partial * 4 < full, "partial {partial} vs full {full}");
+    }
+
+    #[test]
+    fn read_range_bounds_and_tamper() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/f", &vec![1u8; 2 * CHUNK_SIZE]).unwrap();
+        assert!(shield
+            .read_range("/secure/f", 2 * CHUNK_SIZE as u64 - 1, 2)
+            .is_err());
+        assert!(shield.read_range("/missing", 0, 1).is_err());
+        // Corrupt the second chunk; a range in the first chunk still reads.
+        let raw_len = store.raw_contents("/secure/f").unwrap().len();
+        store.corrupt("/secure/f", raw_len - 10);
+        assert!(shield.read_range("/secure/f", 0, 100).is_ok());
+        // But a range touching the corrupted chunk fails.
+        assert!(shield
+            .read_range("/secure/f", CHUNK_SIZE as u64 + 10, 100)
+            .is_err());
+    }
+
+    #[test]
+    fn read_charges_crypto_time() {
+        let (mut shield, _store) = setup();
+        let data = vec![0u8; 1_000_000];
+        shield.write("/secure/big", &data).unwrap();
+        let t0 = shield.enclave().clock().now_ns();
+        shield.read("/secure/big").unwrap();
+        let elapsed = shield.enclave().clock().now_ns() - t0;
+        // 1 MB at 4 GB/s = 250 µs.
+        assert!(elapsed >= 250_000, "crypto time not charged: {elapsed}");
+    }
+}

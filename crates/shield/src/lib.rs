@@ -1,0 +1,102 @@
+//! The secureTF controller: a SCONE-like shielded runtime.
+//!
+//! The paper's secureTF controller (§3.3.3) provides the runtime
+//! environment that lets unmodified TensorFlow run inside an enclave:
+//!
+//! * [`fs`] — the **file-system shield**: transparent chunked authenticated
+//!   encryption of files with per-path policies; chunk metadata lives
+//!   inside the enclave, so the untrusted host can neither read nor
+//!   undetectably modify protected files.
+//! * [`net`] — the **network shield**: wraps sockets in a TLS-like secure
+//!   channel (X25519 ECDHE handshake, ChaCha20-Poly1305 records, replay
+//!   protection) so no plaintext ever leaves the enclave.
+//! * [`sched`] — **user-level threading**: an M:N scheduler that services
+//!   system calls asynchronously to avoid costly enclave transitions, and
+//!   a deterministic batch-execution model used by the scalability
+//!   experiments (Figure 7).
+//! * [`iago`] — **Iago-attack sanitization**: bounds and pointer checks on
+//!   values returned by the untrusted OS.
+//!
+//! # Examples
+//!
+//! ```
+//! use securetf_shield::fs::{FsShield, PathPolicy, Policy, UntrustedStore};
+//! use securetf_tee::{Platform, EnclaveImage, ExecutionMode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::builder().build();
+//! let enclave = platform.create_enclave(
+//!     &EnclaveImage::builder().code(b"app").build(),
+//!     ExecutionMode::Hardware,
+//! )?;
+//! let store = UntrustedStore::new();
+//! let mut shield = FsShield::new(enclave, store.clone());
+//! shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+//!
+//! shield.write("/secure/model.bin", b"weights")?;
+//! assert_eq!(shield.read("/secure/model.bin")?, b"weights");
+//! // The host sees only ciphertext.
+//! assert!(!store.raw_contents("/secure/model.bin").unwrap()
+//!     .windows(7).any(|w| w == b"weights"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod fs;
+pub mod iago;
+pub mod net;
+pub mod sched;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the shielded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShieldError {
+    /// A protected file failed integrity verification (tampered on the
+    /// untrusted host, or rolled back to a stale version).
+    FileTampered(String),
+    /// The requested file does not exist.
+    FileNotFound(String),
+    /// A secure-channel record failed authentication or replay checks.
+    ChannelTampered(&'static str),
+    /// The peer closed or the transport dropped the connection.
+    ChannelClosed,
+    /// Handshake failure (bad message, low-order point, wrong transcript).
+    HandshakeFailed(&'static str),
+    /// The untrusted OS returned a malformed result (an attempted Iago
+    /// attack) and the value was rejected.
+    IagoViolation(&'static str),
+    /// An underlying TEE error.
+    Tee(securetf_tee::TeeError),
+}
+
+impl fmt::Display for ShieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShieldError::FileTampered(path) => write!(f, "integrity violation on {path}"),
+            ShieldError::FileNotFound(path) => write!(f, "file not found: {path}"),
+            ShieldError::ChannelTampered(why) => write!(f, "secure channel violation: {why}"),
+            ShieldError::ChannelClosed => write!(f, "secure channel closed"),
+            ShieldError::HandshakeFailed(why) => write!(f, "handshake failed: {why}"),
+            ShieldError::IagoViolation(why) => write!(f, "iago attack rejected: {why}"),
+            ShieldError::Tee(e) => write!(f, "tee error: {e}"),
+        }
+    }
+}
+
+impl Error for ShieldError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShieldError::Tee(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<securetf_tee::TeeError> for ShieldError {
+    fn from(e: securetf_tee::TeeError) -> Self {
+        ShieldError::Tee(e)
+    }
+}

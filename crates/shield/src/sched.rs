@@ -1,0 +1,274 @@
+//! User-level threading and the batch-execution model (paper §3.3.3).
+//!
+//! SCONE maps M application threads onto N OS threads (N = cores) and
+//! services system calls asynchronously so threads rarely leave the
+//! enclave. Two things matter for the paper's results:
+//!
+//! 1. **Syscall cost**: under user-level threading a syscall costs an
+//!    in-enclave queue operation; under conventional threading it costs a
+//!    full enclave transition. [`ThreadingModel`] selects which is charged
+//!    (the ablation benchmark compares them).
+//! 2. **Parallel makespan with shared EPC**: scaling from 1 to 8 cores
+//!    multiplies the *activation* working set while the EPC stays fixed,
+//!    which is why the paper's Figure 7 shows hardware mode collapsing
+//!    from 4 to 8 cores. [`Scheduler::run_batch`] executes a batch of
+//!    tasks on `cores` simulated cores: compute parallelizes, while EPC
+//!    paging (kernel-mediated) serializes.
+
+use crate::ShieldError;
+use securetf_tee::{Enclave, RegionId};
+use std::sync::Arc;
+
+/// How application threads are multiplexed onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadingModel {
+    /// SCONE-style M:N user-level scheduling with asynchronous syscalls.
+    #[default]
+    UserLevel,
+    /// One OS thread per application thread; every syscall exits the
+    /// enclave (a full transition).
+    OsThreads,
+}
+
+/// One schedulable unit of work (e.g. classifying one image).
+#[derive(Debug, Clone, Default)]
+pub struct Task {
+    /// Pure compute, in FLOPs.
+    pub flops: f64,
+    /// Number of system calls the task issues (file reads, socket ops).
+    pub syscalls: u64,
+    /// Enclave memory the task touches, as (region, bytes) pairs.
+    /// Bytes are touched from offset 0 (sequential scan).
+    pub touches: Vec<(RegionId, u64)>,
+}
+
+impl Task {
+    /// Creates a pure-compute task.
+    pub fn compute(flops: f64) -> Self {
+        Task {
+            flops,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a memory touch.
+    pub fn touching(mut self, region: RegionId, bytes: u64) -> Self {
+        self.touches.push((region, bytes));
+        self
+    }
+
+    /// Adds system calls.
+    pub fn with_syscalls(mut self, n: u64) -> Self {
+        self.syscalls = n;
+        self
+    }
+}
+
+/// Deterministic batch executor over simulated cores.
+#[derive(Debug)]
+pub struct Scheduler {
+    enclave: Arc<Enclave>,
+    cores: usize,
+    model: ThreadingModel,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with `cores` simulated cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(enclave: Arc<Enclave>, cores: usize, model: ThreadingModel) -> Self {
+        assert!(cores > 0, "need at least one core");
+        Scheduler {
+            enclave,
+            cores,
+            model,
+        }
+    }
+
+    /// Executes `tasks` and returns the modeled makespan in nanoseconds.
+    ///
+    /// Compute parallelizes across cores (longest-processing-time greedy
+    /// assignment); syscall servicing and EPC paging serialize, which is
+    /// what makes over-committing the EPC collapse throughput.
+    ///
+    /// The enclave clock is advanced by the makespan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShieldError::Tee`] if a task touches a freed region.
+    pub fn run_batch(&self, tasks: &[Task]) -> Result<u64, ShieldError> {
+        let clock = self.enclave.clock().clone();
+        let start = clock.now_ns();
+
+        // Serial portion: syscalls and memory touches, interleaved across
+        // tasks round-robin the way concurrent threads interleave (this
+        // makes LRU behave as it would under real concurrency).
+        for task in tasks {
+            for &(region, bytes) in &task.touches {
+                self.enclave.touch(region, 0, bytes)?;
+            }
+            for _ in 0..task.syscalls {
+                match self.model {
+                    ThreadingModel::UserLevel => self.enclave.charge_syscall(),
+                    ThreadingModel::OsThreads => self.enclave.charge_transition(),
+                }
+            }
+        }
+        let serial_ns = clock.now_ns() - start;
+
+        // Parallel portion: LPT greedy assignment of compute to cores.
+        let cost = self.enclave.cost_model();
+        let mode = self.enclave.mode();
+        let mut compute: Vec<u64> = tasks
+            .iter()
+            .map(|t| cost.compute_ns(t.flops, mode))
+            .collect();
+        compute.sort_unstable_by(|a, b| b.cmp(a));
+        let mut loads = vec![0u64; self.cores];
+        for c in compute {
+            let min = loads
+                .iter_mut()
+                .min()
+                .expect("cores > 0 checked in constructor");
+            *min += c;
+        }
+        let makespan_compute = loads.into_iter().max().unwrap_or(0);
+        clock.advance(makespan_compute);
+        Ok(serial_ns + makespan_compute)
+    }
+
+    /// Number of simulated cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The threading model in use.
+    pub fn threading_model(&self) -> ThreadingModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securetf_tee::{CostModel, EnclaveImage, ExecutionMode, Platform, PAGE_SIZE};
+
+    fn enclave(mode: ExecutionMode) -> Arc<Enclave> {
+        enclave_with_epc(mode, CostModel::default().epc_bytes)
+    }
+
+    fn enclave_with_epc(mode: ExecutionMode, epc_bytes: u64) -> Arc<Enclave> {
+        let mut model = CostModel::default();
+        model.epc_bytes = epc_bytes;
+        let platform = Platform::builder().cost_model(model).build();
+        platform
+            .create_enclave(
+                &EnclaveImage::builder()
+                    .code(b"sched test")
+                    .runtime_bytes(1024 * 1024)
+                    .build(),
+                mode,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn compute_parallelizes() {
+        let e = enclave(ExecutionMode::Native);
+        let tasks: Vec<Task> = (0..8).map(|_| Task::compute(1e9)).collect();
+        let one = Scheduler::new(e.clone(), 1, ThreadingModel::UserLevel)
+            .run_batch(&tasks)
+            .unwrap();
+        let four = Scheduler::new(e.clone(), 4, ThreadingModel::UserLevel)
+            .run_batch(&tasks)
+            .unwrap();
+        assert!((3.8..4.2).contains(&(one as f64 / four as f64)), "{one} vs {four}");
+    }
+
+    #[test]
+    fn os_threads_pay_transitions() {
+        let e = enclave(ExecutionMode::Hardware);
+        let tasks: Vec<Task> = (0..4).map(|_| Task::compute(1e6).with_syscalls(1000)).collect();
+        let t_user = Scheduler::new(e.clone(), 4, ThreadingModel::UserLevel)
+            .run_batch(&tasks)
+            .unwrap();
+        let t_os = Scheduler::new(e.clone(), 4, ThreadingModel::OsThreads)
+            .run_batch(&tasks)
+            .unwrap();
+        assert!(t_os > t_user, "os {t_os} <= user {t_user}");
+    }
+
+    #[test]
+    fn epc_pressure_collapses_scaling() {
+        // The pinned image takes ~257 pages of a 1024-page EPC; 4 per-core
+        // working sets of 180 pages fit in the remainder, 8 do not.
+        let epc = 1024 * PAGE_SIZE as u64;
+        let per_core_ws = 180 * PAGE_SIZE as u64;
+
+        let run = |cores: usize| {
+            let e = enclave_with_epc(ExecutionMode::Hardware, epc);
+            let regions: Vec<RegionId> = (0..cores)
+                .map(|_| e.alloc("activations", per_core_ws))
+                .collect();
+            // Fixed total work, interleaved round-robin across the cores'
+            // working sets as concurrent threads would.
+            let tasks: Vec<Task> = (0..32)
+                .map(|i| {
+                    Task::compute(2e7).touching(regions[i % cores], per_core_ws)
+                })
+                .collect();
+            Scheduler::new(e, cores, ThreadingModel::UserLevel)
+                .run_batch(&tasks)
+                .unwrap()
+        };
+
+        let t1 = run(1);
+        let t4 = run(4);
+        let t8 = run(8);
+        // 1 -> 4 cores helps (4 * 48 = 192 pages fit in 256 minus image).
+        assert!(t4 < t1, "t4 {t4} >= t1 {t1}");
+        // 4 -> 8 cores collapses (8 * 48 = 384 pages thrash).
+        assert!(t8 > t4, "t8 {t8} <= t4 {t4}");
+    }
+
+    #[test]
+    fn serial_paging_included_in_makespan() {
+        let e = enclave(ExecutionMode::Hardware);
+        let region = e.alloc("w", 100 * PAGE_SIZE as u64);
+        let tasks = vec![Task::compute(0.0).touching(region, 100 * PAGE_SIZE as u64)];
+        let ns = Scheduler::new(e.clone(), 4, ThreadingModel::UserLevel)
+            .run_batch(&tasks)
+            .unwrap();
+        assert!(ns >= 100 * e.cost_model().page_swap_ns());
+    }
+
+    #[test]
+    fn freed_region_is_error() {
+        let e = enclave(ExecutionMode::Hardware);
+        let region = e.alloc("w", PAGE_SIZE as u64);
+        e.free(region).unwrap();
+        let tasks = vec![Task::compute(1.0).touching(region, 10)];
+        assert!(matches!(
+            Scheduler::new(e, 1, ThreadingModel::UserLevel).run_batch(&tasks),
+            Err(ShieldError::Tee(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let e = enclave(ExecutionMode::Native);
+        let _ = Scheduler::new(e, 0, ThreadingModel::UserLevel);
+    }
+
+    #[test]
+    fn empty_batch_is_instant() {
+        let e = enclave(ExecutionMode::Native);
+        let ns = Scheduler::new(e, 4, ThreadingModel::UserLevel)
+            .run_batch(&[])
+            .unwrap();
+        assert_eq!(ns, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Attestation quotes.
+//!
+//! A quote binds (platform identity, enclave measurement, caller-chosen
+//! report data) under a key that only genuine platforms hold. On real SGX
+//! this is the EPID/ECDSA quoting enclave; here each simulated [`crate::Platform`]
+//! holds a per-platform quoting secret derived from a fleet-wide
+//! provisioning secret, so any party knowing the fleet's *verification*
+//! material can check quotes from any platform — mirroring how IAS (or a
+//! DCAP cache, or the paper's CAS) verifies quotes from arbitrary machines.
+
+use securetf_crypto::hmac::hmac_sha256;
+use crate::measurement::MrEnclave;
+
+/// Maximum report-data payload embedded in a quote (SGX allows 64 bytes).
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// An attestation quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Identity of the platform (CPU) that produced the quote.
+    pub platform_id: u64,
+    /// Measurement of the quoted enclave.
+    pub mrenclave: MrEnclave,
+    /// Caller-supplied report data (e.g. a hash of a DH public key).
+    pub report_data: [u8; REPORT_DATA_LEN],
+    /// Security version number of the platform's microcode/TCB.
+    pub tcb_svn: u32,
+    /// MAC over all of the above under the platform's quoting key.
+    pub signature: [u8; 32],
+}
+
+impl Quote {
+    /// Serializes the signed portion of the quote.
+    pub(crate) fn signed_bytes(
+        platform_id: u64,
+        mrenclave: &MrEnclave,
+        report_data: &[u8; REPORT_DATA_LEN],
+        tcb_svn: u32,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 32 + REPORT_DATA_LEN + 4);
+        out.extend_from_slice(&platform_id.to_le_bytes());
+        out.extend_from_slice(mrenclave.as_bytes());
+        out.extend_from_slice(report_data);
+        out.extend_from_slice(&tcb_svn.to_le_bytes());
+        out
+    }
+
+    /// Creates a quote signed with `quoting_key`.
+    pub(crate) fn sign(
+        platform_id: u64,
+        mrenclave: MrEnclave,
+        report_data: [u8; REPORT_DATA_LEN],
+        tcb_svn: u32,
+        quoting_key: &[u8; 32],
+    ) -> Quote {
+        let body = Self::signed_bytes(platform_id, &mrenclave, &report_data, tcb_svn);
+        let signature = hmac_sha256(quoting_key, &body);
+        Quote {
+            platform_id,
+            mrenclave,
+            report_data,
+            tcb_svn,
+            signature,
+        }
+    }
+
+    /// Checks the signature under `quoting_key`.
+    pub(crate) fn verify_with_key(&self, quoting_key: &[u8; 32]) -> bool {
+        let body =
+            Self::signed_bytes(self.platform_id, &self.mrenclave, &self.report_data, self.tcb_svn);
+        let expect = hmac_sha256(quoting_key, &body);
+        securetf_crypto::ct::eq(&expect, &self.signature)
+    }
+
+    /// Pads or truncates arbitrary bytes into a report-data field.
+    pub fn report_data_from(bytes: &[u8]) -> [u8; REPORT_DATA_LEN] {
+        let mut rd = [0u8; REPORT_DATA_LEN];
+        let take = bytes.len().min(REPORT_DATA_LEN);
+        rd[..take].copy_from_slice(&bytes[..take]);
+        rd
+    }
+}
+
+/// Derives a platform's quoting key from the fleet provisioning secret.
+pub(crate) fn quoting_key(fleet_secret: &[u8; 32], platform_id: u64) -> [u8; 32] {
+    let mut msg = b"quoting-key".to_vec();
+    msg.extend_from_slice(&platform_id.to_le_bytes());
+    hmac_sha256(fleet_secret, &msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mr(b: u8) -> MrEnclave {
+        MrEnclave([b; 32])
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = quoting_key(&[9; 32], 7);
+        let q = Quote::sign(7, mr(1), [2; 64], 3, &key);
+        assert!(q.verify_with_key(&key));
+    }
+
+    #[test]
+    fn tampered_measurement_rejected() {
+        let key = quoting_key(&[9; 32], 7);
+        let mut q = Quote::sign(7, mr(1), [2; 64], 3, &key);
+        q.mrenclave = mr(2);
+        assert!(!q.verify_with_key(&key));
+    }
+
+    #[test]
+    fn tampered_report_data_rejected() {
+        let key = quoting_key(&[9; 32], 7);
+        let mut q = Quote::sign(7, mr(1), [2; 64], 3, &key);
+        q.report_data[0] ^= 1;
+        assert!(!q.verify_with_key(&key));
+    }
+
+    #[test]
+    fn wrong_platform_key_rejected() {
+        let key7 = quoting_key(&[9; 32], 7);
+        let key8 = quoting_key(&[9; 32], 8);
+        let q = Quote::sign(7, mr(1), [2; 64], 3, &key7);
+        assert!(!q.verify_with_key(&key8));
+    }
+
+    #[test]
+    fn report_data_from_pads_and_truncates() {
+        let short = Quote::report_data_from(b"abc");
+        assert_eq!(&short[..3], b"abc");
+        assert_eq!(short[3], 0);
+        let long = Quote::report_data_from(&[7u8; 100]);
+        assert_eq!(long, [7u8; 64]);
+    }
+}

@@ -1,0 +1,1173 @@
+//! Graph execution: forward evaluation and reverse-mode differentiation.
+//!
+//! The executor walks the graph in topological order (node order), then —
+//! for training — propagates gradients in reverse. Gradients are verified
+//! against numerical differentiation in this module's tests.
+
+use crate::graph::{Graph, NodeId, Op, Padding};
+use crate::tensor::Tensor;
+use crate::TensorError;
+use std::collections::HashMap;
+
+/// Resource usage of one graph execution, consumed by the TEE cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes of activations produced.
+    pub activation_bytes: u64,
+}
+
+impl RunStats {
+    /// Merges another run's stats into this one.
+    pub fn merge(&mut self, other: RunStats) {
+        self.flops += other.flops;
+        self.activation_bytes += other.activation_bytes;
+    }
+}
+
+/// The result of a forward pass.
+#[derive(Debug)]
+pub struct Forward {
+    values: Vec<Option<Tensor>>,
+    /// Resource usage of the pass.
+    pub stats: RunStats,
+}
+
+impl Forward {
+    /// The computed value of `id`, if it was needed by the pass.
+    pub fn value(&self, id: NodeId) -> Option<&Tensor> {
+        self.values.get(id.0).and_then(Option::as_ref)
+    }
+}
+
+fn needed_set(graph: &Graph, targets: &[NodeId]) -> Result<Vec<bool>, TensorError> {
+    let mut needed = vec![false; graph.len()];
+    let mut stack: Vec<NodeId> = targets.to_vec();
+    while let Some(id) = stack.pop() {
+        if id.0 >= graph.len() {
+            return Err(TensorError::UnknownNode);
+        }
+        if needed[id.0] {
+            continue;
+        }
+        needed[id.0] = true;
+        stack.extend(graph.node(id)?.op.inputs());
+    }
+    Ok(needed)
+}
+
+fn feed_matches_template(template: &[usize], shape: &[usize]) -> bool {
+    template.len() == shape.len()
+        && template
+            .iter()
+            .zip(shape.iter())
+            .all(|(&t, &s)| t == 0 || t == s)
+}
+
+/// Evaluates `targets` given placeholder `feeds` and variable values.
+///
+/// # Errors
+///
+/// * [`TensorError::UnknownNode`] for ids outside the graph.
+/// * [`TensorError::BadFeed`] for missing or mis-shaped placeholder feeds.
+/// * [`TensorError::ShapeMismatch`] for incompatible operand shapes.
+/// * [`TensorError::InvalidGraph`] for a variable with no session value.
+pub fn forward(
+    graph: &Graph,
+    feeds: &HashMap<NodeId, Tensor>,
+    vars: &HashMap<NodeId, Tensor>,
+    targets: &[NodeId],
+) -> Result<Forward, TensorError> {
+    let needed = needed_set(graph, targets)?;
+    let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+    let mut stats = RunStats::default();
+
+    for (index, node) in graph.nodes().iter().enumerate() {
+        if !needed[index] {
+            continue;
+        }
+        let id = NodeId(index);
+        let get = |nid: NodeId| -> &Tensor {
+            values[nid.0]
+                .as_ref()
+                .expect("inputs precede node in topological order")
+        };
+        let value = match &node.op {
+            Op::Placeholder { shape } => {
+                let fed = feeds.get(&id).ok_or_else(|| {
+                    TensorError::BadFeed(format!("placeholder '{}' not fed", node.name))
+                })?;
+                if !feed_matches_template(shape, fed.shape()) {
+                    return Err(TensorError::BadFeed(format!(
+                        "placeholder '{}' expects {:?}, fed {:?}",
+                        node.name,
+                        shape,
+                        fed.shape()
+                    )));
+                }
+                fed.clone()
+            }
+            Op::Variable { .. } => vars
+                .get(&id)
+                .cloned()
+                .ok_or(TensorError::InvalidGraph("variable without session value"))?,
+            Op::Constant(t) => t.clone(),
+            Op::MatMul(a, b) => {
+                let (ta, tb) = (get(*a), get(*b));
+                let out = ta.matmul(tb)?;
+                stats.flops +=
+                    2.0 * ta.shape()[0] as f64 * ta.shape()[1] as f64 * tb.shape()[1] as f64;
+                out
+            }
+            Op::AddBias(x, bias) => {
+                let (tx, tb) = (get(*x), get(*bias));
+                add_bias(tx, tb)?
+            }
+            Op::Add(a, b) => {
+                stats.flops += get(*a).len() as f64;
+                get(*a).zip(get(*b), |x, y| x + y)?
+            }
+            Op::Mul(a, b) => {
+                stats.flops += get(*a).len() as f64;
+                get(*a).zip(get(*b), |x, y| x * y)?
+            }
+            Op::Relu(x) => {
+                stats.flops += get(*x).len() as f64;
+                get(*x).map(|v| v.max(0.0))
+            }
+            Op::Softmax(x) => {
+                let t = get(*x);
+                stats.flops += 5.0 * t.len() as f64;
+                softmax(t)?
+            }
+            Op::Conv2d {
+                input,
+                filter,
+                padding,
+            } => {
+                let (ti, tf) = (get(*input), get(*filter));
+                let (out, flops) = conv2d(ti, tf, *padding)?;
+                stats.flops += flops;
+                out
+            }
+            Op::MaxPool2(x) => {
+                stats.flops += get(*x).len() as f64;
+                max_pool2(get(*x))?.0
+            }
+            Op::Flatten(x) => {
+                let t = get(*x);
+                let batch = *t.shape().first().unwrap_or(&1);
+                let rest = t.len() / batch.max(1);
+                t.reshape(&[batch, rest])?
+            }
+            Op::Reshape(x, shape) => get(*x).reshape(shape)?,
+            Op::SoftmaxCrossEntropy { logits, labels } => {
+                let (tl, ty) = (get(*logits), get(*labels));
+                stats.flops += 8.0 * tl.len() as f64;
+                softmax_cross_entropy(tl, ty)?
+            }
+            Op::MseLoss(p, t) => {
+                let (tp, tt) = (get(*p), get(*t));
+                stats.flops += 3.0 * tp.len() as f64;
+                let diff = tp.zip(tt, |a, b| a - b)?;
+                Tensor::scalar(diff.data().iter().map(|d| d * d).sum::<f32>() / tp.len() as f32)
+            }
+            Op::Sub(a, b) => {
+                stats.flops += get(*a).len() as f64;
+                get(*a).zip(get(*b), |x, y| x - y)?
+            }
+            Op::Scale(x, factor) => {
+                let f = *factor;
+                stats.flops += get(*x).len() as f64;
+                get(*x).map(|v| v * f)
+            }
+            Op::Sigmoid(x) => {
+                stats.flops += 4.0 * get(*x).len() as f64;
+                get(*x).map(|v| 1.0 / (1.0 + (-v).exp()))
+            }
+            Op::Tanh(x) => {
+                stats.flops += 4.0 * get(*x).len() as f64;
+                get(*x).map(f32::tanh)
+            }
+            Op::AvgPool2(x) => {
+                stats.flops += get(*x).len() as f64;
+                avg_pool2(get(*x))?
+            }
+            Op::ConcatCols(a, b) => concat_cols(get(*a), get(*b))?,
+        };
+        stats.activation_bytes += value.byte_len();
+        values[index] = Some(value);
+    }
+    Ok(Forward { values, stats })
+}
+
+/// Computes gradients of the scalar `loss` with respect to every needed
+/// node, given a completed forward pass.
+///
+/// # Errors
+///
+/// * [`TensorError::InvalidGraph`] if `loss` is not a scalar or was not
+///   computed by `fwd`.
+pub fn backward(
+    graph: &Graph,
+    fwd: &Forward,
+    loss: NodeId,
+) -> Result<HashMap<NodeId, Tensor>, TensorError> {
+    let loss_value = fwd
+        .value(loss)
+        .ok_or(TensorError::InvalidGraph("loss not computed by forward"))?;
+    if loss_value.len() != 1 {
+        return Err(TensorError::InvalidGraph("loss must be scalar"));
+    }
+    let mut grads: HashMap<NodeId, Tensor> = HashMap::new();
+    grads.insert(loss, Tensor::full(loss_value.shape(), 1.0));
+
+    for index in (0..=loss.0).rev() {
+        let id = NodeId(index);
+        let Some(grad) = grads.get(&id).cloned() else {
+            continue;
+        };
+        let node = graph.node(id)?;
+        let value_of = |nid: NodeId| -> Result<&Tensor, TensorError> {
+            fwd.value(nid)
+                .ok_or(TensorError::InvalidGraph("missing forward value"))
+        };
+        let accumulate = |grads: &mut HashMap<NodeId, Tensor>,
+                              nid: NodeId,
+                              g: Tensor|
+         -> Result<(), TensorError> {
+            match grads.get_mut(&nid) {
+                Some(existing) => {
+                    *existing = existing.zip(&g, |a, b| a + b)?;
+                }
+                None => {
+                    grads.insert(nid, g);
+                }
+            }
+            Ok(())
+        };
+        match &node.op {
+            Op::Placeholder { .. } | Op::Variable { .. } | Op::Constant(_) => {}
+            Op::MatMul(a, b) => {
+                let (ta, tb) = (value_of(*a)?, value_of(*b)?);
+                let ga = grad.matmul(&tb.transpose()?)?;
+                let gb = ta.transpose()?.matmul(&grad)?;
+                accumulate(&mut grads, *a, ga)?;
+                accumulate(&mut grads, *b, gb)?;
+            }
+            Op::AddBias(x, bias) => {
+                let tb = value_of(*bias)?;
+                accumulate(&mut grads, *x, grad.clone())?;
+                accumulate(&mut grads, *bias, column_sum(&grad, tb.shape())?)?;
+            }
+            Op::Add(a, b) => {
+                accumulate(&mut grads, *a, grad.clone())?;
+                accumulate(&mut grads, *b, grad)?;
+            }
+            Op::Mul(a, b) => {
+                let (ta, tb) = (value_of(*a)?.clone(), value_of(*b)?.clone());
+                accumulate(&mut grads, *a, grad.zip(&tb, |g, v| g * v)?)?;
+                accumulate(&mut grads, *b, grad.zip(&ta, |g, v| g * v)?)?;
+            }
+            Op::Relu(x) => {
+                let tx = value_of(*x)?;
+                let gx = grad.zip(tx, |g, v| if v > 0.0 { g } else { 0.0 })?;
+                accumulate(&mut grads, *x, gx)?;
+            }
+            Op::Softmax(x) => {
+                let s = fwd
+                    .value(id)
+                    .ok_or(TensorError::InvalidGraph("missing softmax value"))?;
+                accumulate(&mut grads, *x, softmax_grad(s, &grad)?)?;
+            }
+            Op::Conv2d {
+                input,
+                filter,
+                padding,
+            } => {
+                let (ti, tf) = (value_of(*input)?, value_of(*filter)?);
+                let (gi, gf) = conv2d_grad(ti, tf, &grad, *padding)?;
+                accumulate(&mut grads, *input, gi)?;
+                accumulate(&mut grads, *filter, gf)?;
+            }
+            Op::MaxPool2(x) => {
+                let tx = value_of(*x)?;
+                let (_, indices) = max_pool2(tx)?;
+                let mut gx = Tensor::zeros(tx.shape());
+                for (out_idx, &src_idx) in indices.iter().enumerate() {
+                    gx.data_mut()[src_idx] += grad.data()[out_idx];
+                }
+                accumulate(&mut grads, *x, gx)?;
+            }
+            Op::Flatten(x) | Op::Reshape(x, _) => {
+                let tx = value_of(*x)?;
+                accumulate(&mut grads, *x, grad.reshape(tx.shape())?)?;
+            }
+            Op::SoftmaxCrossEntropy { logits, labels } => {
+                let (tl, ty) = (value_of(*logits)?, value_of(*labels)?);
+                let batch = tl.shape()[0] as f32;
+                let probs = softmax(tl)?;
+                let scale = grad.data()[0] / batch;
+                let gl = probs.zip(ty, |p, y| (p - y) * scale)?;
+                accumulate(&mut grads, *logits, gl)?;
+            }
+            Op::MseLoss(p, t) => {
+                let (tp, tt) = (value_of(*p)?, value_of(*t)?);
+                let n = tp.len() as f32;
+                let scale = 2.0 * grad.data()[0] / n;
+                let gp = tp.zip(tt, |a, b| (a - b) * scale)?;
+                accumulate(&mut grads, *p, gp)?;
+            }
+            Op::Sub(a, b) => {
+                accumulate(&mut grads, *a, grad.clone())?;
+                accumulate(&mut grads, *b, grad.map(|g| -g))?;
+            }
+            Op::Scale(x, factor) => {
+                let f = *factor;
+                accumulate(&mut grads, *x, grad.map(|g| g * f))?;
+            }
+            Op::Sigmoid(x) => {
+                let s = fwd
+                    .value(id)
+                    .ok_or(TensorError::InvalidGraph("missing sigmoid value"))?;
+                let gx = grad.zip(s, |g, sv| g * sv * (1.0 - sv))?;
+                accumulate(&mut grads, *x, gx)?;
+            }
+            Op::Tanh(x) => {
+                let t = fwd
+                    .value(id)
+                    .ok_or(TensorError::InvalidGraph("missing tanh value"))?;
+                let gx = grad.zip(t, |g, tv| g * (1.0 - tv * tv))?;
+                accumulate(&mut grads, *x, gx)?;
+            }
+            Op::AvgPool2(x) => {
+                let tx = value_of(*x)?;
+                accumulate(&mut grads, *x, avg_pool2_grad(tx.shape(), &grad)?)?;
+            }
+            Op::ConcatCols(a, b) => {
+                let (ta, tb) = (value_of(*a)?, value_of(*b)?);
+                let (ga, gb) = concat_cols_grad(ta.shape(), tb.shape(), &grad)?;
+                accumulate(&mut grads, *a, ga)?;
+                accumulate(&mut grads, *b, gb)?;
+            }
+        }
+    }
+    Ok(grads)
+}
+
+// ---- kernels ---------------------------------------------------------------
+
+fn add_bias(x: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+    let n = *x
+        .shape()
+        .last()
+        .ok_or(TensorError::ShapeMismatch {
+            op: "add_bias",
+            detail: "scalar input".to_string(),
+        })?;
+    if bias.shape() != [n] {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias",
+            detail: format!("x {:?} bias {:?}", x.shape(), bias.shape()),
+        });
+    }
+    let mut out = x.clone();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        *v += bias.data()[i % n];
+    }
+    Ok(out)
+}
+
+fn column_sum(grad: &Tensor, bias_shape: &[usize]) -> Result<Tensor, TensorError> {
+    let n = bias_shape[0];
+    let mut out = Tensor::zeros(bias_shape);
+    for (i, &g) in grad.data().iter().enumerate() {
+        out.data_mut()[i % n] += g;
+    }
+    Ok(out)
+}
+
+fn softmax(x: &Tensor) -> Result<Tensor, TensorError> {
+    let &[m, n] = x.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax",
+            detail: format!("{:?} (need rank 2)", x.shape()),
+        });
+    };
+    let mut out = x.clone();
+    for i in 0..m {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+fn softmax_grad(s: &Tensor, grad: &Tensor) -> Result<Tensor, TensorError> {
+    let &[m, n] = s.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax_grad",
+            detail: format!("{:?}", s.shape()),
+        });
+    };
+    let mut out = Tensor::zeros(s.shape());
+    for i in 0..m {
+        let srow = &s.data()[i * n..(i + 1) * n];
+        let grow = &grad.data()[i * n..(i + 1) * n];
+        let dot: f32 = srow.iter().zip(grow.iter()).map(|(&a, &b)| a * b).sum();
+        let orow = &mut out.data_mut()[i * n..(i + 1) * n];
+        for j in 0..n {
+            orow[j] = srow[j] * (grow[j] - dot);
+        }
+    }
+    Ok(out)
+}
+
+fn softmax_cross_entropy(logits: &Tensor, labels: &Tensor) -> Result<Tensor, TensorError> {
+    if logits.shape() != labels.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax_xent",
+            detail: format!("{:?} vs {:?}", logits.shape(), labels.shape()),
+        });
+    }
+    let &[m, n] = logits.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax_xent",
+            detail: format!("{:?} (need rank 2)", logits.shape()),
+        });
+    };
+    let mut total = 0.0f32;
+    for i in 0..m {
+        let row = &logits.data()[i * n..(i + 1) * n];
+        let yrow = &labels.data()[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for j in 0..n {
+            if yrow[j] != 0.0 {
+                total += yrow[j] * (log_sum - row[j]);
+            }
+        }
+    }
+    Ok(Tensor::scalar(total / m as f32))
+}
+
+#[allow(clippy::type_complexity)]
+fn conv_geometry(
+    input: &Tensor,
+    filter: &Tensor,
+    padding: Padding,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize, usize), TensorError> {
+    let &[b, h, w, cin] = input.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            detail: format!("input {:?} (need NHWC)", input.shape()),
+        });
+    };
+    let &[kh, kw, fcin, cout] = filter.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            detail: format!("filter {:?} (need [kh,kw,cin,cout])", filter.shape()),
+        });
+    };
+    if fcin != cin {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            detail: format!("input channels {cin} vs filter {fcin}"),
+        });
+    }
+    let (oh, ow) = match padding {
+        Padding::Same => (h, w),
+        Padding::Valid => {
+            if h < kh || w < kw {
+                return Err(TensorError::ShapeMismatch {
+                    op: "conv2d",
+                    detail: format!("input {h}x{w} smaller than kernel {kh}x{kw}"),
+                });
+            }
+            (h - kh + 1, w - kw + 1)
+        }
+    };
+    Ok((b, h, w, cin, kh, kw, cout, oh, ow))
+}
+
+fn conv2d(input: &Tensor, filter: &Tensor, padding: Padding) -> Result<(Tensor, f64), TensorError> {
+    let (b, h, w, cin, kh, kw, cout, oh, ow) = conv_geometry(input, filter, padding)?;
+    let (ph, pw) = match padding {
+        Padding::Same => ((kh - 1) / 2, (kw - 1) / 2),
+        Padding::Valid => (0, 0),
+    };
+    let mut out = Tensor::zeros(&[b, oh, ow, cout]);
+    let idata = input.data();
+    let fdata = filter.data();
+    let odata = out.data_mut();
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ky in 0..kh {
+                    let iy = (oy + ky) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox + kx) as isize - pw as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let ibase = ((bi * h + iy as usize) * w + ix as usize) * cin;
+                        let fbase = (ky * kw + kx) * cin * cout;
+                        let obase = ((bi * oh + oy) * ow + ox) * cout;
+                        for ci in 0..cin {
+                            let iv = idata[ibase + ci];
+                            if iv == 0.0 {
+                                continue;
+                            }
+                            let frow = &fdata[fbase + ci * cout..fbase + (ci + 1) * cout];
+                            let orow = &mut odata[obase..obase + cout];
+                            for (o, &f) in orow.iter_mut().zip(frow.iter()) {
+                                *o += iv * f;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let flops =
+        2.0 * b as f64 * oh as f64 * ow as f64 * cout as f64 * kh as f64 * kw as f64 * cin as f64;
+    Ok((out, flops))
+}
+
+fn conv2d_grad(
+    input: &Tensor,
+    filter: &Tensor,
+    grad: &Tensor,
+    padding: Padding,
+) -> Result<(Tensor, Tensor), TensorError> {
+    let (b, h, w, cin, kh, kw, cout, oh, ow) = conv_geometry(input, filter, padding)?;
+    let (ph, pw) = match padding {
+        Padding::Same => ((kh - 1) / 2, (kw - 1) / 2),
+        Padding::Valid => (0, 0),
+    };
+    let mut gi = Tensor::zeros(input.shape());
+    let mut gf = Tensor::zeros(filter.shape());
+    let idata = input.data();
+    let fdata = filter.data();
+    let gdata = grad.data();
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let obase = ((bi * oh + oy) * ow + ox) * cout;
+                for ky in 0..kh {
+                    let iy = (oy + ky) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox + kx) as isize - pw as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let ibase = ((bi * h + iy as usize) * w + ix as usize) * cin;
+                        let fbase = (ky * kw + kx) * cin * cout;
+                        for ci in 0..cin {
+                            let iv = idata[ibase + ci];
+                            let mut gsum = 0.0f32;
+                            for co in 0..cout {
+                                let g = gdata[obase + co];
+                                gsum += g * fdata[fbase + ci * cout + co];
+                                gf.data_mut()[fbase + ci * cout + co] += g * iv;
+                            }
+                            gi.data_mut()[ibase + ci] += gsum;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((gi, gf))
+}
+
+fn avg_pool2(x: &Tensor) -> Result<Tensor, TensorError> {
+    let &[b, h, w, c] = x.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2",
+            detail: format!("{:?} (need NHWC)", x.shape()),
+        });
+    };
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = Tensor::zeros(&[b, oh, ow, c]);
+    let xd = x.data();
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ci in 0..c {
+                    let mut sum = 0.0f32;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            sum += xd[((bi * h + oy * 2 + dy) * w + ox * 2 + dx) * c + ci];
+                        }
+                    }
+                    out.data_mut()[((bi * oh + oy) * ow + ox) * c + ci] = sum / 4.0;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn avg_pool2_grad(in_shape: &[usize], grad: &Tensor) -> Result<Tensor, TensorError> {
+    let &[b, h, w, c] = in_shape else {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2_grad",
+            detail: format!("{in_shape:?}"),
+        });
+    };
+    let (oh, ow) = (h / 2, w / 2);
+    let mut gx = Tensor::zeros(in_shape);
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ci in 0..c {
+                    let g = grad.data()[((bi * oh + oy) * ow + ox) * c + ci] / 4.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            gx.data_mut()
+                                [((bi * h + oy * 2 + dy) * w + ox * 2 + dx) * c + ci] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(gx)
+}
+
+fn concat_cols(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (&[m1, n1], &[m2, n2]) = (&a.shape()[..], &b.shape()[..]) else {
+        return Err(TensorError::ShapeMismatch {
+            op: "concat_cols",
+            detail: format!("{:?} ++ {:?} (need rank 2)", a.shape(), b.shape()),
+        });
+    };
+    if m1 != m2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "concat_cols",
+            detail: format!("row counts {m1} vs {m2}"),
+        });
+    }
+    let mut out = Tensor::zeros(&[m1, n1 + n2]);
+    for i in 0..m1 {
+        out.data_mut()[i * (n1 + n2)..i * (n1 + n2) + n1]
+            .copy_from_slice(&a.data()[i * n1..(i + 1) * n1]);
+        out.data_mut()[i * (n1 + n2) + n1..(i + 1) * (n1 + n2)]
+            .copy_from_slice(&b.data()[i * n2..(i + 1) * n2]);
+    }
+    Ok(out)
+}
+
+fn concat_cols_grad(
+    a_shape: &[usize],
+    b_shape: &[usize],
+    grad: &Tensor,
+) -> Result<(Tensor, Tensor), TensorError> {
+    let (&[m, n1], &[_, n2]) = (&a_shape[..], &b_shape[..]) else {
+        return Err(TensorError::ShapeMismatch {
+            op: "concat_cols_grad",
+            detail: format!("{a_shape:?} / {b_shape:?}"),
+        });
+    };
+    let mut ga = Tensor::zeros(a_shape);
+    let mut gb = Tensor::zeros(b_shape);
+    for i in 0..m {
+        ga.data_mut()[i * n1..(i + 1) * n1]
+            .copy_from_slice(&grad.data()[i * (n1 + n2)..i * (n1 + n2) + n1]);
+        gb.data_mut()[i * n2..(i + 1) * n2]
+            .copy_from_slice(&grad.data()[i * (n1 + n2) + n1..(i + 1) * (n1 + n2)]);
+    }
+    Ok((ga, gb))
+}
+
+fn max_pool2(x: &Tensor) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let &[b, h, w, c] = x.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_pool2",
+            detail: format!("{:?} (need NHWC)", x.shape()),
+        });
+    };
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = Tensor::zeros(&[b, oh, ow, c]);
+    let mut indices = vec![0usize; b * oh * ow * c];
+    let xd = x.data();
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ci in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let iy = oy * 2 + dy;
+                            let ix = ox * 2 + dx;
+                            let idx = ((bi * h + iy) * w + ix) * c + ci;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((bi * oh + oy) * ow + ox) * c + ci;
+                    out.data_mut()[oidx] = best;
+                    indices[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((out, indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn feeds(pairs: &[(NodeId, Tensor)]) -> HashMap<NodeId, Tensor> {
+        pairs.iter().cloned().collect()
+    }
+
+    fn vars_of(graph: &Graph) -> HashMap<NodeId, Tensor> {
+        graph
+            .variables()
+            .into_iter()
+            .map(|id| {
+                let Op::Variable { init } = &graph.node(id).unwrap().op else {
+                    unreachable!()
+                };
+                (id, init.clone())
+            })
+            .collect()
+    }
+
+    /// Numerically checks d(loss)/d(var) for every variable element.
+    fn gradient_check(
+        graph: &Graph,
+        feeds: &HashMap<NodeId, Tensor>,
+        mut vars: HashMap<NodeId, Tensor>,
+        loss: NodeId,
+        tolerance: f32,
+    ) {
+        let fwd = forward(graph, feeds, &vars, &[loss]).unwrap();
+        let grads = backward(graph, &fwd, loss).unwrap();
+        let eps = 1e-3f32;
+        for var in graph.variables() {
+            let analytic = grads.get(&var).cloned().unwrap_or_else(|| {
+                Tensor::zeros(vars[&var].shape())
+            });
+            for i in 0..vars[&var].len() {
+                let orig = vars[&var].data()[i];
+                vars.get_mut(&var).unwrap().data_mut()[i] = orig + eps;
+                let up = forward(graph, feeds, &vars, &[loss]).unwrap()
+                    .value(loss)
+                    .unwrap()
+                    .data()[0];
+                vars.get_mut(&var).unwrap().data_mut()[i] = orig - eps;
+                let down = forward(graph, feeds, &vars, &[loss]).unwrap()
+                    .value(loss)
+                    .unwrap()
+                    .data()[0];
+                vars.get_mut(&var).unwrap().data_mut()[i] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic.data()[i];
+                assert!(
+                    (a - numeric).abs() <= tolerance * (1.0 + numeric.abs()),
+                    "var {var:?} elem {i}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matmul_bias_relu() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 2]);
+        let w = g.variable("w", Tensor::from_vec(&[2, 2], vec![1., -1., 0.5, 2.]).unwrap());
+        let b = g.variable("b", Tensor::from_vec(&[2], vec![0.1, -0.2]).unwrap());
+        let mm = g.matmul(x, w).unwrap();
+        let biased = g.add_bias(mm, b).unwrap();
+        let y = g.relu(biased).unwrap();
+        let vars = vars_of(&g);
+        let fwd = forward(
+            &g,
+            &feeds(&[(x, Tensor::from_vec(&[1, 2], vec![1.0, 2.0]).unwrap())]),
+            &vars,
+            &[y],
+        )
+        .unwrap();
+        // x·W = [1*1+2*0.5, 1*-1+2*2] = [2, 3]; +b = [2.1, 2.8]; relu same.
+        assert_eq!(fwd.value(y).unwrap().data(), &[2.1, 2.8]);
+        assert!(fwd.stats.flops > 0.0);
+    }
+
+    #[test]
+    fn missing_feed_is_error() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 2]);
+        let y = g.relu(x).unwrap();
+        assert!(matches!(
+            forward(&g, &HashMap::new(), &HashMap::new(), &[y]),
+            Err(TensorError::BadFeed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_shape_feed_is_error() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 2]);
+        let y = g.relu(x).unwrap();
+        let result = forward(
+            &g,
+            &feeds(&[(x, Tensor::zeros(&[1, 3]))]),
+            &HashMap::new(),
+            &[y],
+        );
+        assert!(matches!(result, Err(TensorError::BadFeed(_))));
+    }
+
+    #[test]
+    fn unneeded_placeholders_not_required() {
+        let mut g = Graph::new();
+        let _unused = g.placeholder("unused", &[1]);
+        let c = g.constant("c", Tensor::scalar(3.0));
+        let fwd = forward(&g, &HashMap::new(), &HashMap::new(), &[c]).unwrap();
+        assert_eq!(fwd.value(c).unwrap().data(), &[3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 100.]).unwrap();
+        let s = softmax(&t).unwrap();
+        for i in 0..2 {
+            let sum: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large logits don't overflow (stability).
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(&[1, 3], vec![20.0, 0.0, 0.0]).unwrap();
+        let labels = Tensor::from_vec(&[1, 3], vec![1.0, 0.0, 0.0]).unwrap();
+        let loss = softmax_cross_entropy(&logits, &labels).unwrap();
+        assert!(loss.data()[0] < 1e-3);
+        // Wrong prediction has high loss.
+        let wrong = Tensor::from_vec(&[1, 3], vec![0.0, 20.0, 0.0]).unwrap();
+        assert!(softmax_cross_entropy(&wrong, &labels).unwrap().data()[0] > 5.0);
+    }
+
+    #[test]
+    fn gradcheck_linear_mse() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 3]);
+        let w = g.variable(
+            "w",
+            Tensor::from_vec(&[3, 2], vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]).unwrap(),
+        );
+        let b = g.variable("b", Tensor::from_vec(&[2], vec![0.05, -0.07]).unwrap());
+        let t = g.placeholder("t", &[0, 2]);
+        let mm = g.matmul(x, w).unwrap();
+        let y = g.add_bias(mm, b).unwrap();
+        let loss = g.mse_loss(y, t).unwrap();
+        gradient_check(
+            &g,
+            &feeds(&[
+                (x, Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0.5, 2.]).unwrap()),
+                (t, Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]).unwrap()),
+            ]),
+            vars_of(&g),
+            loss,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_relu_softmax_xent() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 4]);
+        let w = g.variable(
+            "w",
+            Tensor::from_vec(
+                &[4, 3],
+                vec![
+                    0.3, -0.1, 0.2, 0.5, 0.4, -0.3, -0.2, 0.1, 0.6, 0.15, -0.25, 0.35,
+                ],
+            )
+            .unwrap(),
+        );
+        let labels = g.placeholder("y", &[0, 3]);
+        let mm = g.matmul(x, w).unwrap();
+        let h = g.relu(mm).unwrap();
+        let loss = g.softmax_cross_entropy(h, labels).unwrap();
+        gradient_check(
+            &g,
+            &feeds(&[
+                (
+                    x,
+                    Tensor::from_vec(&[2, 4], vec![1., -2., 0.5, 3., 2., 1., -1., 0.5]).unwrap(),
+                ),
+                (
+                    labels,
+                    Tensor::from_vec(&[2, 3], vec![1., 0., 0., 0., 0., 1.]).unwrap(),
+                ),
+            ]),
+            vars_of(&g),
+            loss,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_conv_pool_network() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 4, 4, 1]);
+        let f = g.variable(
+            "f",
+            Tensor::from_vec(
+                &[3, 3, 1, 2],
+                (0..18).map(|i| (i as f32 - 9.0) * 0.05).collect(),
+            )
+            .unwrap(),
+        );
+        let labels = g.placeholder("y", &[0, 8]);
+        let conv = g.conv2d(x, f, Padding::Same).unwrap();
+        let act = g.relu(conv).unwrap();
+        let pool = g.max_pool2(act).unwrap();
+        let flat = g.flatten(pool).unwrap();
+        let loss = g.softmax_cross_entropy(flat, labels).unwrap();
+        let x_data: Vec<f32> = (0..16).map(|i| ((i * 7) % 11) as f32 * 0.1 - 0.5).collect();
+        let mut y_data = vec![0.0f32; 8];
+        y_data[3] = 1.0;
+        gradient_check(
+            &g,
+            &feeds(&[
+                (x, Tensor::from_vec(&[1, 4, 4, 1], x_data).unwrap()),
+                (labels, Tensor::from_vec(&[1, 8], y_data).unwrap()),
+            ]),
+            vars_of(&g),
+            loss,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_mul_and_softmax() {
+        let mut g = Graph::new();
+        let a = g.variable("a", Tensor::from_vec(&[1, 3], vec![0.2, -0.4, 0.6]).unwrap());
+        let b = g.variable("b", Tensor::from_vec(&[1, 3], vec![1.0, 0.5, -0.5]).unwrap());
+        let t = g.placeholder("t", &[0, 3]);
+        let prod = g.mul(a, b).unwrap();
+        let s = g.softmax(prod).unwrap();
+        let loss = g.mse_loss(s, t).unwrap();
+        gradient_check(
+            &g,
+            &feeds(&[(t, Tensor::from_vec(&[1, 3], vec![0.1, 0.7, 0.2]).unwrap())]),
+            vars_of(&g),
+            loss,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn conv_valid_output_shape() {
+        let input = Tensor::zeros(&[2, 5, 6, 3]);
+        let filter = Tensor::zeros(&[3, 3, 3, 4]);
+        let (out, _) = conv2d(&input, &filter, Padding::Valid).unwrap();
+        assert_eq!(out.shape(), &[2, 3, 4, 4]);
+        let (same, _) = conv2d(&input, &filter, Padding::Same).unwrap();
+        assert_eq!(same.shape(), &[2, 5, 6, 4]);
+    }
+
+    #[test]
+    fn conv_channel_mismatch_rejected() {
+        let input = Tensor::zeros(&[1, 5, 5, 3]);
+        let filter = Tensor::zeros(&[3, 3, 2, 4]);
+        assert!(conv2d(&input, &filter, Padding::Same).is_err());
+    }
+
+    #[test]
+    fn conv_known_value() {
+        // 1x3x3x1 input, 3x3 all-ones filter, Same padding: center output
+        // is the sum of all inputs.
+        let input = Tensor::from_vec(&[1, 3, 3, 1], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let filter = Tensor::full(&[3, 3, 1, 1], 1.0);
+        let (out, flops) = conv2d(&input, &filter, Padding::Same).unwrap();
+        assert_eq!(out.data()[4], 45.0);
+        // Corner output sums the 2x2 corner: 1+2+4+5 = 12.
+        assert_eq!(out.data()[0], 12.0);
+        assert!(flops > 0.0);
+    }
+
+    #[test]
+    fn max_pool_takes_maxima_and_routes_gradient() {
+        let x = Tensor::from_vec(
+            &[1, 2, 2, 1],
+            vec![1.0, 5.0, 3.0, 2.0],
+        )
+        .unwrap();
+        let (out, idx) = max_pool2(&x).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert_eq!(out.data(), &[5.0]);
+        assert_eq!(idx, vec![1]);
+    }
+
+    #[test]
+    fn backward_requires_scalar_loss() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 2]);
+        let y = g.relu(x).unwrap();
+        let fwd = forward(
+            &g,
+            &feeds(&[(x, Tensor::zeros(&[1, 2]))]),
+            &HashMap::new(),
+            &[y],
+        )
+        .unwrap();
+        assert!(matches!(
+            backward(&g, &fwd, y),
+            Err(TensorError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn gradcheck_sub_scale() {
+        let mut g = Graph::new();
+        let a = g.variable("a", Tensor::from_vec(&[1, 3], vec![0.5, -0.3, 0.8]).unwrap());
+        let b = g.variable("b", Tensor::from_vec(&[1, 3], vec![0.1, 0.9, -0.4]).unwrap());
+        let t = g.placeholder("t", &[0, 3]);
+        let diff = g.sub(a, b).unwrap();
+        let scaled = g.scale(diff, 2.5).unwrap();
+        let loss = g.mse_loss(scaled, t).unwrap();
+        gradient_check(
+            &g,
+            &feeds(&[(t, Tensor::from_vec(&[1, 3], vec![0.2, -0.1, 0.6]).unwrap())]),
+            vars_of(&g),
+            loss,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_sigmoid_tanh() {
+        let mut g = Graph::new();
+        let w = g.variable(
+            "w",
+            Tensor::from_vec(&[2, 2], vec![0.4, -0.7, 0.2, 0.9]).unwrap(),
+        );
+        let x = g.placeholder("x", &[0, 2]);
+        let t = g.placeholder("t", &[0, 2]);
+        let mm = g.matmul(x, w).unwrap();
+        let sig = g.sigmoid(mm).unwrap();
+        let th = g.tanh(sig).unwrap();
+        let loss = g.mse_loss(th, t).unwrap();
+        gradient_check(
+            &g,
+            &feeds(&[
+                (x, Tensor::from_vec(&[2, 2], vec![1.0, -0.5, 0.3, 2.0]).unwrap()),
+                (t, Tensor::from_vec(&[2, 2], vec![0.5, 0.5, 0.1, 0.9]).unwrap()),
+            ]),
+            vars_of(&g),
+            loss,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_avg_pool_and_concat() {
+        let mut g = Graph::new();
+        let f = g.variable(
+            "f",
+            Tensor::from_vec(&[4, 4, 1, 1], (0..16).map(|i| i as f32 * 0.03 - 0.2).collect())
+                .unwrap(),
+        );
+        let extra = g.variable("extra", Tensor::from_vec(&[1, 2], vec![0.5, -0.5]).unwrap());
+        let t = g.placeholder("t", &[0, 6]);
+        let rect = g.reshape(f, &[1, 4, 4, 1]).unwrap();
+        let pooled = g.avg_pool2(rect).unwrap();
+        let flat = g.flatten(pooled).unwrap();
+        let both = g.concat_cols(flat, extra).unwrap();
+        let loss = g.mse_loss(both, t).unwrap();
+        gradient_check(
+            &g,
+            &feeds(&[(
+                t,
+                Tensor::from_vec(&[1, 6], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap(),
+            )]),
+            vars_of(&g),
+            loss,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn avg_pool_forward_values() {
+        let x = Tensor::from_vec(&[1, 2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = avg_pool2(&x).unwrap();
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 3]);
+        let s = g.sigmoid(x).unwrap();
+        let fwd = forward(
+            &g,
+            &feeds(&[(x, Tensor::from_vec(&[1, 3], vec![-100.0, 0.0, 100.0]).unwrap())]),
+            &HashMap::new(),
+            &[s],
+        )
+        .unwrap();
+        let v = fwd.value(s).unwrap().data();
+        assert!(v[0] < 1e-6);
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        assert!(v[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_vec(&[2, 1], vec![9., 8.]).unwrap();
+        let out = concat_cols(&a, &b).unwrap();
+        assert_eq!(out.shape(), &[2, 3]);
+        assert_eq!(out.data(), &[1., 2., 9., 3., 4., 8.]);
+        assert!(concat_cols(&a, &Tensor::zeros(&[3, 1])).is_err());
+    }
+
+    #[test]
+    fn fanout_gradients_accumulate() {
+        // loss = mse(a + a, t): d(loss)/da flows through both Add inputs.
+        let mut g = Graph::new();
+        let a = g.variable("a", Tensor::from_vec(&[1, 1], vec![1.0]).unwrap());
+        let t = g.placeholder("t", &[0, 1]);
+        let double = g.add(a, a).unwrap();
+        let loss = g.mse_loss(double, t).unwrap();
+        let vars = vars_of(&g);
+        let fwd = forward(
+            &g,
+            &feeds(&[(t, Tensor::from_vec(&[1, 1], vec![0.0]).unwrap())]),
+            &vars,
+            &[loss],
+        )
+        .unwrap();
+        let grads = backward(&g, &fwd, loss).unwrap();
+        // loss = (2a)^2, d/da = 8a = 8.
+        assert!((grads[&a].data()[0] - 8.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,555 @@
+//! Graph freezing, export/import and checkpoints.
+//!
+//! The paper's workflow (§4.1) defines a graph with the Python API,
+//! *freezes* it (folds trained variables into constants), exports it in
+//! the Protocol Buffers exchange format, and imports it inside the
+//! enclave with the C++ or TFLite runtime. This module provides the
+//! equivalent interchange: a compact length-prefixed binary `GraphDef`,
+//! plus checkpoints that snapshot variable values.
+
+use crate::graph::{Graph, Node, NodeId, Op, Padding};
+use crate::session::Session;
+use crate::tensor::Tensor;
+use crate::TensorError;
+
+const GRAPH_MAGIC: &[u8; 5] = b"STFG1";
+const CKPT_MAGIC: &[u8; 5] = b"STFC1";
+
+/// Returns a copy of `graph` with every variable replaced by a constant
+/// holding its current session value.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGraph`] if the session does not track
+/// one of the graph's variables.
+pub fn freeze(graph: &Graph, session: &Session) -> Result<Graph, TensorError> {
+    let mut out = Graph::new();
+    for (index, node) in graph.nodes().iter().enumerate() {
+        let op = match &node.op {
+            Op::Variable { .. } => {
+                let value = session
+                    .variable(NodeId(index))
+                    .ok_or(TensorError::InvalidGraph("variable not in session"))?;
+                Op::Constant(value.clone())
+            }
+            other => other.clone(),
+        };
+        out.push_node(Node {
+            op,
+            name: node.name.clone(),
+        });
+    }
+    Ok(out)
+}
+
+// ---- byte-level helpers ------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_u32(out, t.shape().len() as u32);
+    for &d in t.shape() {
+        put_u32(out, d as u32);
+    }
+    put_u32(out, t.data().len() as u32);
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    cursor: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, cursor: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TensorError> {
+        if self.cursor + n > self.bytes.len() {
+            return Err(TensorError::MalformedModel("truncated"));
+        }
+        let s = &self.bytes[self.cursor..self.cursor + n];
+        self.cursor += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, TensorError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn bytes_field(&mut self) -> Result<&'a [u8], TensorError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, TensorError> {
+        let rank = self.u32()? as usize;
+        if rank > 8 {
+            return Err(TensorError::MalformedModel("rank too large"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(self.u32()? as usize);
+        }
+        let count = self.u32()? as usize;
+        if count != shape.iter().product::<usize>() {
+            return Err(TensorError::MalformedModel("element count mismatch"));
+        }
+        let raw = self.take(count * 4)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+            .collect();
+        Tensor::from_vec(&shape, data)
+            .map_err(|_| TensorError::MalformedModel("bad tensor"))
+    }
+
+    fn done(&self) -> bool {
+        self.cursor == self.bytes.len()
+    }
+}
+
+/// Serializes a graph to the binary `GraphDef` format.
+pub fn export_graph(graph: &Graph) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(GRAPH_MAGIC);
+    put_u32(&mut out, graph.len() as u32);
+    for node in graph.nodes() {
+        put_bytes(&mut out, node.name.as_bytes());
+        match &node.op {
+            Op::Placeholder { shape } => {
+                out.push(0);
+                put_u32(&mut out, shape.len() as u32);
+                for &d in shape {
+                    put_u32(&mut out, d as u32);
+                }
+            }
+            Op::Variable { init } => {
+                out.push(1);
+                put_tensor(&mut out, init);
+            }
+            Op::Constant(t) => {
+                out.push(2);
+                put_tensor(&mut out, t);
+            }
+            Op::MatMul(a, b) => {
+                out.push(3);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, b.0 as u32);
+            }
+            Op::AddBias(a, b) => {
+                out.push(4);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, b.0 as u32);
+            }
+            Op::Add(a, b) => {
+                out.push(5);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, b.0 as u32);
+            }
+            Op::Mul(a, b) => {
+                out.push(6);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, b.0 as u32);
+            }
+            Op::Relu(a) => {
+                out.push(7);
+                put_u32(&mut out, a.0 as u32);
+            }
+            Op::Softmax(a) => {
+                out.push(8);
+                put_u32(&mut out, a.0 as u32);
+            }
+            Op::Conv2d {
+                input,
+                filter,
+                padding,
+            } => {
+                out.push(9);
+                put_u32(&mut out, input.0 as u32);
+                put_u32(&mut out, filter.0 as u32);
+                out.push(match padding {
+                    Padding::Same => 0,
+                    Padding::Valid => 1,
+                });
+            }
+            Op::MaxPool2(a) => {
+                out.push(10);
+                put_u32(&mut out, a.0 as u32);
+            }
+            Op::Flatten(a) => {
+                out.push(11);
+                put_u32(&mut out, a.0 as u32);
+            }
+            Op::Reshape(a, shape) => {
+                out.push(12);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, shape.len() as u32);
+                for &d in shape {
+                    put_u32(&mut out, d as u32);
+                }
+            }
+            Op::SoftmaxCrossEntropy { logits, labels } => {
+                out.push(13);
+                put_u32(&mut out, logits.0 as u32);
+                put_u32(&mut out, labels.0 as u32);
+            }
+            Op::MseLoss(a, b) => {
+                out.push(14);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, b.0 as u32);
+            }
+            Op::Sub(a, b) => {
+                out.push(15);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, b.0 as u32);
+            }
+            Op::Scale(a, factor) => {
+                out.push(16);
+                put_u32(&mut out, a.0 as u32);
+                out.extend_from_slice(&factor.to_le_bytes());
+            }
+            Op::Sigmoid(a) => {
+                out.push(17);
+                put_u32(&mut out, a.0 as u32);
+            }
+            Op::Tanh(a) => {
+                out.push(18);
+                put_u32(&mut out, a.0 as u32);
+            }
+            Op::AvgPool2(a) => {
+                out.push(19);
+                put_u32(&mut out, a.0 as u32);
+            }
+            Op::ConcatCols(a, b) => {
+                out.push(20);
+                put_u32(&mut out, a.0 as u32);
+                put_u32(&mut out, b.0 as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes a graph exported by [`export_graph`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::MalformedModel`] on any structural violation —
+/// bad magic, truncation, forward references, trailing bytes.
+pub fn import_graph(bytes: &[u8]) -> Result<Graph, TensorError> {
+    let mut r = Reader::new(bytes);
+    if r.take(5)? != GRAPH_MAGIC {
+        return Err(TensorError::MalformedModel("bad magic"));
+    }
+    let count = r.u32()? as usize;
+    if count > 1_000_000 {
+        return Err(TensorError::MalformedModel("node count too large"));
+    }
+    let mut graph = Graph::new();
+    for index in 0..count {
+        let name = String::from_utf8(r.bytes_field()?.to_vec())
+            .map_err(|_| TensorError::MalformedModel("bad name"))?;
+        let tag = r.take(1)?[0];
+        // Every referenced node must already exist (topological order).
+        let node_ref = |r: &mut Reader| -> Result<NodeId, TensorError> {
+            let id = r.u32()? as usize;
+            if id >= index {
+                return Err(TensorError::MalformedModel("forward reference"));
+            }
+            Ok(NodeId(id))
+        };
+        let shape_field = |r: &mut Reader| -> Result<Vec<usize>, TensorError> {
+            let rank = r.u32()? as usize;
+            if rank > 8 {
+                return Err(TensorError::MalformedModel("rank too large"));
+            }
+            (0..rank).map(|_| Ok(r.u32()? as usize)).collect()
+        };
+        let op = match tag {
+            0 => Op::Placeholder {
+                shape: shape_field(&mut r)?,
+            },
+            1 => Op::Variable { init: r.tensor()? },
+            2 => Op::Constant(r.tensor()?),
+            3 => Op::MatMul(node_ref(&mut r)?, node_ref(&mut r)?),
+            4 => Op::AddBias(node_ref(&mut r)?, node_ref(&mut r)?),
+            5 => Op::Add(node_ref(&mut r)?, node_ref(&mut r)?),
+            6 => Op::Mul(node_ref(&mut r)?, node_ref(&mut r)?),
+            7 => Op::Relu(node_ref(&mut r)?),
+            8 => Op::Softmax(node_ref(&mut r)?),
+            9 => {
+                let input = node_ref(&mut r)?;
+                let filter = node_ref(&mut r)?;
+                let padding = match r.take(1)?[0] {
+                    0 => Padding::Same,
+                    1 => Padding::Valid,
+                    _ => return Err(TensorError::MalformedModel("bad padding")),
+                };
+                Op::Conv2d {
+                    input,
+                    filter,
+                    padding,
+                }
+            }
+            10 => Op::MaxPool2(node_ref(&mut r)?),
+            11 => Op::Flatten(node_ref(&mut r)?),
+            12 => {
+                let a = node_ref(&mut r)?;
+                Op::Reshape(a, shape_field(&mut r)?)
+            }
+            13 => Op::SoftmaxCrossEntropy {
+                logits: node_ref(&mut r)?,
+                labels: node_ref(&mut r)?,
+            },
+            14 => Op::MseLoss(node_ref(&mut r)?, node_ref(&mut r)?),
+            15 => Op::Sub(node_ref(&mut r)?, node_ref(&mut r)?),
+            16 => {
+                let a = node_ref(&mut r)?;
+                let factor = f32::from_le_bytes(r.take(4)?.try_into().expect("4"));
+                Op::Scale(a, factor)
+            }
+            17 => Op::Sigmoid(node_ref(&mut r)?),
+            18 => Op::Tanh(node_ref(&mut r)?),
+            19 => Op::AvgPool2(node_ref(&mut r)?),
+            20 => Op::ConcatCols(node_ref(&mut r)?, node_ref(&mut r)?),
+            _ => return Err(TensorError::MalformedModel("unknown op tag")),
+        };
+        graph.push_node(Node { op, name });
+    }
+    if !r.done() {
+        return Err(TensorError::MalformedModel("trailing bytes"));
+    }
+    Ok(graph)
+}
+
+/// Renders the graph in Graphviz dot format (debugging/documentation).
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::from("digraph model {\n  rankdir=LR;\n  node [shape=box];\n");
+    for (index, node) in graph.nodes().iter().enumerate() {
+        let label = match &node.op {
+            Op::Constant(t) => format!("{} {:?}", node.name, t.shape()),
+            Op::Variable { init } => format!("var {} {:?}", node.name, init.shape()),
+            Op::Placeholder { shape } => format!("{} {:?}", node.name, shape),
+            other => format!("{} ({})", node.name, other.kind()),
+        };
+        out.push_str(&format!("  n{index} [label=\"{label}\"];\n"));
+        for input in node.op.inputs() {
+            out.push_str(&format!("  n{} -> n{index};\n", input.index()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes the current variable values of `session` for `graph`.
+pub fn save_checkpoint(graph: &Graph, session: &Session) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(CKPT_MAGIC);
+    let vars = graph.variables();
+    put_u32(&mut out, vars.len() as u32);
+    for var in vars {
+        put_u32(&mut out, var.0 as u32);
+        if let Some(value) = session.variable(var) {
+            put_tensor(&mut out, value);
+        } else {
+            put_tensor(&mut out, &Tensor::zeros(&[0]));
+        }
+    }
+    out
+}
+
+/// Restores variable values saved by [`save_checkpoint`] into `session`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MalformedModel`] on format violations, or
+/// [`TensorError::ShapeMismatch`] if a value's shape does not match the
+/// variable (checkpoint from a different graph).
+pub fn restore_checkpoint(
+    graph: &Graph,
+    session: &mut Session,
+    bytes: &[u8],
+) -> Result<(), TensorError> {
+    let mut r = Reader::new(bytes);
+    if r.take(5)? != CKPT_MAGIC {
+        return Err(TensorError::MalformedModel("bad magic"));
+    }
+    let count = r.u32()? as usize;
+    for _ in 0..count {
+        let id = NodeId(r.u32()? as usize);
+        let value = r.tensor()?;
+        graph.node(id).map_err(|_| TensorError::MalformedModel("unknown variable id"))?;
+        session.set_variable(id, value)?;
+    }
+    if !r.done() {
+        return Err(TensorError::MalformedModel("trailing bytes"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+
+    fn sample_graph() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 2]);
+        let w = g.variable("w", Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]).unwrap());
+        let b = g.variable("b", Tensor::from_vec(&[2], vec![0.5, -0.5]).unwrap());
+        let mm = g.matmul(x, w).unwrap();
+        let y = g.add_bias(mm, b).unwrap();
+        let s = g.softmax(y).unwrap();
+        (g, x, s)
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_outputs() {
+        let (g, x, s) = sample_graph();
+        let bytes = export_graph(&g);
+        let g2 = import_graph(&bytes).unwrap();
+        let input = Tensor::from_vec(&[1, 2], vec![0.3, -0.7]).unwrap();
+        let mut s1 = Session::new(&g);
+        let mut s2 = Session::new(&g2);
+        let out1 = s1.run(&g, &[(x, input.clone())], &[s]).unwrap();
+        let out2 = s2.run(&g2, &[(x, input)], &[s]).unwrap();
+        assert_eq!(out1[0].data(), out2[0].data());
+    }
+
+    #[test]
+    fn freeze_folds_variables() {
+        let (g, x, s) = sample_graph();
+        let session = Session::new(&g);
+        let frozen = freeze(&g, &session).unwrap();
+        assert!(frozen.variables().is_empty());
+        // Frozen graph still evaluates identically without a variable store.
+        let input = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]).unwrap();
+        let mut live = Session::new(&g);
+        let mut froze = Session::new(&frozen);
+        assert_eq!(
+            live.run(&g, &[(x, input.clone())], &[s]).unwrap()[0].data(),
+            froze.run(&frozen, &[(x, input)], &[s]).unwrap()[0].data()
+        );
+    }
+
+    #[test]
+    fn freeze_captures_trained_state_not_initial() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 1]);
+        let w = g.variable("w", Tensor::zeros(&[1, 1]));
+        let y = g.matmul(x, w).unwrap();
+        let t = g.placeholder("t", &[0, 1]);
+        let loss = g.mse_loss(y, t).unwrap();
+        let mut session = Session::new(&g);
+        let mut sgd = Sgd::new(0.5);
+        for _ in 0..100 {
+            session
+                .train_step(
+                    &g,
+                    &[
+                        (x, Tensor::from_vec(&[1, 1], vec![1.0]).unwrap()),
+                        (t, Tensor::from_vec(&[1, 1], vec![2.0]).unwrap()),
+                    ],
+                    loss,
+                    &mut sgd,
+                )
+                .unwrap();
+        }
+        let frozen = freeze(&g, &session).unwrap();
+        let Op::Constant(c) = &frozen.nodes()[w.0].op else {
+            panic!("variable not folded");
+        };
+        assert!((c.data()[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn import_rejects_corruption() {
+        let (g, ..) = sample_graph();
+        let bytes = export_graph(&g);
+        assert!(import_graph(&bytes[..bytes.len() - 1]).is_err());
+        assert!(import_graph(b"JUNK!").is_err());
+        let mut extended = bytes.clone();
+        extended.push(7);
+        assert!(import_graph(&extended).is_err());
+        let mut bad_magic = bytes;
+        bad_magic[0] = b'X';
+        assert!(import_graph(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn import_rejects_forward_references() {
+        // Hand-craft: one relu node referencing node 5 (doesn't exist yet).
+        let mut bytes = GRAPH_MAGIC.to_vec();
+        put_u32(&mut bytes, 1);
+        put_bytes(&mut bytes, b"r");
+        bytes.push(7); // relu
+        put_u32(&mut bytes, 5);
+        assert_eq!(
+            import_graph(&bytes).unwrap_err(),
+            TensorError::MalformedModel("forward reference")
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let (g, ..) = sample_graph();
+        let mut session = Session::new(&g);
+        let w = g.by_name("w").unwrap();
+        session
+            .set_variable(w, Tensor::from_vec(&[2, 2], vec![9., 8., 7., 6.]).unwrap())
+            .unwrap();
+        let ckpt = save_checkpoint(&g, &session);
+        let mut fresh = Session::new(&g);
+        restore_checkpoint(&g, &mut fresh, &ckpt).unwrap();
+        assert_eq!(fresh.variable(w).unwrap().data(), &[9., 8., 7., 6.]);
+    }
+
+    #[test]
+    fn checkpoint_from_wrong_graph_rejected() {
+        let (g, ..) = sample_graph();
+        let session = Session::new(&g);
+        let ckpt = save_checkpoint(&g, &session);
+        // A graph whose variable has a different shape.
+        let mut other = Graph::new();
+        other.placeholder("x", &[0, 2]);
+        other.variable("w", Tensor::zeros(&[3, 3]));
+        let mut other_session = Session::new(&other);
+        assert!(restore_checkpoint(&other, &mut other_session, &ckpt).is_err());
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node_and_edge() {
+        let (g, x, s) = sample_graph();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("matmul"));
+        // One node line per graph node.
+        assert_eq!(
+            dot.matches("label=").count(),
+            g.len(),
+            "{dot}"
+        );
+        // The input feeds the matmul.
+        assert!(dot.contains(&format!("n{} -> ", x.index())));
+        let _ = s;
+    }
+
+    #[test]
+    fn exported_graph_size_tracks_parameters() {
+        let mut g = Graph::new();
+        g.variable("big", Tensor::zeros(&[1000]));
+        let bytes = export_graph(&g);
+        assert!(bytes.len() > 4000, "exported size {} too small", bytes.len());
+    }
+}

@@ -1,0 +1,202 @@
+//! Convenience model builders (the "high-level Python API" analogue).
+//!
+//! The paper notes users define models with the convenient Python API and
+//! export them for the in-enclave runtime; these helpers play that role:
+//! they compose [`crate::graph::Graph`] primitives into dense layers and
+//! complete classifier networks used by the examples and benchmarks.
+
+use crate::graph::{Graph, NodeId, Padding};
+use crate::tensor::Tensor;
+use crate::TensorError;
+use rand::Rng;
+
+/// A fully-connected layer `y = activation(x·W + b)`.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn dense<R: Rng>(
+    g: &mut Graph,
+    x: NodeId,
+    in_dim: usize,
+    out_dim: usize,
+    relu: bool,
+    name: &str,
+    rng: &mut R,
+) -> Result<NodeId, TensorError> {
+    let w = g.variable(&format!("{name}/w"), Tensor::glorot(&[in_dim, out_dim], rng));
+    let b = g.variable(&format!("{name}/b"), Tensor::zeros(&[out_dim]));
+    let mm = g.matmul(x, w)?;
+    let out = g.add_bias(mm, b)?;
+    if relu {
+        g.relu(out)
+    } else {
+        Ok(out)
+    }
+}
+
+/// A complete multi-layer perceptron classifier with softmax-cross-entropy
+/// training head.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    /// The graph holding the model.
+    pub graph: Graph,
+    /// Input placeholder `[batch, features]`.
+    pub input: NodeId,
+    /// One-hot label placeholder `[batch, classes]`.
+    pub labels: NodeId,
+    /// Raw class scores `[batch, classes]`.
+    pub logits: NodeId,
+    /// Softmax probabilities (inference head).
+    pub probabilities: NodeId,
+    /// Scalar training loss.
+    pub loss: NodeId,
+}
+
+/// Builds an MLP classifier: `features -> hidden… -> classes`.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn mlp_classifier<R: Rng>(
+    features: usize,
+    hidden: &[usize],
+    classes: usize,
+    rng: &mut R,
+) -> Result<Classifier, TensorError> {
+    let mut g = Graph::new();
+    let input = g.placeholder("input", &[0, features]);
+    let labels = g.placeholder("labels", &[0, classes]);
+    let mut x = input;
+    let mut dim = features;
+    for (i, &h) in hidden.iter().enumerate() {
+        x = dense(&mut g, x, dim, h, true, &format!("hidden{i}"), rng)?;
+        dim = h;
+    }
+    let logits = dense(&mut g, x, dim, classes, false, "logits", rng)?;
+    let probabilities = g.softmax(logits)?;
+    let loss = g.softmax_cross_entropy(logits, labels)?;
+    Ok(Classifier {
+        graph: g,
+        input,
+        labels,
+        logits,
+        probabilities,
+        loss,
+    })
+}
+
+/// Builds a small convolutional classifier for `[batch, h, w, c]` images:
+/// conv(3×3, `conv_channels`) → relu → 2×2 maxpool → flatten → dense.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn conv_classifier<R: Rng>(
+    height: usize,
+    width: usize,
+    channels: usize,
+    conv_channels: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Classifier, TensorError> {
+    let mut g = Graph::new();
+    let input = g.placeholder("input", &[0, height, width, channels]);
+    let labels = g.placeholder("labels", &[0, classes]);
+    let f = g.variable(
+        "conv/f",
+        Tensor::glorot(&[3, 3, channels, conv_channels], rng),
+    );
+    let conv = g.conv2d(input, f, Padding::Same)?;
+    let act = g.relu(conv)?;
+    let pool = g.max_pool2(act)?;
+    let flat = g.flatten(pool)?;
+    let flat_dim = (height / 2) * (width / 2) * conv_channels;
+    let logits = dense(&mut g, flat, flat_dim, classes, false, "logits", rng)?;
+    let probabilities = g.softmax(logits)?;
+    let loss = g.softmax_cross_entropy(logits, labels)?;
+    Ok(Classifier {
+        graph: g,
+        input,
+        labels,
+        logits,
+        probabilities,
+        loss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+    use crate::session::Session;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn mlp_shapes_work_end_to_end() {
+        let c = mlp_classifier(10, &[16, 8], 3, &mut rng()).unwrap();
+        let mut s = Session::new(&c.graph);
+        let x = Tensor::zeros(&[5, 10]);
+        let out = s.run(&c.graph, &[(c.input, x)], &[c.probabilities]).unwrap();
+        assert_eq!(out[0].shape(), &[5, 3]);
+        // Uniform input -> rows sum to 1.
+        let row_sum: f32 = out[0].data()[..3].iter().sum();
+        assert!((row_sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv_classifier_shapes_work() {
+        let c = conv_classifier(8, 8, 1, 4, 10, &mut rng()).unwrap();
+        let mut s = Session::new(&c.graph);
+        let x = Tensor::zeros(&[2, 8, 8, 1]);
+        let out = s.run(&c.graph, &[(c.input, x)], &[c.logits]).unwrap();
+        assert_eq!(out[0].shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn mlp_learns_a_linear_rule() {
+        // Class = which of 4 features is largest.
+        let c = mlp_classifier(4, &[16], 4, &mut rng()).unwrap();
+        let mut s = Session::new(&c.graph);
+        let mut sgd = Sgd::new(0.3);
+        let mut r = rng();
+        let mut batch = || {
+            let mut xs = Vec::new();
+            let mut ys = vec![0.0; 32 * 4];
+            for i in 0..32 {
+                let row: Vec<f32> = (0..4).map(|_| r.gen_range(-1.0..1.0)).collect();
+                let label = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                xs.extend_from_slice(&row);
+                ys[i * 4 + label] = 1.0;
+            }
+            (
+                Tensor::from_vec(&[32, 4], xs).unwrap(),
+                Tensor::from_vec(&[32, 4], ys).unwrap(),
+            )
+        };
+        let mut loss = f32::INFINITY;
+        for _ in 0..150 {
+            let (x, y) = batch();
+            loss = s
+                .train_step(&c.graph, &[(c.input, x), (c.labels, y)], c.loss, &mut sgd)
+                .unwrap();
+        }
+        assert!(loss < 0.4, "loss {loss}");
+    }
+
+    #[test]
+    fn named_variables_discoverable() {
+        let c = mlp_classifier(4, &[8], 2, &mut rng()).unwrap();
+        assert!(c.graph.by_name("hidden0/w").is_some());
+        assert!(c.graph.by_name("logits/b").is_some());
+    }
+}

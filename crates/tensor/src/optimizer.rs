@@ -1,0 +1,245 @@
+//! Gradient-descent optimizers.
+
+use crate::graph::NodeId;
+use crate::tensor::Tensor;
+use crate::TensorError;
+use std::collections::HashMap;
+
+/// An optimizer updates a variable in place given its gradient.
+pub trait Optimizer {
+    /// Applies one update step for variable `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the gradient shape does
+    /// not match the variable.
+    fn apply(&mut self, id: NodeId, value: &mut Tensor, grad: &Tensor) -> Result<(), TensorError>;
+}
+
+/// Plain stochastic gradient descent: `w -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+impl Optimizer for Sgd {
+    fn apply(&mut self, _id: NodeId, value: &mut Tensor, grad: &Tensor) -> Result<(), TensorError> {
+        if value.shape() != grad.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "sgd",
+                detail: format!("{:?} vs {:?}", value.shape(), grad.shape()),
+            });
+        }
+        for (v, &g) in value.data_mut().iter_mut().zip(grad.data()) {
+            *v -= self.lr * g;
+        }
+        Ok(())
+    }
+}
+
+/// SGD with classical momentum: `m = μm + g; w -= lr * m`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f32,
+    mu: f32,
+    velocity: HashMap<NodeId, Tensor>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD.
+    pub fn new(lr: f32, mu: f32) -> Self {
+        Momentum {
+            lr,
+            mu,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn apply(&mut self, id: NodeId, value: &mut Tensor, grad: &Tensor) -> Result<(), TensorError> {
+        if value.shape() != grad.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "momentum",
+                detail: format!("{:?} vs {:?}", value.shape(), grad.shape()),
+            });
+        }
+        let velocity = self
+            .velocity
+            .entry(id)
+            .or_insert_with(|| Tensor::zeros(grad.shape()));
+        for ((v, m), &g) in value
+            .data_mut()
+            .iter_mut()
+            .zip(velocity.data_mut())
+            .zip(grad.data())
+        {
+            *m = self.mu * *m + g;
+            *v -= self.lr * *m;
+        }
+        Ok(())
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba 2015).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    steps: HashMap<NodeId, u32>,
+    first_moment: HashMap<NodeId, Tensor>,
+    second_moment: HashMap<NodeId, Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical hyperparameters
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            steps: HashMap::new(),
+            first_moment: HashMap::new(),
+            second_moment: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn apply(&mut self, id: NodeId, value: &mut Tensor, grad: &Tensor) -> Result<(), TensorError> {
+        if value.shape() != grad.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "adam",
+                detail: format!("{:?} vs {:?}", value.shape(), grad.shape()),
+            });
+        }
+        let step = self.steps.entry(id).or_insert(0);
+        *step += 1;
+        let t = *step as f32;
+        let m = self
+            .first_moment
+            .entry(id)
+            .or_insert_with(|| Tensor::zeros(grad.shape()));
+        let v = self
+            .second_moment
+            .entry(id)
+            .or_insert_with(|| Tensor::zeros(grad.shape()));
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (((w, mi), vi), &g) in value
+            .data_mut()
+            .iter_mut()
+            .zip(m.data_mut())
+            .zip(v.data_mut())
+            .zip(grad.data())
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / bias1;
+            let v_hat = *vi / bias2;
+            *w -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_step_direction() {
+        let mut sgd = Sgd::new(0.1);
+        let mut w = Tensor::from_vec(&[2], vec![1.0, -1.0]).unwrap();
+        let g = Tensor::from_vec(&[2], vec![0.5, -0.5]).unwrap();
+        sgd.apply(NodeId(0), &mut w, &g).unwrap();
+        assert_eq!(w.data(), &[0.95, -0.95]);
+    }
+
+    #[test]
+    fn sgd_shape_mismatch() {
+        let mut sgd = Sgd::new(0.1);
+        let mut w = Tensor::zeros(&[2]);
+        assert!(sgd.apply(NodeId(0), &mut w, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let mut w = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        let g = Tensor::from_vec(&[1], vec![1.0]).unwrap();
+        opt.apply(NodeId(0), &mut w, &g).unwrap();
+        let after_one = w.data()[0];
+        opt.apply(NodeId(0), &mut w, &g).unwrap();
+        let second_step = w.data()[0] - after_one;
+        // Second step is larger than the first (velocity built up).
+        assert!(second_step.abs() > after_one.abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(w) = (w - 3)^2; gradient = 2(w - 3).
+        let mut adam = Adam::new(0.1);
+        let mut w = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        for _ in 0..300 {
+            let g = Tensor::from_vec(&[1], vec![2.0 * (w.data()[0] - 3.0)]).unwrap();
+            adam.apply(NodeId(0), &mut w, &g).unwrap();
+        }
+        assert!((w.data()[0] - 3.0).abs() < 0.05, "w = {}", w.data()[0]);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step is ~lr regardless of
+        // gradient magnitude.
+        let mut adam = Adam::new(0.01);
+        for g0 in [1e-4f32, 1.0, 1e4] {
+            let mut w = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+            let g = Tensor::from_vec(&[1], vec![g0]).unwrap();
+            adam.apply(NodeId(99), &mut w, &g).unwrap();
+            assert!(
+                (w.data()[0].abs() - 0.01).abs() < 1e-3,
+                "step {} for gradient {g0}",
+                w.data()[0]
+            );
+            adam = Adam::new(0.01);
+        }
+    }
+
+    #[test]
+    fn adam_shape_mismatch() {
+        let mut adam = Adam::new(0.1);
+        let mut w = Tensor::zeros(&[2]);
+        assert!(adam.apply(NodeId(0), &mut w, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn momentum_tracks_variables_independently() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let mut a = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        let mut b = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        let g = Tensor::from_vec(&[1], vec![1.0]).unwrap();
+        opt.apply(NodeId(0), &mut a, &g).unwrap();
+        opt.apply(NodeId(0), &mut a, &g).unwrap();
+        opt.apply(NodeId(1), &mut b, &g).unwrap();
+        // b only took one fresh step.
+        assert_eq!(b.data()[0], -0.1);
+        assert!(a.data()[0] < b.data()[0]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Sessions: stateful graph execution (TensorFlow's `tf.Session`).
+
+use crate::autodiff::{backward, forward, RunStats};
+use crate::graph::{Graph, NodeId, Op};
+use crate::optimizer::Optimizer;
+use crate::tensor::Tensor;
+use crate::TensorError;
+use std::collections::HashMap;
+
+/// Owns variable state and runs graphs.
+#[derive(Debug, Clone)]
+pub struct Session {
+    vars: HashMap<NodeId, Tensor>,
+    stats: RunStats,
+}
+
+impl Session {
+    /// Creates a session with variables at their initial values.
+    pub fn new(graph: &Graph) -> Self {
+        let vars = graph
+            .variables()
+            .into_iter()
+            .filter_map(|id| match &graph.nodes()[id.0].op {
+                Op::Variable { init } => Some((id, init.clone())),
+                _ => None,
+            })
+            .collect();
+        Session {
+            vars,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Evaluates `fetches` with the given placeholder feeds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::autodiff::forward`] errors.
+    pub fn run(
+        &mut self,
+        graph: &Graph,
+        feeds: &[(NodeId, Tensor)],
+        fetches: &[NodeId],
+    ) -> Result<Vec<Tensor>, TensorError> {
+        let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
+        let fwd = forward(graph, &feed_map, &self.vars, fetches)?;
+        self.stats.merge(fwd.stats);
+        fetches
+            .iter()
+            .map(|&id| {
+                fwd.value(id)
+                    .cloned()
+                    .ok_or(TensorError::UnknownNode)
+            })
+            .collect()
+    }
+
+    /// Runs one training step: forward, backward, optimizer update.
+    /// Returns the loss value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors; additionally
+    /// [`TensorError::InvalidGraph`] if `loss` is not scalar.
+    pub fn train_step(
+        &mut self,
+        graph: &Graph,
+        feeds: &[(NodeId, Tensor)],
+        loss: NodeId,
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<f32, TensorError> {
+        let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
+        let fwd = forward(graph, &feed_map, &self.vars, &[loss])?;
+        let loss_value = fwd
+            .value(loss)
+            .ok_or(TensorError::UnknownNode)?
+            .data()[0];
+        let grads = backward(graph, &fwd, loss)?;
+        // Backward costs roughly 2x forward compute.
+        let mut stats = fwd.stats;
+        stats.flops *= 3.0;
+        stats.activation_bytes *= 2;
+        self.stats.merge(stats);
+        for var in graph.variables() {
+            if let Some(grad) = grads.get(&var) {
+                let value = self
+                    .vars
+                    .get_mut(&var)
+                    .ok_or(TensorError::InvalidGraph("untracked variable"))?;
+                optimizer.apply(var, value, grad)?;
+            }
+        }
+        Ok(loss_value)
+    }
+
+    /// Computes gradients without applying them (used by the
+    /// parameter-server workers, which ship gradients over the network).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    pub fn gradients(
+        &mut self,
+        graph: &Graph,
+        feeds: &[(NodeId, Tensor)],
+        loss: NodeId,
+    ) -> Result<(f32, HashMap<NodeId, Tensor>), TensorError> {
+        let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
+        let fwd = forward(graph, &feed_map, &self.vars, &[loss])?;
+        let loss_value = fwd.value(loss).ok_or(TensorError::UnknownNode)?.data()[0];
+        let grads = backward(graph, &fwd, loss)?;
+        let mut stats = fwd.stats;
+        stats.flops *= 3.0;
+        stats.activation_bytes *= 2;
+        self.stats.merge(stats);
+        let var_grads = graph
+            .variables()
+            .into_iter()
+            .filter_map(|v| grads.get(&v).map(|g| (v, g.clone())))
+            .collect();
+        Ok((loss_value, var_grads))
+    }
+
+    /// Current value of a variable.
+    pub fn variable(&self, id: NodeId) -> Option<&Tensor> {
+        self.vars.get(&id)
+    }
+
+    /// Overwrites a variable's value (parameter-server weight install).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnknownNode`] if the variable is untracked,
+    /// or [`TensorError::ShapeMismatch`] if the shape differs.
+    pub fn set_variable(&mut self, id: NodeId, value: Tensor) -> Result<(), TensorError> {
+        let existing = self.vars.get_mut(&id).ok_or(TensorError::UnknownNode)?;
+        if existing.shape() != value.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "set_variable",
+                detail: format!("{:?} vs {:?}", existing.shape(), value.shape()),
+            });
+        }
+        *existing = value;
+        Ok(())
+    }
+
+    /// All variables and their current values, ordered by id.
+    pub fn variables(&self) -> Vec<(NodeId, &Tensor)> {
+        let mut v: Vec<_> = self.vars.iter().map(|(id, t)| (*id, t)).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Accumulated execution statistics (FLOPs and activation bytes) of
+    /// every run so far; the TEE layer converts these into virtual time.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Resets accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// Total bytes of variable state (the trainable model size).
+    pub fn param_bytes(&self) -> u64 {
+        self.vars.values().map(Tensor::byte_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+
+    fn xor_setup() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        // A 2-4-2 MLP for XOR: genuinely needs the hidden layer.
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 2]);
+        let labels = g.placeholder("y", &[0, 2]);
+        let mut rng = seeded_rng();
+        let w1 = g.variable("w1", Tensor::glorot(&[2, 8], &mut rng));
+        let b1 = g.variable("b1", Tensor::zeros(&[8]));
+        let w2 = g.variable("w2", Tensor::glorot(&[8, 2], &mut rng));
+        let b2 = g.variable("b2", Tensor::zeros(&[2]));
+        let h = g.matmul(x, w1).unwrap();
+        let h = g.add_bias(h, b1).unwrap();
+        let h = g.relu(h).unwrap();
+        let logits = g.matmul(h, w2).unwrap();
+        let logits = g.add_bias(logits, b2).unwrap();
+        let loss = g.softmax_cross_entropy(logits, labels).unwrap();
+        (g, x, labels, logits, loss)
+    }
+
+    fn seeded_rng() -> impl rand::Rng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn xor_batch() -> (Tensor, Tensor) {
+        let x = Tensor::from_vec(&[4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
+        let y = Tensor::from_vec(&[4, 2], vec![1., 0., 0., 1., 0., 1., 1., 0.]).unwrap();
+        (x, y)
+    }
+
+    #[test]
+    fn training_learns_xor() {
+        let (g, x, labels, logits, loss) = xor_setup();
+        let mut session = Session::new(&g);
+        let mut sgd = Sgd::new(0.5);
+        let (xd, yd) = xor_batch();
+        let mut last = f32::INFINITY;
+        for _ in 0..500 {
+            last = session
+                .train_step(&g, &[(x, xd.clone()), (labels, yd.clone())], loss, &mut sgd)
+                .unwrap();
+        }
+        assert!(last < 0.05, "loss did not converge: {last}");
+        let out = session.run(&g, &[(x, xd)], &[logits]).unwrap();
+        let preds = out[0].argmax_rows().unwrap();
+        assert_eq!(preds, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn loss_decreases_monotonically_at_start() {
+        let (g, x, labels, _logits, loss) = xor_setup();
+        let mut session = Session::new(&g);
+        let mut sgd = Sgd::new(0.1);
+        let (xd, yd) = xor_batch();
+        let l1 = session
+            .train_step(&g, &[(x, xd.clone()), (labels, yd.clone())], loss, &mut sgd)
+            .unwrap();
+        let mut l_final = l1;
+        for _ in 0..20 {
+            l_final = session
+                .train_step(&g, &[(x, xd.clone()), (labels, yd.clone())], loss, &mut sgd)
+                .unwrap();
+        }
+        assert!(l_final < l1, "{l_final} >= {l1}");
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let (g, x, labels, _logits, loss) = xor_setup();
+        let mut session = Session::new(&g);
+        let mut sgd = Sgd::new(0.1);
+        let (xd, yd) = xor_batch();
+        session
+            .train_step(&g, &[(x, xd), (labels, yd)], loss, &mut sgd)
+            .unwrap();
+        assert!(session.stats().flops > 0.0);
+        session.reset_stats();
+        assert_eq!(session.stats().flops, 0.0);
+    }
+
+    #[test]
+    fn set_variable_validates_shape() {
+        let (g, ..) = xor_setup();
+        let mut session = Session::new(&g);
+        let w1 = g.by_name("w1").unwrap();
+        assert!(session.set_variable(w1, Tensor::zeros(&[2, 8])).is_ok());
+        assert!(session.set_variable(w1, Tensor::zeros(&[3, 8])).is_err());
+        let foreign = NodeId(999);
+        assert!(session.set_variable(foreign, Tensor::zeros(&[1])).is_err());
+    }
+
+    #[test]
+    fn gradients_match_train_step_effect() {
+        let (g, x, labels, _logits, loss) = xor_setup();
+        let mut s1 = Session::new(&g);
+        let mut s2 = Session::new(&g);
+        let (xd, yd) = xor_batch();
+        // s1: manual gradient application must equal s2's train_step.
+        let (l1, grads) = s1
+            .gradients(&g, &[(x, xd.clone()), (labels, yd.clone())], loss)
+            .unwrap();
+        for (var, grad) in &grads {
+            let updated = s1.variable(*var).unwrap().zip(grad, |v, g| v - 0.5 * g).unwrap();
+            s1.set_variable(*var, updated).unwrap();
+        }
+        let mut sgd = Sgd::new(0.5);
+        let l2 = s2
+            .train_step(&g, &[(x, xd), (labels, yd)], loss, &mut sgd)
+            .unwrap();
+        assert_eq!(l1, l2);
+        for v in g.variables() {
+            assert_eq!(s1.variable(v).unwrap().data(), s2.variable(v).unwrap().data());
+        }
+    }
+
+    #[test]
+    fn multiple_fetches_and_variable_fetch() {
+        let (g, x, _labels, logits, _loss) = xor_setup();
+        let mut session = Session::new(&g);
+        let w1 = g.by_name("w1").unwrap();
+        let (xd, _) = xor_batch();
+        let out = session.run(&g, &[(x, xd)], &[logits, w1]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].shape(), &[4, 2]);
+        assert_eq!(out[1].shape(), &[2, 8]);
+        // Fetching only a variable needs no placeholder feeds at all.
+        let only_var = session.run(&g, &[], &[w1]).unwrap();
+        assert_eq!(only_var[0].shape(), &[2, 8]);
+    }
+
+    #[test]
+    fn fetching_foreign_node_errors() {
+        let (g, ..) = xor_setup();
+        let mut session = Session::new(&g);
+        let mut other = Graph::new();
+        let foreign = other.placeholder("f", &[1]);
+        let _ = foreign;
+        // An id beyond this graph's length.
+        let bad = NodeId(g.len() + 5);
+        assert!(matches!(
+            session.run(&g, &[], &[bad]),
+            Err(TensorError::UnknownNode)
+        ));
+    }
+
+    #[test]
+    fn adam_trains_xor_too() {
+        use crate::optimizer::Adam;
+        let (g, x, labels, logits, loss) = xor_setup();
+        let mut session = Session::new(&g);
+        let mut adam = Adam::new(0.02);
+        let (xd, yd) = xor_batch();
+        for _ in 0..400 {
+            session
+                .train_step(&g, &[(x, xd.clone()), (labels, yd.clone())], loss, &mut adam)
+                .unwrap();
+        }
+        let out = session.run(&g, &[(x, xd)], &[logits]).unwrap();
+        assert_eq!(out[0].argmax_rows().unwrap(), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn param_bytes_counts_all_variables() {
+        let (g, ..) = xor_setup();
+        let session = Session::new(&g);
+        // w1 2x8 + b1 8 + w2 8x2 + b2 2 = 42 floats = 168 bytes.
+        assert_eq!(session.param_bytes(), 168);
+    }
+}

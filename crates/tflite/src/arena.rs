@@ -1,0 +1,309 @@
+//! Static shape inference and arena memory planning.
+//!
+//! TensorFlow Lite famously pre-plans a single tensor *arena*: because
+//! the graph is static, every activation's size and lifetime is known
+//! ahead of time, and buffers whose lifetimes do not overlap can share
+//! memory. Inside an enclave this matters doubly — the arena's peak is
+//! exactly the EPC working set an inference adds on top of the weights.
+//!
+//! * [`infer_shapes`] — static shape checking for a concrete batch size
+//!   (catches model/input mismatches before execution),
+//! * [`plan_memory`] — liveness analysis + first-fit offset assignment,
+//!   producing the peak activation footprint.
+
+use crate::model::LiteModel;
+use crate::LiteError;
+use securetf_tensor::graph::{Graph, NodeId, Op, Padding};
+
+/// One planned activation buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Byte offset within the arena.
+    pub offset: u64,
+    /// Buffer size in bytes.
+    pub bytes: u64,
+    /// First node index at which the buffer is live.
+    pub live_from: usize,
+    /// Last node index at which the buffer is live.
+    pub live_to: usize,
+}
+
+/// The outcome of memory planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaPlan {
+    /// Peak arena size in bytes (what the enclave must reserve).
+    pub peak_bytes: u64,
+    /// Sum of all activation buffers if none shared memory.
+    pub unshared_bytes: u64,
+    /// Per-node slots (None for constants/placeholder-free nodes).
+    pub slots: Vec<Option<Slot>>,
+}
+
+/// Infers the output shape of every node for the given batch size.
+///
+/// # Errors
+///
+/// Returns [`LiteError::Exec`]-style shape errors wrapped as
+/// [`LiteError::MalformedModel`] descriptions when operands are
+/// incompatible — this is the static analogue of runtime shape checks.
+pub fn infer_shapes(graph: &Graph, batch: usize) -> Result<Vec<Vec<usize>>, LiteError> {
+    let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(graph.len());
+    let get = |shapes: &Vec<Vec<usize>>, id: NodeId| shapes[id.index()].clone();
+    for node in graph.nodes() {
+        let shape = match &node.op {
+            Op::Placeholder { shape } => shape
+                .iter()
+                .map(|&d| if d == 0 { batch } else { d })
+                .collect(),
+            Op::Variable { init } => init.shape().to_vec(),
+            Op::Constant(t) => t.shape().to_vec(),
+            Op::MatMul(a, b) => {
+                let (sa, sb) = (get(&shapes, *a), get(&shapes, *b));
+                if sa.len() != 2 || sb.len() != 2 || sa[1] != sb[0] {
+                    return Err(LiteError::MalformedModel("matmul shape mismatch"));
+                }
+                vec![sa[0], sb[1]]
+            }
+            Op::AddBias(x, bias) => {
+                let (sx, sb) = (get(&shapes, *x), get(&shapes, *bias));
+                if sb.len() != 1 || sx.last() != sb.first() {
+                    return Err(LiteError::MalformedModel("add_bias shape mismatch"));
+                }
+                sx
+            }
+            Op::Add(a, b) | Op::Mul(a, b) | Op::Sub(a, b) => {
+                let (sa, sb) = (get(&shapes, *a), get(&shapes, *b));
+                if sa != sb {
+                    return Err(LiteError::MalformedModel("elementwise shape mismatch"));
+                }
+                sa
+            }
+            Op::Relu(x) | Op::Sigmoid(x) | Op::Tanh(x) | Op::Scale(x, _) => get(&shapes, *x),
+            Op::Softmax(x) => {
+                let sx = get(&shapes, *x);
+                if sx.len() != 2 {
+                    return Err(LiteError::MalformedModel("softmax needs rank 2"));
+                }
+                sx
+            }
+            Op::Conv2d {
+                input,
+                filter,
+                padding,
+            } => {
+                let (si, sf) = (get(&shapes, *input), get(&shapes, *filter));
+                if si.len() != 4 || sf.len() != 4 || si[3] != sf[2] {
+                    return Err(LiteError::MalformedModel("conv2d shape mismatch"));
+                }
+                let (oh, ow) = match padding {
+                    Padding::Same => (si[1], si[2]),
+                    Padding::Valid => {
+                        if si[1] < sf[0] || si[2] < sf[1] {
+                            return Err(LiteError::MalformedModel("conv2d input too small"));
+                        }
+                        (si[1] - sf[0] + 1, si[2] - sf[1] + 1)
+                    }
+                };
+                vec![si[0], oh, ow, sf[3]]
+            }
+            Op::MaxPool2(x) | Op::AvgPool2(x) => {
+                let sx = get(&shapes, *x);
+                if sx.len() != 4 {
+                    return Err(LiteError::MalformedModel("pool needs NHWC"));
+                }
+                vec![sx[0], sx[1] / 2, sx[2] / 2, sx[3]]
+            }
+            Op::Flatten(x) => {
+                let sx = get(&shapes, *x);
+                let batch = *sx.first().unwrap_or(&1);
+                let rest: usize = sx.iter().skip(1).product();
+                vec![batch, rest]
+            }
+            Op::Reshape(x, target) => {
+                let sx = get(&shapes, *x);
+                if sx.iter().product::<usize>() != target.iter().product::<usize>() {
+                    return Err(LiteError::MalformedModel("reshape element mismatch"));
+                }
+                target.clone()
+            }
+            Op::ConcatCols(a, b) => {
+                let (sa, sb) = (get(&shapes, *a), get(&shapes, *b));
+                if sa.len() != 2 || sb.len() != 2 || sa[0] != sb[0] {
+                    return Err(LiteError::MalformedModel("concat shape mismatch"));
+                }
+                vec![sa[0], sa[1] + sb[1]]
+            }
+            Op::SoftmaxCrossEntropy { .. } | Op::MseLoss(..) => vec![],
+        };
+        shapes.push(shape);
+    }
+    Ok(shapes)
+}
+
+/// Plans the activation arena for one inference of `model` at `batch`.
+///
+/// Constants (weights) are not part of the arena; placeholders are
+/// (the input must be staged into protected memory too).
+///
+/// # Errors
+///
+/// Propagates [`infer_shapes`] errors.
+pub fn plan_memory(model: &LiteModel, batch: usize) -> Result<ArenaPlan, LiteError> {
+    let graph = model.graph();
+    let shapes = infer_shapes(graph, batch)?;
+
+    // Liveness: a node's output lives from its own index to its last use
+    // (the model output lives to the end).
+    let mut live_to: Vec<usize> = (0..graph.len()).collect();
+    for (index, node) in graph.nodes().iter().enumerate() {
+        for input in node.op.inputs() {
+            live_to[input.index()] = live_to[input.index()].max(index);
+        }
+    }
+    live_to[model.output().index()] = graph.len();
+
+    // First-fit offsets over activation buffers in topological order.
+    let mut placed: Vec<Slot> = Vec::new();
+    let mut slots: Vec<Option<Slot>> = vec![None; graph.len()];
+    let mut peak = 0u64;
+    let mut unshared = 0u64;
+    for (index, node) in graph.nodes().iter().enumerate() {
+        if matches!(node.op, Op::Constant(_) | Op::Variable { .. }) {
+            continue;
+        }
+        let bytes = (shapes[index].iter().product::<usize>() * 4) as u64;
+        if bytes == 0 {
+            continue;
+        }
+        unshared += bytes;
+        let (from, to) = (index, live_to[index]);
+        // Collect conflicting intervals and find the lowest gap.
+        let mut conflicts: Vec<(u64, u64)> = placed
+            .iter()
+            .filter(|s| s.live_from <= to && from <= s.live_to)
+            .map(|s| (s.offset, s.offset + s.bytes))
+            .collect();
+        conflicts.sort_unstable();
+        let mut offset = 0u64;
+        for (start, end) in conflicts {
+            if offset + bytes <= start {
+                break;
+            }
+            offset = offset.max(end);
+        }
+        let slot = Slot {
+            offset,
+            bytes,
+            live_from: from,
+            live_to: to,
+        };
+        peak = peak.max(offset + bytes);
+        placed.push(slot);
+        slots[index] = Some(slot);
+    }
+    Ok(ArenaPlan {
+        peak_bytes: peak,
+        unshared_bytes: unshared,
+        slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securetf_tensor::tensor::Tensor;
+
+    fn chain_model(layers: usize) -> LiteModel {
+        let mut g = Graph::new();
+        let x = g.placeholder("input", &[0, 64]);
+        let mut cur = x;
+        for i in 0..layers {
+            let w = g.constant(&format!("w{i}"), Tensor::full(&[64, 64], 0.01));
+            cur = g.matmul(cur, w).unwrap();
+            cur = g.relu(cur).unwrap();
+        }
+        let name = g.nodes()[cur.index()].name.clone();
+        LiteModel::convert(&g, "input", &name).unwrap()
+    }
+
+    #[test]
+    fn shapes_infer_through_a_cnn() {
+        let mut g = Graph::new();
+        let x = g.placeholder("input", &[0, 28, 28, 1]);
+        let f = g.constant("f", Tensor::full(&[3, 3, 1, 8], 0.1));
+        let conv = g.conv2d(x, f, Padding::Same).unwrap();
+        let act = g.relu(conv).unwrap();
+        let pool = g.max_pool2(act).unwrap();
+        let flat = g.flatten(pool).unwrap();
+        let shapes = infer_shapes(&g, 5).unwrap();
+        assert_eq!(shapes[conv.index()], vec![5, 28, 28, 8]);
+        assert_eq!(shapes[pool.index()], vec![5, 14, 14, 8]);
+        assert_eq!(shapes[flat.index()], vec![5, 14 * 14 * 8]);
+    }
+
+    #[test]
+    fn shape_mismatch_caught_statically() {
+        let mut g = Graph::new();
+        let a = g.placeholder("input", &[0, 4]);
+        let w = g.constant("w", Tensor::full(&[5, 2], 0.1)); // 4 != 5
+        g.matmul(a, w).unwrap();
+        assert!(matches!(
+            infer_shapes(&g, 1),
+            Err(LiteError::MalformedModel(_))
+        ));
+    }
+
+    #[test]
+    fn arena_reuses_dead_buffers() {
+        // A deep chain: only ~2 activations are ever live at once, so the
+        // plan must be far below the unshared total.
+        let model = chain_model(10);
+        let plan = plan_memory(&model, 8).unwrap();
+        assert!(
+            plan.peak_bytes <= plan.unshared_bytes / 4,
+            "peak {} vs unshared {}",
+            plan.peak_bytes,
+            plan.unshared_bytes
+        );
+        // Peak must still hold at least two live buffers (input + output
+        // of one matmul).
+        assert!(plan.peak_bytes >= 2 * 8 * 64 * 4);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_never_alias() {
+        let model = chain_model(6);
+        let plan = plan_memory(&model, 4).unwrap();
+        let live: Vec<&Slot> = plan.slots.iter().flatten().collect();
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                let lifetimes_overlap = a.live_from <= b.live_to && b.live_from <= a.live_to;
+                let memory_overlaps =
+                    a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+                assert!(
+                    !(lifetimes_overlap && memory_overlaps),
+                    "aliasing slots {a:?} and {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_scales_with_batch() {
+        let model = chain_model(4);
+        let small = plan_memory(&model, 1).unwrap();
+        let large = plan_memory(&model, 16).unwrap();
+        assert_eq!(large.peak_bytes, 16 * small.peak_bytes);
+    }
+
+    #[test]
+    fn constants_are_not_in_the_arena() {
+        let model = chain_model(3);
+        let plan = plan_memory(&model, 1).unwrap();
+        for (index, node) in model.graph().nodes().iter().enumerate() {
+            if matches!(node.op, Op::Constant(_)) {
+                assert!(plan.slots[index].is_none());
+            }
+        }
+    }
+}

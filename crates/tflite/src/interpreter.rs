@@ -1,0 +1,171 @@
+//! The Lite interpreter: single-input, single-output inference.
+
+use crate::model::LiteModel;
+use crate::LiteError;
+use securetf_tensor::autodiff::{forward, RunStats};
+use securetf_tensor::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Runs inference over a [`LiteModel`].
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Interpreter {
+    model: LiteModel,
+    stats: RunStats,
+    runs: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter for `model`.
+    pub fn new(model: LiteModel) -> Self {
+        Interpreter {
+            model,
+            stats: RunStats::default(),
+            runs: 0,
+        }
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiteError::Exec`] on shape or graph errors.
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, LiteError> {
+        let mut feeds = HashMap::new();
+        feeds.insert(self.model.input(), input.clone());
+        let fwd = forward(
+            self.model.graph(),
+            &feeds,
+            &HashMap::new(),
+            &[self.model.output()],
+        )?;
+        let mut stats = fwd.stats;
+        if self.model.declared_flops() > 0.0 {
+            // Synthetic stand-ins execute a reduced spatial extent; charge
+            // the original model's declared compute instead.
+            stats.flops = self.model.declared_flops();
+        }
+        self.stats.merge(stats);
+        self.runs += 1;
+        fwd.value(self.model.output())
+            .cloned()
+            .ok_or(LiteError::MalformedModel("output not computed"))
+    }
+
+    /// Classifies and returns the argmax label of the last axis,
+    /// `label_image`-style.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiteError::Exec`] on shape or graph errors.
+    pub fn classify(&mut self, input: &Tensor) -> Result<usize, LiteError> {
+        let out = self.run(input)?;
+        Ok(out.argmax().unwrap_or(0))
+    }
+
+    /// The model being interpreted.
+    pub fn model(&self) -> &LiteModel {
+        &self.model
+    }
+
+    /// Accumulated execution statistics across runs.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// FLOPs of one inference (declared, or measured from the last run).
+    pub fn flops_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            self.model.declared_flops()
+        } else {
+            self.stats.flops / self.runs as f64
+        }
+    }
+
+    /// Number of runs so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securetf_tensor::graph::Graph;
+
+    fn tiny_model(declared: f64) -> LiteModel {
+        let mut g = Graph::new();
+        let _x = g.placeholder("input", &[0, 4]);
+        let w = g.constant(
+            "w",
+            Tensor::from_vec(&[4, 3], (0..12).map(|i| i as f32 * 0.1).collect()).unwrap(),
+        );
+        let x = g.by_name("input").unwrap();
+        let mm = g.matmul(x, w).unwrap();
+        let out = g.softmax(mm).unwrap();
+        let name = g.nodes()[out.index()].name.clone();
+        LiteModel::convert(&g, "input", &name)
+            .unwrap()
+            .with_declared_flops(declared)
+    }
+
+    #[test]
+    fn run_produces_probabilities() {
+        let mut interp = Interpreter::new(tiny_model(0.0));
+        let out = interp
+            .run(&Tensor::from_vec(&[1, 4], vec![1.0, 0.0, -1.0, 2.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.shape(), &[1, 3]);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn classify_is_argmax() {
+        let mut interp = Interpreter::new(tiny_model(0.0));
+        // Weights grow with the column index, so a positive input favors
+        // the last class.
+        let label = interp
+            .classify(&Tensor::from_vec(&[1, 4], vec![1.0, 1.0, 1.0, 1.0]).unwrap())
+            .unwrap();
+        assert_eq!(label, 2);
+    }
+
+    #[test]
+    fn measured_flops_accumulate() {
+        let mut interp = Interpreter::new(tiny_model(0.0));
+        let x = Tensor::full(&[1, 4], 1.0);
+        interp.run(&x).unwrap();
+        let one = interp.stats().flops;
+        interp.run(&x).unwrap();
+        assert_eq!(interp.stats().flops, 2.0 * one);
+        assert_eq!(interp.runs(), 2);
+        assert_eq!(interp.flops_per_run(), one);
+    }
+
+    #[test]
+    fn declared_flops_override_measured() {
+        let mut interp = Interpreter::new(tiny_model(1e9));
+        interp.run(&Tensor::full(&[1, 4], 1.0)).unwrap();
+        assert_eq!(interp.stats().flops, 1e9);
+        assert_eq!(interp.flops_per_run(), 1e9);
+    }
+
+    #[test]
+    fn bad_input_shape_errors() {
+        let mut interp = Interpreter::new(tiny_model(0.0));
+        assert!(matches!(
+            interp.run(&Tensor::zeros(&[1, 5])),
+            Err(LiteError::Exec(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_outputs() {
+        let mut a = Interpreter::new(tiny_model(0.0));
+        let mut b = Interpreter::new(tiny_model(0.0));
+        let x = Tensor::from_vec(&[2, 4], vec![0.5; 8]).unwrap();
+        assert_eq!(a.run(&x).unwrap().data(), b.run(&x).unwrap().data());
+    }
+}

@@ -1,0 +1,604 @@
+//! Model optimization: pruning, quantization, dead-node elimination
+//! (paper §7.2).
+//!
+//! The paper's planned extension "leverag[es] pruning and quantization
+//! tools, such as Intel OpenVINO" to shrink models — which matters twice
+//! inside an enclave: smaller models mean less EPC pressure *and* faster
+//! provisioning. This module implements the three classic passes:
+//!
+//! * [`prune_magnitude`] — zero the smallest-magnitude fraction of each
+//!   weight tensor (the model keeps its shape; sparse kernels and
+//!   compressed storage benefit),
+//! * [`strip_unreachable`] — remove graph nodes that do not contribute to
+//!   the output (e.g. a training head left in an exported graph),
+//! * [`quantize`] / [`QuantizedModel`] — 8-bit affine quantization of
+//!   weight tensors with per-tensor scales, giving a ~4× smaller
+//!   artifact that dequantizes on load.
+
+use crate::model::LiteModel;
+use crate::LiteError;
+use securetf_tensor::graph::{Graph, Node, NodeId, Op};
+use securetf_tensor::tensor::Tensor;
+
+/// Outcome of a pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Weights set to zero.
+    pub zeroed: usize,
+    /// Total weights examined.
+    pub total: usize,
+}
+
+impl PruneReport {
+    /// Fraction of weights zeroed.
+    pub fn sparsity(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.zeroed as f64 / self.total as f64
+        }
+    }
+}
+
+/// Zeroes the `fraction` smallest-magnitude weights of every constant
+/// tensor with more than 64 elements (biases and small tensors are left
+/// intact, as real pruning tools do).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not within `0.0..=1.0`.
+pub fn prune_magnitude(model: &LiteModel, fraction: f32) -> (LiteModel, PruneReport) {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let mut graph = model.graph().clone();
+    let mut zeroed = 0usize;
+    let mut total = 0usize;
+    for index in 0..graph.len() {
+        let id = graph.node_id(index).expect("in range");
+        let Op::Constant(t) = &graph.nodes()[index].op else {
+            continue;
+        };
+        if t.len() <= 64 {
+            continue;
+        }
+        total += t.len();
+        // Zero exactly the k smallest-magnitude weights (ties broken by
+        // position, matching deterministic pruning tools).
+        let k = (t.len() as f32 * fraction).round() as usize;
+        let mut order: Vec<usize> = (0..t.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            t.data()[a]
+                .abs()
+                .partial_cmp(&t.data()[b].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut pruned = t.clone();
+        for &i in order.iter().take(k) {
+            pruned.data_mut()[i] = 0.0;
+        }
+        zeroed += pruned.data().iter().filter(|&&v| v == 0.0).count();
+        graph
+            .replace_constant(id, pruned)
+            .expect("id refers to a constant");
+    }
+    let pruned_model = rebind(model, graph);
+    (pruned_model, PruneReport { zeroed, total })
+}
+
+/// Removes every node not needed to compute the model output (dead
+/// training heads, unused branches). Node ids are compacted.
+pub fn strip_unreachable(model: &LiteModel) -> LiteModel {
+    let graph = model.graph();
+    let mut needed = vec![false; graph.len()];
+    let mut stack = vec![model.output(), model.input()];
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        stack.extend(graph.nodes()[id.index()].op.inputs());
+    }
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
+    let mut out = Graph::new();
+    for (index, node) in graph.nodes().iter().enumerate() {
+        if !needed[index] {
+            continue;
+        }
+        let op = node.op.map_inputs(|old| {
+            remap[old.index()].expect("inputs precede node in topological order")
+        });
+        let new_id = out
+            .append_node(Node {
+                op,
+                name: node.name.clone(),
+            })
+            .expect("remapped inputs exist");
+        remap[index] = Some(new_id);
+    }
+    let input_name = graph.nodes()[model.input().index()].name.clone();
+    let output_name = graph.nodes()[model.output().index()].name.clone();
+    LiteModel::convert(&out, &input_name, &output_name)
+        .expect("subgraph of a valid lite model")
+        .with_name(model.name())
+        .with_declared_flops(model.declared_flops())
+}
+
+/// Folds every operation whose inputs are all constants into a constant
+/// (the paper's §7.2 graph optimization: "pruning unnecessary edges and
+/// nodes"). Combine with [`strip_unreachable`] to drop the now-dead
+/// input constants.
+///
+/// Returns the folded model and the number of nodes folded.
+pub fn fold_constants(model: &LiteModel) -> (LiteModel, usize) {
+    use securetf_tensor::autodiff;
+    use std::collections::HashMap;
+
+    let mut graph = model.graph().clone();
+    let mut known: HashMap<usize, Tensor> = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| match &n.op {
+            Op::Constant(t) => Some((i, t.clone())),
+            _ => None,
+        })
+        .collect();
+    let mut folded = 0usize;
+    for index in 0..graph.len() {
+        let node = &graph.nodes()[index];
+        if matches!(
+            node.op,
+            Op::Constant(_) | Op::Placeholder { .. } | Op::Variable { .. }
+        ) {
+            continue;
+        }
+        let inputs = node.op.inputs();
+        if inputs.is_empty() || !inputs.iter().all(|i| known.contains_key(&i.index())) {
+            continue;
+        }
+        // Evaluate the op in a scratch graph fed by the known constants.
+        let mut scratch = Graph::new();
+        let mut remap = HashMap::new();
+        for input in &inputs {
+            if !remap.contains_key(&input.index()) {
+                let c = scratch.constant("in", known[&input.index()].clone());
+                remap.insert(input.index(), c);
+            }
+        }
+        let op = node.op.map_inputs(|old| remap[&old.index()]);
+        let Ok(target) = scratch.append_node(securetf_tensor::graph::Node {
+            op,
+            name: node.name.clone(),
+        }) else {
+            continue;
+        };
+        let Ok(fwd) =
+            autodiff::forward(&scratch, &HashMap::new(), &HashMap::new(), &[target])
+        else {
+            continue;
+        };
+        let Some(value) = fwd.value(target).cloned() else {
+            continue;
+        };
+        let id = graph.node_id(index).expect("in range");
+        graph
+            .replace_with_constant(id, value.clone())
+            .expect("id in range");
+        known.insert(index, value);
+        folded += 1;
+    }
+    (rebind(model, graph), folded)
+}
+
+fn rebind(model: &LiteModel, graph: Graph) -> LiteModel {
+    let input_name = graph.nodes()[model.input().index()].name.clone();
+    let output_name = graph.nodes()[model.output().index()].name.clone();
+    LiteModel::convert(&graph, &input_name, &output_name)
+        .expect("same ops as a valid lite model")
+        .with_name(model.name())
+        .with_declared_flops(model.declared_flops())
+}
+
+/// One 8-bit-quantized weight tensor.
+#[derive(Debug, Clone, PartialEq)]
+struct QuantBuffer {
+    shape: Vec<usize>,
+    scale: f32,
+    values: Vec<i8>,
+}
+
+fn quantize_tensor(t: &Tensor) -> QuantBuffer {
+    let max_abs = t
+        .data()
+        .iter()
+        .fold(0.0f32, |acc, v| acc.max(v.abs()))
+        .max(f32::MIN_POSITIVE);
+    let scale = max_abs / 127.0;
+    QuantBuffer {
+        shape: t.shape().to_vec(),
+        scale,
+        values: t
+            .data()
+            .iter()
+            .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect(),
+    }
+}
+
+fn dequantize_tensor(q: &QuantBuffer) -> Tensor {
+    Tensor::from_vec(
+        &q.shape,
+        q.values.iter().map(|&v| v as f32 * q.scale).collect(),
+    )
+    .expect("shape matches values")
+}
+
+/// A compactly-serialized model with 8-bit weights.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    skeleton: Vec<u8>,
+    buffers: Vec<QuantBuffer>,
+}
+
+const QUANT_MAGIC: &[u8; 5] = b"STFQ1";
+/// Constants this small stay in f32 (biases, scalars).
+const QUANT_MIN_ELEMENTS: usize = 65;
+
+/// Quantizes all large weight tensors of `model` to 8 bits.
+pub fn quantize(model: &LiteModel) -> QuantizedModel {
+    let mut graph = model.graph().clone();
+    let mut buffers = Vec::new();
+    for index in 0..graph.len() {
+        let id = graph.node_id(index).expect("in range");
+        let Op::Constant(t) = &graph.nodes()[index].op else {
+            continue;
+        };
+        if t.len() < QUANT_MIN_ELEMENTS {
+            continue;
+        }
+        buffers.push(quantize_tensor(t));
+        // Leave an empty marker constant in the skeleton.
+        graph
+            .replace_constant(id, Tensor::zeros(&[0]))
+            .expect("constant");
+    }
+    let skeleton = rebind(model, graph).to_bytes();
+    QuantizedModel { skeleton, buffers }
+}
+
+impl QuantizedModel {
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serializes the quantized model.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(QUANT_MAGIC);
+        out.extend_from_slice(&(self.skeleton.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.skeleton);
+        out.extend_from_slice(&(self.buffers.len() as u32).to_le_bytes());
+        for b in &self.buffers {
+            out.extend_from_slice(&(b.shape.len() as u32).to_le_bytes());
+            for &d in &b.shape {
+                out.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            out.extend_from_slice(&b.scale.to_le_bytes());
+            out.extend_from_slice(&(b.values.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytemuck_i8(&b.values));
+        }
+        out
+    }
+
+    /// Deserializes a quantized model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiteError::MalformedModel`] on corruption.
+    pub fn from_bytes(bytes: &[u8]) -> Result<QuantizedModel, LiteError> {
+        let mut cursor = 0usize;
+        let take = |cursor: &mut usize, n: usize| -> Result<&[u8], LiteError> {
+            if *cursor + n > bytes.len() {
+                return Err(LiteError::MalformedModel("truncated"));
+            }
+            let s = &bytes[*cursor..*cursor + n];
+            *cursor += n;
+            Ok(s)
+        };
+        let u32f = |cursor: &mut usize| -> Result<u32, LiteError> {
+            Ok(u32::from_le_bytes(take(cursor, 4)?.try_into().expect("4")))
+        };
+        if take(&mut cursor, 5)? != QUANT_MAGIC {
+            return Err(LiteError::MalformedModel("bad magic"));
+        }
+        let skel_len = u32f(&mut cursor)? as usize;
+        let skeleton = take(&mut cursor, skel_len)?.to_vec();
+        let n_buffers = u32f(&mut cursor)? as usize;
+        if n_buffers > 100_000 {
+            return Err(LiteError::MalformedModel("buffer count"));
+        }
+        let mut buffers = Vec::with_capacity(n_buffers);
+        for _ in 0..n_buffers {
+            let rank = u32f(&mut cursor)? as usize;
+            if rank > 8 {
+                return Err(LiteError::MalformedModel("rank"));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(u32f(&mut cursor)? as usize);
+            }
+            let scale = f32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4"));
+            let count = u32f(&mut cursor)? as usize;
+            if count != shape.iter().product::<usize>() {
+                return Err(LiteError::MalformedModel("element count"));
+            }
+            let raw = take(&mut cursor, count)?;
+            buffers.push(QuantBuffer {
+                shape,
+                scale,
+                values: raw.iter().map(|&b| b as i8).collect(),
+            });
+        }
+        if cursor != bytes.len() {
+            return Err(LiteError::MalformedModel("trailing bytes"));
+        }
+        Ok(QuantizedModel { skeleton, buffers })
+    }
+
+    /// Expands back to an f32 model (weights carry quantization error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiteError::MalformedModel`] if the skeleton and buffers
+    /// are inconsistent.
+    pub fn dequantize(&self) -> Result<LiteModel, LiteError> {
+        let model = LiteModel::from_bytes(&self.skeleton)?;
+        let mut graph = model.graph().clone();
+        let mut next_buffer = 0usize;
+        for index in 0..graph.len() {
+            let id = graph.node_id(index).expect("in range");
+            let Op::Constant(t) = &graph.nodes()[index].op else {
+                continue;
+            };
+            if t.shape() != [0] {
+                continue;
+            }
+            let buffer = self
+                .buffers
+                .get(next_buffer)
+                .ok_or(LiteError::MalformedModel("missing weight buffer"))?;
+            next_buffer += 1;
+            graph
+                .replace_constant(id, dequantize_tensor(buffer))
+                .expect("constant");
+        }
+        if next_buffer != self.buffers.len() {
+            return Err(LiteError::MalformedModel("surplus weight buffers"));
+        }
+        let input_name = graph.nodes()[model.input().index()].name.clone();
+        let output_name = graph.nodes()[model.output().index()].name.clone();
+        Ok(LiteModel::convert(&graph, &input_name, &output_name)?
+            .with_name(model.name())
+            .with_declared_flops(model.declared_flops()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::Interpreter;
+    use securetf_tensor::graph::Graph;
+
+    fn test_model() -> LiteModel {
+        let mut g = Graph::new();
+        let x = g.placeholder("input", &[0, 16]);
+        let w1 = g.constant(
+            "w1",
+            Tensor::from_vec(
+                &[16, 12],
+                (0..192).map(|i| ((i % 17) as f32 - 8.0) * 0.05).collect(),
+            )
+            .unwrap(),
+        );
+        let b1 = g.constant("b1", Tensor::full(&[12], 0.05));
+        let h = g.matmul(x, w1).unwrap();
+        let h = g.add_bias(h, b1).unwrap();
+        let h = g.relu(h).unwrap();
+        let w2 = g.constant(
+            "w2",
+            Tensor::from_vec(
+                &[12, 4],
+                (0..48).map(|i| ((i % 11) as f32 - 5.0) * 0.08).collect(),
+            )
+            .unwrap(),
+        );
+        let out = g.matmul(h, w2).unwrap();
+        let name = g.nodes()[out.index()].name.clone();
+        LiteModel::convert(&g, "input", &name).unwrap().with_name("opt-test")
+    }
+
+    fn sample_input() -> Tensor {
+        Tensor::from_vec(&[3, 16], (0..48).map(|i| ((i % 9) as f32 - 4.0) * 0.2).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn pruning_reaches_requested_sparsity() {
+        let (pruned, report) = prune_magnitude(&test_model(), 0.5);
+        assert!(report.sparsity() >= 0.4, "sparsity {}", report.sparsity());
+        assert_eq!(pruned.param_bytes(), test_model().param_bytes());
+        // Small tensors (bias of 12 elements) untouched.
+        let Op::Constant(bias) = &pruned.graph().nodes()[2].op else {
+            panic!("expected bias constant");
+        };
+        assert!(bias.data().iter().all(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn light_pruning_barely_changes_predictions() {
+        let mut base = Interpreter::new(test_model());
+        let (pruned, _) = prune_magnitude(&test_model(), 0.2);
+        let mut opt = Interpreter::new(pruned);
+        let input = sample_input();
+        let a = base.run(&input).unwrap();
+        let b = opt.run(&input).unwrap();
+        let max_diff = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 0.5, "outputs diverged by {max_diff}");
+    }
+
+    #[test]
+    fn full_pruning_zeroes_everything_large() {
+        let (pruned, report) = prune_magnitude(&test_model(), 1.0);
+        assert_eq!(report.zeroed, report.total);
+        let _ = pruned;
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn pruning_fraction_validated() {
+        let _ = prune_magnitude(&test_model(), 1.5);
+    }
+
+    #[test]
+    fn strip_removes_dead_branches() {
+        let mut g = Graph::new();
+        let x = g.placeholder("input", &[0, 4]);
+        let w = g.constant("w", Tensor::full(&[4, 2], 0.1));
+        let used = g.matmul(x, w).unwrap();
+        // Dead branch: an unused second head.
+        let w_dead = g.constant("w_dead", Tensor::full(&[4, 8], 0.2));
+        let _dead = g.matmul(x, w_dead).unwrap();
+        let name = g.nodes()[used.index()].name.clone();
+        let model = LiteModel::convert(&g, "input", &name).unwrap();
+        let before_nodes = model.graph().len();
+        let before_bytes = model.param_bytes();
+        let stripped = strip_unreachable(&model);
+        assert!(stripped.graph().len() < before_nodes);
+        assert!(stripped.param_bytes() < before_bytes);
+        // Same output for the same input.
+        let input = Tensor::full(&[1, 4], 1.0);
+        let a = Interpreter::new(model).run(&input).unwrap();
+        let b = Interpreter::new(stripped).run(&input).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn fold_constants_collapses_constant_subgraphs() {
+        // out = matmul(x, relu(c1 + c2)): the weight expression folds.
+        let mut g = Graph::new();
+        let x = g.placeholder("input", &[0, 4]);
+        let c1 = g.constant("c1", Tensor::full(&[4, 3], 0.5));
+        let c2 = g.constant("c2", Tensor::full(&[4, 3], -0.2));
+        let sum = g.add(c1, c2).unwrap();
+        let w = g.relu(sum).unwrap();
+        let out = g.matmul(x, w).unwrap();
+        let name = g.nodes()[out.index()].name.clone();
+        let model = LiteModel::convert(&g, "input", &name).unwrap();
+
+        let (folded, count) = fold_constants(&model);
+        assert_eq!(count, 2, "add and relu fold");
+        // The folded graph evaluates identically.
+        let input = Tensor::full(&[2, 4], 1.0);
+        let a = Interpreter::new(model).run(&input).unwrap();
+        let b = Interpreter::new(folded.clone()).run(&input).unwrap();
+        assert_eq!(a.data(), b.data());
+        // After stripping, the dead c1/c2 disappear.
+        let slim = strip_unreachable(&folded);
+        assert!(slim.graph().len() < folded.graph().len());
+        let c = Interpreter::new(slim).run(&input).unwrap();
+        assert_eq!(a.data(), c.data());
+    }
+
+    #[test]
+    fn fold_constants_leaves_dynamic_ops_alone() {
+        let model = test_model();
+        let before: Vec<&str> = model.graph().nodes().iter().map(|n| n.op.kind()).collect();
+        let (folded, count) = fold_constants(&model);
+        // Every op depends on the placeholder: nothing folds.
+        assert_eq!(count, 0);
+        let after: Vec<&str> = folded.graph().nodes().iter().map(|n| n.op.kind()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn quantization_shrinks_about_4x() {
+        let model = test_model();
+        let original = model.to_bytes().len();
+        let q = quantize(&model);
+        let quantized = q.byte_len();
+        // Large weights shrink 4x; the skeleton adds overhead.
+        assert!(
+            (quantized as f64) < 0.6 * original as f64,
+            "quantized {quantized} vs original {original}"
+        );
+    }
+
+    #[test]
+    fn quantization_roundtrip_predictions_close() {
+        let model = test_model();
+        let input = sample_input();
+        let mut base = Interpreter::new(model.clone());
+        let reference = base.run(&input).unwrap();
+
+        let q = quantize(&model);
+        let restored = QuantizedModel::from_bytes(&q.to_bytes())
+            .unwrap()
+            .dequantize()
+            .unwrap();
+        let mut opt = Interpreter::new(restored);
+        let approx = opt.run(&input).unwrap();
+        for (a, b) in reference.data().iter().zip(approx.data()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_classification_labels_match() {
+        let model = test_model();
+        let input = sample_input();
+        let labels_base = Interpreter::new(model.clone())
+            .run(&input)
+            .unwrap()
+            .argmax_rows()
+            .unwrap();
+        let labels_quant = Interpreter::new(quantize(&model).dequantize().unwrap())
+            .run(&input)
+            .unwrap()
+            .argmax_rows()
+            .unwrap();
+        assert_eq!(labels_base, labels_quant);
+    }
+
+    #[test]
+    fn quantized_serialization_rejects_corruption() {
+        let q = quantize(&test_model());
+        let bytes = q.to_bytes();
+        assert!(QuantizedModel::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(QuantizedModel::from_bytes(b"XX").is_err());
+        let mut extended = bytes;
+        extended.push(1);
+        assert!(QuantizedModel::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn quantize_preserves_metadata() {
+        let model = test_model().with_declared_flops(5e8);
+        let restored = quantize(&model).dequantize().unwrap();
+        assert_eq!(restored.name(), "opt-test");
+        assert_eq!(restored.declared_flops(), 5e8);
+    }
+}
+
+/// Reinterprets an `i8` slice as bytes (no unsafe: copies).
+fn bytemuck_i8(values: &[i8]) -> Vec<u8> {
+    values.iter().map(|&v| v as u8).collect()
+}

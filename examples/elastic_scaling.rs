@@ -1,0 +1,86 @@
+//! Challenge ❹: elastic and fault-tolerant computing.
+//!
+//! Public clouds spawn and kill containers constantly; every new secure
+//! container must attest before it may join. With the traditional IAS
+//! flow each join costs a WAN round trip (~325 ms); with CAS it is a
+//! local operation (~17 ms), making elastic scaling practical. This
+//! example scales a training cluster from 1 to 4 workers mid-run, kills
+//! one, and lets the runtime respawn + re-attest it.
+//!
+//! Run with: `cargo run --release --example elastic_scaling`
+
+use rand::SeedableRng;
+use securetf_distrib::cluster::{Cluster, ClusterConfig};
+use securetf_distrib::trainer::DistributedTrainer;
+use securetf_tee::ExecutionMode;
+use securetf_tensor::layers;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 1,
+        parameter_servers: 1,
+        mode: ExecutionMode::Hardware,
+        network_shield: true,
+        runtime_bytes: 8 * 1024 * 1024,
+        heap_bytes: 32 * 1024 * 1024,
+        cost_model: None,
+    })?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let model = layers::mlp_classifier(784, &[48], 10, &mut rng)?;
+    let data = securetf_data::synthetic_mnist(600, 12);
+    let mut trainer = DistributedTrainer::new(cluster, model, data, 100, 0.05)?;
+
+    println!("phase 1: training with 1 worker…");
+    let r1 = trainer.train_steps(5)?;
+    println!(
+        "  loss {:.3}, throughput {:.0} samples/s (virtual)",
+        r1.final_loss,
+        r1.samples_per_sec()
+    );
+
+    println!("phase 2: load spike — elastically adding 3 attested workers…");
+    let attest_before = trainer.cluster().attestation_ns();
+    for _ in 0..3 {
+        let idx = trainer.cluster_mut().add_worker()?;
+        println!("  worker {idx} joined (attested via CAS)");
+    }
+    let attest_cost = trainer.cluster().attestation_ns() - attest_before;
+    println!(
+        "  total attestation cost for 3 joins: {:.1} ms (IAS would need ~{} ms)",
+        attest_cost as f64 / 1e6,
+        3 * 325
+    );
+    let r2 = trainer.train_steps(5)?;
+    println!(
+        "  loss {:.3}, throughput {:.0} samples/s",
+        r2.final_loss,
+        r2.samples_per_sec()
+    );
+
+    println!("phase 3: machine failure — worker 2 dies mid-training…");
+    trainer.cluster_mut().fail_worker(2)?;
+    let loss = trainer.step()?;
+    println!(
+        "  training continued with {} live workers, loss {:.3}",
+        trainer.cluster().live_workers().len(),
+        loss
+    );
+
+    println!("phase 4: orchestrator respawns worker 2 (fresh enclave, re-attested)…");
+    trainer.cluster_mut().respawn_worker(2)?;
+    let loss = trainer.step()?;
+    println!(
+        "  back to {} workers, loss {:.3}",
+        trainer.cluster().live_workers().len(),
+        loss
+    );
+
+    let test = securetf_data::synthetic_mnist(200, 77);
+    let acc = trainer.evaluate(&test)?;
+    println!("final model accuracy: {:.1}%", acc * 100.0);
+    println!(
+        "attestations served by CAS in total: {}",
+        trainer.cluster().attestations_served()
+    );
+    Ok(())
+}

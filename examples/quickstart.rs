@@ -1,0 +1,114 @@
+//! Quickstart: train a model inside an enclave, export it, and serve it
+//! from an attested classification service.
+//!
+//! This walks the paper's full workflow (Figure 1):
+//!
+//! 1. train on (synthetic) MNIST inside a hardware enclave,
+//! 2. verify accuracy parity with native execution,
+//! 3. freeze + export the model in the Lite format,
+//! 4. publish it encrypted and deploy an attested classifier,
+//! 5. classify through the secure service.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::SeedableRng;
+use securetf::secure_session::SecureSession;
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tensor::layers;
+use securetf_tensor::optimizer::Sgd;
+use securetf_tflite::interpreter::Interpreter;
+
+fn train(mode: ExecutionMode) -> Result<(SecureSession, f64, u64), Box<dyn std::error::Error>> {
+    let platform = Platform::builder().build();
+    let enclave = platform.create_enclave(
+        &EnclaveImage::builder()
+            .code(b"quickstart-trainer-v1")
+            .name("trainer")
+            .build(),
+        mode,
+    )?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let model = layers::mlp_classifier(784, &[64], 10, &mut rng)?;
+    let mut session = SecureSession::new(enclave, model);
+
+    let data = securetf_data::synthetic_mnist(600, 2);
+    let (train_set, test_set) = data.split(500);
+    let mut sgd = Sgd::new(0.05);
+    let clock = session.enclave().clock().clone();
+    let t0 = clock.now_ns();
+    for epoch in 0..10 {
+        let mut loss = 0.0;
+        for start in (0..train_set.len()).step_by(100) {
+            let (x, y) = train_set.batch(start, 100)?;
+            loss = session.train_step(x, y, &mut sgd)?;
+        }
+        println!("  [{mode}] epoch {epoch}: loss {loss:.4}");
+    }
+    let elapsed = clock.now_ns() - t0;
+    let accuracy = session.accuracy(&test_set)?;
+    Ok((session, accuracy, elapsed))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("1. Training inside a (simulated) SGX enclave, HW mode:");
+    let (session, hw_acc, hw_ns) = train(ExecutionMode::Hardware)?;
+    println!("   accuracy {:.1}%, virtual time {:.2} s", hw_acc * 100.0, hw_ns as f64 / 1e9);
+
+    println!("2. Same training natively, for the parity check:");
+    let (_native, native_acc, native_ns) = train(ExecutionMode::Native)?;
+    println!(
+        "   accuracy {:.1}%, virtual time {:.2} s  (enclave slowdown {:.1}x)",
+        native_acc * 100.0,
+        native_ns as f64 / 1e9,
+        hw_ns as f64 / native_ns as f64
+    );
+    assert_eq!(
+        hw_acc, native_acc,
+        "the paper's accuracy goal: protection never changes results"
+    );
+    println!("   parity: identical accuracy in both modes ✓");
+
+    println!("3. Freezing and exporting the trained model (Lite format)…");
+    let lite = session.export_lite()?;
+    println!(
+        "   exported '{}' ({} parameter bytes)",
+        lite.name(),
+        lite.param_bytes()
+    );
+
+    println!("4. Publishing encrypted + deploying an attested classifier…");
+    let mut deployment =
+        securetf::deployment::Deployment::new(ExecutionMode::Hardware);
+    deployment.publish_model("digits", "/models/digits", &lite)?;
+    let mut classifier = deployment.deploy_classifier(
+        "digits",
+        "/models/digits",
+        securetf::profile::RuntimeProfile::scone_lite(),
+    )?;
+
+    println!("5. Classifying through the secure service:");
+    let sample = securetf_data::synthetic_mnist(10, 99);
+    let mut correct = 0;
+    for i in 0..10 {
+        let (x, _) = sample.batch(i, 1)?;
+        let (label, latency) = classifier.classify(&x)?;
+        let truth = sample.label(i).expect("in range");
+        if label == truth {
+            correct += 1;
+        }
+        println!(
+            "   image {i}: predicted {label}, truth {truth}, latency {:.2} ms",
+            latency as f64 / 1e6
+        );
+    }
+    println!("   {correct}/10 correct through the attested enclave service");
+
+    // Direct interpreter access gives the same answers (transparency).
+    let mut direct = Interpreter::new(session.export_lite()?);
+    let (x, _) = sample.batch(0, 1)?;
+    let direct_label = direct.classify(&x)?;
+    let (service_label, _) = classifier.classify(&x)?;
+    assert_eq!(direct_label, service_label);
+    println!("   transparency: direct interpreter agrees with the service ✓");
+    Ok(())
+}

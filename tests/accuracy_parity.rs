@@ -1,0 +1,79 @@
+//! Integration test for the paper's "accuracy" design goal (§3.1):
+//! protection must never change results. Training and inference are
+//! bit-identical across native, SIM and HW modes.
+
+use rand::SeedableRng;
+use securetf::secure_session::SecureSession;
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tensor::layers;
+use securetf_tensor::optimizer::Sgd;
+
+fn train_and_predict(mode: ExecutionMode) -> (Vec<usize>, f64) {
+    let platform = Platform::builder().build();
+    let enclave = platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"parity trainer").build(),
+            mode,
+        )
+        .expect("enclave");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let model = layers::mlp_classifier(784, &[48], 10, &mut rng).expect("model");
+    let mut session = SecureSession::new(enclave, model);
+    let data = securetf_data::synthetic_mnist(400, 5);
+    let (train, test) = data.split(300);
+    let mut sgd = Sgd::new(0.05);
+    for _ in 0..8 {
+        for start in (0..train.len()).step_by(100) {
+            let (x, y) = train.batch(start, 100).expect("batch");
+            session.train_step(x, y, &mut sgd).expect("step");
+        }
+    }
+    let (x, _) = test.batch(0, test.len()).expect("batch");
+    let preds = session.classify(x).expect("classify");
+    let acc = session.accuracy(&test).expect("accuracy");
+    (preds, acc)
+}
+
+#[test]
+fn training_is_bit_identical_across_modes() {
+    let (native_preds, native_acc) = train_and_predict(ExecutionMode::Native);
+    let (sim_preds, sim_acc) = train_and_predict(ExecutionMode::Simulation);
+    let (hw_preds, hw_acc) = train_and_predict(ExecutionMode::Hardware);
+    assert_eq!(native_preds, sim_preds);
+    assert_eq!(sim_preds, hw_preds);
+    assert_eq!(native_acc, sim_acc);
+    assert_eq!(sim_acc, hw_acc);
+    // And the model actually learned something.
+    assert!(native_acc > 0.8, "accuracy only {native_acc}");
+}
+
+#[test]
+fn distributed_training_accuracy_is_mode_independent() {
+    use securetf_distrib::cluster::{Cluster, ClusterConfig};
+    use securetf_distrib::trainer::DistributedTrainer;
+
+    let run = |mode| {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 2,
+            parameter_servers: 1,
+            mode,
+            network_shield: true,
+            runtime_bytes: 8 * 1024 * 1024,
+            heap_bytes: 16 * 1024 * 1024,
+            cost_model: None,
+        })
+        .expect("cluster");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let model = layers::mlp_classifier(784, &[32], 10, &mut rng).expect("model");
+        let data = securetf_data::synthetic_mnist(400, 6);
+        let mut trainer = DistributedTrainer::new(cluster, model, data, 100, 0.05)
+            .expect("trainer");
+        trainer.train_steps(20).expect("train");
+        let test = securetf_data::synthetic_mnist(100, 42);
+        trainer.evaluate(&test).expect("evaluate")
+    };
+    let native = run(ExecutionMode::Native);
+    let hw = run(ExecutionMode::Hardware);
+    assert_eq!(native, hw, "distributed accuracy differs across modes");
+    assert!(native > 0.6, "accuracy only {native}");
+}

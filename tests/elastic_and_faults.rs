@@ -1,0 +1,109 @@
+//! Elastic scaling and fault tolerance (challenge ❹): workers join,
+//! crash and respawn mid-training, each join gated by CAS attestation.
+
+use rand::SeedableRng;
+use securetf_distrib::cluster::{Cluster, ClusterConfig};
+use securetf_distrib::trainer::DistributedTrainer;
+use securetf_distrib::DistribError;
+use securetf_tee::ExecutionMode;
+use securetf_tensor::layers;
+
+fn trainer(workers: usize) -> DistributedTrainer {
+    let cluster = Cluster::new(ClusterConfig {
+        workers,
+        parameter_servers: 1,
+        mode: ExecutionMode::Hardware,
+        network_shield: true,
+        runtime_bytes: 8 * 1024 * 1024,
+        heap_bytes: 16 * 1024 * 1024,
+        cost_model: None,
+    })
+    .expect("cluster");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+    let model = layers::mlp_classifier(784, &[32], 10, &mut rng).expect("model");
+    let data = securetf_data::synthetic_mnist(400, 11);
+    DistributedTrainer::new(cluster, model, data, 50, 0.05).expect("trainer")
+}
+
+#[test]
+fn join_crash_respawn_lifecycle() {
+    let mut t = trainer(1);
+    t.train_steps(3).expect("warm up");
+    assert_eq!(t.cluster().attestations_served(), 2); // PS + worker
+
+    // Elastic join: two more workers, each attested.
+    t.cluster_mut().add_worker().expect("join");
+    t.cluster_mut().add_worker().expect("join");
+    assert_eq!(t.cluster().attestations_served(), 4);
+    let loss_3w = t.step().expect("step with 3 workers");
+    assert!(loss_3w.is_finite());
+
+    // Crash two workers.
+    t.cluster_mut().fail_worker(0).expect("fail");
+    t.cluster_mut().fail_worker(2).expect("fail");
+    assert_eq!(t.cluster().live_workers(), vec![1]);
+    let loss_1w = t.step().expect("step with 1 worker");
+    assert!(loss_1w.is_finite());
+
+    // Crash the last one: training halts.
+    t.cluster_mut().fail_worker(1).expect("fail");
+    assert!(matches!(t.step(), Err(DistribError::NoWorkers)));
+
+    // Respawn: fresh enclaves, re-attested; training resumes.
+    t.cluster_mut().respawn_worker(0).expect("respawn");
+    t.cluster_mut().respawn_worker(1).expect("respawn");
+    assert_eq!(t.cluster().attestations_served(), 6);
+    let resumed = t.step().expect("resumed step");
+    assert!(resumed.is_finite());
+}
+
+#[test]
+fn training_survives_failures_and_still_learns() {
+    let mut t = trainer(3);
+    let first = t.step().expect("first step");
+    for i in 0..20 {
+        if i == 5 {
+            t.cluster_mut().fail_worker(1).expect("fail");
+        }
+        if i == 10 {
+            t.cluster_mut().respawn_worker(1).expect("respawn");
+        }
+        t.step().expect("step");
+    }
+    let last = t.step().expect("last step");
+    assert!(last < first, "loss {first} -> {last}");
+    let test = securetf_data::synthetic_mnist(100, 70);
+    let acc = t.evaluate(&test).expect("evaluate");
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn elastic_join_is_cheap_with_cas() {
+    let mut t = trainer(1);
+    let before = t.cluster().attestation_ns();
+    t.cluster_mut().add_worker().expect("join");
+    let join_cost_ms = (t.cluster().attestation_ns() - before) as f64 / 1e6;
+    // CAS attestation ~17 ms; IAS would be ~325 ms.
+    assert!(
+        join_cost_ms < 60.0,
+        "join attestation cost {join_cost_ms} ms (should be CAS-fast)"
+    );
+}
+
+#[test]
+fn throughput_scales_with_elastic_workers() {
+    let mut t = trainer(1);
+    let r1 = t.train_steps(4).expect("train");
+    let rate1 = r1.samples_per_sec();
+    t.cluster_mut().add_worker().expect("join");
+    t.cluster_mut().add_worker().expect("join");
+    let r2 = t.train_steps(4).expect("train");
+    // Overall throughput after scaling covers both phases; compute the
+    // marginal rate of the second phase.
+    let marginal = (r2.samples - r1.samples) as f64
+        / ((r2.elapsed_ns - r1.elapsed_ns) as f64 / 1e9);
+    assert!(
+        marginal > 1.5 * rate1,
+        "marginal rate {marginal} vs initial {rate1}"
+    );
+}

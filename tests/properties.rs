@@ -1,0 +1,271 @@
+//! Property-based tests of cross-crate invariants (proptest).
+
+use proptest::prelude::*;
+use securetf_crypto::aead::{self, Key, Nonce};
+use securetf_crypto::hkdf;
+use securetf_crypto::x25519::{PublicKey, StaticSecret};
+use securetf_shield::fs::{FsShield, PathPolicy, Policy, UntrustedStore};
+use securetf_tee::sealing::SealPolicy;
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tensor::freeze;
+use securetf_tensor::graph::Graph;
+use securetf_tensor::tensor::Tensor;
+use std::sync::Arc;
+
+fn enclave(code: &[u8]) -> Arc<securetf_tee::Enclave> {
+    let platform = Platform::builder().build();
+    platform
+        .create_enclave(
+            &EnclaveImage::builder().code(code).build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aead_roundtrip_any_payload(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let key = Key::from_bytes(key);
+        let nonce = Nonce::from_bytes(nonce);
+        let sealed = aead::seal(&key, &nonce, &payload, &aad);
+        prop_assert_eq!(aead::open(&key, &nonce, &sealed, &aad).unwrap(), payload);
+    }
+
+    #[test]
+    fn aead_detects_any_single_corruption(
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        position in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let key = Key::from_bytes([9; 32]);
+        let nonce = Nonce::from_bytes([3; 12]);
+        let mut sealed = aead::seal(&key, &nonce, &payload, b"");
+        let idx = position.index(sealed.len());
+        sealed[idx] ^= 1 << bit;
+        prop_assert!(aead::open(&key, &nonce, &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn x25519_agreement_for_any_keys(
+        a in prop::array::uniform32(any::<u8>()),
+        b in prop::array::uniform32(any::<u8>()),
+    ) {
+        let sa = StaticSecret::from_bytes(a);
+        let sb = StaticSecret::from_bytes(b);
+        prop_assert_eq!(
+            sa.diffie_hellman(&PublicKey::from(&sb)),
+            sb.diffie_hellman(&PublicKey::from(&sa))
+        );
+    }
+
+    #[test]
+    fn hkdf_output_deterministic_and_length_exact(
+        salt in prop::collection::vec(any::<u8>(), 0..32),
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        info in prop::collection::vec(any::<u8>(), 0..32),
+        len in 1usize..256,
+    ) {
+        let a = hkdf::derive(&salt, &ikm, &info, len).unwrap();
+        let b = hkdf::derive(&salt, &ikm, &info, len).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), len);
+    }
+
+    #[test]
+    fn sealing_roundtrip_any_payload(
+        payload in prop::collection::vec(any::<u8>(), 0..1024),
+        aad in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let e = enclave(b"prop sealing");
+        let sealed = e.seal(SealPolicy::Measurement, &payload, &aad);
+        prop_assert_eq!(e.unseal(SealPolicy::Measurement, &sealed, &aad).unwrap(), payload);
+    }
+
+    #[test]
+    fn fs_shield_roundtrip_any_contents(
+        contents in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave(b"prop fs"), store);
+        shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+        shield.write("/f", &contents).unwrap();
+        prop_assert_eq!(shield.read("/f").unwrap(), contents);
+    }
+
+    #[test]
+    fn fs_shield_detects_any_corruption(
+        contents in prop::collection::vec(any::<u8>(), 1..1024),
+        position in any::<prop::sample::Index>(),
+    ) {
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave(b"prop fs tamper"), store.clone());
+        shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+        shield.write("/f", &contents).unwrap();
+        let stored_len = store.raw_contents("/f").unwrap().len();
+        store.corrupt("/f", position.index(stored_len));
+        prop_assert!(shield.read("/f").is_err());
+    }
+
+    #[test]
+    fn graph_export_import_preserves_eval(
+        weights in prop::collection::vec(-2.0f32..2.0, 6),
+        input in prop::collection::vec(-2.0f32..2.0, 3),
+    ) {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 3]);
+        let w = g.constant("w", Tensor::from_vec(&[3, 2], weights).unwrap());
+        let y = g.matmul(x, w).unwrap();
+        let bytes = freeze::export_graph(&g);
+        let g2 = freeze::import_graph(&bytes).unwrap();
+        let feed = Tensor::from_vec(&[1, 3], input).unwrap();
+        let mut s1 = securetf_tensor::session::Session::new(&g);
+        let mut s2 = securetf_tensor::session::Session::new(&g2);
+        let o1 = s1.run(&g, &[(x, feed.clone())], &[y]).unwrap();
+        let o2 = s2.run(&g2, &[(x, feed)], &[y]).unwrap();
+        prop_assert_eq!(o1[0].data(), o2[0].data());
+    }
+
+    #[test]
+    fn epc_resident_never_exceeds_budget(
+        sizes in prop::collection::vec(1u64..60, 1..12),
+        touch_order in prop::collection::vec(any::<prop::sample::Index>(), 1..40),
+    ) {
+        use securetf_tee::epc::{EpcManager, PAGE_SIZE};
+        use securetf_tee::{CostModel, SimClock};
+        let model = CostModel {
+            epc_bytes: 128 * PAGE_SIZE as u64,
+            ..CostModel::default()
+        };
+        let budget = model.epc_pages();
+        let mut epc = EpcManager::new(model, SimClock::new(), true);
+        let regions: Vec<_> = sizes
+            .iter()
+            .map(|&pages| epc.alloc("r", pages * PAGE_SIZE as u64))
+            .collect();
+        for idx in touch_order {
+            let region = regions[idx.index(regions.len())];
+            epc.touch_all(region).unwrap();
+            prop_assert!(epc.stats().resident_pages <= budget);
+        }
+    }
+
+    #[test]
+    fn paged_buffer_matches_flat_memory_model(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..8 * 4096, prop::collection::vec(any::<u8>(), 1..300)),
+            1..40,
+        ),
+        resident_cap in 1usize..5,
+    ) {
+        use securetf_tee::backing::PagedBuffer;
+        let len = 8 * 4096u64;
+        let mut reference = vec![0u8; len as usize];
+        let mut buf = PagedBuffer::new(enclave(b"prop paging"), 42, len, resident_cap);
+        for (is_write, offset, data) in ops {
+            let offset = offset.min(len - 1);
+            let take = data.len().min((len - offset) as usize);
+            if is_write {
+                buf.write(offset, &data[..take]).unwrap();
+                reference[offset as usize..offset as usize + take]
+                    .copy_from_slice(&data[..take]);
+            } else {
+                let mut out = vec![0u8; take];
+                buf.read(offset, &mut out).unwrap();
+                prop_assert_eq!(&out, &reference[offset as usize..offset as usize + take]);
+            }
+        }
+        // Final full scan agrees with the reference.
+        let mut all = vec![0u8; len as usize];
+        buf.read(0, &mut all).unwrap();
+        prop_assert_eq!(all, reference);
+    }
+
+    #[test]
+    fn arena_plan_never_aliases_live_buffers(
+        widths in prop::collection::vec(1usize..40, 2..8),
+        batch in 1usize..6,
+    ) {
+        use securetf_tflite::arena;
+        use securetf_tflite::model::LiteModel;
+        use securetf_tensor::graph::Graph;
+
+        let mut g = Graph::new();
+        let mut prev_width = widths[0];
+        let x = g.placeholder("input", &[0, prev_width]);
+        let mut cur = x;
+        for (i, &w) in widths.iter().skip(1).enumerate() {
+            let c = g.constant(&format!("w{i}"), Tensor::full(&[prev_width, w], 0.01));
+            cur = g.matmul(cur, c).unwrap();
+            if i % 2 == 0 {
+                cur = g.relu(cur).unwrap();
+            }
+            prev_width = w;
+        }
+        let name = g.nodes()[cur.index()].name.clone();
+        let model = LiteModel::convert(&g, "input", &name).unwrap();
+        let plan = arena::plan_memory(&model, batch).unwrap();
+        prop_assert!(plan.peak_bytes <= plan.unshared_bytes);
+        let live: Vec<_> = plan.slots.iter().flatten().collect();
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                let lifetimes = a.live_from <= b.live_to && b.live_from <= a.live_to;
+                let memory = a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+                prop_assert!(!(lifetimes && memory));
+            }
+        }
+    }
+
+    #[test]
+    fn certificates_survive_serialization_and_detect_tamper(
+        subject in "[a-z]{1,20}",
+        key in prop::array::uniform32(any::<u8>()),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        use securetf_cas::ca::{Certificate, CertificateAuthority};
+        let mut ca = CertificateAuthority::new(enclave(b"prop ca"));
+        let cert = ca.issue(&subject, key, securetf_tee::MrEnclave([9; 32]));
+        let bytes = cert.to_bytes();
+        let restored = Certificate::from_bytes(&bytes).unwrap();
+        prop_assert!(ca.verify(&restored).is_ok());
+        // Any single bit flip is either a parse error or a signature error.
+        let mut bad = bytes.clone();
+        let idx = flip.index(bad.len());
+        bad[idx] ^= 1;
+        match Certificate::from_bytes(&bad) {
+            Ok(forged) => prop_assert!(ca.verify(&forged).is_err()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn dataset_serialization_roundtrip(count in 1usize..30, seed in any::<u64>()) {
+        let d = securetf_data::synthetic_mnist(count, seed);
+        let d2 = securetf_data::Dataset::from_bytes(&d.to_bytes()).unwrap();
+        prop_assert_eq!(d2.len(), d.len());
+        prop_assert_eq!(d2.dims(), d.dims());
+        for i in 0..count {
+            prop_assert_eq!(d2.label(i), d.label(i));
+        }
+    }
+
+    #[test]
+    fn federated_average_of_identical_parties_is_identity(
+        values in prop::collection::vec(-10.0f32..10.0, 1..32),
+        parties in 1usize..5,
+    ) {
+        use securetf_distrib::{federated, wire};
+        let msg = wire::encode(&[(0, Tensor::from_vec(&[values.len()], values.clone()).unwrap())]);
+        let avg = federated::federated_average(&vec![msg; parties]).unwrap();
+        let decoded = wire::decode(&avg).unwrap();
+        for (got, want) in decoded[0].1.data().iter().zip(values.iter()) {
+            prop_assert!((got - want).abs() < 1e-4);
+        }
+    }
+}

@@ -31,7 +31,7 @@ fn bench_classify(c: &mut Criterion) {
         let mut classifier = deployment
             .deploy_classifier("svc", "/m", profile)
             .expect("deploy");
-        c.bench_function(&format!("classify/{label}"), |b| {
+        c.bench_function(format!("classify/{label}"), |b| {
             b.iter(|| classifier.classify(black_box(&input)).expect("classify"))
         });
     }

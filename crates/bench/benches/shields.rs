@@ -69,7 +69,7 @@ fn bench_net_shield(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_function(format!("roundtrip/{size}"), |b| {
             b.iter(|| {
-                alice.send(black_box(&payload));
+                alice.send(black_box(&payload)).unwrap();
                 bob.recv().expect("recv")
             })
         });

@@ -32,14 +32,14 @@ fn bench_training(c: &mut Criterion) {
         ("hw_full", ExecutionMode::Hardware, true),
     ] {
         let mut t = trainer(2, mode, shield);
-        c.bench_function(&format!("train_step/{label}"), |b| {
+        c.bench_function(format!("train_step/{label}"), |b| {
             b.iter(|| t.step().expect("step"))
         });
     }
     // Scaling series.
     for workers in [1usize, 2, 3] {
         let mut t = trainer(workers, ExecutionMode::Simulation, true);
-        c.bench_function(&format!("train_step/sim_workers_{workers}"), |b| {
+        c.bench_function(format!("train_step/sim_workers_{workers}"), |b| {
             b.iter(|| t.step().expect("step"))
         });
     }

@@ -50,6 +50,9 @@ fn with_hw_counters<T>(f: impl FnOnce(&mut CounterStore) -> T) -> T {
     f(store)
 }
 
+/// The in-enclave plaintext view of the store's entries.
+type Entries = BTreeMap<Vec<u8>, Vec<u8>>;
+
 /// An encrypted, rollback-protected key-value store.
 #[derive(Debug)]
 pub struct KvStore {
@@ -143,7 +146,7 @@ impl KvStore {
         out
     }
 
-    fn decode(bytes: &[u8]) -> Option<(u64, BTreeMap<Vec<u8>, Vec<u8>>)> {
+    fn decode(bytes: &[u8]) -> Option<(u64, Entries)> {
         let mut cursor = 0usize;
         let take = |cursor: &mut usize, n: usize| -> Option<&[u8]> {
             if *cursor + n > bytes.len() {

@@ -90,6 +90,20 @@ pub enum CasError {
     RollbackDetected(String),
     /// An underlying TEE failure.
     Tee(securetf_tee::TeeError),
+    /// The CAS is transiently unreachable (crash, partition, restart).
+    /// Unlike every other variant, this one is worth retrying.
+    Unavailable {
+        /// Virtual nanoseconds until the service expects to be back.
+        retry_after_ns: u64,
+    },
+}
+
+impl CasError {
+    /// Whether the failure is transient (retry may succeed) as opposed
+    /// to an integrity or policy violation (must fail closed).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CasError::Unavailable { .. })
+    }
 }
 
 impl fmt::Display for CasError {
@@ -106,6 +120,9 @@ impl fmt::Display for CasError {
             CasError::NotFound(k) => write!(f, "not found: {k}"),
             CasError::RollbackDetected(path) => write!(f, "rollback detected on {path}"),
             CasError::Tee(e) => write!(f, "tee error: {e}"),
+            CasError::Unavailable { retry_after_ns } => {
+                write!(f, "cas unavailable, retry after {retry_after_ns} ns")
+            }
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::kvstore::KvStore;
 use crate::policy::{Secret, ServicePolicy};
 use crate::CasError;
 use securetf_tee::platform::FleetVerifier;
-use securetf_tee::{Enclave, Quote};
+use securetf_tee::{Enclave, Quote, RetryPolicy};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -89,6 +89,7 @@ pub struct CasService {
     policies: HashMap<String, ServicePolicy>,
     store: Option<KvStore>,
     attestations_served: u64,
+    outage_until_ns: u64,
 }
 
 impl CasService {
@@ -102,6 +103,7 @@ impl CasService {
             policies: HashMap::new(),
             store: None,
             attestations_served: 0,
+            outage_until_ns: 0,
         }
     }
 
@@ -131,6 +133,7 @@ impl CasService {
             policies,
             store: Some(store),
             attestations_served: 0,
+            outage_until_ns: 0,
         })
     }
 
@@ -174,6 +177,47 @@ impl CasService {
         self.policies.remove(name).is_some()
     }
 
+    /// Takes the CAS offline until `duration_ns` of virtual time passes.
+    /// Models a crash/partition of the attestation service; provisioning
+    /// attempts during the window fail with [`CasError::Unavailable`]
+    /// and succeed again once the shared clock moves past the deadline.
+    pub fn inject_outage(&mut self, duration_ns: u64) {
+        let now = self.enclave.clock().now_ns();
+        self.outage_until_ns = self.outage_until_ns.max(now + duration_ns);
+    }
+
+    /// Whether the CAS is inside an injected outage window.
+    pub fn is_unavailable(&self) -> bool {
+        self.enclave.clock().now_ns() < self.outage_until_ns
+    }
+
+    /// Verifies `quote` against the `service` policy, retrying transient
+    /// [`CasError::Unavailable`] failures per `policy`. Each backoff is
+    /// charged to the CAS clock, so bounded outages expire during the
+    /// wait; integrity and policy violations fail closed on the first
+    /// attempt.
+    ///
+    /// # Errors
+    ///
+    /// The terminal error of [`CasService::attest_and_provision`]: the
+    /// fatal error immediately, or the last [`CasError::Unavailable`]
+    /// once attempts are exhausted.
+    pub fn attest_and_provision_with_retry(
+        &mut self,
+        quote: &Quote,
+        service: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Provision, CasError> {
+        let clock = self.enclave.clock().clone();
+        policy
+            .run(
+                &clock,
+                |_| self.attest_and_provision(quote, service),
+                CasError::is_transient,
+            )
+            .map_err(securetf_tee::retry::RetryError::into_inner)
+    }
+
     /// Verifies `quote` against the `service` policy and, on success,
     /// returns the service secrets together with the latency breakdown.
     ///
@@ -183,12 +227,21 @@ impl CasService {
     /// * [`CasError::QuoteRejected`] — bad quote signature.
     /// * [`CasError::MeasurementNotAllowed`] — measurement not in policy.
     /// * [`CasError::TcbOutdated`] — platform TCB below policy minimum.
+    /// * [`CasError::Unavailable`] — inside an injected outage window.
     pub fn attest_and_provision(
         &mut self,
         quote: &Quote,
         service: &str,
     ) -> Result<Provision, CasError> {
         let clock = self.enclave.clock();
+        if clock.now_ns() < self.outage_until_ns {
+            // The caller's connection attempt still costs a LAN timeout.
+            let model = self.enclave.cost_model();
+            clock.advance(model.lan_rtt_ns);
+            return Err(CasError::Unavailable {
+                retry_after_ns: self.outage_until_ns.saturating_sub(clock.now_ns()),
+            });
+        }
         let model = self.enclave.cost_model();
 
         // The quote was generated by the attesting enclave (already charged
@@ -476,6 +529,86 @@ mod tests {
         let store = KvStore::open(enclave.clone(), disk, path).unwrap();
         let cas = CasService::with_store(enclave, platform.fleet_verifier(), store).unwrap();
         assert_eq!(cas.services(), vec!["kept"]);
+    }
+
+    #[test]
+    fn outage_returns_unavailable_then_recovers() {
+        let mut s = setup();
+        let worker = s
+            .platform
+            .create_enclave(&s.worker_image, ExecutionMode::Hardware)
+            .unwrap();
+        let quote = worker.quote(b"binding").unwrap();
+        s.cas.inject_outage(5_000_000);
+        assert!(s.cas.is_unavailable());
+        assert!(matches!(
+            s.cas.attest_and_provision(&quote, "svc"),
+            Err(CasError::Unavailable { .. })
+        ));
+        assert_eq!(s.cas.attestations_served(), 0);
+        // Virtual time passes; the CAS comes back on its own.
+        s.cas.enclave().clock().advance(5_000_000);
+        assert!(!s.cas.is_unavailable());
+        assert!(s.cas.attest_and_provision(&quote, "svc").is_ok());
+    }
+
+    #[test]
+    fn retry_rides_out_bounded_outage() {
+        let mut s = setup();
+        let worker = s
+            .platform
+            .create_enclave(&s.worker_image, ExecutionMode::Hardware)
+            .unwrap();
+        let quote = worker.quote(b"binding").unwrap();
+        s.cas.inject_outage(3_000_000);
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ns: 1_000_000,
+            max_delay_ns: 10_000_000,
+            jitter_from_seed: 7,
+        };
+        let p = s
+            .cas
+            .attest_and_provision_with_retry(&quote, "svc", &policy)
+            .expect("backoff outlives the outage");
+        assert!(p.secret("fs-key").is_some());
+    }
+
+    #[test]
+    fn retry_fails_closed_on_integrity_violation() {
+        let mut s = setup();
+        let worker = s
+            .platform
+            .create_enclave(&s.worker_image, ExecutionMode::Hardware)
+            .unwrap();
+        let mut quote = worker.quote(b"binding").unwrap();
+        quote.signature[0] ^= 1;
+        let clock = s.cas.enclave().clock().clone();
+        let before = clock.now_ns();
+        let policy = RetryPolicy::with_seed(8, 7);
+        assert!(matches!(
+            s.cas.attest_and_provision_with_retry(&quote, "svc", &policy),
+            Err(CasError::QuoteRejected(_))
+        ));
+        // No backoff was charged: a forged quote is not retried.
+        let single_attempt_budget = 10_000_000;
+        assert!(clock.now_ns() - before < single_attempt_budget);
+    }
+
+    #[test]
+    fn retry_exhausts_against_long_outage() {
+        let mut s = setup();
+        let worker = s
+            .platform
+            .create_enclave(&s.worker_image, ExecutionMode::Hardware)
+            .unwrap();
+        let quote = worker.quote(b"binding").unwrap();
+        s.cas.inject_outage(3_600_000_000_000); // one virtual hour
+        let policy = RetryPolicy::with_seed(3, 7);
+        assert!(matches!(
+            s.cas.attest_and_provision_with_retry(&quote, "svc", &policy),
+            Err(CasError::Unavailable { .. })
+        ));
     }
 
     #[test]

@@ -210,7 +210,7 @@ fn cmd_inspect(flags: HashMap<String, String>) -> Result<(), String> {
             None => kinds.push((node.op.kind(), 1)),
         }
     }
-    kinds.sort_by(|a, b| b.1.cmp(&a.1));
+    kinds.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     println!("ops:");
     for (kind, count) in kinds {
         println!("  {kind:<14} x{count}");

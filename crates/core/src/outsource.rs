@@ -107,7 +107,7 @@ impl UntrustedGpu {
         self.calls += 1;
         let mut out = x.matmul(w)?;
         if let GpuBehaviour::CheatEveryN(n, delta) = self.behaviour {
-            if self.calls % n == 0 && !out.is_empty() {
+            if self.calls.is_multiple_of(n) && !out.is_empty() {
                 let idx = (self.calls as usize * 7919) % out.len();
                 out.data_mut()[idx] += delta;
             }

@@ -13,7 +13,14 @@
 //! request  := 'Q' request_id:u64 rank:u32 dims:u32* payload:f32*
 //! response := 'R' request_id:u64 label:u32
 //!           | 'E' request_id:u64 len:u32 message:bytes
+//!           | 'U' request_id:u64 retry_after:u64
 //! ```
+//!
+//! The `'U'` frame is graceful degradation: while the classifier's
+//! enclave is marked failed (crash, pending respawn), the service
+//! answers [`Response::Unavailable`] with a retry hint instead of
+//! panicking or silently dropping the connection, and recovers as soon
+//! as the enclave is revived.
 
 use crate::classifier::SecureClassifier;
 use crate::SecureTfError;
@@ -47,7 +54,20 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// The service is temporarily degraded (its enclave is down, e.g.
+    /// awaiting respawn and re-attestation). The client should retry
+    /// after the hinted delay.
+    Unavailable {
+        /// Echoed request id.
+        id: u64,
+        /// Suggested wait before retrying, virtual nanoseconds.
+        retry_after_ns: u64,
+    },
 }
+
+/// Retry hint attached to [`Response::Unavailable`]: a rough estimate of
+/// respawning an enclave and re-attesting it through CAS.
+pub const RETRY_AFTER_HINT_NS: u64 = 5_000_000;
 
 /// Encodes a request frame.
 pub fn encode_request(request: &Request) -> Vec<u8> {
@@ -81,17 +101,26 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ShieldError> {
         *cursor += n;
         Ok(s)
     };
+    let le_u32 = |b: &[u8]| -> Result<u32, ShieldError> {
+        let arr: [u8; 4] = b
+            .try_into()
+            .map_err(|_| ShieldError::IagoViolation("bad u32 field"))?;
+        Ok(u32::from_le_bytes(arr))
+    };
     if take(&mut cursor, 1)? != b"Q" {
         return Err(ShieldError::IagoViolation("not a request frame"));
     }
-    let id = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
-    let rank = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+    let id_bytes: [u8; 8] = take(&mut cursor, 8)?
+        .try_into()
+        .map_err(|_| ShieldError::IagoViolation("bad request id"))?;
+    let id = u64::from_le_bytes(id_bytes);
+    let rank = le_u32(take(&mut cursor, 4)?)? as usize;
     if rank > 8 {
         return Err(ShieldError::IagoViolation("hostile tensor rank"));
     }
     let mut shape = Vec::with_capacity(rank);
     for _ in 0..rank {
-        shape.push(u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize);
+        shape.push(le_u32(take(&mut cursor, 4)?)? as usize);
     }
     let count: usize = shape.iter().product();
     if count > 16_000_000 {
@@ -103,7 +132,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ShieldError> {
     }
     let data = raw
         .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+        .filter_map(|c| Some(f32::from_le_bytes(c.try_into().ok()?)))
         .collect();
     let input = Tensor::from_vec(&shape, data)
         .map_err(|_| ShieldError::IagoViolation("inconsistent tensor"))?;
@@ -128,6 +157,13 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             out.extend_from_slice(message.as_bytes());
             out
         }
+        Response::Unavailable { id, retry_after_ns } => {
+            let mut out = Vec::with_capacity(17);
+            out.push(b'U');
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&retry_after_ns.to_le_bytes());
+            out
+        }
     }
 }
 
@@ -137,10 +173,22 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 ///
 /// Returns [`ShieldError::IagoViolation`] on malformed frames.
 pub fn decode_response(bytes: &[u8]) -> Result<Response, ShieldError> {
+    let le_u32 = |b: &[u8]| -> Result<u32, ShieldError> {
+        let arr: [u8; 4] = b
+            .try_into()
+            .map_err(|_| ShieldError::IagoViolation("bad u32 field"))?;
+        Ok(u32::from_le_bytes(arr))
+    };
+    let le_u64 = |b: &[u8]| -> Result<u64, ShieldError> {
+        let arr: [u8; 8] = b
+            .try_into()
+            .map_err(|_| ShieldError::IagoViolation("bad u64 field"))?;
+        Ok(u64::from_le_bytes(arr))
+    };
     if bytes.len() < 9 {
         return Err(ShieldError::IagoViolation("response frame truncated"));
     }
-    let id = u64::from_le_bytes(bytes[1..9].try_into().expect("8"));
+    let id = le_u64(&bytes[1..9])?;
     match bytes[0] {
         b'R' => {
             if bytes.len() != 13 {
@@ -148,20 +196,29 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, ShieldError> {
             }
             Ok(Response::Label {
                 id,
-                label: u32::from_le_bytes(bytes[9..13].try_into().expect("4")),
+                label: le_u32(&bytes[9..13])?,
             })
         }
         b'E' => {
             if bytes.len() < 13 {
                 return Err(ShieldError::IagoViolation("bad error frame length"));
             }
-            let len = u32::from_le_bytes(bytes[9..13].try_into().expect("4")) as usize;
+            let len = le_u32(&bytes[9..13])? as usize;
             if bytes.len() != 13 + len {
                 return Err(ShieldError::IagoViolation("error frame length mismatch"));
             }
             let message = String::from_utf8(bytes[13..].to_vec())
                 .map_err(|_| ShieldError::IagoViolation("error message not utf-8"))?;
             Ok(Response::Error { id, message })
+        }
+        b'U' => {
+            if bytes.len() != 17 {
+                return Err(ShieldError::IagoViolation("bad unavailable frame length"));
+            }
+            Ok(Response::Unavailable {
+                id,
+                retry_after_ns: le_u64(&bytes[9..17])?,
+            })
         }
         _ => Err(ShieldError::IagoViolation("unknown response frame")),
     }
@@ -172,7 +229,10 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, ShieldError> {
 ///
 /// Malformed requests are answered with [`Response::Error`] rather than
 /// killing the connection; channel-level violations (tampered records)
-/// terminate the session.
+/// terminate the session. While the classifier's enclave is marked
+/// failed, requests are answered with [`Response::Unavailable`] —
+/// graceful degradation instead of a panic — and service resumes once
+/// the enclave is revived (respawn + re-attestation).
 ///
 /// # Errors
 ///
@@ -189,6 +249,10 @@ pub fn serve<T: Transport>(
             Err(e) => return Err(SecureTfError::Shield(e)),
         };
         let response = match decode_request(&frame) {
+            Ok(request) if classifier.enclave().is_failed() => Response::Unavailable {
+                id: request.id,
+                retry_after_ns: RETRY_AFTER_HINT_NS,
+            },
             Ok(request) => match classifier.classify(&request.input) {
                 Ok((label, _)) => Response::Label {
                     id: request.id,
@@ -204,8 +268,13 @@ pub fn serve<T: Transport>(
                 message: e.to_string(),
             },
         };
-        channel.send(&encode_response(&response));
-        served += 1;
+        match channel.send(&encode_response(&response)) {
+            Ok(()) => served += 1,
+            // The channel's own endpoint died mid-reply: the session is
+            // over, but requests already answered still count.
+            Err(ShieldError::ChannelClosed) => return Ok(served),
+            Err(e) => return Err(SecureTfError::Shield(e)),
+        }
     }
 }
 
@@ -219,10 +288,12 @@ pub fn request_label<T: Transport>(
     id: u64,
     input: &Tensor,
 ) -> Result<Response, SecureTfError> {
-    channel.send(&encode_request(&Request {
-        id,
-        input: input.clone(),
-    }));
+    channel
+        .send(&encode_request(&Request {
+            id,
+            input: input.clone(),
+        }))
+        .map_err(SecureTfError::Shield)?;
     let frame = channel.recv().map_err(SecureTfError::Shield)?;
     decode_response(&frame).map_err(SecureTfError::Shield)
 }
@@ -290,6 +361,10 @@ mod tests {
                 id: 9,
                 message: "bad shape".to_string(),
             },
+            Response::Unavailable {
+                id: 11,
+                retry_after_ns: RETRY_AFTER_HINT_NS,
+            },
         ] {
             assert_eq!(
                 decode_response(&encode_response(&response)).unwrap(),
@@ -345,13 +420,15 @@ mod tests {
         // Run the server on this thread after queueing client traffic
         // (the in-memory pipe buffers requests).
         for i in 0..3u64 {
-            client.send(&encode_request(&Request {
-                id: i,
-                input: Tensor::full(&[1, 6], i as f32),
-            }));
+            client
+                .send(&encode_request(&Request {
+                    id: i,
+                    input: Tensor::full(&[1, 6], i as f32),
+                }))
+                .unwrap();
         }
         // One malformed frame.
-        client.send(b"garbage");
+        client.send(b"garbage").unwrap();
         drop_extra(&mut client); // no-op, keeps client mutable in scope
         let served = serve_fn(&mut classifier).expect("serve");
         assert_eq!(served, 4);
@@ -375,6 +452,71 @@ mod tests {
     fn drop_extra<T>(_: &mut T) {}
 
     #[test]
+    fn failed_enclave_degrades_to_unavailable_then_recovers() {
+        let mut deployment = Deployment::new(ExecutionMode::Hardware);
+        deployment.publish_model("svc", "/m", &tiny_model()).unwrap();
+        let mut classifier = deployment
+            .deploy_classifier("svc", "/m", RuntimeProfile::scone_lite())
+            .unwrap();
+
+        // The channel terminates in a separate front-end enclave, so the
+        // session survives the classifier enclave's crash.
+        let (client_end, server_end) = duplex(None);
+        let frontend = client_enclave();
+        let server = std::thread::spawn(move || {
+            SecureChannel::handshake(Spin(server_end), frontend, Role::Responder)
+                .expect("handshake")
+        });
+        let mut client =
+            SecureChannel::handshake(Spin(client_end), client_enclave(), Role::Initiator)
+                .expect("handshake");
+        let mut server = server.join().expect("join");
+
+        let ask = |client: &mut SecureChannel<Spin>, id: u64| {
+            client
+                .send(&encode_request(&Request {
+                    id,
+                    input: Tensor::full(&[1, 6], 1.0),
+                }))
+                .unwrap();
+        };
+
+        // Healthy request, then crash, then two requests during the
+        // outage, then revive and a final request.
+        ask(&mut client, 1);
+        let served = serve(&mut classifier, &mut server).expect("healthy serve");
+        assert_eq!(served, 1);
+        match decode_response(&client.recv().unwrap()).unwrap() {
+            Response::Label { id: 1, .. } => {}
+            other => panic!("expected label, got {other:?}"),
+        }
+
+        classifier.enclave().mark_failed();
+        ask(&mut client, 2);
+        ask(&mut client, 3);
+        let served = serve(&mut classifier, &mut server).expect("serving never panics");
+        assert_eq!(served, 2);
+        for want in [2u64, 3] {
+            match decode_response(&client.recv().unwrap()).unwrap() {
+                Response::Unavailable { id, retry_after_ns } => {
+                    assert_eq!(id, want);
+                    assert!(retry_after_ns > 0);
+                }
+                other => panic!("expected unavailable, got {other:?}"),
+            }
+        }
+
+        classifier.enclave().revive();
+        ask(&mut client, 4);
+        let served = serve(&mut classifier, &mut server).expect("recovered");
+        assert_eq!(served, 1);
+        match decode_response(&client.recv().unwrap()).unwrap() {
+            Response::Label { id: 4, .. } => {}
+            other => panic!("expected recovery, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn request_label_helper() {
         let mut deployment = Deployment::new(ExecutionMode::Hardware);
         deployment.publish_model("svc", "/m", &tiny_model()).unwrap();
@@ -393,10 +535,12 @@ mod tests {
         let mut server = server_channel.join().expect("join");
 
         // Queue request, serve one round, read response.
-        client.send(&encode_request(&Request {
-            id: 5,
-            input: Tensor::full(&[1, 6], 1.0),
-        }));
+        client
+            .send(&encode_request(&Request {
+                id: 5,
+                input: Tensor::full(&[1, 6], 1.0),
+            }))
+            .unwrap();
         serve(&mut classifier, &mut server).expect("serve drained the queue");
         let frame = client.recv().expect("response");
         match decode_response(&frame).expect("frame") {

@@ -392,14 +392,14 @@ mod tests {
         for i in 0..d.len() {
             match d.label(i).unwrap() {
                 0 => {
-                    for j in 0..f {
-                        mean0[j] += d.features[i * f + j];
+                    for (j, m) in mean0.iter_mut().enumerate() {
+                        *m += d.features[i * f + j];
                     }
                     n0 += 1;
                 }
                 1 => {
-                    for j in 0..f {
-                        mean1[j] += d.features[i * f + j];
+                    for (j, m) in mean1.iter_mut().enumerate() {
+                        *m += d.features[i * f + j];
                     }
                     n1 += 1;
                 }
@@ -424,7 +424,7 @@ mod tests {
         for i in 0..20 {
             assert_eq!(small.label(i), d.label(i));
         }
-        assert_eq!(small.byte_len() < d.byte_len(), true);
+        assert!(small.byte_len() < d.byte_len());
     }
 
     #[test]
@@ -458,14 +458,14 @@ mod tests {
         for i in 0..d.len() {
             match d.label(i).unwrap() {
                 0 => {
-                    for j in 0..f {
-                        mean0[j] += d.features[i * f + j];
+                    for (j, m) in mean0.iter_mut().enumerate() {
+                        *m += d.features[i * f + j];
                     }
                     n0 += 1;
                 }
                 1 => {
-                    for j in 0..f {
-                        mean1[j] += d.features[i * f + j];
+                    for (j, m) in mean1.iter_mut().enumerate() {
+                        *m += d.features[i * f + j];
                     }
                     n1 += 1;
                 }

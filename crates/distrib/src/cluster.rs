@@ -198,16 +198,22 @@ impl Cluster {
         Ok(self.workers.len() - 1)
     }
 
-    /// Marks a worker as failed (machine crash / migration).
+    /// Marks a worker as failed (machine crash / migration). The node's
+    /// enclave is marked failed too: a crashed endpoint can no longer
+    /// produce authenticated shield records, so any secure channel
+    /// terminating in it starts returning
+    /// [`securetf_shield::ShieldError::ChannelClosed`].
     ///
     /// # Errors
     ///
     /// Returns [`DistribError::UnknownWorker`] for bad indices.
     pub fn fail_worker(&mut self, index: usize) -> Result<(), DistribError> {
-        self.workers
+        let node = self
+            .workers
             .get_mut(index)
-            .ok_or(DistribError::UnknownWorker(index))?
-            .alive = false;
+            .ok_or(DistribError::UnknownWorker(index))?;
+        node.alive = false;
+        node.enclave.mark_failed();
         Ok(())
     }
 
@@ -223,6 +229,40 @@ impl Cluster {
         let node = self.boot_node()?;
         self.workers[index] = node;
         Ok(())
+    }
+
+    /// Like [`Cluster::respawn_worker`], but rides out transient CAS
+    /// unavailability with bounded exponential backoff per `policy`
+    /// (backoff advances the CAS's virtual clock, so a bounded outage
+    /// expires during the waits). Integrity and policy violations —
+    /// forged quotes, disallowed measurements, outdated TCBs — are *not*
+    /// retried: they fail closed on the first attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::UnknownWorker`], a fatal attestation
+    /// error immediately, or the last transient error once `policy` is
+    /// exhausted.
+    pub fn respawn_worker_with_retry(
+        &mut self,
+        index: usize,
+        policy: &securetf_tee::RetryPolicy,
+    ) -> Result<(), DistribError> {
+        if index >= self.workers.len() {
+            return Err(DistribError::UnknownWorker(index));
+        }
+        let clock = self.cas.enclave().clock().clone();
+        let node = policy
+            .run(&clock, |_| self.boot_node(), DistribError::is_transient)
+            .map_err(securetf_tee::retry::RetryError::into_inner)?;
+        self.workers[index] = node;
+        Ok(())
+    }
+
+    /// The cluster's CAS, mutable — for fault injection
+    /// ([`CasService::inject_outage`]) and policy administration.
+    pub fn cas_mut(&mut self) -> &mut CasService {
+        &mut self.cas
     }
 
     /// Live workers, with their indices.

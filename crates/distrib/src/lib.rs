@@ -14,6 +14,13 @@
 //!   worker-failure handling.
 //! * [`federated`] — federated averaging for the paper's medical use-case
 //!   (§6.2).
+//! * [`faults`] — deterministic, seed-derived fault-injection plans
+//!   (crashes, stalls, network tampering, storage corruption, CAS
+//!   outages).
+//! * [`supervisor`] — a self-healing wrapper around the trainer:
+//!   heartbeat-based failure detection, respawn through CAS
+//!   re-attestation with bounded backoff, and rollback to the last
+//!   authenticated checkpoint.
 //!
 //! # Examples
 //!
@@ -43,7 +50,9 @@
 //! ```
 
 pub mod cluster;
+pub mod faults;
 pub mod federated;
+pub mod supervisor;
 pub mod trainer;
 pub mod wire;
 
@@ -66,6 +75,15 @@ pub enum DistribError {
     NoWorkers,
     /// Referenced worker does not exist.
     UnknownWorker(usize),
+}
+
+impl DistribError {
+    /// Whether the failure is transient — retrying may succeed — as
+    /// opposed to an integrity, policy or programming error that must
+    /// fail closed. Today only CAS unavailability qualifies.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DistribError::Attestation(e) if e.is_transient())
+    }
 }
 
 impl fmt::Display for DistribError {

@@ -1,0 +1,647 @@
+//! Self-healing supervision of distributed training.
+//!
+//! The paper's deployment assumes machines crash, networks drop and
+//! tamper with records, storage bit-rots and the CAS occasionally
+//! restarts. [`Supervisor`] wraps a [`DistributedTrainer`] so that
+//! training *completes* under any survivable [`FaultPlan`] instead of
+//! surfacing [`DistribError::NoWorkers`]:
+//!
+//! * **Failure detection** — before every step the supervisor heartbeats
+//!   each worker over a real network-shield [`SecureChannel`]; probe
+//!   round-trips and retry backoff are charged against the virtual-time
+//!   cost model, so supervision overhead shows up in the report.
+//! * **Recovery** — dead workers are respawned through CAS
+//!   re-attestation with bounded exponential backoff
+//!   ([`securetf_tee::RetryPolicy`]); a heartbeat that fails
+//!   *authentication* (tampering) is treated as a compromised node and
+//!   the worker is replaced immediately — tampering is never retried.
+//! * **Rollback** — the supervisor checkpoints the global model to
+//!   untrusted storage on a fixed cadence (two alternating generations,
+//!   each AEAD-sealed under the CAS-provisioned `fs-key`); if a step
+//!   fails mid-flight it rolls back to the newest checkpoint that still
+//!   authenticates and retries the step.
+
+use crate::faults::{FaultEvent, FaultPlan};
+use crate::trainer::{DistributedTrainer, TrainReport};
+use crate::DistribError;
+use parking_lot::Mutex;
+use securetf_shield::fs::UntrustedStore;
+use securetf_shield::net::{duplex, Adversary, PipeEnd, Role, SecureChannel, Tamper, Transport};
+use securetf_shield::ShieldError;
+use securetf_tee::{CostModel, Enclave, RetryPolicy};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Tuning knobs for the supervisor.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Backoff policy shared by heartbeat re-probes, CAS re-attestation
+    /// and channel retries.
+    pub retry: RetryPolicy,
+    /// Checkpoint the global model every this many completed steps.
+    pub checkpoint_every: u64,
+    /// Path prefix for checkpoint generations in untrusted storage.
+    pub checkpoint_path: String,
+    /// How many times a single step may be rolled back and retried
+    /// before its error is surfaced.
+    pub max_step_recoveries: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            retry: RetryPolicy::default(),
+            checkpoint_every: 5,
+            checkpoint_path: "/ckpt/supervised".to_string(),
+            max_step_recoveries: 3,
+        }
+    }
+}
+
+/// Counters describing what supervision did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Heartbeat probes sent (including retries).
+    pub heartbeats: u64,
+    /// Probes that timed out (dropped records or dead workers).
+    pub missed_heartbeats: u64,
+    /// Probes that failed authentication (tampering; fail closed).
+    pub tampered_heartbeats: u64,
+    /// Workers replaced through CAS re-attestation.
+    pub respawns: u64,
+    /// Mid-flight step failures rolled back to a checkpoint.
+    pub rollbacks: u64,
+    /// Checkpoint generations written.
+    pub checkpoints: u64,
+    /// Restores that had to fall back past a corrupted generation.
+    pub checkpoint_fallbacks: u64,
+    /// Fault events injected from the plan.
+    pub faults_injected: u64,
+    /// Virtual time spent on supervision (probes, backoff, stalls), in
+    /// nanoseconds; added to the report's elapsed time.
+    pub supervision_ns: u64,
+}
+
+/// Shared queue of adversary actions for one heartbeat link.
+type TamperQueue = Arc<Mutex<VecDeque<Tamper>>>;
+
+/// Non-blocking pipe transport. Heartbeats are driven end-to-end by the
+/// supervisor thread, so a record is either already queued or lost for
+/// good; the short spin only matters during the threaded handshake.
+struct HeartbeatPipe {
+    inner: PipeEnd,
+    spin: u32,
+}
+
+impl Transport for HeartbeatPipe {
+    fn send(&self, message: Vec<u8>) {
+        self.inner.send(message);
+    }
+
+    fn recv(&self) -> Option<Vec<u8>> {
+        for _ in 0..self.spin {
+            if let Some(m) = self.inner.recv() {
+                return Some(m);
+            }
+            std::thread::yield_now();
+        }
+        None
+    }
+}
+
+/// Both ends of one worker's heartbeat link. The supervisor drives the
+/// worker side too — it simulates the worker's heartbeat responder
+/// thread, gated on the worker enclave's health.
+struct Heartbeat {
+    ps_side: SecureChannel<HeartbeatPipe>,
+    worker_side: SecureChannel<HeartbeatPipe>,
+    tamper: TamperQueue,
+    seq: u64,
+}
+
+/// How many lost records a heartbeat channel resynchronizes over.
+const HEARTBEAT_LOSS_WINDOW: u64 = 32;
+
+fn heartbeat_link(
+    ps_enclave: Arc<Enclave>,
+    worker_enclave: Arc<Enclave>,
+) -> Result<Heartbeat, DistribError> {
+    let tamper: TamperQueue = Arc::new(Mutex::new(VecDeque::new()));
+    let queue = tamper.clone();
+    let adversary: Adversary =
+        Arc::new(move |_msg| queue.lock().pop_front().unwrap_or(Tamper::Pass));
+    let (ps_end, worker_end) = duplex(Some(adversary));
+    // The handshake interleaves send/recv, so the initiator runs on a
+    // helper thread; data-path receives use a short spin because both
+    // halves are driven by the supervisor thread afterwards.
+    let initiator = std::thread::spawn(move || {
+        SecureChannel::handshake(
+            HeartbeatPipe {
+                inner: ps_end,
+                spin: 100_000,
+            },
+            ps_enclave,
+            Role::Initiator,
+        )
+    });
+    let worker_side = SecureChannel::handshake(
+        HeartbeatPipe {
+            inner: worker_end,
+            spin: 100_000,
+        },
+        worker_enclave,
+        Role::Responder,
+    )
+    .map_err(|_| DistribError::BadMessage("heartbeat handshake failed"))?;
+    let ps_side = initiator
+        .join()
+        .map_err(|_| DistribError::BadMessage("heartbeat handshake panicked"))?
+        .map_err(|_| DistribError::BadMessage("heartbeat handshake failed"))?;
+    let mut hb = Heartbeat {
+        ps_side,
+        worker_side,
+        tamper,
+        seq: 0,
+    };
+    hb.ps_side.set_loss_window(HEARTBEAT_LOSS_WINDOW);
+    hb.worker_side.set_loss_window(HEARTBEAT_LOSS_WINDOW);
+    // Drop the spin once the handshake is done: a missing record will
+    // never appear later.
+    hb.ps_side.transport_mut().spin = 1;
+    hb.worker_side.transport_mut().spin = 1;
+    Ok(hb)
+}
+
+/// Outcome of probing one worker.
+enum Probe {
+    Alive,
+    /// No authenticated response within the retry budget.
+    Dead,
+    /// A record failed authentication: fail closed, replace the node.
+    Compromised,
+}
+
+/// A self-healing wrapper around [`DistributedTrainer`].
+pub struct Supervisor {
+    trainer: DistributedTrainer,
+    config: SupervisorConfig,
+    plan: FaultPlan,
+    store: UntrustedStore,
+    heartbeats: Vec<Heartbeat>,
+    stats: SupervisorStats,
+    step: u64,
+    latest_generation: Option<u64>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("step", &self.step)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Supervisor {
+    /// Wraps `trainer`, establishing a heartbeat channel to every worker
+    /// and writing an initial checkpoint so rollback always has a
+    /// target. Checkpoints go to `store` (untrusted storage).
+    ///
+    /// # Errors
+    ///
+    /// Returns handshake or checkpoint errors from the initial setup.
+    pub fn new(
+        trainer: DistributedTrainer,
+        plan: FaultPlan,
+        config: SupervisorConfig,
+        store: UntrustedStore,
+    ) -> Result<Self, DistribError> {
+        let mut supervisor = Supervisor {
+            trainer,
+            config,
+            plan,
+            store,
+            heartbeats: Vec::new(),
+            stats: SupervisorStats::default(),
+            step: 0,
+            latest_generation: None,
+        };
+        for w in 0..supervisor.trainer.cluster().workers.len() {
+            let hb = heartbeat_link(
+                supervisor.trainer.cluster().ps.enclave.clone(),
+                supervisor.trainer.cluster().workers[w].enclave.clone(),
+            )?;
+            supervisor.heartbeats.push(hb);
+        }
+        supervisor.save_generation()?;
+        Ok(supervisor)
+    }
+
+    /// Runs `n` supervised steps: inject scheduled faults, heal the
+    /// cluster, execute the step (rolling back to the last authenticated
+    /// checkpoint on mid-flight failure), checkpoint on cadence.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces an error only when the plan is not survivable: a fatal
+    /// attestation failure, or a step that keeps failing after
+    /// [`SupervisorConfig::max_step_recoveries`] rollbacks.
+    pub fn train_steps(&mut self, n: u64) -> Result<TrainReport, DistribError> {
+        let mut last = f32::NAN;
+        for _ in 0..n {
+            last = self.supervised_step()?;
+        }
+        Ok(TrainReport {
+            steps: self.trainer.steps(),
+            final_loss: last,
+            elapsed_ns: self.trainer.elapsed_ns() + self.stats.supervision_ns,
+            samples: self.trainer.samples(),
+        })
+    }
+
+    fn supervised_step(&mut self) -> Result<f32, DistribError> {
+        self.inject(self.step)?;
+        self.heal()?;
+        let mut recoveries = 0u32;
+        let loss = loop {
+            match self.trainer.step() {
+                Ok(loss) => break loss,
+                Err(e) if recoveries < self.config.max_step_recoveries && recoverable(&e) => {
+                    recoveries += 1;
+                    self.stats.rollbacks += 1;
+                    self.heal()?;
+                    self.restore_latest()?;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        self.step += 1;
+        if self.step.is_multiple_of(self.config.checkpoint_every) {
+            self.save_generation()?;
+        }
+        Ok(loss)
+    }
+
+    /// Applies the plan's events for `step` to the live system.
+    fn inject(&mut self, step: u64) -> Result<(), DistribError> {
+        let events: Vec<FaultEvent> = self.plan.events_at(step).to_vec();
+        let worker_count = self.trainer.cluster().workers.len().max(1);
+        for event in events {
+            self.stats.faults_injected += 1;
+            match event {
+                FaultEvent::WorkerCrash { worker } => {
+                    self.trainer.cluster_mut().fail_worker(worker % worker_count)?;
+                }
+                FaultEvent::PsStall { delay_ns } => {
+                    self.trainer.cluster().ps.clock().advance(delay_ns);
+                    self.stats.supervision_ns += delay_ns;
+                }
+                FaultEvent::NetDrop { worker, records } => {
+                    let queue = &self.heartbeats[worker % worker_count].tamper;
+                    let mut q = queue.lock();
+                    for _ in 0..records {
+                        q.push_back(Tamper::Drop);
+                    }
+                }
+                FaultEvent::NetTamper { worker } => {
+                    self.heartbeats[worker % worker_count]
+                        .tamper
+                        .lock()
+                        .push_back(Tamper::FlipBit(9));
+                }
+                FaultEvent::ChunkCorruption { offset } => {
+                    if let Some(generation) = self.latest_generation {
+                        self.store.corrupt(&self.generation_path(generation), offset);
+                    }
+                }
+                FaultEvent::CasOutage { duration_ns } => {
+                    self.trainer.cluster_mut().cas_mut().inject_outage(duration_ns);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Probes every worker and respawns the ones that fail.
+    fn heal(&mut self) -> Result<(), DistribError> {
+        let model = self.trainer.cluster().ps.platform.cost_model().clone();
+        for w in 0..self.trainer.cluster().workers.len() {
+            match self.probe(w, &model) {
+                Probe::Alive => {}
+                Probe::Dead => self.respawn(w)?,
+                Probe::Compromised => {
+                    self.stats.tampered_heartbeats += 1;
+                    self.respawn(w)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ping/echo/ack over the worker's heartbeat channel, with bounded
+    /// retries for *lost* records. Authentication failures fail closed
+    /// immediately.
+    fn probe(&mut self, w: usize, model: &CostModel) -> Probe {
+        let policy = self.config.retry.clone();
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                let backoff = policy.delay_ns(attempt - 1);
+                self.trainer.cluster().ps.clock().advance(backoff);
+                self.stats.supervision_ns += backoff;
+            }
+            self.stats.heartbeats += 1;
+            self.trainer.cluster().ps.clock().advance(model.lan_rtt_ns);
+            self.stats.supervision_ns += model.lan_rtt_ns;
+            let hb = &mut self.heartbeats[w];
+            let ping = hb.seq.to_le_bytes();
+            hb.seq += 1;
+            if hb.ps_side.send(&ping).is_err() {
+                // The supervisor's own enclave cannot speak; nothing a
+                // respawn of the *worker* would fix.
+                return Probe::Alive;
+            }
+            match hb.worker_side.recv() {
+                Ok(echo) => {
+                    if hb.worker_side.send(&echo).is_err() {
+                        return Probe::Dead;
+                    }
+                    match hb.ps_side.recv() {
+                        Ok(_) => return Probe::Alive,
+                        Err(ShieldError::ChannelClosed) => {
+                            self.stats.missed_heartbeats += 1;
+                        }
+                        Err(_) => return Probe::Compromised,
+                    }
+                }
+                Err(ShieldError::ChannelClosed) => {
+                    self.stats.missed_heartbeats += 1;
+                }
+                Err(_) => return Probe::Compromised,
+            }
+        }
+        Probe::Dead
+    }
+
+    /// Replaces worker `w` with a freshly attested node (riding out CAS
+    /// outages per the retry policy) and re-establishes its heartbeat
+    /// channel.
+    fn respawn(&mut self, w: usize) -> Result<(), DistribError> {
+        self.stats.respawns += 1;
+        self.trainer
+            .cluster_mut()
+            .respawn_worker_with_retry(w, &self.config.retry)?;
+        let hb = heartbeat_link(
+            self.trainer.cluster().ps.enclave.clone(),
+            self.trainer.cluster().workers[w].enclave.clone(),
+        )?;
+        self.heartbeats[w] = hb;
+        Ok(())
+    }
+
+    fn generation_path(&self, generation: u64) -> String {
+        // Two alternating slots: a corrupted newest generation can fall
+        // back to the previous one.
+        format!("{}/gen-{}", self.config.checkpoint_path, generation % 2)
+    }
+
+    fn save_generation(&mut self) -> Result<(), DistribError> {
+        let generation = self.latest_generation.map(|g| g + 1).unwrap_or(0);
+        let path = self.generation_path(generation);
+        self.trainer.save_checkpoint(&self.store, &path)?;
+        self.latest_generation = Some(generation);
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Restores the newest checkpoint generation that still
+    /// authenticates. If every generation has been corrupted, the
+    /// in-enclave model is still intact — re-seal it as a fresh
+    /// generation and continue from it.
+    fn restore_latest(&mut self) -> Result<(), DistribError> {
+        let Some(latest) = self.latest_generation else {
+            return self.save_generation();
+        };
+        let candidates = [latest, latest.saturating_sub(1)];
+        for (i, &generation) in candidates.iter().enumerate() {
+            let path = self.generation_path(generation);
+            match self.trainer.restore_checkpoint(&self.store, &path) {
+                Ok(()) => {
+                    if i > 0 {
+                        self.stats.checkpoint_fallbacks += 1;
+                    }
+                    return Ok(());
+                }
+                Err(DistribError::BadMessage(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.stats.checkpoint_fallbacks += 1;
+        self.save_generation()
+    }
+
+    /// Counters describing what supervision did so far.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// The fault plan driving this run.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped trainer.
+    pub fn trainer(&self) -> &DistributedTrainer {
+        &self.trainer
+    }
+
+    /// The wrapped trainer, mutable.
+    pub fn trainer_mut(&mut self) -> &mut DistributedTrainer {
+        &mut self.trainer
+    }
+
+    /// The untrusted checkpoint store.
+    pub fn store(&self) -> &UntrustedStore {
+        &self.store
+    }
+
+    /// Unwraps the supervisor, returning the trainer.
+    pub fn into_trainer(self) -> DistributedTrainer {
+        self.trainer
+    }
+}
+
+/// Which step failures rollback-and-retry can plausibly fix. Integrity
+/// violations inside the step (bad messages between *our own* nodes
+/// would indicate a bug, but a tampered checkpoint restore surfaces the
+/// same way) and worker exhaustion are recoverable; fatal attestation
+/// errors are not.
+fn recoverable(e: &DistribError) -> bool {
+    match e {
+        DistribError::NoWorkers | DistribError::BadMessage(_) | DistribError::Tee(_) => true,
+        DistribError::Attestation(e) => e.is_transient(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use rand::SeedableRng;
+    use securetf_tee::ExecutionMode;
+    use securetf_tensor::layers::{self, Classifier};
+
+    fn small_model() -> Classifier {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        layers::mlp_classifier(784, &[32], 10, &mut rng).unwrap()
+    }
+
+    fn trainer(workers: usize) -> DistributedTrainer {
+        let cluster = Cluster::new(ClusterConfig {
+            workers,
+            parameter_servers: 1,
+            mode: ExecutionMode::Simulation,
+            network_shield: true,
+            runtime_bytes: 8 * 1024 * 1024,
+            heap_bytes: 16 * 1024 * 1024,
+            cost_model: None,
+        })
+        .unwrap();
+        let data = securetf_data::synthetic_mnist(300, 5);
+        DistributedTrainer::new(cluster, small_model(), data, 100, 0.2).unwrap()
+    }
+
+    fn supervisor(workers: usize, plan: FaultPlan) -> Supervisor {
+        Supervisor::new(
+            trainer(workers),
+            plan,
+            SupervisorConfig::default(),
+            UntrustedStore::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_free_plan_trains_normally() {
+        let mut s = supervisor(2, FaultPlan::none());
+        let report = s.train_steps(8).unwrap();
+        assert_eq!(report.steps, 8);
+        assert!(report.final_loss.is_finite());
+        assert_eq!(s.stats().respawns, 0);
+        assert_eq!(s.stats().rollbacks, 0);
+        assert!(s.stats().heartbeats >= 16, "one probe per worker per step");
+        assert!(s.stats().supervision_ns > 0);
+    }
+
+    #[test]
+    fn crashed_workers_are_respawned_not_fatal() {
+        let plan = FaultPlan::none()
+            .with_event(1, FaultEvent::WorkerCrash { worker: 0 })
+            .with_event(1, FaultEvent::WorkerCrash { worker: 1 })
+            .with_event(3, FaultEvent::WorkerCrash { worker: 0 });
+        let mut s = supervisor(2, plan);
+        let report = s.train_steps(6).unwrap();
+        assert!(report.final_loss.is_finite());
+        assert_eq!(s.stats().respawns, 3);
+        // Every step ran with a full worker set.
+        assert_eq!(report.samples, 6 * 2 * 100);
+    }
+
+    #[test]
+    fn all_workers_crashing_every_step_still_completes() {
+        let mut plan = FaultPlan::none();
+        for step in 0..4 {
+            plan = plan
+                .with_event(step, FaultEvent::WorkerCrash { worker: 0 })
+                .with_event(step, FaultEvent::WorkerCrash { worker: 1 });
+        }
+        let mut s = supervisor(2, plan);
+        let report = s.train_steps(4).unwrap();
+        assert!(report.final_loss.is_finite());
+        assert_eq!(s.stats().respawns, 8);
+    }
+
+    #[test]
+    fn cas_outage_during_respawn_is_ridden_out() {
+        let plan = FaultPlan::none()
+            .with_event(2, FaultEvent::CasOutage {
+                duration_ns: 4_000_000,
+            })
+            .with_event(2, FaultEvent::WorkerCrash { worker: 1 });
+        let mut s = supervisor(2, plan);
+        let report = s.train_steps(5).unwrap();
+        assert!(report.final_loss.is_finite());
+        assert_eq!(s.stats().respawns, 1);
+    }
+
+    #[test]
+    fn dropped_heartbeats_are_retried_not_respawned() {
+        let plan = FaultPlan::none().with_event(1, FaultEvent::NetDrop {
+            worker: 0,
+            records: 2,
+        });
+        let mut s = supervisor(2, plan);
+        s.train_steps(3).unwrap();
+        assert!(s.stats().missed_heartbeats >= 1);
+        assert_eq!(s.stats().respawns, 0, "drops are transient");
+    }
+
+    #[test]
+    fn tampered_heartbeat_fails_closed_and_replaces_worker() {
+        let plan = FaultPlan::none().with_event(1, FaultEvent::NetTamper { worker: 1 });
+        let mut s = supervisor(2, plan);
+        s.train_steps(3).unwrap();
+        assert_eq!(s.stats().tampered_heartbeats, 1);
+        assert_eq!(s.stats().respawns, 1, "tampering is never retried");
+    }
+
+    #[test]
+    fn corrupted_checkpoint_falls_back_to_older_generation() {
+        let config = SupervisorConfig {
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        let mut s = Supervisor::new(
+            trainer(1),
+            FaultPlan::none(),
+            config,
+            UntrustedStore::new(),
+        )
+        .unwrap();
+        s.train_steps(3).unwrap();
+        // Corrupt the newest generation, then force a rollback.
+        let latest = s.latest_generation.unwrap();
+        let path = s.generation_path(latest);
+        assert!(s.store.corrupt(&path, 40));
+        s.restore_latest().unwrap();
+        assert_eq!(s.stats().checkpoint_fallbacks, 1);
+    }
+
+    #[test]
+    fn ps_stall_charges_supervision_time() {
+        let plan = FaultPlan::none().with_event(0, FaultEvent::PsStall {
+            delay_ns: 7_000_000,
+        });
+        let mut s = supervisor(1, plan);
+        let faulted = s.train_steps(2).unwrap();
+        let clean = supervisor(1, FaultPlan::none()).train_steps(2).unwrap();
+        assert!(faulted.elapsed_ns > clean.elapsed_ns + 7_000_000 - 1);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_loss() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::generate(seed, 8, 2);
+            let digest = plan.schedule_digest();
+            let mut s = supervisor(2, plan);
+            let report = s.train_steps(8).unwrap();
+            (digest, report.final_loss.to_bits())
+        };
+        let (d1, l1) = run(99);
+        let (d2, l2) = run(99);
+        assert_eq!(d1, d2, "schedule must be reproducible");
+        assert_eq!(l1, l2, "final loss must match bit for bit");
+        let (d3, l3) = run(100);
+        assert!(d3 != d1 || l3 != l1, "different seed, different run");
+    }
+}

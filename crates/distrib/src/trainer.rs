@@ -432,9 +432,10 @@ impl DistributedTrainer {
             return Err(DistribError::BadMessage("checkpoint truncated"));
         }
         let (nonce_bytes, ciphertext) = sealed.split_at(securetf_crypto::aead::NONCE_LEN);
-        let nonce = securetf_crypto::aead::Nonce::from_bytes(
-            nonce_bytes.try_into().expect("length checked"),
-        );
+        let nonce_bytes: [u8; securetf_crypto::aead::NONCE_LEN] = nonce_bytes
+            .try_into()
+            .map_err(|_| DistribError::BadMessage("checkpoint nonce malformed"))?;
+        let nonce = securetf_crypto::aead::Nonce::from_bytes(nonce_bytes);
         let plaintext =
             securetf_crypto::aead::open(&key, &nonce, ciphertext, path.as_bytes())
                 .map_err(|_| DistribError::BadMessage("checkpoint failed authentication"))?;
@@ -489,6 +490,16 @@ impl DistributedTrainer {
     /// Total virtual time spent so far.
     pub fn elapsed_ns(&self) -> u64 {
         self.global_ns
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Samples processed across all workers so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
     }
 
     /// The execution mode of the cluster.

@@ -28,13 +28,21 @@ pub fn encode(entries: &[(u32, Tensor)]) -> Vec<u8> {
 
 /// Decodes a message produced by [`encode`].
 ///
+/// The decoder treats the input as hostile: truncation, trailing bytes,
+/// oversized counts, duplicate variable ids, shape/element mismatches
+/// and length-prefix products that would overflow `usize` are all
+/// rejected with a typed error — nothing panics.
+///
 /// # Errors
 ///
 /// Returns [`DistribError::BadMessage`] on any structural violation.
 pub fn decode(bytes: &[u8]) -> Result<Vec<(u32, Tensor)>, DistribError> {
     let mut cursor = 0usize;
     let take = |cursor: &mut usize, n: usize| -> Result<&[u8], DistribError> {
-        if *cursor + n > bytes.len() {
+        // `cursor <= bytes.len()` always holds, so the subtraction cannot
+        // wrap — and `cursor + n` is never computed before the check, so
+        // a hostile length prefix cannot overflow the bound test.
+        if n > bytes.len() - *cursor {
             return Err(DistribError::BadMessage("truncated"));
         }
         let s = &bytes[*cursor..*cursor + n];
@@ -42,15 +50,22 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<(u32, Tensor)>, DistribError> {
         Ok(s)
     };
     let u32_field = |cursor: &mut usize| -> Result<u32, DistribError> {
-        Ok(u32::from_le_bytes(take(cursor, 4)?.try_into().expect("4")))
+        let raw: [u8; 4] = take(cursor, 4)?
+            .try_into()
+            .map_err(|_| DistribError::BadMessage("truncated"))?;
+        Ok(u32::from_le_bytes(raw))
     };
     let count = u32_field(&mut cursor)? as usize;
     if count > 100_000 {
         return Err(DistribError::BadMessage("entry count too large"));
     }
     let mut entries = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::with_capacity(count);
     for _ in 0..count {
         let id = u32_field(&mut cursor)?;
+        if !seen.insert(id) {
+            return Err(DistribError::BadMessage("duplicate variable id"));
+        }
         let rank = u32_field(&mut cursor)? as usize;
         if rank > 8 {
             return Err(DistribError::BadMessage("rank too large"));
@@ -59,14 +74,21 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<(u32, Tensor)>, DistribError> {
         for _ in 0..rank {
             shape.push(u32_field(&mut cursor)? as usize);
         }
+        let elements = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(DistribError::BadMessage("shape product overflows"))?;
         let n = u32_field(&mut cursor)? as usize;
-        if n != shape.iter().product::<usize>() {
+        if n != elements {
             return Err(DistribError::BadMessage("element count mismatch"));
         }
-        let raw = take(&mut cursor, n * 4)?;
+        let byte_len = n
+            .checked_mul(4)
+            .ok_or(DistribError::BadMessage("length prefix overflows"))?;
+        let raw = take(&mut cursor, byte_len)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+            .filter_map(|c| Some(f32::from_le_bytes(c.try_into().ok()?)))
             .collect();
         let tensor =
             Tensor::from_vec(&shape, data).map_err(|_| DistribError::BadMessage("bad tensor"))?;
@@ -126,5 +148,70 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn zero_length_entries_roundtrip() {
+        // A rank-1 tensor with zero elements is structurally valid.
+        let entries = vec![(3u32, Tensor::zeros(&[0]))];
+        let bytes = encode(&entries);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].1.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_variable_ids_rejected() {
+        let entries = vec![
+            (4u32, Tensor::zeros(&[2])),
+            (4u32, Tensor::zeros(&[2])),
+        ];
+        assert!(matches!(
+            decode(&encode(&entries)),
+            Err(DistribError::BadMessage("duplicate variable id"))
+        ));
+    }
+
+    #[test]
+    fn length_prefix_overflow_rejected() {
+        // Shape whose element product overflows any plausible usize:
+        // rank 8 of u32::MAX-sized dims.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one entry
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // id
+        bytes.extend_from_slice(&8u32.to_le_bytes()); // rank 8
+        for _ in 0..8 {
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // element count
+        let err = decode(&bytes);
+        assert!(err.is_err(), "hostile shape product must not panic");
+    }
+
+    #[test]
+    fn every_truncation_point_errors_not_panics() {
+        let entries = vec![
+            (0u32, Tensor::from_vec(&[2, 3], vec![1.; 6]).unwrap()),
+            (1u32, Tensor::zeros(&[4])),
+        ];
+        let bytes = encode(&entries);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn element_count_mismatch_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&9u32.to_le_bytes()); // id
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // rank 1
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // shape [3]
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // but 2 elements
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode(&bytes),
+            Err(DistribError::BadMessage("element count mismatch"))
+        ));
     }
 }

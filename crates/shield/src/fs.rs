@@ -162,7 +162,7 @@ impl FsShield {
     pub fn add_policy(&mut self, policy: PathPolicy) {
         self.policies.push(policy);
         self.policies
-            .sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()));
+            .sort_by_key(|p| std::cmp::Reverse(p.prefix.len()));
     }
 
     /// Returns the policy that applies to `path` (default:

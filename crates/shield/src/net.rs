@@ -22,7 +22,7 @@ use securetf_crypto::aead::{self, Key, Nonce};
 use securetf_crypto::hkdf;
 use securetf_crypto::sha256::Sha256;
 use securetf_crypto::x25519::{PublicKey, StaticSecret};
-use securetf_tee::Enclave;
+use securetf_tee::{Enclave, RetryPolicy};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -139,6 +139,7 @@ pub struct SecureChannel<T: Transport> {
     recv_key: Key,
     send_seq: u64,
     recv_seq: u64,
+    loss_window: u64,
     transcript: [u8; 32],
 }
 
@@ -234,6 +235,7 @@ impl<T: Transport> SecureChannel<T> {
             recv_key,
             send_seq: 0,
             recv_seq: 0,
+            loss_window: 0,
             transcript,
         })
     }
@@ -244,8 +246,33 @@ impl<T: Transport> SecureChannel<T> {
         self.transcript
     }
 
+    /// The underlying (untrusted) transport, mutable — harnesses and
+    /// supervisors adjust transport behaviour mid-session.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Tolerate up to `window` *lost* records per receive: a record
+    /// whose sequence number is ahead of the expected one by at most
+    /// `window` is accepted (the gap is treated as dropped datagrams),
+    /// after which the sequence resynchronizes. Replays and reorderings
+    /// behind the expected sequence still fail closed. The default
+    /// window of 0 keeps strict TLS-like semantics.
+    pub fn set_loss_window(&mut self, window: u64) {
+        self.loss_window = window;
+    }
+
     /// Encrypts and sends one message.
-    pub fn send(&mut self, plaintext: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShieldError::ChannelClosed`] if the enclave backing
+    /// this channel has been marked failed — a crashed endpoint cannot
+    /// produce authenticated records.
+    pub fn send(&mut self, plaintext: &[u8]) -> Result<(), ShieldError> {
+        if self.enclave.is_failed() {
+            return Err(ShieldError::ChannelClosed);
+        }
         let nonce = Nonce::from_counter(REC_DATA, self.send_seq);
         let aad = self.send_seq.to_le_bytes();
         let record = aead::seal(&self.send_key, &nonce, plaintext, &aad);
@@ -253,36 +280,73 @@ impl<T: Transport> SecureChannel<T> {
         self.enclave.charge_syscall();
         self.enclave.charge_shield_crypto(plaintext.len() as u64);
         self.transport.send(record);
+        Ok(())
     }
 
     /// Receives and authenticates the next message.
     ///
     /// # Errors
     ///
-    /// * [`ShieldError::ChannelClosed`] if the transport has no message.
+    /// * [`ShieldError::ChannelClosed`] if the transport has no message
+    ///   or this channel's enclave is marked failed.
     /// * [`ShieldError::ChannelTampered`] if authentication fails —
     ///   tampering, replay, reordering and truncation all land here
     ///   because the sequence number is part of the authenticated data.
+    ///   With a [`SecureChannel::set_loss_window`], a bounded run of
+    ///   dropped records is instead skipped over.
     pub fn recv(&mut self) -> Result<Vec<u8>, ShieldError> {
+        if self.enclave.is_failed() {
+            return Err(ShieldError::ChannelClosed);
+        }
         self.enclave.charge_syscall();
         let record = self.transport.recv().ok_or(ShieldError::ChannelClosed)?;
-        let nonce = Nonce::from_counter(REC_DATA, self.recv_seq);
-        let aad = self.recv_seq.to_le_bytes();
-        let plain = aead::open(&self.recv_key, &nonce, &record, &aad)
-            .map_err(|_| ShieldError::ChannelTampered("record authentication failed"))?;
-        self.recv_seq += 1;
-        self.enclave.charge_shield_crypto(plain.len() as u64);
-        Ok(plain)
+        for candidate in self.recv_seq..=self.recv_seq + self.loss_window {
+            let nonce = Nonce::from_counter(REC_DATA, candidate);
+            let aad = candidate.to_le_bytes();
+            if let Ok(plain) = aead::open(&self.recv_key, &nonce, &record, &aad) {
+                self.recv_seq = candidate + 1;
+                self.enclave.charge_shield_crypto(plain.len() as u64);
+                return Ok(plain);
+            }
+        }
+        Err(ShieldError::ChannelTampered("record authentication failed"))
     }
 
     /// Sends a message and waits for one reply (request/response helper).
     ///
     /// # Errors
     ///
-    /// Propagates [`SecureChannel::recv`] errors.
+    /// Propagates [`SecureChannel::send`] and [`SecureChannel::recv`]
+    /// errors.
     pub fn request(&mut self, message: &[u8]) -> Result<Vec<u8>, ShieldError> {
-        self.send(message);
+        self.send(message)?;
         self.recv()
+    }
+
+    /// Like [`SecureChannel::request`], but transient failures — an
+    /// empty transport ([`ShieldError::ChannelClosed`]) — are retried
+    /// per `policy`, re-sending the request each attempt with backoff
+    /// charged to the enclave clock. Integrity failures
+    /// ([`ShieldError::ChannelTampered`], handshake errors) fail closed
+    /// on the first occurrence.
+    ///
+    /// # Errors
+    ///
+    /// The terminal error: a fatal error immediately, or the last
+    /// transient error once attempts are exhausted.
+    pub fn request_with_retry(
+        &mut self,
+        message: &[u8],
+        policy: &RetryPolicy,
+    ) -> Result<Vec<u8>, ShieldError> {
+        let clock = self.enclave.clock().clone();
+        policy
+            .run(
+                &clock,
+                |_| self.request(message),
+                |e| matches!(e, ShieldError::ChannelClosed),
+            )
+            .map_err(securetf_tee::retry::RetryError::into_inner)
     }
 }
 
@@ -347,9 +411,9 @@ mod tests {
     #[test]
     fn roundtrip_both_directions() {
         let (mut a, mut b) = pair(None);
-        a.send(b"hello from initiator");
+        a.send(b"hello from initiator").unwrap();
         assert_eq!(b.recv().unwrap(), b"hello from initiator");
-        b.send(b"hello back");
+        b.send(b"hello back").unwrap();
         assert_eq!(a.recv().unwrap(), b"hello back");
     }
 
@@ -370,7 +434,7 @@ mod tests {
         let mut a =
             SecureChannel::handshake(ResendOnEmpty::new(a_end), ea, Role::Initiator).unwrap();
         let mut b = resp_handle.join().unwrap();
-        a.send(b"gradient update payload");
+        a.send(b"gradient update payload").unwrap();
         // Peek at the wire before b reads it.
         let wire = b.transport.inner.recv().unwrap();
         assert!(!wire
@@ -394,7 +458,7 @@ mod tests {
             }
         });
         let (mut a, mut b) = pair(Some(adversary));
-        a.send(b"important");
+        a.send(b"important").unwrap();
         assert!(matches!(
             b.recv(),
             Err(ShieldError::ChannelTampered(_))
@@ -413,7 +477,7 @@ mod tests {
             }
         });
         let (mut a, mut b) = pair(Some(adversary));
-        a.send(b"pay 100 EUR");
+        a.send(b"pay 100 EUR").unwrap();
         assert_eq!(b.recv().unwrap(), b"pay 100 EUR");
         // The duplicate fails: the expected sequence number moved on.
         assert!(matches!(b.recv(), Err(ShieldError::ChannelTampered(_))));
@@ -431,8 +495,8 @@ mod tests {
             }
         });
         let (mut a, mut b) = pair(Some(adversary));
-        a.send(b"first");
-        a.send(b"second");
+        a.send(b"first").unwrap();
+        a.send(b"second").unwrap();
         // "first" was dropped; "second" arrives with seq 1 but b expects 0.
         assert!(matches!(b.recv(), Err(ShieldError::ChannelTampered(_))));
     }
@@ -447,7 +511,7 @@ mod tests {
     fn many_messages_keep_sequence() {
         let (mut a, mut b) = pair(None);
         for i in 0..100u32 {
-            a.send(&i.to_le_bytes());
+            a.send(&i.to_le_bytes()).unwrap();
         }
         for i in 0..100u32 {
             assert_eq!(b.recv().unwrap(), i.to_le_bytes());
@@ -458,7 +522,139 @@ mod tests {
     fn channel_charges_syscall_and_crypto_time() {
         let (mut a, _b) = pair(None);
         let t0 = a.enclave.clock().now_ns();
-        a.send(&vec![0u8; 1_000_000]);
+        a.send(&vec![0u8; 1_000_000]).unwrap();
         assert!(a.enclave.clock().now_ns() - t0 >= 250_000);
+    }
+
+    #[test]
+    fn loss_window_skips_dropped_records_but_rejects_replays() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        // Handshake (0,1) passes; drop the first data record, replay the
+        // second.
+        let adversary: Adversary = Arc::new(move |_msg| {
+            match c.fetch_add(1, Ordering::SeqCst) {
+                2 => Tamper::Drop,
+                3 => Tamper::Duplicate,
+                _ => Tamper::Pass,
+            }
+        });
+        let (mut a, mut b) = pair(Some(adversary));
+        b.set_loss_window(4);
+        a.send(b"first").unwrap();
+        a.send(b"second").unwrap();
+        // "first" was dropped; the window resynchronizes onto "second".
+        assert_eq!(b.recv().unwrap(), b"second");
+        // The replayed copy of "second" is now behind the sequence: rejected.
+        assert!(matches!(b.recv(), Err(ShieldError::ChannelTampered(_))));
+    }
+
+    #[test]
+    fn send_and_recv_fail_once_enclave_is_marked_failed() {
+        let (mut a, mut b) = pair(None);
+        a.send(b"before the crash").unwrap();
+        a.enclave.mark_failed();
+        assert!(matches!(a.send(b"x"), Err(ShieldError::ChannelClosed)));
+        assert!(matches!(a.recv(), Err(ShieldError::ChannelClosed)));
+        // The peer is unaffected and still drains what was already sent.
+        assert_eq!(b.recv().unwrap(), b"before the crash");
+        // Respawn: the channel works again.
+        a.enclave.revive();
+        a.send(b"after respawn").unwrap();
+        assert_eq!(b.recv().unwrap(), b"after respawn");
+    }
+
+    #[test]
+    fn request_with_retry_survives_transient_empty_replies() {
+        use securetf_tee::RetryPolicy;
+        use std::sync::atomic::AtomicU32;
+
+        // A transport whose first two receives spuriously time out.
+        struct FlakyRecv {
+            inner: ResendOnEmpty,
+            failures_left: AtomicU32,
+        }
+
+        impl Transport for FlakyRecv {
+            fn send(&self, message: Vec<u8>) {
+                self.inner.send(message);
+            }
+
+            fn recv(&self) -> Option<Vec<u8>> {
+                if self
+                    .failures_left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return None;
+                }
+                self.inner.recv()
+            }
+        }
+
+        let (a_end, b_end) = duplex(None);
+        let ea = enclave();
+        let eb = enclave();
+        let responder = std::thread::spawn(move || {
+            let mut b =
+                SecureChannel::handshake(ResendOnEmpty::new(b_end), eb, Role::Responder).unwrap();
+            // Answer every request until the requester stops resending.
+            while let Ok(req) = b.recv() {
+                let mut reply = b"echo:".to_vec();
+                reply.extend_from_slice(&req);
+                b.send(&reply).unwrap();
+            }
+        });
+        let mut a = SecureChannel::handshake(
+            FlakyRecv {
+                inner: ResendOnEmpty::new(a_end),
+                failures_left: AtomicU32::new(0),
+            },
+            ea,
+            Role::Initiator,
+        )
+        .unwrap();
+        // Replies to re-sent requests arrive with advanced sequence numbers.
+        a.set_loss_window(8);
+        a.transport.failures_left.store(2, Ordering::SeqCst);
+        let reply = a
+            .request_with_retry(b"ping", &RetryPolicy::with_seed(5, 11))
+            .expect("third attempt gets through");
+        assert_eq!(reply, b"echo:ping");
+        responder.join().unwrap();
+    }
+
+    #[test]
+    fn request_with_retry_fails_closed_on_tamper() {
+        use securetf_tee::RetryPolicy;
+
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        // Corrupt the reply record (message index 3: two handshake
+        // messages, the request, then the reply).
+        let adversary: Adversary = Arc::new(move |_msg| {
+            if c.fetch_add(1, Ordering::SeqCst) == 3 {
+                Tamper::FlipBit(7)
+            } else {
+                Tamper::Pass
+            }
+        });
+        let (a_end, b_end) = duplex(Some(adversary));
+        let ea = enclave();
+        let eb = enclave();
+        let responder = std::thread::spawn(move || {
+            let mut b =
+                SecureChannel::handshake(ResendOnEmpty::new(b_end), eb, Role::Responder).unwrap();
+            let req = b.recv().unwrap();
+            b.send(&req).unwrap();
+        });
+        let mut a =
+            SecureChannel::handshake(ResendOnEmpty::new(a_end), ea, Role::Initiator).unwrap();
+        let before = a.send_seq;
+        let result = a.request_with_retry(b"ping", &RetryPolicy::with_seed(6, 3));
+        assert!(matches!(result, Err(ShieldError::ChannelTampered(_))));
+        // Exactly one request went out: tampering is not retried.
+        assert_eq!(a.send_seq, before + 1);
+        responder.join().unwrap();
     }
 }

@@ -160,8 +160,10 @@ mod tests {
     }
 
     fn enclave_with_epc(mode: ExecutionMode, epc_bytes: u64) -> Arc<Enclave> {
-        let mut model = CostModel::default();
-        model.epc_bytes = epc_bytes;
+        let model = CostModel {
+            epc_bytes,
+            ..Default::default()
+        };
         let platform = Platform::builder().cost_model(model).build();
         platform
             .create_enclave(

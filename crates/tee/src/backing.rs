@@ -207,8 +207,8 @@ impl PagedBuffer {
     /// Host-side rollback: replace a sealed page with an older sealed
     /// image (adversary action for tests). Returns whether applied.
     pub fn host_replace(&mut self, index: usize, stale: Vec<u8>) -> bool {
-        if self.evicted.contains_key(&index) {
-            self.evicted.insert(index, stale);
+        if let Some(slot) = self.evicted.get_mut(&index) {
+            *slot = stale;
             true
         } else {
             false

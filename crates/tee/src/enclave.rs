@@ -15,7 +15,7 @@ use crate::{ExecutionMode, TeeError};
 use parking_lot::Mutex;
 use securetf_crypto::aead::Key;
 use securetf_crypto::drbg::HmacDrbg;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Counters of TEE boundary crossings, for diagnostics and benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,9 +56,13 @@ pub struct Enclave {
     seal_nonce: AtomicU64,
     transitions: AtomicU64,
     async_syscalls: AtomicU64,
+    failed: AtomicBool,
 }
 
 impl Enclave {
+    // Crate-internal constructor; Platform is the only caller and wires
+    // every platform-derived parameter through explicitly.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn create(
         image: &EnclaveImage,
         mode: ExecutionMode,
@@ -108,6 +112,7 @@ impl Enclave {
             seal_nonce: AtomicU64::new(1),
             transitions: AtomicU64::new(0),
             async_syscalls: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
         })
     }
 
@@ -139,6 +144,26 @@ impl Enclave {
     /// The platform cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.model
+    }
+
+    // ---- failure state ---------------------------------------------------
+
+    /// Marks the enclave crashed (host kill, AEX storm, machine loss).
+    /// The enclave object stays alive so callers can observe the state
+    /// and degrade gracefully instead of panicking.
+    pub fn mark_failed(&self) {
+        self.failed.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears the failure mark after the supervisor has respawned /
+    /// re-attested the service this enclave backs.
+    pub fn revive(&self) {
+        self.failed.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the enclave is currently marked crashed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
     }
 
     // ---- attestation ----------------------------------------------------

@@ -300,8 +300,10 @@ mod tests {
 
     fn mgr(limited: bool) -> (EpcManager, SimClock) {
         let clock = SimClock::new();
-        let mut model = CostModel::default();
-        model.epc_bytes = 64 * PAGE_SIZE as u64; // tiny EPC for tests
+        let model = CostModel {
+            epc_bytes: 64 * PAGE_SIZE as u64, // tiny EPC for tests
+            ..Default::default()
+        };
         (EpcManager::new(model, clock.clone(), limited), clock)
     }
 

@@ -46,6 +46,7 @@ pub mod epc;
 pub mod measurement;
 pub mod platform;
 pub mod quote;
+pub mod retry;
 pub mod sealing;
 
 pub use clock::{CostModel, SimClock};
@@ -54,6 +55,7 @@ pub use epc::{EpcStats, RegionId, PAGE_SIZE};
 pub use measurement::{EnclaveImage, MrEnclave};
 pub use platform::Platform;
 pub use quote::Quote;
+pub use retry::RetryPolicy;
 
 use std::error::Error;
 use std::fmt;

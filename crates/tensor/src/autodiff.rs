@@ -651,7 +651,7 @@ fn avg_pool2_grad(in_shape: &[usize], grad: &Tensor) -> Result<Tensor, TensorErr
 }
 
 fn concat_cols(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (&[m1, n1], &[m2, n2]) = (&a.shape()[..], &b.shape()[..]) else {
+    let (&[m1, n1], &[m2, n2]) = (a.shape(), b.shape()) else {
         return Err(TensorError::ShapeMismatch {
             op: "concat_cols",
             detail: format!("{:?} ++ {:?} (need rank 2)", a.shape(), b.shape()),
@@ -678,7 +678,7 @@ fn concat_cols_grad(
     b_shape: &[usize],
     grad: &Tensor,
 ) -> Result<(Tensor, Tensor), TensorError> {
-    let (&[m, n1], &[_, n2]) = (&a_shape[..], &b_shape[..]) else {
+    let (&[m, n1], &[_, n2]) = (a_shape, b_shape) else {
         return Err(TensorError::ShapeMismatch {
             op: "concat_cols_grad",
             detail: format!("{a_shape:?} / {b_shape:?}"),

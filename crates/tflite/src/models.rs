@@ -98,12 +98,10 @@ pub fn build(spec: ModelSpec) -> LiteModel {
     // Rename the output node for stable lookup.
     let out_id = g.node_id(g.len() - 1).expect("non-empty");
     let name_of_out = g.nodes()[out_id.index()].name.clone();
-    let model = LiteModel::convert(&g, "input", &name_of_out)
+    LiteModel::convert(&g, "input", &name_of_out)
         .expect("inference-only by construction")
         .with_name(spec.name)
-        .with_declared_flops(spec.flops);
- 
-    model
+        .with_declared_flops(spec.flops)
 }
 
 /// A deterministic `[positions, 1024]` input for the synthetic models.
@@ -121,8 +119,8 @@ mod tests {
 
     #[test]
     fn specs_are_ordered_by_size() {
-        assert!(DENSENET.bytes < INCEPTION_V3.bytes);
-        assert!(INCEPTION_V3.bytes < INCEPTION_V4.bytes);
+        let specs = [DENSENET, INCEPTION_V3, INCEPTION_V4];
+        assert!(specs.windows(2).all(|w| w[0].bytes < w[1].bytes));
     }
 
     #[test]

@@ -163,10 +163,9 @@ pub fn fold_constants(model: &LiteModel) -> (LiteModel, usize) {
         let mut scratch = Graph::new();
         let mut remap = HashMap::new();
         for input in &inputs {
-            if !remap.contains_key(&input.index()) {
-                let c = scratch.constant("in", known[&input.index()].clone());
-                remap.insert(input.index(), c);
-            }
+            remap
+                .entry(input.index())
+                .or_insert_with(|| scratch.constant("in", known[&input.index()].clone()));
         }
         let op = node.op.map_inputs(|old| remap[&old.index()]);
         let Ok(target) = scratch.append_node(securetf_tensor::graph::Node {
@@ -387,6 +386,11 @@ impl QuantizedModel {
     }
 }
 
+/// Reinterprets an `i8` slice as bytes (no unsafe: copies).
+fn bytemuck_i8(values: &[i8]) -> Vec<u8> {
+    values.iter().map(|&v| v as u8).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,9 +600,4 @@ mod tests {
         assert_eq!(restored.name(), "opt-test");
         assert_eq!(restored.declared_flops(), 5e8);
     }
-}
-
-/// Reinterprets an `i8` slice as bytes (no unsafe: copies).
-fn bytemuck_i8(values: &[i8]) -> Vec<u8> {
-    values.iter().map(|&v| v as u8).collect()
 }

@@ -113,7 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..documents.len() {
         let (x, _) = documents.batch(i, 1)?;
         let bytes: Vec<u8> = x.data().iter().flat_map(|v| v.to_le_bytes()).collect();
-        client.send(&bytes);
+        client.send(&bytes)?;
         let received = server_channel.recv()?;
         let pixels: Vec<f32> = received
             .chunks_exact(4)
@@ -121,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         let image = securetf_tensor::tensor::Tensor::from_vec(&[1, 784], pixels)?;
         let (digit, latency) = service.classify(&image)?;
-        server_channel.send(&[digit as u8]);
+        server_channel.send(&[digit as u8])?;
         let reply = client.recv()?;
         println!(
             "customer: document {i} digitized as '{}' (truth {}), {:.2} ms",

@@ -65,7 +65,7 @@ fn every_record_bit_flip_is_detected() {
             }
         });
         let (mut alice, mut bob) = channel_pair(Some(adversary));
-        alice.send(b"model gradients batch 0");
+        alice.send(b"model gradients batch 0").unwrap();
         assert!(
             matches!(bob.recv(), Err(ShieldError::ChannelTampered(_))),
             "flip at byte {target_byte} undetected"
@@ -93,7 +93,7 @@ fn handshake_mitm_changes_transcripts() {
         bob.transcript_hash(),
         "transcripts must diverge under key substitution"
     );
-    alice.send(b"secret");
+    alice.send(b"secret").unwrap();
     assert!(bob.recv().is_err(), "keys must not match after MITM");
 }
 
@@ -198,9 +198,9 @@ fn dropped_and_reordered_gradients_never_corrupt_silently() {
         }
     });
     let (mut alice, mut bob) = channel_pair(Some(adversary));
-    alice.send(b"grad 0");
-    alice.send(b"grad 1");
-    alice.send(b"grad 2");
+    alice.send(b"grad 0").unwrap();
+    alice.send(b"grad 1").unwrap();
+    alice.send(b"grad 2").unwrap();
     assert_eq!(bob.recv().expect("r0"), b"grad 0");
     assert_eq!(bob.recv().expect("r1"), b"grad 1");
     // "grad 2" was dropped; nothing else may be accepted in its place.

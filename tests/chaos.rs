@@ -1,0 +1,317 @@
+//! Chaos matrix: end-to-end training and serving under seeded fault
+//! plans.
+//!
+//! For a matrix of seeds, a deterministic [`FaultPlan`] is generated and
+//! a supervised training run executes under it. The assertions are the
+//! robustness contract of the tentpole:
+//!
+//! * training *completes* with a finite loss under every survivable
+//!   plan — worker crashes, PS stalls, network drops/tampering,
+//!   checkpoint corruption and CAS outages included;
+//! * the serving path never panics while its enclave is down — it
+//!   returns a typed `Response::Unavailable` and recovers after respawn;
+//! * an identical seed reproduces the identical fault schedule and the
+//!   identical final loss, bit for bit.
+
+use securetf::classifier::SecureClassifier;
+use securetf::deployment::Deployment;
+use securetf::profile::RuntimeProfile;
+use securetf::serving::{decode_response, encode_request, serve, Request, Response};
+use securetf_distrib::faults::{FaultEvent, FaultPlan};
+use securetf_distrib::supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
+use securetf_distrib::trainer::DistributedTrainer;
+use securetf_distrib::cluster::{Cluster, ClusterConfig};
+use securetf_shield::fs::UntrustedStore;
+use securetf_shield::net::{duplex, PipeEnd, Role, SecureChannel, Transport};
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tensor::graph::Graph;
+use securetf_tensor::layers::{self, Classifier};
+use securetf_tensor::tensor::Tensor;
+use securetf_tflite::model::LiteModel;
+
+const SEEDS: [u64; 6] = [1, 7, 42, 1337, 0xDEAD_BEEF, 2026];
+const STEPS: u64 = 10;
+const WORKERS: usize = 3;
+
+fn small_model() -> Classifier {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    layers::mlp_classifier(784, &[32], 10, &mut rng).expect("valid model")
+}
+
+fn trainer() -> DistributedTrainer {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: WORKERS,
+        parameter_servers: 1,
+        mode: ExecutionMode::Simulation,
+        network_shield: true,
+        runtime_bytes: 8 * 1024 * 1024,
+        heap_bytes: 16 * 1024 * 1024,
+        cost_model: None,
+    })
+    .expect("cluster boots");
+    let data = securetf_data::synthetic_mnist(300, 5);
+    DistributedTrainer::new(cluster, small_model(), data, 100, 0.2).expect("trainer")
+}
+
+struct ChaosRun {
+    digest: u64,
+    loss_bits: u32,
+    stats: SupervisorStats,
+}
+
+fn run_seed(seed: u64) -> ChaosRun {
+    let plan = FaultPlan::generate(seed, STEPS, WORKERS);
+    let digest = plan.schedule_digest();
+    let mut supervisor = Supervisor::new(
+        trainer(),
+        plan,
+        SupervisorConfig::default(),
+        UntrustedStore::new(),
+    )
+    .expect("supervisor boots");
+    let report = supervisor
+        .train_steps(STEPS)
+        .expect("survivable plan completes");
+    assert!(
+        report.final_loss.is_finite(),
+        "seed {seed}: loss {} not finite",
+        report.final_loss
+    );
+    assert_eq!(report.steps, STEPS, "seed {seed}: steps lost");
+    assert_eq!(
+        report.samples,
+        STEPS * WORKERS as u64 * 100,
+        "seed {seed}: every step must run with a healed, full worker set"
+    );
+    ChaosRun {
+        digest,
+        loss_bits: report.final_loss.to_bits(),
+        stats: supervisor.stats(),
+    }
+}
+
+#[test]
+fn training_survives_every_seeded_fault_plan() {
+    let mut total_faults = 0u64;
+    let mut total_respawns = 0u64;
+    for seed in SEEDS {
+        let run = run_seed(seed);
+        total_faults += run.stats.faults_injected;
+        total_respawns += run.stats.respawns;
+    }
+    // The matrix must actually exercise the fault machinery, not pass
+    // vacuously on empty schedules.
+    assert!(total_faults >= 10, "only {total_faults} faults injected");
+    assert!(total_respawns >= 1, "no respawn was ever exercised");
+}
+
+#[test]
+fn identical_seed_reproduces_schedule_and_loss_bit_for_bit() {
+    for seed in [SEEDS[0], SEEDS[2]] {
+        let a = run_seed(seed);
+        let b = run_seed(seed);
+        assert_eq!(a.digest, b.digest, "seed {seed}: schedule diverged");
+        assert_eq!(
+            a.loss_bits, b.loss_bits,
+            "seed {seed}: final loss diverged bit-wise"
+        );
+        assert_eq!(a.stats, b.stats, "seed {seed}: recovery path diverged");
+    }
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_schedules() {
+    let digests: Vec<u64> = SEEDS
+        .iter()
+        .map(|&s| FaultPlan::generate(s, STEPS, WORKERS).schedule_digest())
+        .collect();
+    for i in 0..digests.len() {
+        for j in i + 1..digests.len() {
+            assert_ne!(
+                digests[i], digests[j],
+                "seeds {} and {} collided",
+                SEEDS[i], SEEDS[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn hand_written_worst_case_plan_is_survived() {
+    // Everything at once: all workers crash while the CAS is down, the
+    // newest checkpoint is corrupted and the PS stalls.
+    let mut plan = FaultPlan::none();
+    for w in 0..WORKERS {
+        plan = plan.with_event(2, FaultEvent::WorkerCrash { worker: w });
+    }
+    plan = plan
+        .with_event(2, FaultEvent::CasOutage {
+            duration_ns: 6_000_000,
+        })
+        .with_event(2, FaultEvent::ChunkCorruption { offset: 64 })
+        .with_event(2, FaultEvent::PsStall {
+            delay_ns: 10_000_000,
+        });
+    let mut supervisor = Supervisor::new(
+        trainer(),
+        plan,
+        SupervisorConfig::default(),
+        UntrustedStore::new(),
+    )
+    .expect("supervisor boots");
+    let report = supervisor.train_steps(6).expect("worst case survived");
+    assert!(report.final_loss.is_finite());
+    assert_eq!(supervisor.stats().respawns, WORKERS as u64);
+}
+
+// ---------------------------------------------------------------------
+// Serving under chaos.
+// ---------------------------------------------------------------------
+
+fn tiny_lite_model() -> LiteModel {
+    let mut g = Graph::new();
+    let x = g.placeholder("input", &[0, 6]);
+    let w = g.constant(
+        "w",
+        Tensor::from_vec(&[6, 3], (0..18).map(|i| (i % 5) as f32 * 0.1).collect())
+            .expect("weights"),
+    );
+    let y = g.matmul(x, w).expect("matmul");
+    let name = g.nodes()[y.index()].name.clone();
+    LiteModel::convert(&g, "input", &name).expect("convert")
+}
+
+struct Spin(PipeEnd);
+
+impl Transport for Spin {
+    fn send(&self, m: Vec<u8>) {
+        self.0.send(m);
+    }
+
+    fn recv(&self) -> Option<Vec<u8>> {
+        for _ in 0..200_000 {
+            if let Some(m) = self.0.recv() {
+                return Some(m);
+            }
+            std::thread::yield_now();
+        }
+        None
+    }
+}
+
+fn side_enclave(tag: &[u8]) -> std::sync::Arc<securetf_tee::Enclave> {
+    let platform = Platform::builder().build();
+    platform
+        .create_enclave(
+            &EnclaveImage::builder().code(tag).build(),
+            ExecutionMode::Simulation,
+        )
+        .expect("enclave")
+}
+
+fn serving_pair(classifier: &SecureClassifier) -> (SecureChannel<Spin>, SecureChannel<Spin>) {
+    // The session terminates in a front-end enclave so it survives the
+    // classifier enclave's crash (and keeps answering with typed
+    // Unavailable frames while it is down).
+    let _ = classifier;
+    let (client_end, server_end) = duplex(None);
+    let frontend = side_enclave(b"chaos frontend");
+    let server = std::thread::spawn(move || {
+        SecureChannel::handshake(Spin(server_end), frontend, Role::Responder).expect("handshake")
+    });
+    let client = SecureChannel::handshake(
+        Spin(client_end),
+        side_enclave(b"chaos client"),
+        Role::Initiator,
+    )
+    .expect("handshake");
+    (client, server.join().expect("join"))
+}
+
+#[test]
+fn serving_returns_unavailable_during_outages_and_recovers() {
+    let mut deployment = Deployment::new(ExecutionMode::Hardware);
+    deployment
+        .publish_model("svc", "/m", &tiny_lite_model())
+        .expect("publish");
+    let mut classifier = deployment
+        .deploy_classifier("svc", "/m", RuntimeProfile::scone_lite())
+        .expect("deploy");
+    let (mut client, mut server) = serving_pair(&classifier);
+    let input = Tensor::full(&[1, 6], 0.5);
+
+    // Alternate outages and recoveries over several cycles; the serve
+    // loop must never panic and must answer every request.
+    let mut outage_answers = 0u64;
+    let mut healthy_answers = 0u64;
+    for cycle in 0..4u64 {
+        let down = cycle % 2 == 1;
+        if down {
+            classifier.enclave().mark_failed();
+        } else {
+            classifier.enclave().revive();
+        }
+        for i in 0..3u64 {
+            let id = cycle * 10 + i;
+            client
+                .send(&encode_request(&Request {
+                    id,
+                    input: input.clone(),
+                }))
+                .expect("client send");
+        }
+        let served = serve(&mut classifier, &mut server).expect("serve never panics");
+        assert_eq!(served, 3, "cycle {cycle}");
+        for i in 0..3u64 {
+            let id = cycle * 10 + i;
+            let frame = client.recv().expect("response");
+            match decode_response(&frame).expect("frame") {
+                Response::Unavailable { id: got, retry_after_ns } => {
+                    assert!(down, "unavailable while healthy (id {got})");
+                    assert_eq!(got, id);
+                    assert!(retry_after_ns > 0);
+                    outage_answers += 1;
+                }
+                Response::Label { id: got, label } => {
+                    assert!(!down, "label during outage (id {got})");
+                    assert_eq!(got, id);
+                    assert!(label < 3);
+                    healthy_answers += 1;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    assert_eq!(outage_answers, 6);
+    assert_eq!(healthy_answers, 6);
+
+    // The request/response helper sees the typed degradation too.
+    classifier.enclave().mark_failed();
+    client
+        .send(&encode_request(&Request {
+            id: 99,
+            input: input.clone(),
+        }))
+        .expect("send");
+    serve(&mut classifier, &mut server).expect("degraded serve");
+    let frame = client.recv().expect("response");
+    assert!(matches!(
+        decode_response(&frame).expect("frame"),
+        Response::Unavailable { id: 99, .. }
+    ));
+
+    // Full recovery via the helper path.
+    classifier.enclave().revive();
+    client
+        .send(&encode_request(&Request {
+            id: 100,
+            input: input.clone(),
+        }))
+        .expect("send");
+    serve(&mut classifier, &mut server).expect("healthy serve");
+    let frame = client.recv().expect("response");
+    assert!(matches!(
+        decode_response(&frame).expect("frame"),
+        Response::Label { id: 100, .. }
+    ));
+}

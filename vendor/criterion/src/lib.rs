@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `black_box`,
+//! `Criterion::bench_function`/`benchmark_group`, `Bencher::iter`/
+//! `iter_with_setup`, `Throughput`, and the `criterion_group!`/
+//! `criterion_main!` macros — with simple wall-clock timing and one
+//! plain-text line of output per benchmark. No statistics, HTML
+//! reports, or CLI argument handling.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant folding.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for reporting throughput alongside timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iterations` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` before each call.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 24 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Criterion
+    where
+        S: AsRef<str>,
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(id.as_ref(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput unit.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.as_ref());
+        run_one(&label, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    label: &str,
+    iterations: u64,
+    throughput: Option<Throughput>,
+    f: F,
+) {
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / iterations.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(", {:.1} MiB/s", rate_per_sec(n, per_iter) / (1u64 << 20) as f64),
+        Throughput::Elements(n) => format!(", {:.2e} elem/s", rate_per_sec(n, per_iter)),
+    });
+    println!(
+        "bench {label:<48} {per_iter:>12.0} ns/iter ({iterations} iters{})",
+        rate.unwrap_or_default()
+    );
+}
+
+fn rate_per_sec(units_per_iter: u64, ns_per_iter: f64) -> f64 {
+    if ns_per_iter <= 0.0 {
+        return 0.0;
+    }
+    units_per_iter as f64 * 1.0e9 / ns_per_iter
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(black_box(b)))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("test/sum", |b| {
+            b.iter(|| {
+                ran += 1;
+                sum_to(100)
+            })
+        });
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("test/setup", |b| {
+            b.iter_with_setup(
+                || {
+                    setups += 1;
+                    7u64
+                },
+                |n| {
+                    runs += 1;
+                    sum_to(n)
+                },
+            )
+        });
+        assert_eq!((setups, runs), (2, 2));
+    }
+
+    #[test]
+    fn groups_report_throughput_without_panicking() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("a", |b| b.iter(|| sum_to(10)));
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("b", |b| b.iter(|| sum_to(10)));
+        group.finish();
+    }
+}

@@ -1,0 +1,423 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy subset the workspace's property tests use:
+//! numeric ranges, `any::<T>()`, fixed-size arrays, `collection::vec`,
+//! tuples, `sample::Index`, and simple `[a-z]{1,20}`-style string
+//! patterns, driven by the `proptest!` / `prop_assert!` macros. Inputs
+//! are drawn from a deterministic RNG seeded from the test name and
+//! case index — every run explores the same cases. No shrinking: a
+//! failing case panics with the ordinary assertion message.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value from `rng`.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy for any value of an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+}
+
+/// Patterns like `"[a-z]{1,20}"` are strategies producing `String`s.
+///
+/// Supported regex subset: literal characters, `[x-y…]` classes of
+/// ranges and singletons, and `{n}` / `{lo,hi}` repetitions.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let mut choices = Vec::new();
+            if c == '[' {
+                let mut prev: Option<char> = None;
+                for d in chars.by_ref() {
+                    match d {
+                        ']' => break,
+                        '-' => prev = prev.or(Some('-')),
+                        _ => match prev.take() {
+                            Some(lo) if !choices.is_empty() && choices.last() == Some(&lo) => {
+                                // `lo-d`: the '-' consumed `prev`; extend the range.
+                                choices.extend(((lo as u32 + 1)..=d as u32).filter_map(char::from_u32));
+                            }
+                            _ => {
+                                choices.push(d);
+                                prev = Some(d);
+                            }
+                        },
+                    }
+                }
+            } else {
+                choices.push(c);
+            }
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&d| d != '}').collect();
+                let mut parts = spec.splitn(2, ',');
+                let lo: usize = parts.next().unwrap_or("1").trim().parse().unwrap_or(1);
+                let hi: usize = parts
+                    .next()
+                    .map(|p| p.trim().parse().unwrap_or(lo))
+                    .unwrap_or(lo);
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            assert!(!choices.is_empty(), "empty character class in pattern {self:?}");
+            for _ in 0..rng.gen_range(lo..=hi) {
+                out.push(choices[rng.gen_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::{StdRng, Strategy};
+
+    /// Strategy for `[S::Value; N]` with independently drawn elements.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    macro_rules! uniform_fn {
+        ($($name:ident / $n:literal),*) => {$(
+            /// Strategy for an array of independently drawn elements.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray(element)
+            }
+        )*};
+    }
+
+    uniform_fn!(uniform12 / 12, uniform16 / 16, uniform24 / 24, uniform32 / 32);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Variable-size collection strategies.
+
+    use super::{Rng, StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Admissible lengths for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> SizeRange {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                lo: range.start,
+                hi_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` of a length drawn from the size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy producing vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies for sampling positions within runtime-sized data.
+
+    use super::{Arbitrary, StdRng};
+
+    /// A position independent of the eventual collection length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the position against a collection of `len` items.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Index {
+            Index(rand::Rng::gen(rng))
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic per-case RNG construction used by `proptest!`.
+
+    use super::StdRng;
+    use rand::SeedableRng;
+
+    /// RNG for one case of one property, seeded from both identities.
+    pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable API surface, mirroring `proptest::prelude`.
+
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy};
+
+    pub mod prop {
+        //! Strategy modules, addressed as `prop::…` by convention.
+
+        pub use crate::{array, collection, sample};
+    }
+}
+
+/// Defines `#[test]` functions that run their body over many drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            small in 0u8..8,
+            big in 1usize..256,
+            f in -2.0f32..2.0,
+        ) {
+            prop_assert!(small < 8);
+            prop_assert!((1..256).contains(&big));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn arrays_and_vecs_have_requested_shapes(
+            key in prop::array::uniform32(any::<u8>()),
+            exact in prop::collection::vec(any::<u8>(), 6),
+            ranged in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            prop_assert_eq!(key.len(), 32);
+            prop_assert_eq!(exact.len(), 6);
+            prop_assert!(ranged.len() < 64);
+        }
+
+        #[test]
+        fn index_resolves_within_len(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(10) < 10);
+        }
+
+        #[test]
+        fn pattern_strings_match_class_and_length(s in "[a-z]{1,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (any::<bool>(), 1u64..5)) {
+            let (_flag, n) = pair;
+            prop_assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        use crate::test_runner::case_rng;
+        use rand::RngCore;
+        let a = case_rng("some_test", 3).next_u64();
+        let b = case_rng("some_test", 3).next_u64();
+        let c = case_rng("other_test", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -15,7 +15,7 @@ fn trainer(workers: usize, mode: ExecutionMode, shield: bool) -> DistributedTrai
         network_shield: shield,
         runtime_bytes: 8 * 1024 * 1024,
         heap_bytes: 16 * 1024 * 1024,
-        cost_model: None,
+        ..ClusterConfig::default()
     })
     .expect("cluster");
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);

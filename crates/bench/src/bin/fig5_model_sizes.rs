@@ -12,6 +12,7 @@
 
 use securetf::deployment::Deployment;
 use securetf::profile::RuntimeProfile;
+use securetf_bench::report::{BenchReport, JsonValue};
 use securetf_bench::{fmt_ns, fmt_ratio, header};
 use securetf_tee::ExecutionMode;
 use securetf_tflite::models::{self, ModelSpec, PAPER_MODELS};
@@ -82,4 +83,21 @@ fn main() {
             paper_graphene[i],
         );
     }
+
+    let mut report = BenchReport::new("fig5_model_sizes")
+        .mode("native/sim/hw")
+        .paper_target("hw/sim 1.39x/1.14x/1.12x; graphene/hw 1.03x..~1.40x");
+    for (spec, native, sim, hw, graphene) in &rows {
+        report = report.value(
+            spec.name,
+            JsonValue::Object(vec![
+                ("model_bytes".to_string(), JsonValue::U64(spec.bytes)),
+                ("native_glibc_ns".to_string(), JsonValue::U64(*native)),
+                ("sim_ns".to_string(), JsonValue::U64(*sim)),
+                ("hw_ns".to_string(), JsonValue::U64(*hw)),
+                ("graphene_hw_ns".to_string(), JsonValue::U64(*graphene)),
+            ]),
+        );
+    }
+    report.emit();
 }

@@ -12,6 +12,7 @@
 
 use securetf::deployment::Deployment;
 use securetf::profile::RuntimeProfile;
+use securetf_bench::report::{BenchReport, JsonValue};
 use securetf_bench::{fmt_ns, header};
 use securetf_tee::ExecutionMode;
 use securetf_tflite::models::{self, ModelSpec, PAPER_MODELS};
@@ -52,6 +53,9 @@ fn main() {
         &["model            ", "mode", "shield off ", "shield on  ", "overhead"],
     );
     let paper = [("sim", "0.12%"), ("hw", "0.9%")];
+    let mut report = BenchReport::new("fig6_fs_shield")
+        .mode("sim/hw")
+        .paper_target("shield overhead 0.12% in SIM, 0.9% in HW");
     for spec in PAPER_MODELS {
         for (mode, mode_name) in [
             (ExecutionMode::Simulation, "sim"),
@@ -69,10 +73,19 @@ fn main() {
                 fmt_ns(on),
                 overhead,
             );
+            report = report.value(
+                &format!("{}_{}", spec.name, mode_name.trim()),
+                JsonValue::Object(vec![
+                    ("shield_off_ns".to_string(), JsonValue::U64(off)),
+                    ("shield_on_ns".to_string(), JsonValue::U64(on)),
+                    ("overhead_pct".to_string(), JsonValue::F64(overhead)),
+                ]),
+            );
         }
     }
     println!(
         "\npaper: shield overhead {} in SIM mode, {} in HW mode (startup-dominated)",
         paper[0].1, paper[1].1
     );
+    report.emit();
 }

@@ -12,6 +12,7 @@
 //!   the network shield is the main non-EPC overhead.
 
 use rand::SeedableRng;
+use securetf_bench::report::{BenchReport, JsonValue};
 use securetf_bench::{fmt_ns, fmt_ratio, header};
 use securetf_distrib::cluster::{Cluster, ClusterConfig};
 use securetf_distrib::trainer::DistributedTrainer;
@@ -97,4 +98,21 @@ fn main() {
     for (workers, _, _, _, hw) in &rows {
         println!("  {workers} workers: {:.2}x", hw.1 / base);
     }
+
+    let mut report = BenchReport::new("fig8_training")
+        .mode("native/sim/hw")
+        .paper_target("hw-full ~14x native; scaling 1.96x / 2.57x with 2 / 3 workers");
+    for (workers, native, sim_off, sim_on, hw) in &rows {
+        report = report.value(
+            &format!("workers_{workers}"),
+            JsonValue::Object(vec![
+                ("native_step_ns".to_string(), JsonValue::U64(native.0)),
+                ("sim_no_shield_step_ns".to_string(), JsonValue::U64(sim_off.0)),
+                ("sim_shield_step_ns".to_string(), JsonValue::U64(sim_on.0)),
+                ("hw_full_step_ns".to_string(), JsonValue::U64(hw.0)),
+                ("hw_scaling_vs_1_worker".to_string(), JsonValue::F64(hw.1 / base)),
+            ]),
+        );
+    }
+    report.emit();
 }

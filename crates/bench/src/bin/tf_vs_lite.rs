@@ -8,6 +8,7 @@
 
 use securetf::deployment::Deployment;
 use securetf::profile::RuntimeProfile;
+use securetf_bench::report::BenchReport;
 use securetf_bench::{fmt_ns, fmt_ratio, header};
 use securetf_tee::ExecutionMode;
 use securetf_tflite::models::{self, INCEPTION_V3};
@@ -48,4 +49,12 @@ fn main() {
         "\nfull-TF / lite: {} (paper: 49.782 s / 0.697 s = ~71x)",
         fmt_ratio(full, lite)
     );
+
+    BenchReport::new("tf_vs_lite")
+        .mode("hw")
+        .paper_target("49.782 s full-TF vs 0.697 s lite (~71x)")
+        .latency_ns("lite_ns", lite)
+        .latency_ns("full_tf_ns", full)
+        .ratio("full_over_lite", full as f64 / lite.max(1) as f64)
+        .emit();
 }

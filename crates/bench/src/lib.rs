@@ -5,6 +5,8 @@
 //! paper's own numbers for comparison. All latencies are **virtual time**
 //! from the TEE cost model (see `DESIGN.md` §4), so runs are deterministic.
 
+pub mod report;
+
 /// Formats nanoseconds as adaptive human units.
 pub fn fmt_ns(ns: u64) -> String {
     if ns >= 10_000_000_000 {

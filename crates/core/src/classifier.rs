@@ -15,7 +15,7 @@ use securetf_crypto::aead::{self, Key, Nonce};
 use securetf_crypto::sha256;
 use securetf_shield::fs::UntrustedStore;
 use securetf_shield::sched::ThreadingModel;
-use securetf_tee::{Enclave, EnclaveImage, ExecutionMode, Platform, RegionId};
+use securetf_tee::{Enclave, EnclaveImage, ExecutionMode, Platform, RegionId, SimClock, Telemetry};
 use securetf_tensor::tensor::Tensor;
 use securetf_tflite::interpreter::Interpreter;
 use securetf_tflite::model::LiteModel;
@@ -52,10 +52,18 @@ impl SecureClassifier {
         service: &str,
         path: &str,
         profile: RuntimeProfile,
+        clock: Option<SimClock>,
+        telemetry: Telemetry,
     ) -> Result<SecureClassifier, SecureTfError> {
         // A fresh machine with this profile's cost model.
         let _ = image;
-        let platform = Platform::builder().cost_model(profile.cost_model()).build();
+        let mut builder = Platform::builder()
+            .cost_model(profile.cost_model())
+            .telemetry(telemetry);
+        if let Some(clock) = clock {
+            builder = builder.clock(clock);
+        }
+        let platform = builder.build();
         let image = service_image(profile.runtime_bytes);
         let enclave = platform.create_enclave(&image, mode)?;
 

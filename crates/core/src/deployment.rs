@@ -12,7 +12,7 @@ use securetf_cas::service::CasService;
 use securetf_crypto::aead::{self, Key, Nonce};
 use securetf_crypto::sha256;
 use securetf_shield::fs::UntrustedStore;
-use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform, SimClock, Telemetry};
 use securetf_tflite::model::LiteModel;
 
 /// Builds the measured identity of a classifier-service enclave with the
@@ -40,12 +40,30 @@ pub struct Deployment {
     cas: CasService,
     store: UntrustedStore,
     service_image: EnclaveImage,
+    clock: Option<SimClock>,
+    telemetry: Telemetry,
 }
 
 impl Deployment {
     /// Creates a deployment whose service enclaves run in `mode`.
     pub fn new(mode: ExecutionMode) -> Self {
-        let cas_platform = Platform::builder().build();
+        Self::build(mode, None, Telemetry::disabled())
+    }
+
+    /// Creates a deployment whose machines share `clock` and charge their
+    /// costs to `telemetry` — the observability entry point: every enclave
+    /// this deployment boots (CAS and classifiers) attributes transitions,
+    /// paging, syscalls and crypto to the same registry.
+    pub fn instrumented(mode: ExecutionMode, clock: SimClock, telemetry: Telemetry) -> Self {
+        Self::build(mode, Some(clock), telemetry)
+    }
+
+    fn build(mode: ExecutionMode, clock: Option<SimClock>, telemetry: Telemetry) -> Self {
+        let mut builder = Platform::builder().telemetry(telemetry.clone());
+        if let Some(clock) = &clock {
+            builder = builder.clock(clock.clone());
+        }
+        let cas_platform = builder.build();
         let cas_enclave = cas_platform
             .create_enclave(
                 &EnclaveImage::builder().code(b"securetf-cas").name("cas").build(),
@@ -66,7 +84,14 @@ impl Deployment {
             cas,
             store: UntrustedStore::new(),
             service_image,
+            clock,
+            telemetry,
         }
+    }
+
+    /// The telemetry handle this deployment's enclaves charge to.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The untrusted storage backing this deployment.
@@ -143,6 +168,8 @@ impl Deployment {
             service,
             path,
             profile,
+            self.clock.clone(),
+            self.telemetry.clone(),
         )
     }
 

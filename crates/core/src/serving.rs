@@ -241,6 +241,12 @@ pub fn serve<T: Transport>(
     classifier: &mut SecureClassifier,
     channel: &mut SecureChannel<T>,
 ) -> Result<u64, SecureTfError> {
+    let telemetry = classifier.enclave().telemetry().clone();
+    let requests = telemetry.counter("serving.requests");
+    let unavailable = telemetry.counter("serving.unavailable");
+    let errors = telemetry.counter("serving.errors");
+    let latency = telemetry.histogram("serving.request_latency_ns");
+    let clock = classifier.enclave().clock().clone();
     let mut served = 0u64;
     loop {
         let frame = match channel.recv() {
@@ -248,6 +254,7 @@ pub fn serve<T: Transport>(
             Err(ShieldError::ChannelClosed) => return Ok(served),
             Err(e) => return Err(SecureTfError::Shield(e)),
         };
+        let started_ns = clock.now_ns();
         let response = match decode_request(&frame) {
             Ok(request) if classifier.enclave().is_failed() => Response::Unavailable {
                 id: request.id,
@@ -269,7 +276,16 @@ pub fn serve<T: Transport>(
             },
         };
         match channel.send(&encode_response(&response)) {
-            Ok(()) => served += 1,
+            Ok(()) => {
+                served += 1;
+                requests.inc();
+                latency.record(clock.now_ns() - started_ns);
+                match &response {
+                    Response::Unavailable { .. } => unavailable.inc(),
+                    Response::Error { .. } => errors.inc(),
+                    Response::Label { .. } => {}
+                }
+            }
             // The channel's own endpoint died mid-reply: the session is
             // over, but requests already answered still count.
             Err(ShieldError::ChannelClosed) => return Ok(served),
@@ -514,6 +530,55 @@ mod tests {
             Response::Label { id: 4, .. } => {}
             other => panic!("expected recovery, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn serving_records_latency_and_degradations() {
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let mut deployment =
+            Deployment::instrumented(ExecutionMode::Hardware, clock, telemetry.clone());
+        deployment.publish_model("svc", "/m", &tiny_model()).unwrap();
+        let mut classifier = deployment
+            .deploy_classifier("svc", "/m", RuntimeProfile::scone_lite())
+            .unwrap();
+
+        let (client_end, server_end) = duplex(None);
+        let frontend = client_enclave();
+        let server = std::thread::spawn(move || {
+            SecureChannel::handshake(Spin(server_end), frontend, Role::Responder)
+                .expect("handshake")
+        });
+        let mut client =
+            SecureChannel::handshake(Spin(client_end), client_enclave(), Role::Initiator)
+                .expect("handshake");
+        let mut server = server.join().expect("join");
+
+        let ask = |client: &mut SecureChannel<Spin>, id: u64| {
+            client
+                .send(&encode_request(&Request {
+                    id,
+                    input: Tensor::full(&[1, 6], 1.0),
+                }))
+                .unwrap();
+        };
+
+        // Two healthy requests, then one during an outage.
+        ask(&mut client, 1);
+        ask(&mut client, 2);
+        serve(&mut classifier, &mut server).expect("serve");
+        classifier.enclave().mark_failed();
+        ask(&mut client, 3);
+        serve(&mut classifier, &mut server).expect("degraded serve");
+
+        assert_eq!(telemetry.counter("serving.requests").get(), 3);
+        assert_eq!(telemetry.counter("serving.unavailable").get(), 1);
+        assert_eq!(telemetry.counter("serving.errors").get(), 0);
+        let latency = telemetry.histogram("serving.request_latency_ns").snapshot();
+        assert_eq!(latency.count, 3);
+        // Healthy requests consume virtual time (inference + shields);
+        // the degraded answer is effectively free.
+        assert!(latency.max_ns > 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use securetf_cas::ca::{Certificate, CertificateAuthority};
 use securetf_cas::policy::ServicePolicy;
 use securetf_cas::service::{CasService, Provision};
 use securetf_crypto::x25519::{PublicKey, StaticSecret};
-use securetf_tee::{Enclave, EnclaveImage, ExecutionMode, Platform, SimClock};
+use securetf_tee::{Enclave, EnclaveImage, ExecutionMode, Platform, SimClock, Telemetry};
 use std::sync::Arc;
 
 /// Name of the CAS policy protecting the training service.
@@ -36,6 +36,10 @@ pub struct ClusterConfig {
     pub heap_bytes: u64,
     /// Cost-model override for every node (default: the standard model).
     pub cost_model: Option<securetf_tee::CostModel>,
+    /// Telemetry every node's enclave charges costs to (default:
+    /// disabled, zero overhead). Node clocks stay independent; the
+    /// registry and cost counters are cluster-global.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ClusterConfig {
@@ -50,6 +54,7 @@ impl Default for ClusterConfig {
             runtime_bytes: 87_400_000,
             heap_bytes: 64 * 1024 * 1024,
             cost_model: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -102,7 +107,9 @@ impl Cluster {
     /// Returns [`DistribError::Attestation`] or [`DistribError::Tee`] on
     /// bootstrap failures.
     pub fn new(config: ClusterConfig) -> Result<Cluster, DistribError> {
-        let cas_platform = Platform::builder().build();
+        let cas_platform = Platform::builder()
+            .telemetry(config.telemetry.clone())
+            .build();
         let cas_enclave = cas_platform.create_enclave(
             &EnclaveImage::builder().code(b"securetf-cas").name("cas").build(),
             // CAS always runs protected, even when the workload is
@@ -304,7 +311,7 @@ fn boot_node(
     config: &ClusterConfig,
     attest_ns_total: &mut u64,
 ) -> Result<ClusterNode, DistribError> {
-    let mut builder = Platform::builder();
+    let mut builder = Platform::builder().telemetry(config.telemetry.clone());
     if let Some(model) = &config.cost_model {
         builder = builder.cost_model(model.clone());
     }
@@ -350,7 +357,7 @@ mod tests {
             network_shield: true,
             runtime_bytes: 4 * 1024 * 1024,
             heap_bytes: 16 * 1024 * 1024,
-            cost_model: None,
+            ..ClusterConfig::default()
         }
     }
 

@@ -28,7 +28,8 @@ use parking_lot::Mutex;
 use securetf_shield::fs::UntrustedStore;
 use securetf_shield::net::{duplex, Adversary, PipeEnd, Role, SecureChannel, Tamper, Transport};
 use securetf_shield::ShieldError;
-use securetf_tee::{CostModel, Enclave, RetryPolicy};
+use securetf_tee::telemetry::Counter;
+use securetf_tee::{CostCategory, CostModel, Enclave, RetryPolicy, Telemetry};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -181,6 +182,37 @@ enum Probe {
     Compromised,
 }
 
+/// Telemetry mirror of [`SupervisorStats`], resolved once from the
+/// cluster's telemetry registry (no-op handles when disabled). The
+/// `SupervisorStats` struct stays the programmatic API; these counters
+/// put the same events into metrics digests and attested exports.
+#[derive(Debug, Clone)]
+struct SupervisorMetrics {
+    heartbeats: Counter,
+    missed_heartbeats: Counter,
+    tampered_heartbeats: Counter,
+    respawns: Counter,
+    rollbacks: Counter,
+    checkpoints: Counter,
+    checkpoint_fallbacks: Counter,
+    faults_injected: Counter,
+}
+
+impl SupervisorMetrics {
+    fn for_telemetry(t: &Telemetry) -> Self {
+        SupervisorMetrics {
+            heartbeats: t.counter("supervisor.heartbeats"),
+            missed_heartbeats: t.counter("supervisor.missed_heartbeats"),
+            tampered_heartbeats: t.counter("supervisor.tampered_heartbeats"),
+            respawns: t.counter("supervisor.respawns"),
+            rollbacks: t.counter("supervisor.rollbacks"),
+            checkpoints: t.counter("supervisor.checkpoints"),
+            checkpoint_fallbacks: t.counter("supervisor.checkpoint_fallbacks"),
+            faults_injected: t.counter("supervisor.faults_injected"),
+        }
+    }
+}
+
 /// A self-healing wrapper around [`DistributedTrainer`].
 pub struct Supervisor {
     trainer: DistributedTrainer,
@@ -189,6 +221,8 @@ pub struct Supervisor {
     store: UntrustedStore,
     heartbeats: Vec<Heartbeat>,
     stats: SupervisorStats,
+    metrics: SupervisorMetrics,
+    telemetry: Telemetry,
     step: u64,
     latest_generation: Option<u64>,
 }
@@ -216,6 +250,8 @@ impl Supervisor {
         config: SupervisorConfig,
         store: UntrustedStore,
     ) -> Result<Self, DistribError> {
+        let telemetry = trainer.cluster().config().telemetry.clone();
+        let metrics = SupervisorMetrics::for_telemetry(&telemetry);
         let mut supervisor = Supervisor {
             trainer,
             config,
@@ -223,6 +259,8 @@ impl Supervisor {
             store,
             heartbeats: Vec::new(),
             stats: SupervisorStats::default(),
+            metrics,
+            telemetry,
             step: 0,
             latest_generation: None,
         };
@@ -269,6 +307,7 @@ impl Supervisor {
                 Err(e) if recoveries < self.config.max_step_recoveries && recoverable(&e) => {
                     recoveries += 1;
                     self.stats.rollbacks += 1;
+                    self.metrics.rollbacks.inc();
                     self.heal()?;
                     self.restore_latest()?;
                 }
@@ -288,6 +327,7 @@ impl Supervisor {
         let worker_count = self.trainer.cluster().workers.len().max(1);
         for event in events {
             self.stats.faults_injected += 1;
+            self.metrics.faults_injected.inc();
             match event {
                 FaultEvent::WorkerCrash { worker } => {
                     self.trainer.cluster_mut().fail_worker(worker % worker_count)?;
@@ -295,6 +335,7 @@ impl Supervisor {
                 FaultEvent::PsStall { delay_ns } => {
                     self.trainer.cluster().ps.clock().advance(delay_ns);
                     self.stats.supervision_ns += delay_ns;
+                    self.telemetry.charge(CostCategory::Other, delay_ns);
                 }
                 FaultEvent::NetDrop { worker, records } => {
                     let queue = &self.heartbeats[worker % worker_count].tamper;
@@ -331,6 +372,7 @@ impl Supervisor {
                 Probe::Dead => self.respawn(w)?,
                 Probe::Compromised => {
                     self.stats.tampered_heartbeats += 1;
+                    self.metrics.tampered_heartbeats.inc();
                     self.respawn(w)?;
                 }
             }
@@ -348,10 +390,13 @@ impl Supervisor {
                 let backoff = policy.delay_ns(attempt - 1);
                 self.trainer.cluster().ps.clock().advance(backoff);
                 self.stats.supervision_ns += backoff;
+                self.telemetry.charge(CostCategory::Other, backoff);
             }
             self.stats.heartbeats += 1;
+            self.metrics.heartbeats.inc();
             self.trainer.cluster().ps.clock().advance(model.lan_rtt_ns);
             self.stats.supervision_ns += model.lan_rtt_ns;
+            self.telemetry.charge(CostCategory::Network, model.lan_rtt_ns);
             let hb = &mut self.heartbeats[w];
             let ping = hb.seq.to_le_bytes();
             hb.seq += 1;
@@ -369,12 +414,14 @@ impl Supervisor {
                         Ok(_) => return Probe::Alive,
                         Err(ShieldError::ChannelClosed) => {
                             self.stats.missed_heartbeats += 1;
+                            self.metrics.missed_heartbeats.inc();
                         }
                         Err(_) => return Probe::Compromised,
                     }
                 }
                 Err(ShieldError::ChannelClosed) => {
                     self.stats.missed_heartbeats += 1;
+                    self.metrics.missed_heartbeats.inc();
                 }
                 Err(_) => return Probe::Compromised,
             }
@@ -387,6 +434,7 @@ impl Supervisor {
     /// channel.
     fn respawn(&mut self, w: usize) -> Result<(), DistribError> {
         self.stats.respawns += 1;
+        self.metrics.respawns.inc();
         self.trainer
             .cluster_mut()
             .respawn_worker_with_retry(w, &self.config.retry)?;
@@ -410,6 +458,7 @@ impl Supervisor {
         self.trainer.save_checkpoint(&self.store, &path)?;
         self.latest_generation = Some(generation);
         self.stats.checkpoints += 1;
+        self.metrics.checkpoints.inc();
         Ok(())
     }
 
@@ -428,6 +477,7 @@ impl Supervisor {
                 Ok(()) => {
                     if i > 0 {
                         self.stats.checkpoint_fallbacks += 1;
+                        self.metrics.checkpoint_fallbacks.inc();
                     }
                     return Ok(());
                 }
@@ -436,6 +486,7 @@ impl Supervisor {
             }
         }
         self.stats.checkpoint_fallbacks += 1;
+        self.metrics.checkpoint_fallbacks.inc();
         self.save_generation()
     }
 
@@ -504,7 +555,7 @@ mod tests {
             network_shield: true,
             runtime_bytes: 8 * 1024 * 1024,
             heap_bytes: 16 * 1024 * 1024,
-            cost_model: None,
+            ..ClusterConfig::default()
         })
         .unwrap();
         let data = securetf_data::synthetic_mnist(300, 5);
@@ -626,6 +677,59 @@ mod tests {
         let faulted = s.train_steps(2).unwrap();
         let clean = supervisor(1, FaultPlan::none()).train_steps(2).unwrap();
         assert!(faulted.elapsed_ns > clean.elapsed_ns + 7_000_000 - 1);
+    }
+
+    #[test]
+    fn supervision_events_mirror_into_telemetry() {
+        let telemetry = Telemetry::new(Arc::new(securetf_tee::SimClock::new()));
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 2,
+            parameter_servers: 1,
+            mode: ExecutionMode::Simulation,
+            network_shield: true,
+            runtime_bytes: 8 * 1024 * 1024,
+            heap_bytes: 16 * 1024 * 1024,
+            telemetry: telemetry.clone(),
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let data = securetf_data::synthetic_mnist(300, 5);
+        let trainer = DistributedTrainer::new(cluster, small_model(), data, 100, 0.2).unwrap();
+        let plan = FaultPlan::none()
+            .with_event(1, FaultEvent::WorkerCrash { worker: 0 })
+            .with_event(2, FaultEvent::NetTamper { worker: 1 });
+        let mut s = Supervisor::new(
+            trainer,
+            plan,
+            SupervisorConfig::default(),
+            UntrustedStore::new(),
+        )
+        .unwrap();
+        s.train_steps(4).unwrap();
+        let stats = s.stats();
+        assert_eq!(
+            telemetry.counter("supervisor.heartbeats").get(),
+            stats.heartbeats
+        );
+        assert_eq!(
+            telemetry.counter("supervisor.respawns").get(),
+            stats.respawns
+        );
+        assert_eq!(
+            telemetry.counter("supervisor.tampered_heartbeats").get(),
+            stats.tampered_heartbeats
+        );
+        assert_eq!(
+            telemetry.counter("supervisor.checkpoints").get(),
+            stats.checkpoints
+        );
+        assert_eq!(
+            telemetry.counter("supervisor.faults_injected").get(),
+            stats.faults_injected
+        );
+        assert!(stats.respawns >= 2, "crash + tamper both replace workers");
+        // Probe RTTs were attributed to the network cost category.
+        assert!(telemetry.counter("cost.network.ns").get() > 0);
     }
 
     #[test]

@@ -533,7 +533,7 @@ mod tests {
             network_shield: shield,
             runtime_bytes: 8 * 1024 * 1024,
             heap_bytes: 16 * 1024 * 1024,
-            cost_model: None,
+            ..ClusterConfig::default()
         }
     }
 
@@ -715,7 +715,7 @@ mod tests {
                 network_shield: true,
                 runtime_bytes: 8 * 1024 * 1024,
                 heap_bytes: 16 * 1024 * 1024,
-                cost_model: None,
+                ..ClusterConfig::default()
             })
             .unwrap();
             let mut rng = rand::SeedableRng::seed_from_u64(3);

@@ -16,6 +16,7 @@ use crate::ShieldError;
 use parking_lot::Mutex;
 use securetf_crypto::aead::{self, Key, Nonce};
 use securetf_crypto::sha256;
+use securetf_tee::telemetry::Counter;
 use securetf_tee::Enclave;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -117,6 +118,30 @@ struct FileMeta {
     file_id: u64,
 }
 
+/// Telemetry counters for the fs shield, resolved once at construction
+/// (no-op handles when the enclave's platform has telemetry disabled).
+#[derive(Debug, Clone)]
+struct FsMetrics {
+    writes: Counter,
+    reads: Counter,
+    bytes_written: Counter,
+    bytes_read: Counter,
+    tamper_rejections: Counter,
+}
+
+impl FsMetrics {
+    fn for_enclave(enclave: &Enclave) -> Self {
+        let t = enclave.telemetry();
+        FsMetrics {
+            writes: t.counter("shield.fs.writes"),
+            reads: t.counter("shield.fs.reads"),
+            bytes_written: t.counter("shield.fs.bytes_written"),
+            bytes_read: t.counter("shield.fs.bytes_read"),
+            tamper_rejections: t.counter("shield.fs.tamper_rejections"),
+        }
+    }
+}
+
 /// The file-system shield.
 ///
 /// Holds the file key (derived from the enclave identity) and the
@@ -129,25 +154,20 @@ pub struct FsShield {
     meta: HashMap<String, FileMeta>,
     key: Key,
     next_file_id: u64,
+    metrics: FsMetrics,
 }
 
 impl FsShield {
     /// Creates a shield over `store` with keys bound to `enclave`.
     pub fn new(enclave: Arc<Enclave>, store: UntrustedStore) -> Self {
         let key = enclave.derived_key(b"fs-shield-v1");
-        FsShield {
-            enclave,
-            store,
-            policies: Vec::new(),
-            meta: HashMap::new(),
-            key,
-            next_file_id: 1,
-        }
+        Self::with_key(enclave, store, key)
     }
 
     /// Creates a shield with an explicit key (for files shared between
     /// enclaves, e.g. encrypted models provisioned by CAS).
     pub fn with_key(enclave: Arc<Enclave>, store: UntrustedStore, key: Key) -> Self {
+        let metrics = FsMetrics::for_enclave(&enclave);
         FsShield {
             enclave,
             store,
@@ -155,6 +175,7 @@ impl FsShield {
             meta: HashMap::new(),
             key,
             next_file_id: 1,
+            metrics,
         }
     }
 
@@ -199,6 +220,8 @@ impl FsShield {
     /// interface stability with real I/O backends.
     pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), ShieldError> {
         self.enclave.charge_syscall();
+        self.metrics.writes.inc();
+        self.metrics.bytes_written.add(data.len() as u64);
         let policy = self.policy_for(path);
         if policy == Policy::Passthrough {
             self.store.raw_put(path, data.to_vec());
@@ -272,6 +295,24 @@ impl FsShield {
     ///   authentication, were truncated, or belong to a stale version
     ///   (rollback).
     pub fn read(&self, path: &str) -> Result<Vec<u8>, ShieldError> {
+        self.count_read(Self::read_inner(self, path))
+    }
+
+    /// Attributes a read result to the shield metrics: successful reads
+    /// count records and bytes, failed authentication counts a rejection.
+    fn count_read(&self, result: Result<Vec<u8>, ShieldError>) -> Result<Vec<u8>, ShieldError> {
+        match &result {
+            Ok(data) => {
+                self.metrics.reads.inc();
+                self.metrics.bytes_read.add(data.len() as u64);
+            }
+            Err(ShieldError::FileTampered(_)) => self.metrics.tamper_rejections.inc(),
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn read_inner(&self, path: &str) -> Result<Vec<u8>, ShieldError> {
         self.enclave.charge_syscall();
         let stored = self
             .store
@@ -368,6 +409,15 @@ impl FsShield {
     /// Same classes as [`FsShield::read`]; additionally
     /// [`ShieldError::FileTampered`] if the range exceeds the file.
     pub fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, ShieldError> {
+        self.count_read(Self::read_range_inner(self, path, offset, len))
+    }
+
+    fn read_range_inner(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, ShieldError> {
         self.enclave.charge_syscall();
         let meta = self
             .meta
@@ -785,6 +835,46 @@ mod tests {
         assert!(shield
             .read_range("/secure/f", CHUNK_SIZE as u64 + 10, 100)
             .is_err());
+    }
+
+    #[test]
+    fn fs_metrics_count_ops_and_tamper_rejections() {
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock)
+            .telemetry(telemetry.clone())
+            .build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"fs test").build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap();
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+
+        shield.write("/secure/a", b"twelve bytes").unwrap();
+        assert_eq!(shield.read("/secure/a").unwrap(), b"twelve bytes");
+        assert_eq!(telemetry.counter("shield.fs.writes").get(), 1);
+        assert_eq!(telemetry.counter("shield.fs.reads").get(), 1);
+        assert_eq!(telemetry.counter("shield.fs.bytes_written").get(), 12);
+        assert_eq!(telemetry.counter("shield.fs.bytes_read").get(), 12);
+        assert_eq!(telemetry.counter("shield.fs.tamper_rejections").get(), 0);
+
+        // Tampered reads count as rejections, not reads.
+        store.corrupt("/secure/a", 10);
+        assert!(shield.read("/secure/a").is_err());
+        assert_eq!(telemetry.counter("shield.fs.reads").get(), 1);
+        assert_eq!(telemetry.counter("shield.fs.tamper_rejections").get(), 1);
+
+        // A missing file is not a tamper rejection.
+        assert!(matches!(
+            shield.read("/nope"),
+            Err(ShieldError::FileNotFound(_))
+        ));
+        assert_eq!(telemetry.counter("shield.fs.tamper_rejections").get(), 1);
     }
 
     #[test]

@@ -22,7 +22,8 @@ use securetf_crypto::aead::{self, Key, Nonce};
 use securetf_crypto::hkdf;
 use securetf_crypto::sha256::Sha256;
 use securetf_crypto::x25519::{PublicKey, StaticSecret};
-use securetf_tee::{Enclave, RetryPolicy};
+use securetf_tee::telemetry::{Counter, SealedSnapshot};
+use securetf_tee::{CostCategory, Enclave, RetryPolicy};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -131,6 +132,30 @@ pub enum Role {
     Responder,
 }
 
+/// Registry-backed record counters shared by every channel on the same
+/// telemetry handle (resolved once per channel at handshake time).
+#[derive(Debug, Clone)]
+struct NetMetrics {
+    records_sent: Counter,
+    records_received: Counter,
+    records_rejected: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+}
+
+impl NetMetrics {
+    fn for_enclave(enclave: &Enclave) -> Self {
+        let telemetry = enclave.telemetry();
+        NetMetrics {
+            records_sent: telemetry.counter("shield.net.records_sent"),
+            records_received: telemetry.counter("shield.net.records_received"),
+            records_rejected: telemetry.counter("shield.net.records_rejected"),
+            bytes_sent: telemetry.counter("shield.net.bytes_sent"),
+            bytes_received: telemetry.counter("shield.net.bytes_received"),
+        }
+    }
+}
+
 /// A secure channel over an untrusted transport.
 pub struct SecureChannel<T: Transport> {
     transport: T,
@@ -141,6 +166,7 @@ pub struct SecureChannel<T: Transport> {
     recv_seq: u64,
     loss_window: u64,
     transcript: [u8; 32],
+    metrics: NetMetrics,
 }
 
 impl<T: Transport> std::fmt::Debug for SecureChannel<T> {
@@ -228,6 +254,7 @@ impl<T: Transport> SecureChannel<T> {
             Role::Responder => (to_key(r2i), to_key(i2r)),
         };
 
+        let metrics = NetMetrics::for_enclave(&enclave);
         Ok(SecureChannel {
             transport,
             enclave,
@@ -237,6 +264,7 @@ impl<T: Transport> SecureChannel<T> {
             recv_seq: 0,
             loss_window: 0,
             transcript,
+            metrics,
         })
     }
 
@@ -278,7 +306,10 @@ impl<T: Transport> SecureChannel<T> {
         let record = aead::seal(&self.send_key, &nonce, plaintext, &aad);
         self.send_seq += 1;
         self.enclave.charge_syscall();
-        self.enclave.charge_shield_crypto(plaintext.len() as u64);
+        self.enclave
+            .charge_shield_crypto_as(plaintext.len() as u64, CostCategory::Network);
+        self.metrics.records_sent.inc();
+        self.metrics.bytes_sent.add(plaintext.len() as u64);
         self.transport.send(record);
         Ok(())
     }
@@ -305,11 +336,38 @@ impl<T: Transport> SecureChannel<T> {
             let aad = candidate.to_le_bytes();
             if let Ok(plain) = aead::open(&self.recv_key, &nonce, &record, &aad) {
                 self.recv_seq = candidate + 1;
-                self.enclave.charge_shield_crypto(plain.len() as u64);
+                self.enclave
+                    .charge_shield_crypto_as(plain.len() as u64, CostCategory::Network);
+                self.metrics.records_received.inc();
+                self.metrics.bytes_received.add(plain.len() as u64);
                 return Ok(plain);
             }
         }
+        self.metrics.records_rejected.inc();
         Err(ShieldError::ChannelTampered("record authentication failed"))
+    }
+
+    /// Ships a sealed telemetry snapshot to the peer. The snapshot is
+    /// already ciphertext under the producing enclave's sealing key; the
+    /// channel adds its own record protection on top, so even a sealed
+    /// blob never crosses the wire unauthenticated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SecureChannel::send`].
+    pub fn send_telemetry(&mut self, sealed: &SealedSnapshot) -> Result<(), ShieldError> {
+        self.send(sealed.as_bytes())
+    }
+
+    /// Receives a sealed telemetry snapshot shipped by the peer. The
+    /// returned blob is still sealed; only an enclave with the producing
+    /// identity can open it (fail-closed on tamper).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SecureChannel::recv`].
+    pub fn recv_telemetry(&mut self) -> Result<SealedSnapshot, ShieldError> {
+        self.recv().map(SealedSnapshot::from_bytes)
     }
 
     /// Sends a message and waits for one reply (request/response helper).
@@ -354,7 +412,7 @@ impl<T: Transport> SecureChannel<T> {
 mod tests {
     use super::*;
     use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::Ordering;
 
     fn enclave() -> Arc<Enclave> {
         let platform = Platform::builder().build();
@@ -447,11 +505,11 @@ mod tests {
 
     #[test]
     fn tampered_record_detected() {
-        let counter = Arc::new(AtomicUsize::new(0));
+        let counter = Counter::new();
         let c = counter.clone();
         // Let the 2 handshake messages pass, corrupt the 3rd.
         let adversary: Adversary = Arc::new(move |_msg| {
-            if c.fetch_add(1, Ordering::SeqCst) == 2 {
+            if c.fetch_inc() == 2 {
                 Tamper::FlipBit(5)
             } else {
                 Tamper::Pass
@@ -467,10 +525,10 @@ mod tests {
 
     #[test]
     fn replayed_record_detected() {
-        let counter = Arc::new(AtomicUsize::new(0));
+        let counter = Counter::new();
         let c = counter.clone();
         let adversary: Adversary = Arc::new(move |_msg| {
-            if c.fetch_add(1, Ordering::SeqCst) == 2 {
+            if c.fetch_inc() == 2 {
                 Tamper::Duplicate
             } else {
                 Tamper::Pass
@@ -485,10 +543,10 @@ mod tests {
 
     #[test]
     fn dropped_record_breaks_sequence() {
-        let counter = Arc::new(AtomicUsize::new(0));
+        let counter = Counter::new();
         let c = counter.clone();
         let adversary: Adversary = Arc::new(move |_msg| {
-            if c.fetch_add(1, Ordering::SeqCst) == 2 {
+            if c.fetch_inc() == 2 {
                 Tamper::Drop
             } else {
                 Tamper::Pass
@@ -528,12 +586,12 @@ mod tests {
 
     #[test]
     fn loss_window_skips_dropped_records_but_rejects_replays() {
-        let counter = Arc::new(AtomicUsize::new(0));
+        let counter = Counter::new();
         let c = counter.clone();
         // Handshake (0,1) passes; drop the first data record, replay the
         // second.
         let adversary: Adversary = Arc::new(move |_msg| {
-            match c.fetch_add(1, Ordering::SeqCst) {
+            match c.fetch_inc() {
                 2 => Tamper::Drop,
                 3 => Tamper::Duplicate,
                 _ => Tamper::Pass,
@@ -628,12 +686,12 @@ mod tests {
     fn request_with_retry_fails_closed_on_tamper() {
         use securetf_tee::RetryPolicy;
 
-        let counter = Arc::new(AtomicUsize::new(0));
+        let counter = Counter::new();
         let c = counter.clone();
         // Corrupt the reply record (message index 3: two handshake
         // messages, the request, then the reply).
         let adversary: Adversary = Arc::new(move |_msg| {
-            if c.fetch_add(1, Ordering::SeqCst) == 3 {
+            if c.fetch_inc() == 3 {
                 Tamper::FlipBit(7)
             } else {
                 Tamper::Pass
@@ -656,5 +714,117 @@ mod tests {
         // Exactly one request went out: tampering is not retried.
         assert_eq!(a.send_seq, before + 1);
         responder.join().unwrap();
+    }
+
+    /// Two enclaves with the same measurement on one telemetered platform,
+    /// already joined by a secure channel.
+    fn telemetered_pair() -> (
+        securetf_tee::Telemetry,
+        SecureChannel<ResendOnEmpty>,
+        SecureChannel<ResendOnEmpty>,
+    ) {
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock)
+            .telemetry(telemetry.clone())
+            .build();
+        let image = EnclaveImage::builder().code(b"net test").build();
+        let ea = platform
+            .create_enclave(&image, ExecutionMode::Hardware)
+            .unwrap();
+        let eb = platform
+            .create_enclave(&image, ExecutionMode::Hardware)
+            .unwrap();
+        let (a_end, b_end) = duplex(None);
+        let resp = std::thread::spawn(move || {
+            SecureChannel::handshake(ResendOnEmpty::new(b_end), eb, Role::Responder).unwrap()
+        });
+        let a = SecureChannel::handshake(ResendOnEmpty::new(a_end), ea, Role::Initiator).unwrap();
+        (telemetry, a, resp.join().unwrap())
+    }
+
+    #[test]
+    fn channel_records_net_metrics() {
+        let (telemetry, mut a, mut b) = telemetered_pair();
+        a.send(b"four byte payloads").unwrap();
+        assert_eq!(b.recv().unwrap(), b"four byte payloads");
+        b.send(b"reply").unwrap();
+        assert_eq!(a.recv().unwrap(), b"reply");
+        // Both endpoints share one platform telemetry, so sends from
+        // either side land on the same counters.
+        assert_eq!(telemetry.counter("shield.net.records_sent").get(), 2);
+        assert_eq!(telemetry.counter("shield.net.records_received").get(), 2);
+        assert_eq!(
+            telemetry.counter("shield.net.bytes_sent").get(),
+            (b"four byte payloads".len() + b"reply".len()) as u64
+        );
+        assert_eq!(telemetry.counter("shield.net.records_rejected").get(), 0);
+    }
+
+    #[test]
+    fn tampered_record_increments_rejection_counter() {
+        let counter = Counter::new();
+        let c = counter.clone();
+        let adversary: Adversary = Arc::new(move |_msg| {
+            if c.fetch_inc() == 2 {
+                Tamper::FlipBit(5)
+            } else {
+                Tamper::Pass
+            }
+        });
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock)
+            .telemetry(telemetry.clone())
+            .build();
+        let image = EnclaveImage::builder().code(b"net test").build();
+        let ea = platform
+            .create_enclave(&image, ExecutionMode::Hardware)
+            .unwrap();
+        let eb = platform
+            .create_enclave(&image, ExecutionMode::Hardware)
+            .unwrap();
+        let (a_end, b_end) = duplex(Some(adversary));
+        let resp = std::thread::spawn(move || {
+            SecureChannel::handshake(ResendOnEmpty::new(b_end), eb, Role::Responder).unwrap()
+        });
+        let mut a =
+            SecureChannel::handshake(ResendOnEmpty::new(a_end), ea, Role::Initiator).unwrap();
+        let mut b = resp.join().unwrap();
+        a.send(b"important").unwrap();
+        assert!(matches!(b.recv(), Err(ShieldError::ChannelTampered(_))));
+        assert_eq!(telemetry.counter("shield.net.records_rejected").get(), 1);
+        assert_eq!(telemetry.counter("shield.net.records_received").get(), 0);
+    }
+
+    #[test]
+    fn sealed_telemetry_ships_over_channel_and_fails_closed_on_tamper() {
+        use securetf_tee::telemetry::ExportError;
+
+        let (telemetry, mut a, mut b) = telemetered_pair();
+        a.send(b"generate some traffic").unwrap();
+        b.recv().unwrap();
+
+        let snapshot = telemetry.snapshot();
+        let sealed = a.enclave.seal_telemetry(&snapshot).unwrap();
+
+        // Ship the sealed snapshot through the shielded channel and open
+        // it on the other side: same measurement, same platform.
+        a.send_telemetry(&sealed).unwrap();
+        let arrived = b.recv_telemetry().unwrap();
+        let opened = b.enclave.unseal_telemetry(&arrived).unwrap();
+        assert_eq!(opened.digest(), snapshot.digest());
+
+        // A tampered sealed blob fails closed with a typed error.
+        let mut bytes = arrived.as_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let tampered = SealedSnapshot::from_bytes(bytes);
+        assert!(matches!(
+            b.enclave.unseal_telemetry(&tampered),
+            Err(ExportError::Integrity)
+        ));
     }
 }

@@ -16,7 +16,7 @@
 //!    paging (kernel-mediated) serializes.
 
 use crate::ShieldError;
-use securetf_tee::{Enclave, RegionId};
+use securetf_tee::{CostCategory, Enclave, RegionId};
 use std::sync::Arc;
 
 /// How application threads are multiplexed onto OS threads.
@@ -136,6 +136,15 @@ impl Scheduler {
         }
         let makespan_compute = loads.into_iter().max().unwrap_or(0);
         clock.advance(makespan_compute);
+        let telemetry = self.enclave.telemetry();
+        telemetry.charge(CostCategory::Compute, makespan_compute);
+        telemetry.counter("shield.sched.batches").inc();
+        telemetry
+            .counter("shield.sched.tasks")
+            .add(tasks.len() as u64);
+        telemetry
+            .histogram("shield.sched.batch_makespan_ns")
+            .record(serial_ns + makespan_compute);
         Ok(serial_ns + makespan_compute)
     }
 
@@ -263,6 +272,36 @@ mod tests {
     fn zero_cores_panics() {
         let e = enclave(ExecutionMode::Native);
         let _ = Scheduler::new(e, 0, ThreadingModel::UserLevel);
+    }
+
+    #[test]
+    fn run_batch_attributes_compute_and_counts_batches() {
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock)
+            .telemetry(telemetry.clone())
+            .build();
+        let e = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"sched test").build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap();
+        let tasks: Vec<Task> = (0..4).map(|_| Task::compute(1e7).with_syscalls(3)).collect();
+        let sched = Scheduler::new(e, 2, ThreadingModel::UserLevel);
+        let ns = sched.run_batch(&tasks).unwrap();
+        assert!(ns > 0);
+        assert_eq!(telemetry.counter("shield.sched.batches").get(), 1);
+        assert_eq!(telemetry.counter("shield.sched.tasks").get(), 4);
+        let h = telemetry
+            .histogram("shield.sched.batch_makespan_ns")
+            .snapshot();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum_ns, ns);
+        // Compute and syscall costs went to their categories.
+        assert!(telemetry.counter("cost.compute.ns").get() > 0);
+        assert!(telemetry.counter("cost.syscalls.ns").get() > 0);
     }
 
     #[test]

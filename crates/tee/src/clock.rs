@@ -61,6 +61,21 @@ impl SimClock {
         let value = f();
         (value, self.now_ns() - start)
     }
+
+    /// Creates an enabled telemetry handle driven by this clock. The
+    /// handle shares the clock's counter, so spans and histograms measure
+    /// the same virtual time every cost charge advances.
+    pub fn telemetry(&self) -> securetf_telemetry::Telemetry {
+        securetf_telemetry::Telemetry::new(Arc::new(self.clone()))
+    }
+}
+
+/// The telemetry subsystem reads (never advances) virtual time through
+/// this impl, so instrumentation cannot perturb a run's timing.
+impl securetf_telemetry::TimeSource for SimClock {
+    fn now_ns(&self) -> u64 {
+        SimClock::now_ns(self)
+    }
 }
 
 /// Cost parameters of the simulated SGX platform.

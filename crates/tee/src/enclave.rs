@@ -15,6 +15,9 @@ use crate::{ExecutionMode, TeeError};
 use parking_lot::Mutex;
 use securetf_crypto::aead::Key;
 use securetf_crypto::drbg::HmacDrbg;
+use securetf_telemetry::{
+    CostCategory, Counter, ExportError, SealedSnapshot, Snapshot, Telemetry, EXPORT_AAD,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Counters of TEE boundary crossings, for diagnostics and benchmarks.
@@ -54,9 +57,10 @@ pub struct Enclave {
     epc: Mutex<EpcManager>,
     drbg: Mutex<HmacDrbg>,
     seal_nonce: AtomicU64,
-    transitions: AtomicU64,
-    async_syscalls: AtomicU64,
+    transitions: Counter,
+    async_syscalls: Counter,
     failed: AtomicBool,
+    telemetry: Telemetry,
 }
 
 impl Enclave {
@@ -72,6 +76,7 @@ impl Enclave {
         platform_secret: [u8; 32],
         model: CostModel,
         clock: SimClock,
+        telemetry: Telemetry,
     ) -> Result<Enclave, TeeError> {
         let image_bytes = image.code_bytes() + image.runtime_bytes();
         if mode.has_epc_limit() && image_bytes > model.epc_bytes {
@@ -79,13 +84,20 @@ impl Enclave {
                 "enclave image larger than the EPC",
             ));
         }
+        // Deterministic per-enclave metric scope: the k-th enclave created
+        // against a telemetry handle always gets id k, so same-seed runs
+        // (including supervisor respawns) agree on metric names.
+        let scope = format!("tee.{}#{}", image.name(), telemetry.next_scope_id());
         // Enclave build: every image page is added and measured
         // (EADD + EEXTEND); only in modes where the TEE runtime exists.
         if mode.has_runtime() {
             let pages = image_bytes.div_ceil(PAGE_SIZE as u64);
-            clock.advance(model.cycles_to_ns(pages * model.create_page_cycles));
+            let build_ns = model.cycles_to_ns(pages * model.create_page_cycles);
+            clock.advance(build_ns);
+            telemetry.charge(CostCategory::Other, build_ns);
         }
         let mut epc = EpcManager::new(model.clone(), clock.clone(), mode.has_epc_limit());
+        epc.attach_telemetry(&telemetry, &scope);
         if mode.has_runtime() {
             // The runtime image is pinned EPC: it is resident for the
             // enclave's lifetime and shrinks what the application can use.
@@ -97,6 +109,10 @@ impl Enclave {
         let mut seed = Vec::new();
         seed.extend_from_slice(image.measurement().as_bytes());
         seed.extend_from_slice(&platform_id.to_le_bytes());
+        let transitions = Counter::new();
+        let async_syscalls = Counter::new();
+        telemetry.register_counter(&format!("{scope}.transitions"), &transitions);
+        telemetry.register_counter(&format!("{scope}.async_syscalls"), &async_syscalls);
         Ok(Enclave {
             mode,
             measurement: image.measurement(),
@@ -110,9 +126,10 @@ impl Enclave {
             epc: Mutex::new(epc),
             drbg: Mutex::new(HmacDrbg::new(&seed)),
             seal_nonce: AtomicU64::new(1),
-            transitions: AtomicU64::new(0),
-            async_syscalls: AtomicU64::new(0),
+            transitions,
+            async_syscalls,
             failed: AtomicBool::new(false),
+            telemetry,
         })
     }
 
@@ -144,6 +161,12 @@ impl Enclave {
     /// The platform cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// The telemetry handle this enclave charges costs to (disabled
+    /// unless the hosting platform was built with one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     // ---- failure state ---------------------------------------------------
@@ -181,6 +204,8 @@ impl Enclave {
             return Err(TeeError::QuoteInvalid("no TEE in native mode"));
         }
         self.clock.advance(self.model.quote_gen_ns);
+        self.telemetry
+            .charge(CostCategory::Attestation, self.model.quote_gen_ns);
         self.charge_transition();
         let rd: [u8; REPORT_DATA_LEN] = Quote::report_data_from(report_data);
         Ok(Quote::sign(
@@ -210,7 +235,9 @@ impl Enclave {
         if !self.mode.has_runtime() {
             return Err(TeeError::QuoteInvalid("no TEE in native mode"));
         }
-        self.clock.advance(self.model.cycles_to_ns(3_000));
+        let report_ns = self.model.cycles_to_ns(3_000);
+        self.clock.advance(report_ns);
+        self.telemetry.charge(CostCategory::Attestation, report_ns);
         let rd = Quote::report_data_from(report_data);
         let key = self.report_key(target);
         let mut body = Vec::with_capacity(96);
@@ -265,8 +292,9 @@ impl Enclave {
     pub fn seal(&self, policy: SealPolicy, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
         let key = sealing::sealing_key(&self.platform_secret, policy, &self.measurement);
         let nonce_seed = self.seal_nonce.fetch_add(1, Ordering::Relaxed);
-        self.clock
-            .advance(self.model.shield_crypto_ns(plaintext.len() as u64));
+        let crypto_ns = self.model.shield_crypto_ns(plaintext.len() as u64);
+        self.clock.advance(crypto_ns);
+        self.telemetry.charge(CostCategory::Crypto, crypto_ns);
         sealing::seal(&key, nonce_seed, plaintext, aad)
     }
 
@@ -278,9 +306,37 @@ impl Enclave {
     /// different enclave identity/platform or was tampered with.
     pub fn unseal(&self, policy: SealPolicy, sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, TeeError> {
         let key = sealing::sealing_key(&self.platform_secret, policy, &self.measurement);
-        self.clock
-            .advance(self.model.shield_crypto_ns(sealed.len() as u64));
+        let crypto_ns = self.model.shield_crypto_ns(sealed.len() as u64);
+        self.clock.advance(crypto_ns);
+        self.telemetry.charge(CostCategory::Crypto, crypto_ns);
         sealing::unseal(&key, sealed, aad)
+    }
+
+    // ---- telemetry export --------------------------------------------------
+
+    /// Seals a telemetry snapshot under this enclave's measurement
+    /// identity for export. This is the only path from a [`Snapshot`] to
+    /// bytes: the snapshot's wire encoding is private to the telemetry
+    /// crate, so plain-text telemetry export is impossible by
+    /// construction.
+    pub fn seal_telemetry(&self, snapshot: &Snapshot) -> Result<SealedSnapshot, ExportError> {
+        snapshot.seal_with(|bytes| {
+            Ok::<_, TeeError>(self.seal(SealPolicy::Measurement, bytes, EXPORT_AAD))
+        })
+    }
+
+    /// Opens a sealed telemetry snapshot produced by an enclave with the
+    /// same measurement on this platform.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed with [`ExportError::Integrity`] on any tamper (or a
+    /// foreign identity), and [`ExportError::Malformed`] if the
+    /// authenticated plaintext is not a telemetry snapshot.
+    pub fn unseal_telemetry(&self, sealed: &SealedSnapshot) -> Result<Snapshot, ExportError> {
+        Snapshot::open_with(sealed, |bytes| {
+            self.unseal(SealPolicy::Measurement, bytes, EXPORT_AAD)
+        })
     }
 
     /// Derives a named key only this enclave identity can derive
@@ -349,8 +405,10 @@ impl Enclave {
     /// Charges one synchronous enclave transition (ecall/ocall pair).
     pub fn charge_transition(&self) {
         if self.mode.has_runtime() {
-            self.transitions.fetch_add(1, Ordering::Relaxed);
-            self.clock.advance(self.model.transition_ns());
+            self.transitions.inc();
+            let ns = self.model.transition_ns();
+            self.clock.advance(ns);
+            self.telemetry.charge(CostCategory::Transitions, ns);
         }
     }
 
@@ -358,30 +416,43 @@ impl Enclave {
     /// native mode, an exit-less asynchronous call under the shielded
     /// runtime (SIM and HW).
     pub fn charge_syscall(&self) {
-        match self.mode {
-            ExecutionMode::Native => self.clock.advance(self.model.native_syscall_ns()),
+        let ns = match self.mode {
+            ExecutionMode::Native => self.model.native_syscall_ns(),
             ExecutionMode::Simulation | ExecutionMode::Hardware => {
-                self.async_syscalls.fetch_add(1, Ordering::Relaxed);
-                self.clock.advance(self.model.async_syscall_ns());
+                self.async_syscalls.inc();
+                self.model.async_syscall_ns()
             }
-        }
+        };
+        self.clock.advance(ns);
+        self.telemetry.charge(CostCategory::Syscalls, ns);
     }
 
     /// Charges `flops` of single-core compute in the current mode.
     pub fn charge_compute(&self, flops: f64) {
-        self.clock.advance(self.model.compute_ns(flops, self.mode));
+        let ns = self.model.compute_ns(flops, self.mode);
+        self.clock.advance(ns);
+        self.telemetry.charge(CostCategory::Compute, ns);
     }
 
     /// Charges streaming-crypto time for `bytes` (file-system shield).
     pub fn charge_shield_crypto(&self, bytes: u64) {
-        self.clock.advance(self.model.shield_crypto_ns(bytes));
+        self.charge_shield_crypto_as(bytes, CostCategory::Crypto);
+    }
+
+    /// Charges streaming-crypto time for `bytes`, attributing the span
+    /// cost to `category` — the network shield uses the same crypto rate
+    /// but its time belongs to [`CostCategory::Network`].
+    pub fn charge_shield_crypto_as(&self, bytes: u64, category: CostCategory) {
+        let ns = self.model.shield_crypto_ns(bytes);
+        self.clock.advance(ns);
+        self.telemetry.charge(category, ns);
     }
 
     /// Returns boundary-crossing counters.
     pub fn syscall_stats(&self) -> SyscallStats {
         SyscallStats {
-            transitions: self.transitions.load(Ordering::Relaxed),
-            async_syscalls: self.async_syscalls.load(Ordering::Relaxed),
+            transitions: self.transitions.get(),
+            async_syscalls: self.async_syscalls.get(),
         }
     }
 }
@@ -599,5 +670,123 @@ mod tests {
             e.derived_key(b"fs").as_bytes(),
             e.derived_key(b"net").as_bytes()
         );
+    }
+
+    fn telemetered_enclave() -> (std::sync::Arc<Enclave>, crate::Telemetry) {
+        let clock = crate::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock)
+            .telemetry(telemetry.clone())
+            .build();
+        let image = EnclaveImage::builder().code(b"telemetered").name("t").build();
+        let e = platform
+            .create_enclave(&image, ExecutionMode::Hardware)
+            .unwrap();
+        (e, telemetry)
+    }
+
+    #[test]
+    fn charges_attribute_to_cost_categories() {
+        let (e, telemetry) = telemetered_enclave();
+        let _span = telemetry.span("work");
+        e.charge_transition();
+        e.charge_syscall();
+        e.charge_compute(1e6);
+        e.charge_shield_crypto(4096);
+        e.quote(b"x").unwrap();
+        for (name, expect) in [
+            ("cost.transitions.ns", e.cost_model().transition_ns() * 2), // syscall path + quote
+            ("cost.syscalls.ns", e.cost_model().async_syscall_ns()),
+            (
+                "cost.compute.ns",
+                e.cost_model().compute_ns(1e6, ExecutionMode::Hardware),
+            ),
+            ("cost.crypto.ns", e.cost_model().shield_crypto_ns(4096)),
+            ("cost.attestation.ns", e.cost_model().quote_gen_ns),
+        ] {
+            assert_eq!(telemetry.counter(name).get(), expect, "{name}");
+        }
+        assert_eq!(
+            telemetry.counter("cost.transitions.events").get(),
+            2,
+            "charge_transition + quote's transition"
+        );
+    }
+
+    #[test]
+    fn enclave_scope_metrics_registered() {
+        let (e, telemetry) = telemetered_enclave();
+        e.charge_transition();
+        let metrics = telemetry.metrics();
+        assert!(metrics.iter().any(|(name, _)| name == "tee.t#0.transitions"));
+        assert!(metrics.iter().any(|(name, _)| name == "tee.t#0.epc.faults"));
+    }
+
+    #[test]
+    fn paging_cost_attributed_to_spans() {
+        let (e, telemetry) = telemetered_enclave();
+        let r = e.alloc("w", 8 * PAGE_SIZE as u64);
+        let before = telemetry.counter("cost.paging.ns").get();
+        e.touch_all(r).unwrap();
+        let charged = telemetry.counter("cost.paging.ns").get() - before;
+        assert_eq!(charged, 8 * e.cost_model().page_swap_ns());
+    }
+
+    #[test]
+    fn sealed_telemetry_roundtrips_and_fails_closed_on_tamper() {
+        let (e, telemetry) = telemetered_enclave();
+        {
+            let _span = telemetry.span("work");
+            e.charge_transition();
+        }
+        let snapshot = telemetry.snapshot();
+        let sealed = e.seal_telemetry(&snapshot).unwrap();
+        let opened = e.unseal_telemetry(&sealed).unwrap();
+        assert_eq!(opened.digest(), snapshot.digest());
+
+        let mut tampered = sealed.as_bytes().to_vec();
+        let mid = tampered.len() / 2;
+        tampered[mid] ^= 0x01;
+        assert_eq!(
+            e.unseal_telemetry(&securetf_telemetry::SealedSnapshot::from_bytes(tampered)),
+            Err(securetf_telemetry::ExportError::Integrity)
+        );
+    }
+
+    #[test]
+    fn foreign_enclave_cannot_open_sealed_telemetry() {
+        let (e, telemetry) = telemetered_enclave();
+        let sealed = e.seal_telemetry(&telemetry.snapshot()).unwrap();
+        let other = enclave(ExecutionMode::Hardware);
+        assert_eq!(
+            other.unseal_telemetry(&sealed),
+            Err(securetf_telemetry::ExportError::Integrity)
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_charges_identical_virtual_time() {
+        let run = |with_telemetry: bool| {
+            let clock = crate::SimClock::new();
+            let mut builder = Platform::builder().clock(clock.clone());
+            if with_telemetry {
+                builder = builder.telemetry(clock.telemetry());
+            }
+            let platform = builder.build();
+            let image = EnclaveImage::builder().code(b"apples").build();
+            let e = platform
+                .create_enclave(&image, ExecutionMode::Hardware)
+                .unwrap();
+            e.charge_transition();
+            e.charge_compute(1e7);
+            let r = e.alloc("w", 64 * PAGE_SIZE as u64);
+            e.touch_all(r).unwrap();
+            e.quote(b"q").unwrap();
+            clock.now_ns()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert_eq!(without, with, "telemetry must never advance virtual time");
     }
 }

@@ -30,6 +30,7 @@
 
 use crate::clock::{CostModel, SimClock};
 use crate::TeeError;
+use securetf_telemetry::{CostCategory, Counter, Gauge, Telemetry};
 use std::collections::HashMap;
 
 /// Size of one EPC page in bytes.
@@ -40,6 +41,11 @@ pub const PAGE_SIZE: usize = 4096;
 pub struct RegionId(u64);
 
 /// Counters describing EPC behaviour so far.
+///
+/// Since the telemetry subsystem landed this is a *thin view*: the live
+/// state is a set of registry metrics (`EpcMetrics`) and this struct is
+/// a point-in-time copy built on [`EpcManager::stats`], kept for API
+/// compatibility with the benches and tests that predate the registry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EpcStats {
     /// Pages faulted in (each charged a page swap).
@@ -52,6 +58,47 @@ pub struct EpcStats {
     pub peak_resident_pages: u64,
     /// Total pages allocated across live regions.
     pub allocated_pages: u64,
+}
+
+/// The registry-backed metric handles behind [`EpcStats`]. Always
+/// functional (the EPC must keep accurate counts even with telemetry
+/// disabled — tests and the paging model itself read them); when a
+/// [`Telemetry`] handle is enabled they are additionally *registered*
+/// under a scope so they appear in snapshots and the metrics digest.
+#[derive(Debug, Clone)]
+struct EpcMetrics {
+    faults: Counter,
+    evictions: Counter,
+    resident_pages: Gauge,
+    allocated_pages: Gauge,
+}
+
+impl EpcMetrics {
+    fn new() -> Self {
+        EpcMetrics {
+            faults: Counter::new(),
+            evictions: Counter::new(),
+            resident_pages: Gauge::new(),
+            allocated_pages: Gauge::new(),
+        }
+    }
+
+    fn register(&self, telemetry: &Telemetry, scope: &str) {
+        telemetry.register_counter(&format!("{scope}.epc.faults"), &self.faults);
+        telemetry.register_counter(&format!("{scope}.epc.evictions"), &self.evictions);
+        telemetry.register_gauge(&format!("{scope}.epc.resident_pages"), &self.resident_pages);
+        telemetry.register_gauge(&format!("{scope}.epc.allocated_pages"), &self.allocated_pages);
+    }
+
+    fn stats(&self) -> EpcStats {
+        EpcStats {
+            faults: self.faults.get(),
+            evictions: self.evictions.get(),
+            resident_pages: self.resident_pages.get() as u64,
+            peak_resident_pages: self.resident_pages.peak() as u64,
+            allocated_pages: self.allocated_pages.get() as u64,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -77,7 +124,8 @@ pub struct EpcManager {
     regions: HashMap<RegionId, Region>,
     next_id: u64,
     lru_tick: u64,
-    stats: EpcStats,
+    metrics: EpcMetrics,
+    telemetry: Telemetry,
 }
 
 impl EpcManager {
@@ -91,8 +139,18 @@ impl EpcManager {
             regions: HashMap::new(),
             next_id: 1,
             lru_tick: 0,
-            stats: EpcStats::default(),
+            metrics: EpcMetrics::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Registers this manager's metrics with `telemetry` under `scope`
+    /// (e.g. `tee.worker#0`) and starts attributing paging time to the
+    /// [`CostCategory::Paging`] span category. Counts are kept regardless;
+    /// attachment only makes them visible to snapshots and the digest.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, scope: &str) {
+        self.metrics.register(telemetry, scope);
+        self.telemetry = telemetry.clone();
     }
 
     /// Allocates a region of `bytes` bytes. Nothing is resident yet.
@@ -110,7 +168,7 @@ impl EpcManager {
                 pinned: false,
             },
         );
-        self.stats.allocated_pages += pages;
+        self.metrics.allocated_pages.add(pages as i64);
         id
     }
 
@@ -129,8 +187,8 @@ impl EpcManager {
     /// Returns [`TeeError::BadRegion`] for unknown ids.
     pub fn free(&mut self, id: RegionId) -> Result<(), TeeError> {
         let region = self.regions.remove(&id).ok_or(TeeError::BadRegion(id))?;
-        self.stats.resident_pages -= region.resident;
-        self.stats.allocated_pages -= region.pages;
+        self.metrics.resident_pages.sub(region.resident as i64);
+        self.metrics.allocated_pages.sub(region.pages as i64);
         Ok(())
     }
 
@@ -171,9 +229,7 @@ impl EpcManager {
             let newly = touched.saturating_sub(region.resident);
             region.resident += newly;
             region.last_use = tick;
-            self.stats.resident_pages += newly;
-            self.stats.peak_resident_pages =
-                self.stats.peak_resident_pages.max(self.stats.resident_pages);
+            self.metrics.resident_pages.add(newly as i64);
             return Ok(());
         }
 
@@ -209,59 +265,64 @@ impl EpcManager {
         // Make room: evict LRU victims until the new residency fits.
         let region = self.regions.get_mut(&id).expect("checked above");
         let old_resident = region.resident;
-        region.resident = target_resident;
         region.last_use = tick;
-        if target_resident >= old_resident {
-            self.stats.resident_pages += target_resident - old_resident;
-        } else {
+        if target_resident < old_resident {
+            // The pass displaced part of our own working set.
             let shrink = old_resident - target_resident;
-            self.stats.resident_pages -= shrink;
-            self.stats.evictions += shrink;
+            region.resident = target_resident;
+            self.metrics.resident_pages.sub(shrink as i64);
+            self.metrics.evictions.add(shrink);
+        } else {
+            let growth = target_resident - old_resident;
+            // Evict LRU victims *before* the faulted pages land, so the
+            // resident gauge (whose high-water mark backs
+            // `peak_resident_pages`) never exceeds the physical EPC.
+            let mut need_evict = (self.metrics.resident_pages.get() as u64 + growth)
+                .saturating_sub(budget);
+            if need_evict > 0 {
+                let mut victims: Vec<(u64, RegionId)> = self
+                    .regions
+                    .iter()
+                    .filter(|(vid, r)| **vid != id && !r.pinned && r.resident > 0)
+                    .map(|(vid, r)| (r.last_use, *vid))
+                    .collect();
+                victims.sort_unstable();
+                for (_, vid) in victims {
+                    if need_evict == 0 {
+                        break;
+                    }
+                    let victim = self.regions.get_mut(&vid).expect("listed above");
+                    let take = victim.resident.min(need_evict);
+                    victim.resident -= take;
+                    self.metrics.resident_pages.sub(take as i64);
+                    self.metrics.evictions.add(take);
+                    need_evict -= take;
+                }
+            }
+            // Any remainder victims could not absorb displaces this
+            // region's own new pages (thrash): they fault in and are
+            // immediately written back, never settling as resident.
+            let region = self.regions.get_mut(&id).expect("checked above");
+            region.resident = target_resident - need_evict;
+            self.metrics.resident_pages.add((growth - need_evict) as i64);
+            if need_evict > 0 {
+                self.metrics.evictions.add(need_evict);
+            }
         }
 
-        let mut need_evict = self.stats.resident_pages.saturating_sub(budget);
         // Self-thrash: if the working set alone exceeded its budget, the
         // extra faulted pages displaced each other within this pass.
         if touched > avail_for_region {
             let net_growth = target_resident.saturating_sub(old_resident);
-            self.stats.evictions += touched - net_growth.min(touched);
-        }
-        if need_evict > 0 {
-            // Evict from least-recently-used unpinned regions (not self).
-            let mut victims: Vec<(u64, RegionId)> = self
-                .regions
-                .iter()
-                .filter(|(vid, r)| **vid != id && !r.pinned && r.resident > 0)
-                .map(|(vid, r)| (r.last_use, *vid))
-                .collect();
-            victims.sort_unstable();
-            for (_, vid) in victims {
-                if need_evict == 0 {
-                    break;
-                }
-                let victim = self.regions.get_mut(&vid).expect("listed above");
-                let take = victim.resident.min(need_evict);
-                victim.resident -= take;
-                self.stats.resident_pages -= take;
-                self.stats.evictions += take;
-                need_evict -= take;
-            }
-            // If victims were insufficient, shrink self (thrash).
-            if need_evict > 0 {
-                let region = self.regions.get_mut(&id).expect("checked above");
-                let take = region.resident.min(need_evict);
-                region.resident -= take;
-                self.stats.resident_pages -= take;
-                self.stats.evictions += take;
-            }
+            self.metrics.evictions.add(touched - net_growth.min(touched));
         }
 
-        self.stats.faults += faults;
-        self.stats.peak_resident_pages = self
-            .stats
-            .peak_resident_pages
-            .max(self.stats.resident_pages);
-        self.clock.advance(faults * self.model.page_swap_ns());
+        self.metrics.faults.add(faults);
+        let paging_ns = faults * self.model.page_swap_ns();
+        self.clock.advance(paging_ns);
+        if paging_ns > 0 {
+            self.telemetry.charge(CostCategory::Paging, paging_ns);
+        }
         Ok(())
     }
 
@@ -275,9 +336,10 @@ impl EpcManager {
         self.touch(id, 0, pages * PAGE_SIZE as u64)
     }
 
-    /// Returns current statistics.
+    /// Returns current statistics (a point-in-time view of the registry
+    /// metrics backing this manager).
     pub fn stats(&self) -> EpcStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// Returns the names and sizes (in pages) of live regions, for

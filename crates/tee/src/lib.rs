@@ -56,6 +56,10 @@ pub use measurement::{EnclaveImage, MrEnclave};
 pub use platform::Platform;
 pub use quote::Quote;
 pub use retry::RetryPolicy;
+// Re-exported so downstream crates can name telemetry types without a
+// direct dependency on the telemetry crate.
+pub use securetf_telemetry as telemetry;
+pub use securetf_telemetry::{CostCategory, Telemetry};
 
 use std::error::Error;
 use std::fmt;

@@ -31,6 +31,7 @@ use crate::measurement::EnclaveImage;
 use crate::quote::{self, Quote};
 use crate::{ExecutionMode, TeeError};
 use securetf_crypto::hmac::hmac_sha256;
+use securetf_telemetry::Telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -48,6 +49,7 @@ pub struct Platform {
     platform_secret: [u8; 32],
     model: CostModel,
     clock: SimClock,
+    telemetry: Telemetry,
 }
 
 impl Platform {
@@ -76,6 +78,12 @@ impl Platform {
         &self.model
     }
 
+    /// The telemetry handle enclaves on this platform charge costs to
+    /// (disabled unless set at build time).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Creates an enclave from `image` in the given mode.
     ///
     /// # Errors
@@ -96,6 +104,7 @@ impl Platform {
             self.platform_secret,
             self.model.clone(),
             self.clock.clone(),
+            self.telemetry.clone(),
         )
         .map(Arc::new)
     }
@@ -164,6 +173,7 @@ pub struct PlatformBuilder {
     fleet_secret: Option<[u8; 32]>,
     model: Option<CostModel>,
     clock: Option<SimClock>,
+    telemetry: Option<Telemetry>,
 }
 
 impl PlatformBuilder {
@@ -198,6 +208,14 @@ impl PlatformBuilder {
         self
     }
 
+    /// Attaches a telemetry handle: every enclave created on this
+    /// platform charges its costs (transitions, paging, syscalls, …) to
+    /// it. Default: disabled, with zero recording overhead.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Finishes the platform.
     pub fn build(self) -> Platform {
         let id = self
@@ -214,6 +232,7 @@ impl PlatformBuilder {
             platform_secret,
             model: self.model.unwrap_or_default(),
             clock: self.clock.unwrap_or_default(),
+            telemetry: self.telemetry.unwrap_or_default(),
         }
     }
 }

@@ -1,0 +1,449 @@
+//! Sealed snapshot export.
+//!
+//! A [`Snapshot`] is the full telemetry state — metrics, span tree,
+//! capture time — at one instant. Its wire encoding is **private to this
+//! crate**: the only way to obtain the bytes is [`Snapshot::seal_with`],
+//! which hands them to a sealing closure (in practice the enclave's
+//! sealing key via `Enclave::seal_telemetry`) and returns an opaque
+//! [`SealedSnapshot`]. Decoding likewise only happens inside
+//! [`Snapshot::open_with`], after the unsealing closure has
+//! authenticated the ciphertext. Plain-text export is impossible by
+//! construction; any tamper surfaces as a typed
+//! [`ExportError::Integrity`] and the snapshot is withheld — fail
+//! closed.
+
+use crate::metrics::{MetricValue, HISTOGRAM_BUCKETS};
+use crate::metrics::HistogramSnapshot;
+use crate::span::SpanNode;
+use crate::{CostCategory, COST_CATEGORIES};
+use securetf_crypto::sha256;
+use std::fmt;
+
+/// Associated data bound into every sealed telemetry snapshot, so sealed
+/// telemetry can never be confused with (or replayed as) sealed model
+/// state.
+pub const EXPORT_AAD: &[u8] = b"securetf.telemetry.snapshot.v1";
+
+/// Wire-format magic + version.
+const MAGIC: &[u8; 5] = b"STFT1";
+
+/// Errors from the sealed-export path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// The sealing/unsealing primitive rejected the payload — the sealed
+    /// snapshot was tampered with or sealed under a different identity.
+    Integrity,
+    /// The payload authenticated but does not decode as a snapshot
+    /// (truncated, wrong version, or not a telemetry snapshot at all).
+    Malformed,
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Integrity => {
+                write!(f, "sealed telemetry snapshot failed integrity verification")
+            }
+            ExportError::Malformed => {
+                write!(f, "payload does not decode as a telemetry snapshot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// An opaque sealed telemetry snapshot: ciphertext that may legally
+/// leave the enclave (over the network shield, to disk, anywhere).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl SealedSnapshot {
+    /// The sealed bytes, for shipping through a transport.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps bytes received from a transport. No validation happens here;
+    /// it happens (fail-closed) in [`Snapshot::open_with`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SealedSnapshot { bytes }
+    }
+
+    /// Sealed payload length.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// A point-in-time capture of all telemetry state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    taken_at_ns: u64,
+    metrics: Vec<(String, MetricValue)>,
+    spans: Vec<SpanNode>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(
+        taken_at_ns: u64,
+        metrics: Vec<(String, MetricValue)>,
+        spans: Vec<SpanNode>,
+    ) -> Self {
+        Snapshot {
+            taken_at_ns,
+            metrics,
+            spans,
+        }
+    }
+
+    /// Virtual time at capture.
+    pub fn taken_at_ns(&self) -> u64 {
+        self.taken_at_ns
+    }
+
+    /// The captured metrics, sorted by name.
+    pub fn metrics(&self) -> &[(String, MetricValue)] {
+        &self.metrics
+    }
+
+    /// The captured span tree.
+    pub fn spans(&self) -> &[SpanNode] {
+        &self.spans
+    }
+
+    /// Canonical SHA-256 digest of the whole snapshot (encoding digest).
+    /// Equal digests ⟺ byte-identical telemetry.
+    pub fn digest(&self) -> [u8; 32] {
+        sha256::digest(&self.encode())
+    }
+
+    /// Seals this snapshot for export. `seal` is the enclave sealing
+    /// primitive: it receives the (private) encoded bytes and must
+    /// return authenticated ciphertext. This is the **only** way the
+    /// snapshot's bytes leave this crate.
+    pub fn seal_with<E>(
+        &self,
+        seal: impl FnOnce(&[u8]) -> Result<Vec<u8>, E>,
+    ) -> Result<SealedSnapshot, ExportError> {
+        let bytes = seal(&self.encode()).map_err(|_| ExportError::Integrity)?;
+        Ok(SealedSnapshot { bytes })
+    }
+
+    /// Opens a sealed snapshot. `open` is the enclave unsealing
+    /// primitive; if it rejects the ciphertext (tamper, wrong identity)
+    /// this fails closed with [`ExportError::Integrity`], and if the
+    /// authenticated plaintext does not decode, with
+    /// [`ExportError::Malformed`].
+    pub fn open_with<E>(
+        sealed: &SealedSnapshot,
+        open: impl FnOnce(&[u8]) -> Result<Vec<u8>, E>,
+    ) -> Result<Snapshot, ExportError> {
+        let plain = open(&sealed.bytes).map_err(|_| ExportError::Integrity)?;
+        Snapshot::decode(&plain).ok_or(ExportError::Malformed)
+    }
+
+    // ---- private wire format ---------------------------------------------
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.taken_at_ns);
+        put_u64(&mut out, self.metrics.len() as u64);
+        for (name, value) in &self.metrics {
+            put_bytes(&mut out, name.as_bytes());
+            encode_metric(&mut out, value);
+        }
+        put_u64(&mut out, self.spans.len() as u64);
+        for span in &self.spans {
+            put_bytes(&mut out, span.name.as_bytes());
+            match span.parent {
+                Some(p) => {
+                    out.push(1);
+                    put_u64(&mut out, p as u64);
+                }
+                None => out.push(0),
+            }
+            put_u64(&mut out, span.depth as u64);
+            put_u64(&mut out, span.start_ns);
+            put_u64(&mut out, span.end_ns);
+            for &c in &span.costs {
+                put_u64(&mut out, c);
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Snapshot> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC.as_slice() {
+            return None;
+        }
+        let taken_at_ns = r.u64()?;
+        let n_metrics = r.u64()? as usize;
+        // Cap pre-allocation so a hostile length prefix cannot balloon
+        // memory before decoding fails.
+        let mut metrics = Vec::with_capacity(n_metrics.min(1024));
+        for _ in 0..n_metrics {
+            let name = String::from_utf8(r.bytes_field()?.to_vec()).ok()?;
+            let value = decode_metric(&mut r)?;
+            metrics.push((name, value));
+        }
+        let n_spans = r.u64()? as usize;
+        let mut spans = Vec::with_capacity(n_spans.min(1024));
+        for _ in 0..n_spans {
+            let name = leak_static_name(r.bytes_field()?)?;
+            let parent = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()? as usize),
+                _ => return None,
+            };
+            let depth = r.u64()? as usize;
+            let start_ns = r.u64()?;
+            let end_ns = r.u64()?;
+            let mut costs = [0u64; COST_CATEGORIES];
+            for c in &mut costs {
+                *c = r.u64()?;
+            }
+            spans.push(SpanNode {
+                name,
+                parent,
+                depth,
+                start_ns,
+                end_ns,
+                costs,
+            });
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        Some(Snapshot {
+            taken_at_ns,
+            metrics,
+            spans,
+        })
+    }
+}
+
+/// Span names are `&'static str` by construction (instrumentation sites
+/// pass literals). Decoded snapshots resolve names against the fixed
+/// cost-category vocabulary plus an interned table; unknown names are
+/// interned by leaking, which is bounded in practice by the set of
+/// instrumentation sites in the binary.
+fn leak_static_name(raw: &[u8]) -> Option<&'static str> {
+    let s = std::str::from_utf8(raw).ok()?;
+    for cat in CostCategory::ALL {
+        if s == cat.name() {
+            return Some(cat.name());
+        }
+    }
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+    static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut table = INTERNED.lock();
+    if let Some(&interned) = table.get(s) {
+        return Some(interned);
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(s.to_string(), leaked);
+    Some(leaked)
+}
+
+fn encode_metric(out: &mut Vec<u8>, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(v) => {
+            out.push(0);
+            put_u64(out, *v);
+        }
+        MetricValue::Gauge { value, peak } => {
+            out.push(1);
+            put_u64(out, *value as u64);
+            put_u64(out, *peak as u64);
+        }
+        MetricValue::Histogram(h) => {
+            out.push(2);
+            for &b in &h.buckets {
+                put_u64(out, b);
+            }
+            put_u64(out, h.count);
+            put_u64(out, h.sum_ns);
+            put_u64(out, h.max_ns);
+        }
+    }
+}
+
+fn decode_metric(r: &mut Reader<'_>) -> Option<MetricValue> {
+    match r.u8()? {
+        0 => Some(MetricValue::Counter(r.u64()?)),
+        1 => Some(MetricValue::Gauge {
+            value: r.u64()? as i64,
+            peak: r.u64()? as i64,
+        }),
+        2 => {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for b in &mut buckets {
+                *b = r.u64()?;
+            }
+            Some(MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                count: r.u64()?,
+                sum_ns: r.u64()?,
+                max_ns: r.u64()?,
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn bytes_field(&mut self) -> Option<&'a [u8]> {
+        let len = self.u64()? as usize;
+        self.take(len)
+    }
+}
+
+/// Canonical digest over a metric listing: the digest input is the same
+/// length-prefixed encoding the snapshot uses, so equal digests mean
+/// byte-identical metric state.
+pub(crate) fn digest_metrics(metrics: &[(String, MetricValue)]) -> [u8; 32] {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_u64(&mut buf, metrics.len() as u64);
+    for (name, value) in metrics {
+        put_bytes(&mut buf, name.as_bytes());
+        encode_metric(&mut buf, value);
+    }
+    sha256::digest(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, TimeSource};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct Clock(AtomicU64);
+    impl TimeSource for Clock {
+        fn now_ns(&self) -> u64 {
+            self.0.load(Ordering::Relaxed)
+        }
+    }
+
+    fn sample() -> Snapshot {
+        let clock = Arc::new(Clock(AtomicU64::new(0)));
+        let t = Telemetry::new(clock.clone());
+        {
+            let _root = t.span("root");
+            clock.0.store(500, Ordering::Relaxed);
+            t.charge(crate::CostCategory::Network, 120);
+            t.counter("requests").add(3);
+            t.gauge("resident").set(7);
+            t.histogram("latency").record(450);
+        }
+        t.snapshot()
+    }
+
+    /// An identity "sealer" for tests; real callers pass the enclave
+    /// sealing primitive.
+    fn seal_ok(b: &[u8]) -> Result<Vec<u8>, ()> {
+        Ok(b.to_vec())
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = sample();
+        let sealed = snap.seal_with(seal_ok).unwrap();
+        let opened = Snapshot::open_with(&sealed, seal_ok).unwrap();
+        assert_eq!(opened, snap);
+        assert_eq!(opened.digest(), snap.digest());
+    }
+
+    #[test]
+    fn reject_from_sealer_is_integrity_error() {
+        let snap = sample();
+        let sealed = snap.seal_with(seal_ok).unwrap();
+        let err = Snapshot::open_with(&sealed, |_b: &[u8]| Err::<Vec<u8>, ()>(())).unwrap_err();
+        assert_eq!(err, ExportError::Integrity);
+    }
+
+    #[test]
+    fn garbage_plaintext_is_malformed() {
+        let sealed = SealedSnapshot::from_bytes(vec![0xAB; 16]);
+        let err = Snapshot::open_with(&sealed, seal_ok).unwrap_err();
+        assert_eq!(err, ExportError::Malformed);
+    }
+
+    #[test]
+    fn truncated_payload_is_malformed() {
+        let snap = sample();
+        let sealed = snap.seal_with(seal_ok).unwrap();
+        let truncated = SealedSnapshot::from_bytes(sealed.as_bytes()[..sealed.len() - 3].to_vec());
+        assert_eq!(
+            Snapshot::open_with(&truncated, seal_ok).unwrap_err(),
+            ExportError::Malformed
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let snap = sample();
+        let sealed = snap.seal_with(seal_ok).unwrap();
+        let mut bytes = sealed.as_bytes().to_vec();
+        bytes.push(0);
+        assert_eq!(
+            Snapshot::open_with(&SealedSnapshot::from_bytes(bytes), seal_ok).unwrap_err(),
+            ExportError::Malformed
+        );
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let a = sample();
+        let clock = Arc::new(Clock(AtomicU64::new(0)));
+        let t = Telemetry::new(clock);
+        t.counter("requests").add(4);
+        let b = t.snapshot();
+        assert_ne!(a.digest(), b.digest());
+    }
+}

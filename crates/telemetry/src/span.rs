@@ -1,0 +1,274 @@
+//! Virtual-time spans: nested regions of a run with per-span cost
+//! attribution.
+//!
+//! Span entry/exit reads the virtual clock (it never advances it), and
+//! every [`Telemetry::charge`](crate::Telemetry::charge) attributes its
+//! nanoseconds to the innermost open span. The stack lives in the shared
+//! telemetry state rather than thread-local storage: worker threads in
+//! the simulator all advance the same `SimClock`, so their charges land
+//! on the current span with commutative atomic arithmetic and same-seed
+//! runs stay bit-identical.
+
+use crate::{CostCategory, Telemetry, COST_CATEGORIES};
+
+/// One node of the span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Static span name (e.g. `"handshake"`, `"classify"`).
+    pub name: &'static str,
+    /// Index of the parent span in the report's node list, if any.
+    pub parent: Option<usize>,
+    /// Depth in the tree (roots are 0).
+    pub depth: usize,
+    /// Virtual time at entry.
+    pub start_ns: u64,
+    /// Virtual time at exit; for still-open spans this is the capture
+    /// time of the report.
+    pub end_ns: u64,
+    /// Virtual nanoseconds attributed per [`CostCategory`], indexed by
+    /// `category as usize`.
+    pub costs: [u64; COST_CATEGORIES],
+}
+
+impl SpanNode {
+    /// Total virtual time spent inside this span (children included).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RawSpan {
+    name: &'static str,
+    parent: Option<usize>,
+    depth: usize,
+    start_ns: u64,
+    end_ns: Option<u64>,
+    costs: [u64; COST_CATEGORIES],
+}
+
+/// The mutable span state behind the telemetry mutex.
+#[derive(Debug, Default)]
+pub(crate) struct SpanState {
+    spans: Vec<RawSpan>,
+    stack: Vec<usize>,
+}
+
+impl SpanState {
+    pub(crate) fn enter(&mut self, name: &'static str, now_ns: u64) -> usize {
+        let parent = self.stack.last().copied();
+        let depth = parent.map_or(0, |p| self.spans[p].depth + 1);
+        let idx = self.spans.len();
+        self.spans.push(RawSpan {
+            name,
+            parent,
+            depth,
+            start_ns: now_ns,
+            end_ns: None,
+            costs: [0; COST_CATEGORIES],
+        });
+        self.stack.push(idx);
+        idx
+    }
+
+    pub(crate) fn exit(&mut self, idx: usize, now_ns: u64) {
+        // Close any children left open by early returns or error paths
+        // before closing the span itself, so the tree stays well-formed.
+        while let Some(&top) = self.stack.last() {
+            self.stack.pop();
+            if self.spans[top].end_ns.is_none() {
+                self.spans[top].end_ns = Some(now_ns);
+            }
+            if top == idx {
+                break;
+            }
+        }
+    }
+
+    pub(crate) fn charge(&mut self, category: CostCategory, ns: u64) {
+        if let Some(&top) = self.stack.last() {
+            self.spans[top].costs[category as usize] += ns;
+        }
+    }
+
+    /// Materializes the tree; open spans get `now_ns` as a provisional
+    /// end time.
+    pub(crate) fn nodes(&self, now_ns: u64) -> Vec<SpanNode> {
+        self.spans
+            .iter()
+            .map(|s| SpanNode {
+                name: s.name,
+                parent: s.parent,
+                depth: s.depth,
+                start_ns: s.start_ns,
+                end_ns: s.end_ns.unwrap_or(now_ns),
+                costs: s.costs,
+            })
+            .collect()
+    }
+}
+
+/// RAII guard returned by [`Telemetry::span`](crate::Telemetry::span);
+/// dropping it records the span's end time.
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    owner: Option<(Telemetry, usize)>,
+}
+
+impl SpanGuard {
+    pub(crate) fn active(telemetry: Telemetry, idx: usize) -> Self {
+        SpanGuard {
+            owner: Some((telemetry, idx)),
+        }
+    }
+
+    pub(crate) fn noop() -> Self {
+        SpanGuard { owner: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((telemetry, idx)) = self.owner.take() {
+            telemetry.exit_span(idx);
+        }
+    }
+}
+
+/// A structural copy of the span tree, with tree-math helpers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanReport {
+    nodes: Vec<SpanNode>,
+}
+
+impl SpanReport {
+    pub(crate) fn new(nodes: Vec<SpanNode>) -> Self {
+        SpanReport { nodes }
+    }
+
+    /// The nodes in creation (pre-)order.
+    pub fn nodes(&self) -> &[SpanNode] {
+        &self.nodes
+    }
+
+    pub(crate) fn into_nodes(self) -> Vec<SpanNode> {
+        self.nodes
+    }
+
+    /// Whether any spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Sum of root-span durations: the total virtual time covered by the
+    /// span tree.
+    pub fn total_ns(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.parent.is_none())
+            .map(SpanNode::duration_ns)
+            .sum()
+    }
+
+    /// Self time of span `idx`: its duration minus its direct children's
+    /// durations.
+    pub fn self_ns(&self, idx: usize) -> u64 {
+        let children: u64 = self
+            .nodes
+            .iter()
+            .filter(|n| n.parent == Some(idx))
+            .map(SpanNode::duration_ns)
+            .sum();
+        self.nodes[idx].duration_ns().saturating_sub(children)
+    }
+
+    /// Sum of self times across all spans. For a well-nested tree this
+    /// equals [`SpanReport::total_ns`] — the invariant the quickstart
+    /// example asserts: per-span virtual-ns sums to the run's total
+    /// virtual time, nothing double-counted, nothing lost.
+    pub fn self_sum_ns(&self) -> u64 {
+        (0..self.nodes.len()).map(|i| self.self_ns(i)).sum()
+    }
+
+    /// Renders an indented tree, one line per span, with duration, self
+    /// time, and any nonzero cost-category attributions.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let indent = "  ".repeat(node.depth);
+            let mut costs = String::new();
+            for cat in CostCategory::ALL {
+                let ns = node.costs[cat as usize];
+                if ns > 0 {
+                    costs.push_str(&format!(" {}={}ns", cat.name(), ns));
+                }
+            }
+            out.push_str(&format!(
+                "{indent}{name}: {dur}ns (self {self_ns}ns){costs}\n",
+                name = node.name,
+                dur = node.duration_ns(),
+                self_ns = self.self_ns(idx),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> SpanState {
+        let mut s = SpanState::default();
+        let root = s.enter("root", 0);
+        let a = s.enter("a", 10);
+        s.charge(CostCategory::Compute, 5);
+        s.exit(a, 40);
+        let b = s.enter("b", 40);
+        s.exit(b, 100);
+        s.exit(root, 120);
+        s
+    }
+
+    #[test]
+    fn self_times_sum_to_total() {
+        let report = SpanReport::new(tree().nodes(120));
+        assert_eq!(report.total_ns(), 120);
+        assert_eq!(report.self_ns(0), 120 - 30 - 60);
+        assert_eq!(report.self_sum_ns(), 120);
+    }
+
+    #[test]
+    fn unclosed_children_are_closed_by_parent_exit() {
+        let mut s = SpanState::default();
+        let root = s.enter("root", 0);
+        let _leaked = s.enter("leaked", 5);
+        s.exit(root, 50);
+        let nodes = s.nodes(50);
+        assert_eq!(nodes[1].end_ns, 50);
+        assert!(s.stack.is_empty());
+    }
+
+    #[test]
+    fn render_shows_nesting_and_costs() {
+        let report = SpanReport::new(tree().nodes(120));
+        let text = report.render();
+        assert!(text.contains("root: 120ns"));
+        assert!(text.contains("  a: 30ns"));
+        assert!(text.contains("compute=5ns"));
+    }
+
+    #[test]
+    fn charges_go_to_innermost_open_span() {
+        let mut s = SpanState::default();
+        let root = s.enter("root", 0);
+        let child = s.enter("child", 0);
+        s.charge(CostCategory::Network, 7);
+        s.exit(child, 10);
+        s.charge(CostCategory::Network, 3);
+        s.exit(root, 20);
+        let nodes = s.nodes(20);
+        assert_eq!(nodes[1].costs[CostCategory::Network as usize], 7);
+        assert_eq!(nodes[0].costs[CostCategory::Network as usize], 3);
+    }
+}

@@ -12,7 +12,7 @@
 //!   exported/imported in a binary `GraphDef`-like format ([`freeze`]),
 //!   the interchange the paper relies on to move models from the Python
 //!   API into the enclave runtime,
-//! * every run reports FLOPs and memory statistics ([`session::RunStats`])
+//! * every run reports FLOPs and memory statistics ([`autodiff::RunStats`])
 //!   that the TEE layer converts into virtual time and EPC traffic.
 //!
 //! # Examples

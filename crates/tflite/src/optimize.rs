@@ -1,7 +1,7 @@
 //! Model optimization: pruning, quantization, dead-node elimination
 //! (paper §7.2).
 //!
-//! The paper's planned extension "leverag[es] pruning and quantization
+//! The paper's planned extension "leverag\[es\] pruning and quantization
 //! tools, such as Intel OpenVINO" to shrink models — which matters twice
 //! inside an enclave: smaller models mean less EPC pressure *and* faster
 //! provisioning. This module implements the three classic passes:

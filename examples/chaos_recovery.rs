@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         network_shield: true,
         runtime_bytes: 8 * 1024 * 1024,
         heap_bytes: 16 * 1024 * 1024,
-        cost_model: None,
+        ..ClusterConfig::default()
     })?;
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
     let model = layers::mlp_classifier(784, &[32], 10, &mut rng)?;

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         network_shield: true,
         runtime_bytes: 8 * 1024 * 1024,
         heap_bytes: 32 * 1024 * 1024,
-        cost_model: None,
+        ..ClusterConfig::default()
     })?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let model = layers::mlp_classifier(784, &[48], 10, &mut rng)?;

@@ -1,5 +1,5 @@
 //! Quickstart: train a model inside an enclave, export it, and serve it
-//! from an attested classification service.
+//! from an attested classification service — with telemetry enabled.
 //!
 //! This walks the paper's full workflow (Figure 1):
 //!
@@ -7,19 +7,32 @@
 //! 2. verify accuracy parity with native execution,
 //! 3. freeze + export the model in the Lite format,
 //! 4. publish it encrypted and deploy an attested classifier,
-//! 5. classify through the secure service.
+//! 5. classify through the secure service,
+//! 6. print the virtual-time span tree and export a sealed snapshot.
+//!
+//! The whole run shares one `SimClock` and one `Telemetry` handle, so the
+//! final span tree accounts for every virtual nanosecond: the sum of
+//! per-span self times equals the run's total virtual time.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use rand::SeedableRng;
 use securetf::secure_session::SecureSession;
-use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tee::telemetry::SealedSnapshot;
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform, SimClock, Telemetry};
 use securetf_tensor::layers;
 use securetf_tensor::optimizer::Sgd;
 use securetf_tflite::interpreter::Interpreter;
 
-fn train(mode: ExecutionMode) -> Result<(SecureSession, f64, u64), Box<dyn std::error::Error>> {
-    let platform = Platform::builder().build();
+fn train(
+    mode: ExecutionMode,
+    clock: &SimClock,
+    telemetry: &Telemetry,
+) -> Result<(SecureSession, f64, u64), Box<dyn std::error::Error>> {
+    let platform = Platform::builder()
+        .clock(clock.clone())
+        .telemetry(telemetry.clone())
+        .build();
     let enclave = platform.create_enclave(
         &EnclaveImage::builder()
             .code(b"quickstart-trainer-v1")
@@ -34,7 +47,6 @@ fn train(mode: ExecutionMode) -> Result<(SecureSession, f64, u64), Box<dyn std::
     let data = securetf_data::synthetic_mnist(600, 2);
     let (train_set, test_set) = data.split(500);
     let mut sgd = Sgd::new(0.05);
-    let clock = session.enclave().clock().clone();
     let t0 = clock.now_ns();
     for epoch in 0..10 {
         let mut loss = 0.0;
@@ -50,12 +62,23 @@ fn train(mode: ExecutionMode) -> Result<(SecureSession, f64, u64), Box<dyn std::
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One clock, one telemetry handle, for the whole workflow.
+    let clock = SimClock::new();
+    let telemetry = clock.telemetry();
+    let run_span = telemetry.span("quickstart");
+
     println!("1. Training inside a (simulated) SGX enclave, HW mode:");
-    let (session, hw_acc, hw_ns) = train(ExecutionMode::Hardware)?;
+    let (session, hw_acc, hw_ns) = {
+        let _span = telemetry.span("train-hw");
+        train(ExecutionMode::Hardware, &clock, &telemetry)?
+    };
     println!("   accuracy {:.1}%, virtual time {:.2} s", hw_acc * 100.0, hw_ns as f64 / 1e9);
 
     println!("2. Same training natively, for the parity check:");
-    let (_native, native_acc, native_ns) = train(ExecutionMode::Native)?;
+    let (_native, native_acc, native_ns) = {
+        let _span = telemetry.span("train-native");
+        train(ExecutionMode::Native, &clock, &telemetry)?
+    };
     println!(
         "   accuracy {:.1}%, virtual time {:.2} s  (enclave slowdown {:.1}x)",
         native_acc * 100.0,
@@ -77,29 +100,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("4. Publishing encrypted + deploying an attested classifier…");
-    let mut deployment =
-        securetf::deployment::Deployment::new(ExecutionMode::Hardware);
-    deployment.publish_model("digits", "/models/digits", &lite)?;
-    let mut classifier = deployment.deploy_classifier(
-        "digits",
-        "/models/digits",
-        securetf::profile::RuntimeProfile::scone_lite(),
-    )?;
+    let mut deployment = securetf::deployment::Deployment::instrumented(
+        ExecutionMode::Hardware,
+        clock.clone(),
+        telemetry.clone(),
+    );
+    let mut classifier = {
+        let _span = telemetry.span("deploy");
+        deployment.publish_model("digits", "/models/digits", &lite)?;
+        deployment.deploy_classifier(
+            "digits",
+            "/models/digits",
+            securetf::profile::RuntimeProfile::scone_lite(),
+        )?
+    };
 
     println!("5. Classifying through the secure service:");
     let sample = securetf_data::synthetic_mnist(10, 99);
     let mut correct = 0;
-    for i in 0..10 {
-        let (x, _) = sample.batch(i, 1)?;
-        let (label, latency) = classifier.classify(&x)?;
-        let truth = sample.label(i).expect("in range");
-        if label == truth {
-            correct += 1;
+    {
+        let _span = telemetry.span("serve");
+        for i in 0..10 {
+            let (x, _) = sample.batch(i, 1)?;
+            let (label, latency) = classifier.classify(&x)?;
+            let truth = sample.label(i).expect("in range");
+            if label == truth {
+                correct += 1;
+            }
+            println!(
+                "   image {i}: predicted {label}, truth {truth}, latency {:.2} ms",
+                latency as f64 / 1e6
+            );
         }
-        println!(
-            "   image {i}: predicted {label}, truth {truth}, latency {:.2} ms",
-            latency as f64 / 1e6
-        );
     }
     println!("   {correct}/10 correct through the attested enclave service");
 
@@ -110,5 +142,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (service_label, _) = classifier.classify(&x)?;
     assert_eq!(direct_label, service_label);
     println!("   transparency: direct interpreter agrees with the service ✓");
+
+    drop(run_span);
+
+    println!("6. Telemetry: virtual-time span tree (durations in virtual ns):");
+    let report = telemetry.span_report();
+    for line in report.render().lines() {
+        println!("   {line}");
+    }
+    // Every virtual nanosecond of the run is attributed to exactly one
+    // span: the per-span self times sum to the run's total virtual time.
+    assert_eq!(report.total_ns(), clock.now_ns());
+    assert_eq!(report.self_sum_ns(), report.total_ns());
+    println!(
+        "   span accounting: self-time sum {} ns == total virtual time {} ns ✓",
+        report.self_sum_ns(),
+        report.total_ns()
+    );
+    println!("   metrics digest: {}", telemetry.metrics_digest_hex());
+
+    println!("7. Exporting a sealed telemetry snapshot:");
+    let snapshot = telemetry.snapshot();
+    let sealed = classifier.enclave().seal_telemetry(&snapshot)?;
+    println!(
+        "   sealed {} metrics + {} spans into {} ciphertext bytes",
+        snapshot.metrics().len(),
+        snapshot.spans().len(),
+        sealed.len()
+    );
+    let opened = classifier.enclave().unseal_telemetry(&sealed)?;
+    assert_eq!(opened.digest(), snapshot.digest());
+    println!("   round trip: unsealed digest matches ✓");
+    let mut tampered = sealed.as_bytes().to_vec();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x01;
+    let err = classifier
+        .enclave()
+        .unseal_telemetry(&SealedSnapshot::from_bytes(tampered))
+        .expect_err("tampered export must fail closed");
+    println!("   tampered export rejected: {err} ✓");
     Ok(())
 }

@@ -23,7 +23,7 @@ use securetf_distrib::trainer::DistributedTrainer;
 use securetf_distrib::cluster::{Cluster, ClusterConfig};
 use securetf_shield::fs::UntrustedStore;
 use securetf_shield::net::{duplex, PipeEnd, Role, SecureChannel, Transport};
-use securetf_tee::{EnclaveImage, ExecutionMode, Platform};
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform, SimClock, Telemetry};
 use securetf_tensor::graph::Graph;
 use securetf_tensor::layers::{self, Classifier};
 use securetf_tensor::tensor::Tensor;
@@ -38,7 +38,7 @@ fn small_model() -> Classifier {
     layers::mlp_classifier(784, &[32], 10, &mut rng).expect("valid model")
 }
 
-fn trainer() -> DistributedTrainer {
+fn trainer_with_telemetry(telemetry: Telemetry) -> DistributedTrainer {
     let cluster = Cluster::new(ClusterConfig {
         workers: WORKERS,
         parameter_servers: 1,
@@ -46,11 +46,16 @@ fn trainer() -> DistributedTrainer {
         network_shield: true,
         runtime_bytes: 8 * 1024 * 1024,
         heap_bytes: 16 * 1024 * 1024,
-        cost_model: None,
+        telemetry,
+        ..ClusterConfig::default()
     })
     .expect("cluster boots");
     let data = securetf_data::synthetic_mnist(300, 5);
     DistributedTrainer::new(cluster, small_model(), data, 100, 0.2).expect("trainer")
+}
+
+fn trainer() -> DistributedTrainer {
+    trainer_with_telemetry(Telemetry::disabled())
 }
 
 struct ChaosRun {
@@ -116,6 +121,42 @@ fn identical_seed_reproduces_schedule_and_loss_bit_for_bit() {
             "seed {seed}: final loss diverged bit-wise"
         );
         assert_eq!(a.stats, b.stats, "seed {seed}: recovery path diverged");
+    }
+}
+
+#[test]
+fn identical_seed_reproduces_telemetry_digest_bit_for_bit() {
+    // The telemetry contract extends the determinism contract: two runs
+    // under the same fault plan must not only converge to the same loss,
+    // every counter, gauge and histogram in the registry must agree —
+    // asserted through the canonical metrics digest.
+    let run = |seed: u64| {
+        let telemetry = Telemetry::new(std::sync::Arc::new(SimClock::new()));
+        let plan = FaultPlan::generate(seed, STEPS, WORKERS);
+        let mut supervisor = Supervisor::new(
+            trainer_with_telemetry(telemetry.clone()),
+            plan,
+            SupervisorConfig::default(),
+            UntrustedStore::new(),
+        )
+        .expect("supervisor boots");
+        supervisor
+            .train_steps(STEPS)
+            .expect("survivable plan completes");
+        // Non-vacuous: the run must actually have recorded supervision
+        // telemetry before we compare digests.
+        assert!(
+            telemetry.counter("supervisor.heartbeats").get() > 0,
+            "seed {seed}: no heartbeats recorded"
+        );
+        telemetry.metrics_digest()
+    };
+    for seed in [SEEDS[1], SEEDS[4]] {
+        assert_eq!(
+            run(seed),
+            run(seed),
+            "seed {seed}: telemetry digest diverged between identical runs"
+        );
     }
 }
 

@@ -16,7 +16,7 @@ fn trainer(workers: usize) -> DistributedTrainer {
         network_shield: true,
         runtime_bytes: 8 * 1024 * 1024,
         heap_bytes: 16 * 1024 * 1024,
-        cost_model: None,
+        ..ClusterConfig::default()
     })
     .expect("cluster");
     let mut rng = rand::rngs::StdRng::seed_from_u64(15);

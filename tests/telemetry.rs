@@ -1,0 +1,147 @@
+//! Integration tests for the telemetry subsystem at the service layer:
+//! span coverage of an instrumented deployment, the sealed-export
+//! fail-closed contract, and the zero-overhead disabled mode.
+
+use securetf::classifier::SecureClassifier;
+use securetf::deployment::Deployment;
+use securetf::profile::RuntimeProfile;
+use securetf_tee::telemetry::{ExportError, SealedSnapshot};
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform, SimClock, Telemetry};
+use securetf_tensor::graph::Graph;
+use securetf_tensor::tensor::Tensor;
+use securetf_tflite::model::LiteModel;
+
+fn tiny_model() -> LiteModel {
+    let mut g = Graph::new();
+    let x = g.placeholder("input", &[0, 8]);
+    let w = g.constant(
+        "w",
+        Tensor::from_vec(&[8, 4], (0..32).map(|i| (i % 7) as f32 * 0.1).collect())
+            .expect("weights"),
+    );
+    let y = g.matmul(x, w).expect("matmul");
+    let name = g.nodes()[y.index()].name.clone();
+    LiteModel::convert(&g, "input", &name).expect("convert")
+}
+
+fn deploy_instrumented(clock: &SimClock, telemetry: &Telemetry) -> SecureClassifier {
+    let mut deployment =
+        Deployment::instrumented(ExecutionMode::Hardware, clock.clone(), telemetry.clone());
+    deployment
+        .publish_model("svc", "/m", &tiny_model())
+        .expect("publish");
+    deployment
+        .deploy_classifier("svc", "/m", RuntimeProfile::scone_lite())
+        .expect("deploy")
+}
+
+#[test]
+fn span_tree_covers_the_whole_run_and_attributes_costs() {
+    let clock = SimClock::new();
+    let telemetry = clock.telemetry();
+    {
+        let _run = telemetry.span("run");
+        let mut classifier = deploy_instrumented(&clock, &telemetry);
+        let input = Tensor::full(&[1, 8], 0.5);
+        {
+            let _serve = telemetry.span("serve");
+            for _ in 0..3 {
+                classifier.classify(&input).expect("classify");
+            }
+        }
+    }
+    let report = telemetry.span_report();
+
+    // The acceptance invariant: per-span self times sum to the run's
+    // total virtual time — nothing double-counted, nothing lost.
+    assert_eq!(report.total_ns(), clock.now_ns());
+    assert_eq!(report.self_sum_ns(), report.total_ns());
+    assert!(report.total_ns() > 0, "run advanced no virtual time");
+
+    // The hot paths attributed their costs to the cost counters.
+    for counter in ["cost.compute.ns", "cost.paging.ns", "cost.attestation.ns"] {
+        assert!(
+            telemetry.counter(counter).get() > 0,
+            "{counter} was never charged"
+        );
+    }
+    let rendered = report.render();
+    assert!(rendered.contains("run:"));
+    assert!(rendered.contains("serve:"));
+}
+
+#[test]
+fn sealed_export_round_trips_and_tamper_fails_closed() {
+    let clock = SimClock::new();
+    let telemetry = clock.telemetry();
+    let mut classifier = deploy_instrumented(&clock, &telemetry);
+    let input = Tensor::full(&[1, 8], 0.5);
+    classifier.classify(&input).expect("classify");
+
+    let snapshot = telemetry.snapshot();
+    assert!(!snapshot.metrics().is_empty());
+    let sealed = classifier
+        .enclave()
+        .seal_telemetry(&snapshot)
+        .expect("seal");
+
+    // Round trip: the same identity unseals to a byte-identical snapshot.
+    let opened = classifier.enclave().unseal_telemetry(&sealed).expect("unseal");
+    assert_eq!(opened.digest(), snapshot.digest());
+    assert_eq!(opened, snapshot);
+
+    // Tamper: flipping any ciphertext bit surfaces as a typed integrity
+    // error, never as partially decoded telemetry.
+    let mut bytes = sealed.as_bytes().to_vec();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    assert_eq!(
+        classifier
+            .enclave()
+            .unseal_telemetry(&SealedSnapshot::from_bytes(bytes))
+            .unwrap_err(),
+        ExportError::Integrity
+    );
+
+    // A different enclave identity (other platform, other measurement)
+    // cannot open the export either.
+    let alien_platform = Platform::builder().build();
+    let alien = alien_platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"alien").build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("alien enclave");
+    assert_eq!(
+        alien.unseal_telemetry(&sealed).unwrap_err(),
+        ExportError::Integrity
+    );
+}
+
+#[test]
+fn disabled_telemetry_adds_zero_virtual_overhead_end_to_end() {
+    let latency = |instrument: bool| {
+        let mut deployment = if instrument {
+            let clock = SimClock::new();
+            let telemetry = clock.telemetry();
+            Deployment::instrumented(ExecutionMode::Hardware, clock, telemetry)
+        } else {
+            Deployment::new(ExecutionMode::Hardware)
+        };
+        deployment
+            .publish_model("svc", "/m", &tiny_model())
+            .expect("publish");
+        let mut classifier = deployment
+            .deploy_classifier("svc", "/m", RuntimeProfile::scone_lite())
+            .expect("deploy");
+        let input = Tensor::full(&[1, 8], 0.5);
+        classifier.mean_latency_ns(&input, 3).expect("runs")
+    };
+
+    let instrumented = latency(true);
+    let plain = latency(false);
+    assert_eq!(
+        instrumented, plain,
+        "telemetry must never perturb virtual time"
+    );
+}

@@ -1,0 +1,176 @@
+//! Kernel-layer microbenchmark: naive vs blocked vs pooled (DESIGN.md §11).
+//!
+//! Unlike the `fig*` binaries this one measures **wall-clock** time — the
+//! kernels are real compute, not cost-model charges — so the numbers vary
+//! run to run. The *relationships* are the deliverable, and two of them
+//! are asserted hard (the process exits non-zero on violation, making CI
+//! the regression gate):
+//!
+//! 1. blocked matmul beats the naive triple loop on 256×256×256 (release
+//!    builds only; debug builds skip the speed assertions), and
+//! 2. pooled outputs are bit-identical to serial ones.
+
+use securetf_bench::report::{BenchReport, JsonValue};
+use securetf_bench::{fmt_ns, fmt_ratio, header};
+use securetf_tensor::graph::Padding;
+use securetf_tensor::kernels::{self, reference, WorkerPool};
+use securetf_tensor::tensor::Tensor;
+use std::time::Instant;
+
+/// Deterministic pseudo-random fill in roughly [-1, 1].
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as i32 % 2000) as f32 * 1e-3 - 1.0
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock nanoseconds of `f`.
+fn time_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> (u64, R) {
+    let t0 = Instant::now();
+    let mut last = f();
+    let mut best = t0.elapsed().as_nanos() as u64;
+    for _ in 1..reps.max(1) {
+        let t0 = Instant::now();
+        last = f();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    (best, last)
+}
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+struct MatmulRow {
+    label: String,
+    naive_ns: u64,
+    blocked_ns: u64,
+    pooled_ns: u64,
+    identical: bool,
+}
+
+fn bench_matmul(m: usize, k: usize, n: usize, workers: usize, reps: usize) -> MatmulRow {
+    let a = fill(m as u64 * 7 + 1, m * k);
+    let b = fill(n as u64 * 11 + 3, k * n);
+    let ta = Tensor::from_vec(&[m, k], a.clone()).expect("lhs");
+    let tb = Tensor::from_vec(&[k, n], b.clone()).expect("rhs");
+    let (naive_ns, naive) = time_ns(reps, || reference::naive_matmul(m, k, n, &a, &b));
+    let serial = WorkerPool::serial();
+    let (blocked_ns, blocked) = time_ns(reps, || kernels::matmul(&serial, &ta, &tb).expect("matmul"));
+    let pool = WorkerPool::new(workers);
+    let (pooled_ns, pooled) = time_ns(reps, || kernels::matmul(&pool, &ta, &tb).expect("matmul"));
+    let identical = bits(&naive) == bits(blocked.0.data()) && bits(&naive) == bits(pooled.0.data());
+    MatmulRow {
+        label: format!("matmul {m}x{k}x{n}"),
+        naive_ns,
+        blocked_ns,
+        pooled_ns,
+        identical,
+    }
+}
+
+fn bench_conv(
+    shape: (usize, usize, usize, usize),
+    filter_shape: (usize, usize, usize),
+    workers: usize,
+    reps: usize,
+) -> MatmulRow {
+    let (b, h, w, cin) = shape;
+    let (kh, kw, cout) = filter_shape;
+    let input = Tensor::from_vec(&[b, h, w, cin], fill(17, b * h * w * cin)).expect("input");
+    let filter =
+        Tensor::from_vec(&[kh, kw, cin, cout], fill(23, kh * kw * cin * cout)).expect("filter");
+    let (naive_ns, naive) =
+        time_ns(reps, || reference::naive_conv2d(&input, &filter, Padding::Same).expect("conv"));
+    let serial = WorkerPool::serial();
+    let (blocked_ns, blocked) = time_ns(reps, || {
+        kernels::conv2d(&serial, &input, &filter, Padding::Same).expect("conv")
+    });
+    let pool = WorkerPool::new(workers);
+    let (pooled_ns, pooled) = time_ns(reps, || {
+        kernels::conv2d(&pool, &input, &filter, Padding::Same).expect("conv")
+    });
+    let identical =
+        bits(naive.data()) == bits(blocked.0.data()) && bits(naive.data()) == bits(pooled.0.data());
+    MatmulRow {
+        label: format!("conv2d {b}x{h}x{w}x{cin} k{kh}x{kw}->{cout}"),
+        naive_ns,
+        blocked_ns,
+        pooled_ns,
+        identical,
+    }
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(2);
+    let reps = 3;
+
+    header(
+        "Kernel layer: naive vs blocked vs pooled (wall clock)",
+        &["kernel                      ", "naive     ", "blocked   ", "pooled    ", "blk speedup", "bit-identical"],
+    );
+
+    let rows = vec![
+        bench_matmul(256, 256, 256, workers, reps),
+        bench_matmul(128, 512, 64, workers, reps),
+        bench_conv((2, 64, 64, 8), (3, 3, 16), workers, reps),
+    ];
+
+    let mut report = BenchReport::new("kernels")
+        .unit("wall_ns")
+        .mode(&format!("wall_clock/{workers}w"))
+        .paper_target("TensorSCONE/Privado: enclave DNN time dominated by these hot loops");
+    let mut all_identical = true;
+    for row in &rows {
+        println!(
+            "{:<28} | {:>10} | {:>10} | {:>10} | {:>11} | {}",
+            row.label,
+            fmt_ns(row.naive_ns),
+            fmt_ns(row.blocked_ns),
+            fmt_ns(row.pooled_ns),
+            fmt_ratio(row.naive_ns, row.blocked_ns),
+            row.identical
+        );
+        all_identical &= row.identical;
+        let key = row.label.replace([' ', '-', '>'], "_");
+        report = report
+            .latency_ns(&format!("{key}.naive_ns"), row.naive_ns)
+            .latency_ns(&format!("{key}.blocked_ns"), row.blocked_ns)
+            .latency_ns(&format!("{key}.pooled_ns"), row.pooled_ns)
+            .ratio(
+                &format!("{key}.blocked_speedup"),
+                row.naive_ns as f64 / row.blocked_ns.max(1) as f64,
+            )
+            .ratio(
+                &format!("{key}.pooled_speedup"),
+                row.naive_ns as f64 / row.pooled_ns.max(1) as f64,
+            );
+    }
+    report = report.value("parallel_bit_identical", JsonValue::Bool(all_identical));
+
+    assert!(
+        all_identical,
+        "pooled/blocked kernel output diverged bit-wise from the naive reference"
+    );
+    // Wall-clock smoke gate, meaningful only with optimizations on.
+    if cfg!(debug_assertions) {
+        println!("\n(debug build: skipping speed assertions)");
+    } else {
+        let m256 = &rows[0];
+        assert!(
+            m256.blocked_ns < m256.naive_ns,
+            "blocked matmul ({}) is not faster than naive ({}) on 256x256x256",
+            fmt_ns(m256.blocked_ns),
+            fmt_ns(m256.naive_ns),
+        );
+    }
+    report.emit();
+}

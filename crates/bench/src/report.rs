@@ -95,6 +95,7 @@ pub struct BenchReport {
     experiment: String,
     mode: String,
     paper_target: String,
+    unit: String,
     entries: Vec<(String, JsonValue)>,
 }
 
@@ -106,8 +107,16 @@ impl BenchReport {
             experiment: experiment.to_string(),
             mode: String::new(),
             paper_target: String::new(),
+            unit: "virtual_ns".to_string(),
             entries: Vec::new(),
         }
+    }
+
+    /// Overrides the latency unit recorded in the report (default
+    /// `"virtual_ns"`; the kernel microbenchmarks measure `"wall_ns"`).
+    pub fn unit(mut self, unit: &str) -> Self {
+        self.unit = unit.to_string();
+        self
     }
 
     /// Sets the execution mode(s) the experiment ran in (e.g. `"hw"`).
@@ -153,7 +162,7 @@ impl BenchReport {
                 "paper_target".to_string(),
                 JsonValue::Str(self.paper_target.clone()),
             ),
-            ("unit".to_string(), JsonValue::Str("virtual_ns".to_string())),
+            ("unit".to_string(), JsonValue::Str(self.unit.clone())),
             ("results".to_string(), results),
         ]);
         let mut out = String::new();

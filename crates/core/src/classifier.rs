@@ -153,14 +153,22 @@ impl SecureClassifier {
             self.enclave.touch_all(self.workspace_region)?;
         }
 
-        // Real inference math (reduced extent), charged at declared FLOPs.
-        let before = self.interpreter.stats().flops;
+        // Real inference math (reduced extent), charged at declared FLOPs
+        // along the kernel critical path.
+        let before = self.interpreter.stats();
         let label = self.interpreter.classify(input)?;
-        let flops = self.interpreter.stats().flops - before;
-        self.enclave.charge_compute(flops);
+        let delta = self.interpreter.stats().since(&before);
+        self.enclave.charge_parallel_compute(delta.flops, delta.critical_flops);
+        crate::attribute_kernel_flops(&self.enclave, &delta);
 
         self.inferences += 1;
         Ok((label, clock.now_ns() - t0))
+    }
+
+    /// Sets the worker pool the interpreter's kernels run on. Labels are
+    /// bit-identical for any pool; only virtual compute time shrinks.
+    pub fn set_worker_pool(&mut self, pool: securetf_tensor::kernels::WorkerPool) {
+        self.interpreter.set_worker_pool(pool);
     }
 
     /// Mean virtual latency of `runs` classifications of `input`.

@@ -74,6 +74,24 @@ pub mod secure_session;
 use std::error::Error;
 use std::fmt;
 
+/// Records per-kernel-family flop and virtual-time counters
+/// (`kernel.<family>.flops` / `kernel.<family>.ns`) for a run's stats on
+/// the enclave's telemetry, using the enclave's own compute rate.
+pub(crate) fn attribute_kernel_flops(
+    enclave: &securetf_tee::Enclave,
+    stats: &securetf_tensor::autodiff::RunStats,
+) {
+    let kf = stats.kernel_flops;
+    for (family, flops) in [("matmul", kf.matmul), ("conv2d", kf.conv2d), ("other", kf.other)] {
+        if flops > 0.0 {
+            let telemetry = enclave.telemetry();
+            telemetry.counter(&format!("kernel.{family}.flops")).add(flops as u64);
+            let ns = enclave.cost_model().compute_ns(flops, enclave.mode());
+            telemetry.counter(&format!("kernel.{family}.ns")).add(ns);
+        }
+    }
+}
+
 /// Top-level error type of the secureTF API.
 #[derive(Debug)]
 #[non_exhaustive]

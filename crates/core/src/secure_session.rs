@@ -50,10 +50,17 @@ impl SecureSession {
         }
     }
 
+    /// Sets the worker pool used by the compute kernels. Results are
+    /// bit-identical for any pool; only virtual compute time shrinks.
+    pub fn set_worker_pool(&mut self, pool: securetf_tensor::kernels::WorkerPool) {
+        self.session.set_worker_pool(pool);
+    }
+
     fn charge(&mut self) -> Result<(), SecureTfError> {
         let stats = self.session.stats();
         self.session.reset_stats();
-        self.enclave.charge_compute(stats.flops);
+        self.enclave.charge_parallel_compute(stats.flops, stats.critical_flops);
+        crate::attribute_kernel_flops(&self.enclave, &stats);
         self.enclave.touch_all(self.params_region)?;
         let act = stats.activation_bytes.max(1);
         self.enclave.free(self.activations_region)?;
@@ -305,6 +312,36 @@ mod tests {
         let out = interp.run(&x).unwrap();
         let lite_preds = out.argmax_rows().unwrap();
         assert_eq!(train_preds, lite_preds);
+    }
+
+    #[test]
+    fn pooled_session_matches_serial_and_is_faster_in_virtual_time() {
+        use securetf_tensor::kernels::WorkerPool;
+        let data = securetf_data::synthetic_mnist(128, 4);
+        let run = |workers: usize| {
+            let mut s = session(ExecutionMode::Hardware);
+            if workers > 1 {
+                s.set_worker_pool(WorkerPool::new(workers));
+            }
+            let clock = s.enclave().clock().clone();
+            let t0 = clock.now_ns();
+            let mut sgd = Sgd::new(0.05);
+            let mut loss = 0.0f32;
+            for _ in 0..3 {
+                let (x, y) = data.batch(0, 128).unwrap();
+                loss = s.train_step(x, y, &mut sgd).unwrap();
+            }
+            let (x, _) = data.batch(0, 128).unwrap();
+            let preds = s.classify(x).unwrap();
+            (loss.to_bits(), preds, clock.now_ns() - t0)
+        };
+        let (serial_loss, serial_preds, serial_ns) = run(1);
+        let (pooled_loss, pooled_preds, pooled_ns) = run(4);
+        // Deterministic pool: numerically identical results...
+        assert_eq!(serial_loss, pooled_loss);
+        assert_eq!(serial_preds, pooled_preds);
+        // ...but the critical path — and so virtual time — shrinks.
+        assert!(pooled_ns < serial_ns, "pooled {pooled_ns} vs serial {serial_ns}");
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub struct DistributedTrainer {
     ps_session: Session,
     ps_params_region: RegionId,
     workers: Vec<WorkerState>,
+    pool: securetf_tensor::kernels::WorkerPool,
     global_ns: u64,
     steps: u64,
     samples: u64,
@@ -116,10 +117,23 @@ impl DistributedTrainer {
             ps_session,
             ps_params_region,
             workers,
+            pool: securetf_tensor::kernels::WorkerPool::serial(),
             global_ns: 0,
             steps: 0,
             samples: 0,
         })
+    }
+
+    /// Sets the in-enclave worker pool every session's kernels run on —
+    /// the parameter server, current workers, and any worker respawned or
+    /// joined later. Training results are bit-identical for any pool; only
+    /// the per-step virtual compute time shrinks.
+    pub fn set_worker_pool(&mut self, pool: securetf_tensor::kernels::WorkerPool) {
+        self.pool = pool;
+        self.ps_session.set_worker_pool(pool);
+        for state in &mut self.workers {
+            state.session.set_worker_pool(pool);
+        }
     }
 
     fn sync_worker_states(&mut self) -> Result<(), DistribError> {
@@ -127,8 +141,10 @@ impl DistributedTrainer {
         // New workers may have joined the cluster (elastic scaling).
         while self.workers.len() < self.cluster.workers.len() {
             let node = &self.cluster.workers[self.workers.len()];
+            let mut session = Session::new(&self.model.graph);
+            session.set_worker_pool(self.pool);
             self.workers.push(WorkerState {
-                session: Session::new(&self.model.graph),
+                session,
                 cursor: 0,
                 enclave: node.enclave.clone(),
                 params_region: node.enclave.alloc("params", param_bytes),
@@ -138,8 +154,10 @@ impl DistributedTrainer {
         // Respawned workers run in fresh enclaves; rebuild their state.
         for (state, node) in self.workers.iter_mut().zip(self.cluster.workers.iter()) {
             if !std::sync::Arc::ptr_eq(&state.enclave, &node.enclave) {
+                let mut session = Session::new(&self.model.graph);
+                session.set_worker_pool(self.pool);
                 *state = WorkerState {
-                    session: Session::new(&self.model.graph),
+                    session,
                     cursor: 0,
                     enclave: node.enclave.clone(),
                     params_region: node.enclave.alloc("params", param_bytes),
@@ -237,8 +255,12 @@ impl DistributedTrainer {
             )?;
             loss_sum += loss;
             let stats = state.session.stats();
-            node.enclave
-                .charge_compute(stats.flops * sched_slowdown);
+            // Virtual time advances by the pool's critical path (equal to
+            // total flops when the session runs serial kernels).
+            node.enclave.charge_parallel_compute(
+                stats.flops * sched_slowdown,
+                stats.critical_flops * sched_slowdown,
+            );
 
             // Memory traffic: parameters + activations, through the EPC.
             node.enclave.touch_all(state.params_region)?;

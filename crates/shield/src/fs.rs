@@ -24,6 +24,10 @@ use std::sync::Arc;
 /// Chunk size used by the shield (64 KiB, matching SCONE's default).
 pub const CHUNK_SIZE: usize = 64 * 1024;
 
+/// Decrypted chunks kept in the in-enclave cache (16 × 64 KiB = 1 MiB —
+/// small enough to stay EPC-resident next to the model it serves).
+const CHUNK_CACHE_CAP: usize = 16;
+
 /// Protection level applied to a path prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Policy {
@@ -118,6 +122,49 @@ struct FileMeta {
     file_id: u64,
 }
 
+/// Appends the part of decrypted chunk `i` that overlaps the requested
+/// `[offset, offset + len)` byte range to `out`.
+fn append_range(out: &mut Vec<u8>, plain: &[u8], i: usize, offset: u64, len: u64) {
+    let chunk_start = i as u64 * CHUNK_SIZE as u64;
+    let take_from = offset.max(chunk_start) - chunk_start;
+    let take_to = ((offset + len).min(chunk_start + plain.len() as u64)) - chunk_start;
+    out.extend_from_slice(&plain[take_from as usize..take_to as usize]);
+}
+
+/// In-enclave cache of already-decrypted chunks, keyed by
+/// `(file_id, version, chunk)` so a rewritten file (new version) can never
+/// serve stale plaintext. FIFO eviction; the plaintext lives inside the
+/// enclave, so caching it weakens nothing the chunk's AEAD protected.
+#[derive(Debug, Default)]
+struct ChunkCache {
+    entries: HashMap<(u64, u64, u32), Vec<u8>>,
+    order: std::collections::VecDeque<(u64, u64, u32)>,
+}
+
+impl ChunkCache {
+    fn get(&self, key: (u64, u64, u32)) -> Option<Vec<u8>> {
+        self.entries.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: (u64, u64, u32), plain: Vec<u8>) {
+        if self.entries.insert(key, plain).is_none() {
+            self.order.push_back(key);
+        }
+        while self.order.len() > CHUNK_CACHE_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+    }
+
+    /// Drops every cached chunk of `file_id` (any version) — called on
+    /// write/delete so the cache never outlives the file it mirrors.
+    fn invalidate_file(&mut self, file_id: u64) {
+        self.entries.retain(|k, _| k.0 != file_id);
+        self.order.retain(|k| k.0 != file_id);
+    }
+}
+
 /// Telemetry counters for the fs shield, resolved once at construction
 /// (no-op handles when the enclave's platform has telemetry disabled).
 #[derive(Debug, Clone)]
@@ -127,6 +174,7 @@ struct FsMetrics {
     bytes_written: Counter,
     bytes_read: Counter,
     tamper_rejections: Counter,
+    chunk_cache_hits: Counter,
 }
 
 impl FsMetrics {
@@ -138,6 +186,7 @@ impl FsMetrics {
             bytes_written: t.counter("shield.fs.bytes_written"),
             bytes_read: t.counter("shield.fs.bytes_read"),
             tamper_rejections: t.counter("shield.fs.tamper_rejections"),
+            chunk_cache_hits: t.counter("shield.fs.chunk_cache_hits"),
         }
     }
 }
@@ -155,6 +204,7 @@ pub struct FsShield {
     key: Key,
     next_file_id: u64,
     metrics: FsMetrics,
+    chunk_cache: Mutex<ChunkCache>,
 }
 
 impl FsShield {
@@ -176,6 +226,7 @@ impl FsShield {
             key,
             next_file_id: 1,
             metrics,
+            chunk_cache: Mutex::new(ChunkCache::default()),
         }
     }
 
@@ -223,6 +274,9 @@ impl FsShield {
         self.metrics.writes.inc();
         self.metrics.bytes_written.add(data.len() as u64);
         let policy = self.policy_for(path);
+        if let Some(old) = self.meta.get(path) {
+            self.chunk_cache.lock().invalidate_file(old.file_id);
+        }
         if policy == Policy::Passthrough {
             self.store.raw_put(path, data.to_vec());
             self.meta.remove(path);
@@ -470,6 +524,14 @@ impl FsShield {
             if i < first_chunk || i > last_chunk {
                 continue;
             }
+            let cache_key = (meta.file_id, meta.version, i as u32);
+            if let Some(plain) = self.chunk_cache.lock().get(cache_key) {
+                // Verified and decrypted on a previous read; serving from
+                // the in-enclave copy charges no crypto time.
+                self.metrics.chunk_cache_hits.inc();
+                append_range(&mut out, &plain, i, offset, len);
+                continue;
+            }
             if &sha256::digest(record) != digest {
                 return Err(ShieldError::FileTampered(format!(
                     "{path}: chunk {i} digest mismatch"
@@ -504,12 +566,12 @@ impl FsShield {
                 Policy::Passthrough => unreachable!("handled above"),
             };
             decrypted_bytes += plain.len() as u64;
-            let chunk_start = i as u64 * CHUNK_SIZE as u64;
-            let take_from = offset.max(chunk_start) - chunk_start;
-            let take_to = ((offset + len).min(chunk_start + plain.len() as u64)) - chunk_start;
-            out.extend_from_slice(&plain[take_from as usize..take_to as usize]);
+            append_range(&mut out, &plain, i, offset, len);
+            self.chunk_cache.lock().insert(cache_key, plain);
         }
-        self.enclave.charge_shield_crypto(decrypted_bytes);
+        if decrypted_bytes > 0 {
+            self.enclave.charge_shield_crypto(decrypted_bytes);
+        }
         Ok(out)
     }
 
@@ -517,7 +579,11 @@ impl FsShield {
     pub fn delete(&mut self, path: &str) -> bool {
         self.enclave.charge_syscall();
         let had = self.store.raw_delete(path);
-        self.meta.remove(path).is_some() || had
+        let meta = self.meta.remove(path);
+        if let Some(meta) = &meta {
+            self.chunk_cache.lock().invalidate_file(meta.file_id);
+        }
+        meta.is_some() || had
     }
 
     /// Whether `path` currently exists (written through this shield or
@@ -835,6 +901,82 @@ mod tests {
         assert!(shield
             .read_range("/secure/f", CHUNK_SIZE as u64 + 10, 100)
             .is_err());
+    }
+
+    #[test]
+    fn cached_range_reads_charge_no_extra_crypto() {
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock.clone())
+            .telemetry(telemetry.clone())
+            .build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"fs cache test").build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap();
+        let mut shield = FsShield::new(enclave, UntrustedStore::new());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        let big: Vec<u8> = (0..3 * CHUNK_SIZE).map(|i| (i % 241) as u8).collect();
+        shield.write("/secure/model", &big).unwrap();
+
+        // First range read decrypts the two overlapping chunks.
+        let range = (CHUNK_SIZE as u64 - 100, 200u64);
+        let first = shield.read_range("/secure/model", range.0, range.1).unwrap();
+        let crypto_ns = telemetry.counter("cost.crypto.ns").get();
+        let crypto_events = telemetry.counter("cost.crypto.events").get();
+        assert!(crypto_ns > 0);
+        assert_eq!(telemetry.counter("shield.fs.chunk_cache_hits").get(), 0);
+
+        // The repeat — the model-load hot path — serves both chunks from
+        // the in-enclave cache: same bytes, zero additional crypto time.
+        let second = shield.read_range("/secure/model", range.0, range.1).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(telemetry.counter("cost.crypto.ns").get(), crypto_ns);
+        assert_eq!(telemetry.counter("cost.crypto.events").get(), crypto_events);
+        assert_eq!(telemetry.counter("shield.fs.chunk_cache_hits").get(), 2);
+
+        // A sub-range of a cached chunk is also free and correct.
+        let sub = shield.read_range("/secure/model", range.0 + 10, 50).unwrap();
+        assert_eq!(sub, &big[range.0 as usize + 10..range.0 as usize + 60]);
+        assert_eq!(telemetry.counter("cost.crypto.ns").get(), crypto_ns);
+    }
+
+    #[test]
+    fn chunk_cache_is_invalidated_by_rewrite_and_delete() {
+        let (mut shield, _store) = setup();
+        let v1 = vec![1u8; 2 * CHUNK_SIZE];
+        shield.write("/secure/m", &v1).unwrap();
+        assert_eq!(shield.read_range("/secure/m", 0, 16).unwrap(), vec![1u8; 16]);
+        // Rewrite: the next range read must see v2, not cached v1 chunks.
+        let v2 = vec![2u8; 2 * CHUNK_SIZE];
+        shield.write("/secure/m", &v2).unwrap();
+        assert_eq!(shield.read_range("/secure/m", 0, 16).unwrap(), vec![2u8; 16]);
+        assert!(shield.delete("/secure/m"));
+        assert!(shield.read_range("/secure/m", 0, 16).is_err());
+    }
+
+    #[test]
+    fn chunk_cache_eviction_keeps_reads_correct() {
+        let (mut shield, _store) = setup();
+        // More chunks than the cache holds: every read stays correct as
+        // older entries are evicted.
+        let chunks = CHUNK_CACHE_CAP + 4;
+        let big: Vec<u8> = (0..chunks * CHUNK_SIZE).map(|i| (i % 239) as u8).collect();
+        shield.write("/secure/big", &big).unwrap();
+        for round in 0..2 {
+            for c in 0..chunks {
+                let offset = (c * CHUNK_SIZE) as u64 + 7;
+                let got = shield.read_range("/secure/big", offset, 32).unwrap();
+                assert_eq!(
+                    got,
+                    &big[offset as usize..offset as usize + 32],
+                    "round {round} chunk {c}"
+                );
+            }
+        }
     }
 
     #[test]

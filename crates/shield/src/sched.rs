@@ -305,6 +305,28 @@ mod tests {
     }
 
     #[test]
+    fn pool_critical_path_charge_agrees_with_lpt_makespan() {
+        // The kernel worker pool's cost (charge the critical path only)
+        // must agree with this scheduler's LPT model: a kernel split into
+        // W equal chains on W cores costs exactly one per-core task chain.
+        let e = enclave(ExecutionMode::Hardware);
+        let clock = e.clock().clone();
+        let total = 8e9;
+        let workers = 4usize;
+        let per_worker = total / workers as f64;
+
+        let t0 = clock.now_ns();
+        e.charge_parallel_compute(total, per_worker);
+        let pool_ns = clock.now_ns() - t0;
+
+        let tasks: Vec<Task> = (0..workers).map(|_| Task::compute(per_worker)).collect();
+        let batch_ns = Scheduler::new(e, workers, ThreadingModel::UserLevel)
+            .run_batch(&tasks)
+            .unwrap();
+        assert_eq!(pool_ns, batch_ns, "pool charge disagrees with LPT makespan");
+    }
+
+    #[test]
     fn empty_batch_is_instant() {
         let e = enclave(ExecutionMode::Native);
         let ns = Scheduler::new(e, 4, ThreadingModel::UserLevel)

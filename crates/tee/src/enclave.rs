@@ -434,6 +434,28 @@ impl Enclave {
         self.telemetry.charge(CostCategory::Compute, ns);
     }
 
+    /// Charges a pool-parallel kernel execution: `total_flops` is the
+    /// work summed over all workers, `critical_flops` the longest
+    /// single-worker chain. Virtual time advances by the *critical* path
+    /// only — exactly what the sched shield's LPT batch model charges for
+    /// a batch of equal per-core compute tasks — while both totals are
+    /// recorded as telemetry counters for utilization analysis.
+    ///
+    /// A `critical_flops` of zero (or an over-long one) degrades to the
+    /// serial [`Self::charge_compute`] behavior.
+    pub fn charge_parallel_compute(&self, total_flops: f64, critical_flops: f64) {
+        let critical = if critical_flops > 0.0 {
+            critical_flops.min(total_flops)
+        } else {
+            total_flops
+        };
+        let ns = self.model.compute_ns(critical, self.mode);
+        self.clock.advance(ns);
+        self.telemetry.charge(CostCategory::Compute, ns);
+        self.telemetry.counter("kernel.pool.total_flops").add(total_flops as u64);
+        self.telemetry.counter("kernel.pool.critical_flops").add(critical as u64);
+    }
+
     /// Charges streaming-crypto time for `bytes` (file-system shield).
     pub fn charge_shield_crypto(&self, bytes: u64) {
         self.charge_shield_crypto_as(bytes, CostCategory::Crypto);

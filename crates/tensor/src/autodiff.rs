@@ -4,16 +4,48 @@
 //! for training — propagates gradients in reverse. Gradients are verified
 //! against numerical differentiation in this module's tests.
 
-use crate::graph::{Graph, NodeId, Op, Padding};
+use crate::graph::{Graph, NodeId, Op};
+use crate::kernels::{self, KernelCost, WorkerPool};
 use crate::tensor::Tensor;
 use crate::TensorError;
 use std::collections::HashMap;
 
+/// Per-kernel-family flop attribution within a [`RunStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelFlops {
+    /// Flops spent in matrix products.
+    pub matmul: f64,
+    /// Flops spent in convolution forward/backward kernels.
+    pub conv2d: f64,
+    /// Flops spent in everything else (element-wise ops, losses, pools).
+    pub other: f64,
+}
+
+impl KernelFlops {
+    fn merge(&mut self, other: KernelFlops) {
+        self.matmul += other.matmul;
+        self.conv2d += other.conv2d;
+        self.other += other.other;
+    }
+
+    fn scale(&mut self, factor: f64) {
+        self.matmul *= factor;
+        self.conv2d *= factor;
+        self.other *= factor;
+    }
+}
+
 /// Resource usage of one graph execution, consumed by the TEE cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunStats {
-    /// Floating-point operations performed.
+    /// Floating-point operations performed (all workers summed).
     pub flops: f64,
+    /// Flops on the longest worker chain — what the run costs in
+    /// (virtual) time when pooled kernels split the work. Equals `flops`
+    /// for serial execution.
+    pub critical_flops: f64,
+    /// Attribution of `flops` to kernel families.
+    pub kernel_flops: KernelFlops,
     /// Bytes of activations produced.
     pub activation_bytes: u64,
 }
@@ -22,7 +54,65 @@ impl RunStats {
     /// Merges another run's stats into this one.
     pub fn merge(&mut self, other: RunStats) {
         self.flops += other.flops;
+        self.critical_flops += other.critical_flops;
+        self.kernel_flops.merge(other.kernel_flops);
         self.activation_bytes += other.activation_bytes;
+    }
+
+    /// Multiplies every compute field by `factor` — e.g. the usual
+    /// "backward ≈ 2× forward" training heuristic.
+    pub fn scale_compute(&mut self, factor: f64) {
+        self.flops *= factor;
+        self.critical_flops *= factor;
+        self.kernel_flops.scale(factor);
+    }
+
+    /// Rescales the compute fields so `flops == target`, preserving the
+    /// critical-path ratio and per-kernel attribution (used when a model
+    /// declares authoritative flop counts).
+    pub fn rescale_flops(&mut self, target: f64) {
+        if self.flops > 0.0 {
+            self.scale_compute(target / self.flops);
+        } else {
+            self.critical_flops = target;
+            self.kernel_flops.other = target;
+        }
+        self.flops = target;
+    }
+
+    /// The difference `self - earlier` — the usage accrued since the
+    /// `earlier` snapshot was taken.
+    #[must_use]
+    pub fn since(&self, earlier: &RunStats) -> RunStats {
+        RunStats {
+            flops: self.flops - earlier.flops,
+            critical_flops: self.critical_flops - earlier.critical_flops,
+            kernel_flops: KernelFlops {
+                matmul: self.kernel_flops.matmul - earlier.kernel_flops.matmul,
+                conv2d: self.kernel_flops.conv2d - earlier.kernel_flops.conv2d,
+                other: self.kernel_flops.other - earlier.kernel_flops.other,
+            },
+            activation_bytes: self.activation_bytes.saturating_sub(earlier.activation_bytes),
+        }
+    }
+
+    /// A serial op: total and critical flops coincide.
+    fn charge_serial(&mut self, flops: f64) {
+        self.flops += flops;
+        self.critical_flops += flops;
+        self.kernel_flops.other += flops;
+    }
+
+    fn charge_matmul(&mut self, cost: KernelCost) {
+        self.flops += cost.flops;
+        self.critical_flops += cost.critical_flops;
+        self.kernel_flops.matmul += cost.flops;
+    }
+
+    fn charge_conv(&mut self, cost: KernelCost) {
+        self.flops += cost.flops;
+        self.critical_flops += cost.critical_flops;
+        self.kernel_flops.conv2d += cost.flops;
     }
 }
 
@@ -79,6 +169,25 @@ pub fn forward(
     vars: &HashMap<NodeId, Tensor>,
     targets: &[NodeId],
 ) -> Result<Forward, TensorError> {
+    forward_with(graph, feeds, vars, targets, &WorkerPool::serial())
+}
+
+/// [`forward`] with an explicit worker pool for the matmul/conv kernels.
+///
+/// Results are bit-identical to the serial pass for any worker count
+/// (the kernels' determinism guarantee); only [`RunStats::critical_flops`]
+/// changes.
+///
+/// # Errors
+///
+/// Same conditions as [`forward`].
+pub fn forward_with(
+    graph: &Graph,
+    feeds: &HashMap<NodeId, Tensor>,
+    vars: &HashMap<NodeId, Tensor>,
+    targets: &[NodeId],
+    pool: &WorkerPool,
+) -> Result<Forward, TensorError> {
     let needed = needed_set(graph, targets)?;
     let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
     let mut stats = RunStats::default();
@@ -115,9 +224,8 @@ pub fn forward(
             Op::Constant(t) => t.clone(),
             Op::MatMul(a, b) => {
                 let (ta, tb) = (get(*a), get(*b));
-                let out = ta.matmul(tb)?;
-                stats.flops +=
-                    2.0 * ta.shape()[0] as f64 * ta.shape()[1] as f64 * tb.shape()[1] as f64;
+                let (out, cost) = kernels::matmul(pool, ta, tb)?;
+                stats.charge_matmul(cost);
                 out
             }
             Op::AddBias(x, bias) => {
@@ -125,20 +233,20 @@ pub fn forward(
                 add_bias(tx, tb)?
             }
             Op::Add(a, b) => {
-                stats.flops += get(*a).len() as f64;
+                stats.charge_serial(get(*a).len() as f64);
                 get(*a).zip(get(*b), |x, y| x + y)?
             }
             Op::Mul(a, b) => {
-                stats.flops += get(*a).len() as f64;
+                stats.charge_serial(get(*a).len() as f64);
                 get(*a).zip(get(*b), |x, y| x * y)?
             }
             Op::Relu(x) => {
-                stats.flops += get(*x).len() as f64;
+                stats.charge_serial(get(*x).len() as f64);
                 get(*x).map(|v| v.max(0.0))
             }
             Op::Softmax(x) => {
                 let t = get(*x);
-                stats.flops += 5.0 * t.len() as f64;
+                stats.charge_serial(5.0 * t.len() as f64);
                 softmax(t)?
             }
             Op::Conv2d {
@@ -147,12 +255,12 @@ pub fn forward(
                 padding,
             } => {
                 let (ti, tf) = (get(*input), get(*filter));
-                let (out, flops) = conv2d(ti, tf, *padding)?;
-                stats.flops += flops;
+                let (out, cost) = kernels::conv2d(pool, ti, tf, *padding)?;
+                stats.charge_conv(cost);
                 out
             }
             Op::MaxPool2(x) => {
-                stats.flops += get(*x).len() as f64;
+                stats.charge_serial(get(*x).len() as f64);
                 max_pool2(get(*x))?.0
             }
             Op::Flatten(x) => {
@@ -164,34 +272,34 @@ pub fn forward(
             Op::Reshape(x, shape) => get(*x).reshape(shape)?,
             Op::SoftmaxCrossEntropy { logits, labels } => {
                 let (tl, ty) = (get(*logits), get(*labels));
-                stats.flops += 8.0 * tl.len() as f64;
+                stats.charge_serial(8.0 * tl.len() as f64);
                 softmax_cross_entropy(tl, ty)?
             }
             Op::MseLoss(p, t) => {
                 let (tp, tt) = (get(*p), get(*t));
-                stats.flops += 3.0 * tp.len() as f64;
+                stats.charge_serial(3.0 * tp.len() as f64);
                 let diff = tp.zip(tt, |a, b| a - b)?;
                 Tensor::scalar(diff.data().iter().map(|d| d * d).sum::<f32>() / tp.len() as f32)
             }
             Op::Sub(a, b) => {
-                stats.flops += get(*a).len() as f64;
+                stats.charge_serial(get(*a).len() as f64);
                 get(*a).zip(get(*b), |x, y| x - y)?
             }
             Op::Scale(x, factor) => {
                 let f = *factor;
-                stats.flops += get(*x).len() as f64;
+                stats.charge_serial(get(*x).len() as f64);
                 get(*x).map(|v| v * f)
             }
             Op::Sigmoid(x) => {
-                stats.flops += 4.0 * get(*x).len() as f64;
+                stats.charge_serial(4.0 * get(*x).len() as f64);
                 get(*x).map(|v| 1.0 / (1.0 + (-v).exp()))
             }
             Op::Tanh(x) => {
-                stats.flops += 4.0 * get(*x).len() as f64;
+                stats.charge_serial(4.0 * get(*x).len() as f64);
                 get(*x).map(f32::tanh)
             }
             Op::AvgPool2(x) => {
-                stats.flops += get(*x).len() as f64;
+                stats.charge_serial(get(*x).len() as f64);
                 avg_pool2(get(*x))?
             }
             Op::ConcatCols(a, b) => concat_cols(get(*a), get(*b))?,
@@ -213,6 +321,21 @@ pub fn backward(
     graph: &Graph,
     fwd: &Forward,
     loss: NodeId,
+) -> Result<HashMap<NodeId, Tensor>, TensorError> {
+    backward_with(graph, fwd, loss, &WorkerPool::serial())
+}
+
+/// [`backward`] with an explicit worker pool for the matmul/conv kernels.
+/// Gradients are bit-identical to the serial pass for any worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`backward`].
+pub fn backward_with(
+    graph: &Graph,
+    fwd: &Forward,
+    loss: NodeId,
+    pool: &WorkerPool,
 ) -> Result<HashMap<NodeId, Tensor>, TensorError> {
     let loss_value = fwd
         .value(loss)
@@ -251,8 +374,8 @@ pub fn backward(
             Op::Placeholder { .. } | Op::Variable { .. } | Op::Constant(_) => {}
             Op::MatMul(a, b) => {
                 let (ta, tb) = (value_of(*a)?, value_of(*b)?);
-                let ga = grad.matmul(&tb.transpose()?)?;
-                let gb = ta.transpose()?.matmul(&grad)?;
+                let ga = kernels::matmul(pool, &grad, &tb.transpose()?)?.0;
+                let gb = kernels::matmul(pool, &ta.transpose()?, &grad)?.0;
                 accumulate(&mut grads, *a, ga)?;
                 accumulate(&mut grads, *b, gb)?;
             }
@@ -287,7 +410,7 @@ pub fn backward(
                 padding,
             } => {
                 let (ti, tf) = (value_of(*input)?, value_of(*filter)?);
-                let (gi, gf) = conv2d_grad(ti, tf, &grad, *padding)?;
+                let (gi, gf, _) = kernels::conv2d_grad(pool, ti, tf, &grad, *padding)?;
                 accumulate(&mut grads, *input, gi)?;
                 accumulate(&mut grads, *filter, gf)?;
             }
@@ -459,142 +582,6 @@ fn softmax_cross_entropy(logits: &Tensor, labels: &Tensor) -> Result<Tensor, Ten
     Ok(Tensor::scalar(total / m as f32))
 }
 
-#[allow(clippy::type_complexity)]
-fn conv_geometry(
-    input: &Tensor,
-    filter: &Tensor,
-    padding: Padding,
-) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize, usize), TensorError> {
-    let &[b, h, w, cin] = input.shape() else {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d",
-            detail: format!("input {:?} (need NHWC)", input.shape()),
-        });
-    };
-    let &[kh, kw, fcin, cout] = filter.shape() else {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d",
-            detail: format!("filter {:?} (need [kh,kw,cin,cout])", filter.shape()),
-        });
-    };
-    if fcin != cin {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d",
-            detail: format!("input channels {cin} vs filter {fcin}"),
-        });
-    }
-    let (oh, ow) = match padding {
-        Padding::Same => (h, w),
-        Padding::Valid => {
-            if h < kh || w < kw {
-                return Err(TensorError::ShapeMismatch {
-                    op: "conv2d",
-                    detail: format!("input {h}x{w} smaller than kernel {kh}x{kw}"),
-                });
-            }
-            (h - kh + 1, w - kw + 1)
-        }
-    };
-    Ok((b, h, w, cin, kh, kw, cout, oh, ow))
-}
-
-fn conv2d(input: &Tensor, filter: &Tensor, padding: Padding) -> Result<(Tensor, f64), TensorError> {
-    let (b, h, w, cin, kh, kw, cout, oh, ow) = conv_geometry(input, filter, padding)?;
-    let (ph, pw) = match padding {
-        Padding::Same => ((kh - 1) / 2, (kw - 1) / 2),
-        Padding::Valid => (0, 0),
-    };
-    let mut out = Tensor::zeros(&[b, oh, ow, cout]);
-    let idata = input.data();
-    let fdata = filter.data();
-    let odata = out.data_mut();
-    for bi in 0..b {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                for ky in 0..kh {
-                    let iy = (oy + ky) as isize - ph as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kx in 0..kw {
-                        let ix = (ox + kx) as isize - pw as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        let ibase = ((bi * h + iy as usize) * w + ix as usize) * cin;
-                        let fbase = (ky * kw + kx) * cin * cout;
-                        let obase = ((bi * oh + oy) * ow + ox) * cout;
-                        for ci in 0..cin {
-                            let iv = idata[ibase + ci];
-                            if iv == 0.0 {
-                                continue;
-                            }
-                            let frow = &fdata[fbase + ci * cout..fbase + (ci + 1) * cout];
-                            let orow = &mut odata[obase..obase + cout];
-                            for (o, &f) in orow.iter_mut().zip(frow.iter()) {
-                                *o += iv * f;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    let flops =
-        2.0 * b as f64 * oh as f64 * ow as f64 * cout as f64 * kh as f64 * kw as f64 * cin as f64;
-    Ok((out, flops))
-}
-
-fn conv2d_grad(
-    input: &Tensor,
-    filter: &Tensor,
-    grad: &Tensor,
-    padding: Padding,
-) -> Result<(Tensor, Tensor), TensorError> {
-    let (b, h, w, cin, kh, kw, cout, oh, ow) = conv_geometry(input, filter, padding)?;
-    let (ph, pw) = match padding {
-        Padding::Same => ((kh - 1) / 2, (kw - 1) / 2),
-        Padding::Valid => (0, 0),
-    };
-    let mut gi = Tensor::zeros(input.shape());
-    let mut gf = Tensor::zeros(filter.shape());
-    let idata = input.data();
-    let fdata = filter.data();
-    let gdata = grad.data();
-    for bi in 0..b {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let obase = ((bi * oh + oy) * ow + ox) * cout;
-                for ky in 0..kh {
-                    let iy = (oy + ky) as isize - ph as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kx in 0..kw {
-                        let ix = (ox + kx) as isize - pw as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        let ibase = ((bi * h + iy as usize) * w + ix as usize) * cin;
-                        let fbase = (ky * kw + kx) * cin * cout;
-                        for ci in 0..cin {
-                            let iv = idata[ibase + ci];
-                            let mut gsum = 0.0f32;
-                            for co in 0..cout {
-                                let g = gdata[obase + co];
-                                gsum += g * fdata[fbase + ci * cout + co];
-                                gf.data_mut()[fbase + ci * cout + co] += g * iv;
-                            }
-                            gi.data_mut()[ibase + ci] += gsum;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Ok((gi, gf))
-}
-
 fn avg_pool2(x: &Tensor) -> Result<Tensor, TensorError> {
     let &[b, h, w, c] = x.shape() else {
         return Err(TensorError::ShapeMismatch {
@@ -736,7 +723,7 @@ fn max_pool2(x: &Tensor) -> Result<(Tensor, Vec<usize>), TensorError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Graph;
+    use crate::graph::{Graph, Padding};
 
     fn feeds(pairs: &[(NodeId, Tensor)]) -> HashMap<NodeId, Tensor> {
         pairs.iter().cloned().collect()
@@ -986,11 +973,12 @@ mod tests {
 
     #[test]
     fn conv_valid_output_shape() {
+        let pool = WorkerPool::serial();
         let input = Tensor::zeros(&[2, 5, 6, 3]);
         let filter = Tensor::zeros(&[3, 3, 3, 4]);
-        let (out, _) = conv2d(&input, &filter, Padding::Valid).unwrap();
+        let (out, _) = kernels::conv2d(&pool, &input, &filter, Padding::Valid).unwrap();
         assert_eq!(out.shape(), &[2, 3, 4, 4]);
-        let (same, _) = conv2d(&input, &filter, Padding::Same).unwrap();
+        let (same, _) = kernels::conv2d(&pool, &input, &filter, Padding::Same).unwrap();
         assert_eq!(same.shape(), &[2, 5, 6, 4]);
     }
 
@@ -998,7 +986,7 @@ mod tests {
     fn conv_channel_mismatch_rejected() {
         let input = Tensor::zeros(&[1, 5, 5, 3]);
         let filter = Tensor::zeros(&[3, 3, 2, 4]);
-        assert!(conv2d(&input, &filter, Padding::Same).is_err());
+        assert!(kernels::conv2d(&WorkerPool::serial(), &input, &filter, Padding::Same).is_err());
     }
 
     #[test]
@@ -1007,11 +995,12 @@ mod tests {
         // is the sum of all inputs.
         let input = Tensor::from_vec(&[1, 3, 3, 1], (1..=9).map(|v| v as f32).collect()).unwrap();
         let filter = Tensor::full(&[3, 3, 1, 1], 1.0);
-        let (out, flops) = conv2d(&input, &filter, Padding::Same).unwrap();
+        let (out, cost) = kernels::conv2d(&WorkerPool::serial(), &input, &filter, Padding::Same).unwrap();
         assert_eq!(out.data()[4], 45.0);
         // Corner output sums the 2x2 corner: 1+2+4+5 = 12.
         assert_eq!(out.data()[0], 12.0);
-        assert!(flops > 0.0);
+        assert!(cost.flops > 0.0);
+        assert_eq!(cost.critical_flops, cost.flops);
     }
 
     #[test]

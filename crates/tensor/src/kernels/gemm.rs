@@ -1,0 +1,152 @@
+//! Cache-blocked GEMM with packed A panels.
+//!
+//! The naive triple loop streams the whole of B from memory once per row
+//! of A. Blocking fixes that: rows are processed in [`ROW_BLOCK`]-row
+//! blocks (the unit of parallelism), the k dimension in [`KC`]-deep
+//! panels so the B rows a panel touches stay cache-resident, and within
+//! a panel a [`MR`]-row strip of A is packed k-major into a small
+//! contiguous buffer the micro-kernel reads sequentially.
+//!
+//! **Determinism rule**: blocking and packing change the *memory* order
+//! only, never the *arithmetic* order. For every output element `C[i,j]`
+//! the additions run over `p = 0..k` strictly increasing, exactly like
+//! the naive loop, so blocked — and pool-parallel — results are
+//! bit-for-bit identical to [`super::reference::naive_matmul`].
+
+use super::pool::{self, WorkerPool};
+use super::KernelCost;
+
+/// Rows per parallel row-block (the pool's work unit).
+pub(crate) const ROW_BLOCK: usize = 64;
+/// Depth of one packed k-panel (4 KiB of packed A per strip).
+const KC: usize = 256;
+/// Rows per packed micro-kernel strip.
+const MR: usize = 4;
+
+/// Computes `C = A × B` for row-major `A [m,k]`, `B [k,n]` into the
+/// zeroed buffer `c` of `m * n` elements, splitting row blocks over the
+/// pool.
+pub(crate) fn gemm(pool: &WorkerPool, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    pool.run_on_blocks(c, ROW_BLOCK * n, &|blk, c_block| {
+        gemm_rows(blk * ROW_BLOCK, c_block.len() / n, k, n, a, b, c_block);
+    });
+}
+
+/// Total and critical-path flops of a pooled [`gemm`] call.
+pub(crate) fn gemm_cost(pool: &WorkerPool, m: usize, k: usize, n: usize) -> KernelCost {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let nblocks = m.div_ceil(ROW_BLOCK);
+    let crit_rows = (pool::critical_units(nblocks, pool.workers()) * ROW_BLOCK).min(m);
+    KernelCost {
+        flops,
+        critical_flops: 2.0 * crit_rows as f64 * k as f64 * n as f64,
+    }
+}
+
+/// One row block: C rows `i0..i0+rows` (c holds exactly those rows).
+fn gemm_rows(i0: usize, rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut packed = [0.0f32; MR * KC];
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        let b_panel = &b[pc * n..(pc + kc) * n];
+        for ir in (0..rows).step_by(MR) {
+            let mr = MR.min(rows - ir);
+            // Pack the strip k-major: packed[p * mr + r] = A[i0+ir+r][pc+p].
+            for p in 0..kc {
+                for r in 0..mr {
+                    packed[p * mr + r] = a[(i0 + ir + r) * k + pc + p];
+                }
+            }
+            let c_strip = &mut c[ir * n..(ir + mr) * n];
+            if mr == MR {
+                micro_4xn(kc, n, &packed, b_panel, c_strip);
+            } else {
+                micro_mxn(mr, kc, n, &packed, b_panel, c_strip);
+            }
+        }
+    }
+}
+
+/// 4×n register micro-kernel: four C rows accumulate one B row per step.
+fn micro_4xn(kc: usize, n: usize, packed: &[f32], b_panel: &[f32], c: &mut [f32]) {
+    let (c0, rest) = c.split_at_mut(n);
+    let (c1, rest) = rest.split_at_mut(n);
+    let (c2, c3) = rest.split_at_mut(n);
+    for p in 0..kc {
+        let a0 = packed[p * 4];
+        let a1 = packed[p * 4 + 1];
+        let a2 = packed[p * 4 + 2];
+        let a3 = packed[p * 4 + 3];
+        let brow = &b_panel[p * n..(p + 1) * n];
+        for (j, &bv) in brow.iter().enumerate() {
+            c0[j] += a0 * bv;
+            c1[j] += a1 * bv;
+            c2[j] += a2 * bv;
+            c3[j] += a3 * bv;
+        }
+    }
+}
+
+/// Generic remainder strip (1–3 rows), same accumulation order.
+fn micro_mxn(mr: usize, kc: usize, n: usize, packed: &[f32], b_panel: &[f32], c: &mut [f32]) {
+    for p in 0..kc {
+        let brow = &b_panel[p * n..(p + 1) * n];
+        for r in 0..mr {
+            let av = packed[p * mr + r];
+            let crow = &mut c[r * n..(r + 1) * n];
+            for (o, &bv) in crow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::reference::naive_matmul;
+
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as i32 % 1000) as f32 * 1e-3
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_across_shapes() {
+        for (m, k, n) in [(1, 1, 1), (4, 4, 4), (5, 7, 3), (63, 17, 9), (64, 256, 10), (65, 300, 33), (130, 513, 5)] {
+            let a = fill(m as u64 * 31 + k as u64, m * k);
+            let b = fill(n as u64 * 17 + 3, k * n);
+            let naive = naive_matmul(m, k, n, &a, &b);
+            for workers in [1usize, 2, 3, 5] {
+                let mut c = vec![0.0f32; m * n];
+                gemm(&WorkerPool::new(workers), m, k, n, &a, &b, &mut c);
+                let lhs: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
+                let rhs: Vec<u32> = naive.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(lhs, rhs, "m={m} k={k} n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_critical_path_shrinks_with_workers() {
+        let serial = gemm_cost(&WorkerPool::serial(), 256, 64, 64);
+        assert_eq!(serial.critical_flops, serial.flops);
+        let par = gemm_cost(&WorkerPool::new(4), 256, 64, 64);
+        assert_eq!(par.flops, serial.flops);
+        assert_eq!(par.critical_flops, serial.flops / 4.0);
+        // More workers than row blocks: critical path is one block.
+        let tiny = gemm_cost(&WorkerPool::new(8), 70, 8, 8);
+        assert_eq!(tiny.critical_flops, 2.0 * 64.0 * 8.0 * 8.0);
+    }
+}

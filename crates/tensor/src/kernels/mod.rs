@@ -1,0 +1,90 @@
+//! Blocked, pool-parallel compute kernels (DESIGN.md §11).
+//!
+//! This module is the framework's compute layer: a cache-blocked GEMM
+//! (`gemm`), im2col + GEMM convolution (`conv`), and the deterministic
+//! [`WorkerPool`] that splits kernels across disjoint output row-blocks.
+//! The cardinal rule, enforced by property tests against
+//! [`mod@reference`]: **blocking and parallelism never change the
+//! per-element reduction order**, so every kernel is bit-for-bit
+//! identical to its naive serial reference for any worker count.
+//!
+//! Each entry point also returns a [`KernelCost`] — total flops plus the
+//! critical-path flops of the longest worker chain — which the TEE layer
+//! turns into virtual time consistent with the sched shield's LPT
+//! makespan model.
+
+pub mod pool;
+pub mod reference;
+
+mod conv;
+mod gemm;
+
+pub use pool::WorkerPool;
+
+use crate::graph::Padding;
+use crate::tensor::Tensor;
+use crate::TensorError;
+
+/// The cost of one kernel invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCost {
+    /// Total floating-point operations across all workers.
+    pub flops: f64,
+    /// Flops on the longest single-worker chain — what a parallel
+    /// execution pays in wall/virtual time. Equals `flops` when serial.
+    pub critical_flops: f64,
+}
+
+impl KernelCost {
+    /// Accumulates another sequentially-executed stage into this cost.
+    pub fn merge(&mut self, other: KernelCost) {
+        self.flops += other.flops;
+        self.critical_flops += other.critical_flops;
+    }
+}
+
+/// Blocked matrix product `lhs × rhs` for rank-2 tensors.
+///
+/// Bit-identical to [`reference::naive_matmul`] for every worker count;
+/// see the module docs for the determinism argument.
+pub fn matmul(pool: &WorkerPool, lhs: &Tensor, rhs: &Tensor) -> Result<(Tensor, KernelCost), TensorError> {
+    let (&[m, k1], &[k2, n]) = (lhs.shape(), rhs.shape()) else {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            detail: format!("{:?} × {:?} (need rank 2)", lhs.shape(), rhs.shape()),
+        });
+    };
+    if k1 != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            detail: format!("inner dims {k1} vs {k2}"),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    gemm::gemm(pool, m, k1, n, lhs.data(), rhs.data(), &mut out);
+    let cost = gemm::gemm_cost(pool, m, k1, n);
+    Ok((Tensor::from_vec(&[m, n], out)?, cost))
+}
+
+/// im2col + GEMM forward convolution (NHWC input, `[kh,kw,cin,cout]`
+/// filter). Bit-identical to [`reference::naive_conv2d`].
+pub fn conv2d(
+    pool: &WorkerPool,
+    input: &Tensor,
+    filter: &Tensor,
+    padding: Padding,
+) -> Result<(Tensor, KernelCost), TensorError> {
+    conv::conv2d(pool, input, filter, padding)
+}
+
+/// Backward convolution: `(grad_input, grad_filter, cost)`.
+/// Bit-identical to [`reference::naive_conv2d_grad`].
+pub fn conv2d_grad(
+    pool: &WorkerPool,
+    input: &Tensor,
+    filter: &Tensor,
+    grad: &Tensor,
+    padding: Padding,
+) -> Result<(Tensor, Tensor, KernelCost), TensorError> {
+    conv::conv2d_grad(pool, input, filter, grad, padding)
+}

@@ -53,6 +53,7 @@
 pub mod autodiff;
 pub mod freeze;
 pub mod graph;
+pub mod kernels;
 pub mod layers;
 pub mod optimizer;
 pub mod session;

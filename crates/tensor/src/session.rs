@@ -1,7 +1,8 @@
 //! Sessions: stateful graph execution (TensorFlow's `tf.Session`).
 
-use crate::autodiff::{backward, forward, RunStats};
+use crate::autodiff::{backward_with, forward_with, RunStats};
 use crate::graph::{Graph, NodeId, Op};
+use crate::kernels::WorkerPool;
 use crate::optimizer::Optimizer;
 use crate::tensor::Tensor;
 use crate::TensorError;
@@ -12,6 +13,7 @@ use std::collections::HashMap;
 pub struct Session {
     vars: HashMap<NodeId, Tensor>,
     stats: RunStats,
+    pool: WorkerPool,
 }
 
 impl Session {
@@ -28,7 +30,19 @@ impl Session {
         Session {
             vars,
             stats: RunStats::default(),
+            pool: WorkerPool::serial(),
         }
+    }
+
+    /// Sets the worker pool used by the compute kernels. Results are
+    /// bit-identical for any pool; only the critical-path cost changes.
+    pub fn set_worker_pool(&mut self, pool: WorkerPool) {
+        self.pool = pool;
+    }
+
+    /// The worker pool kernels currently run on.
+    pub fn worker_pool(&self) -> WorkerPool {
+        self.pool
     }
 
     /// Evaluates `fetches` with the given placeholder feeds.
@@ -43,7 +57,7 @@ impl Session {
         fetches: &[NodeId],
     ) -> Result<Vec<Tensor>, TensorError> {
         let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
-        let fwd = forward(graph, &feed_map, &self.vars, fetches)?;
+        let fwd = forward_with(graph, &feed_map, &self.vars, fetches, &self.pool)?;
         self.stats.merge(fwd.stats);
         fetches
             .iter()
@@ -70,15 +84,15 @@ impl Session {
         optimizer: &mut dyn Optimizer,
     ) -> Result<f32, TensorError> {
         let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
-        let fwd = forward(graph, &feed_map, &self.vars, &[loss])?;
+        let fwd = forward_with(graph, &feed_map, &self.vars, &[loss], &self.pool)?;
         let loss_value = fwd
             .value(loss)
             .ok_or(TensorError::UnknownNode)?
             .data()[0];
-        let grads = backward(graph, &fwd, loss)?;
+        let grads = backward_with(graph, &fwd, loss, &self.pool)?;
         // Backward costs roughly 2x forward compute.
         let mut stats = fwd.stats;
-        stats.flops *= 3.0;
+        stats.scale_compute(3.0);
         stats.activation_bytes *= 2;
         self.stats.merge(stats);
         for var in graph.variables() {
@@ -106,11 +120,11 @@ impl Session {
         loss: NodeId,
     ) -> Result<(f32, HashMap<NodeId, Tensor>), TensorError> {
         let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
-        let fwd = forward(graph, &feed_map, &self.vars, &[loss])?;
+        let fwd = forward_with(graph, &feed_map, &self.vars, &[loss], &self.pool)?;
         let loss_value = fwd.value(loss).ok_or(TensorError::UnknownNode)?.data()[0];
-        let grads = backward(graph, &fwd, loss)?;
+        let grads = backward_with(graph, &fwd, loss, &self.pool)?;
         let mut stats = fwd.stats;
-        stats.flops *= 3.0;
+        stats.scale_compute(3.0);
         stats.activation_bytes *= 2;
         self.stats.merge(stats);
         let var_grads = graph
@@ -332,6 +346,32 @@ mod tests {
         }
         let out = session.run(&g, &[(x, xd)], &[logits]).unwrap();
         assert_eq!(out[0].argmax_rows().unwrap(), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn pooled_training_is_bit_identical_to_serial() {
+        let (g, x, labels, logits, loss) = xor_setup();
+        let mut serial = Session::new(&g);
+        let mut pooled = Session::new(&g);
+        pooled.set_worker_pool(WorkerPool::new(4));
+        assert_eq!(pooled.worker_pool().workers(), 4);
+        let (xd, yd) = xor_batch();
+        let mut sgd_a = Sgd::new(0.5);
+        let mut sgd_b = Sgd::new(0.5);
+        for _ in 0..25 {
+            let la = serial
+                .train_step(&g, &[(x, xd.clone()), (labels, yd.clone())], loss, &mut sgd_a)
+                .unwrap();
+            let lb = pooled
+                .train_step(&g, &[(x, xd.clone()), (labels, yd.clone())], loss, &mut sgd_b)
+                .unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        let oa = serial.run(&g, &[(x, xd.clone())], &[logits]).unwrap();
+        let ob = pooled.run(&g, &[(x, xd)], &[logits]).unwrap();
+        assert_eq!(oa[0].data(), ob[0].data());
+        assert_eq!(serial.stats().flops, pooled.stats().flops);
+        assert!(pooled.stats().critical_flops <= serial.stats().critical_flops);
     }
 
     #[test]

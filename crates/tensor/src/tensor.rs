@@ -166,41 +166,16 @@ impl Tensor {
 
     /// Matrix multiplication: `[m, k] × [k, n] -> [m, n]`.
     ///
+    /// Delegates to the blocked kernel layer ([`crate::kernels::matmul`])
+    /// with a serial pool. Zero operands are *not* skipped: `0 × NaN` is
+    /// NaN and must propagate.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless both operands are
     /// rank-2 with matching inner dimension.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
-        let (&[m, k1], &[k2, n]) = (&self.shape[..], &rhs.shape[..]) else {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                detail: format!("{:?} × {:?} (need rank 2)", self.shape, rhs.shape),
-            });
-        };
-        if k1 != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                detail: format!("inner dims {k1} vs {k2}"),
-            });
-        }
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k1 {
-                let a = self.data[i * k1 + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &rhs.data[p * n..(p + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(Tensor {
-            shape: vec![m, n],
-            data: out,
-        })
+        crate::kernels::matmul(&crate::kernels::WorkerPool::serial(), self, rhs).map(|(out, _)| out)
     }
 
     /// Transpose of a rank-2 tensor.
@@ -285,6 +260,17 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        // A zero lhs element must still multiply the rhs: 0 × NaN = NaN.
+        let a = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(&[2, 1], vec![f32::NAN, 2.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan());
+        let inf = Tensor::from_vec(&[2, 1], vec![f32::INFINITY, 2.0]).unwrap();
+        assert!(a.matmul(&inf).unwrap().data()[0].is_nan()); // 0·∞ + 2
     }
 
     #[test]

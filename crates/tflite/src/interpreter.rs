@@ -2,7 +2,8 @@
 
 use crate::model::LiteModel;
 use crate::LiteError;
-use securetf_tensor::autodiff::{forward, RunStats};
+use securetf_tensor::autodiff::{forward_with, RunStats};
+use securetf_tensor::kernels::WorkerPool;
 use securetf_tensor::tensor::Tensor;
 use std::collections::HashMap;
 
@@ -14,16 +15,29 @@ pub struct Interpreter {
     model: LiteModel,
     stats: RunStats,
     runs: u64,
+    pool: WorkerPool,
 }
 
 impl Interpreter {
-    /// Creates an interpreter for `model`.
+    /// Creates an interpreter for `model` with serial kernels.
     pub fn new(model: LiteModel) -> Self {
+        Interpreter::with_pool(model, WorkerPool::serial())
+    }
+
+    /// Creates an interpreter whose kernels run on `pool`. Outputs are
+    /// bit-identical for any pool; only the critical-path cost changes.
+    pub fn with_pool(model: LiteModel, pool: WorkerPool) -> Self {
         Interpreter {
             model,
             stats: RunStats::default(),
             runs: 0,
+            pool,
         }
+    }
+
+    /// Replaces the worker pool used by subsequent runs.
+    pub fn set_worker_pool(&mut self, pool: WorkerPool) {
+        self.pool = pool;
     }
 
     /// Runs one inference.
@@ -34,17 +48,18 @@ impl Interpreter {
     pub fn run(&mut self, input: &Tensor) -> Result<Tensor, LiteError> {
         let mut feeds = HashMap::new();
         feeds.insert(self.model.input(), input.clone());
-        let fwd = forward(
+        let fwd = forward_with(
             self.model.graph(),
             &feeds,
             &HashMap::new(),
             &[self.model.output()],
+            &self.pool,
         )?;
         let mut stats = fwd.stats;
         if self.model.declared_flops() > 0.0 {
             // Synthetic stand-ins execute a reduced spatial extent; charge
             // the original model's declared compute instead.
-            stats.flops = self.model.declared_flops();
+            stats.rescale_flops(self.model.declared_flops());
         }
         self.stats.merge(stats);
         self.runs += 1;
@@ -167,5 +182,19 @@ mod tests {
         let mut b = Interpreter::new(tiny_model(0.0));
         let x = Tensor::from_vec(&[2, 4], vec![0.5; 8]).unwrap();
         assert_eq!(a.run(&x).unwrap().data(), b.run(&x).unwrap().data());
+    }
+
+    #[test]
+    fn pooled_interpreter_matches_serial_bitwise() {
+        let mut serial = Interpreter::new(tiny_model(0.0));
+        let mut pooled = Interpreter::with_pool(tiny_model(0.0), WorkerPool::new(4));
+        // A batch tall enough to span several row blocks.
+        let x = Tensor::from_vec(&[130, 4], (0..520).map(|i| (i % 23) as f32 * 0.1 - 1.0).collect()).unwrap();
+        let a = serial.run(&x).unwrap();
+        let b = pooled.run(&x).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert_eq!(serial.stats().flops, pooled.stats().flops);
+        assert!(pooled.stats().critical_flops < serial.stats().critical_flops);
     }
 }

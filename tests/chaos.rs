@@ -161,6 +161,49 @@ fn identical_seed_reproduces_telemetry_digest_bit_for_bit() {
 }
 
 #[test]
+fn telemetry_digest_deterministic_with_worker_pool_enabled() {
+    // Parallel kernels must not erode the determinism contract: with the
+    // in-enclave worker pool splitting every matmul across threads, two
+    // same-seed chaos runs still agree on every telemetry counter, and
+    // the training loss stays bit-identical to the serial run.
+    use securetf_tensor::kernels::WorkerPool;
+    let run = |seed: u64, workers: usize| {
+        let telemetry = Telemetry::new(std::sync::Arc::new(SimClock::new()));
+        let plan = FaultPlan::generate(seed, STEPS, WORKERS);
+        let mut trainer = trainer_with_telemetry(telemetry.clone());
+        trainer.set_worker_pool(WorkerPool::new(workers));
+        let mut supervisor = Supervisor::new(
+            trainer,
+            plan,
+            SupervisorConfig::default(),
+            UntrustedStore::new(),
+        )
+        .expect("supervisor boots");
+        let report = supervisor
+            .train_steps(STEPS)
+            .expect("survivable plan completes");
+        (report.final_loss.to_bits(), telemetry.metrics_digest())
+    };
+    for seed in [SEEDS[0], SEEDS[3]] {
+        let (loss_a, digest_a) = run(seed, 4);
+        let (loss_b, digest_b) = run(seed, 4);
+        assert_eq!(
+            digest_a, digest_b,
+            "seed {seed}: pooled telemetry digest diverged between identical runs"
+        );
+        assert_eq!(loss_a, loss_b, "seed {seed}: pooled loss diverged");
+        // The pool changes scheduling, never arithmetic: the loss matches
+        // the serial run bit-for-bit (the digest legitimately differs —
+        // compute virtual time shrinks along the critical path).
+        let (serial_loss, _) = run(seed, 1);
+        assert_eq!(
+            loss_a, serial_loss,
+            "seed {seed}: pooled loss diverged from serial"
+        );
+    }
+}
+
+#[test]
 fn distinct_seeds_produce_distinct_schedules() {
     let digests: Vec<u64> = SEEDS
         .iter()

@@ -268,3 +268,142 @@ proptest! {
         }
     }
 }
+
+/// Deterministic test-data fill: LCG-driven values in roughly [-1, 1]
+/// with exact zeros sprinkled in, so the kernels' no-zero-skip contract
+/// (0 × x must still execute) is exercised alongside ordinary values.
+fn lcg_fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if s.is_multiple_of(13) {
+                0.0
+            } else {
+                ((s >> 33) as i32 % 2000) as f32 * 1e-3 - 1.0
+            }
+        })
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // DESIGN.md §11 cardinal rule: blocking and pooling change memory
+    // order only, never arithmetic order — for ANY shape and ANY worker
+    // count the blocked/parallel kernels are bit-for-bit identical to the
+    // naive serial references.
+
+    #[test]
+    fn pooled_matmul_is_bit_identical_to_naive(
+        m in 1usize..140,
+        k in 1usize..48,
+        n in 1usize..24,
+        workers in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::kernels::{self, reference, WorkerPool};
+        let a = lcg_fill(seed, m * k);
+        let b = lcg_fill(seed ^ 0x9E3779B97F4A7C15, k * n);
+        let naive = reference::naive_matmul(m, k, n, &a, &b);
+        let ta = Tensor::from_vec(&[m, k], a).unwrap();
+        let tb = Tensor::from_vec(&[k, n], b).unwrap();
+        let (out, cost) = kernels::matmul(&WorkerPool::new(workers), &ta, &tb).unwrap();
+        let naive_bits: Vec<u32> = naive.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits(&out), naive_bits);
+        prop_assert_eq!(cost.flops, 2.0 * (m * k * n) as f64);
+        prop_assert!(cost.critical_flops <= cost.flops);
+        prop_assert!(cost.critical_flops > 0.0);
+    }
+
+    #[test]
+    fn pooled_conv2d_forward_and_backward_are_bit_identical_to_naive(
+        b in 1usize..3,
+        h in 1usize..8,
+        w in 1usize..8,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        same in any::<bool>(),
+        workers in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::graph::Padding;
+        use securetf_tensor::kernels::{self, reference, WorkerPool};
+        // Valid padding requires the kernel to fit inside the input.
+        let (padding, kh, kw) = if same {
+            (Padding::Same, kh, kw)
+        } else {
+            (Padding::Valid, kh.min(h), kw.min(w))
+        };
+        let input = Tensor::from_vec(&[b, h, w, cin], lcg_fill(seed, b * h * w * cin)).unwrap();
+        let filter =
+            Tensor::from_vec(&[kh, kw, cin, cout], lcg_fill(seed ^ 0xABCD, kh * kw * cin * cout))
+                .unwrap();
+        let pool = WorkerPool::new(workers);
+
+        let naive_out = reference::naive_conv2d(&input, &filter, padding).unwrap();
+        let (out, cost) = kernels::conv2d(&pool, &input, &filter, padding).unwrap();
+        prop_assert_eq!(out.shape(), naive_out.shape());
+        prop_assert_eq!(bits(&out), bits(&naive_out));
+        prop_assert!(cost.flops > 0.0);
+
+        let grad =
+            Tensor::from_vec(out.shape(), lcg_fill(seed ^ 0x5A5A, out.len())).unwrap();
+        let (naive_gi, naive_gf) =
+            reference::naive_conv2d_grad(&input, &filter, &grad, padding).unwrap();
+        let (gi, gf, gcost) =
+            kernels::conv2d_grad(&pool, &input, &filter, &grad, padding).unwrap();
+        prop_assert_eq!(bits(&gi), bits(&naive_gi));
+        prop_assert_eq!(bits(&gf), bits(&naive_gf));
+        prop_assert!(gcost.critical_flops <= gcost.flops);
+    }
+
+    #[test]
+    fn full_graph_training_is_pool_invariant(
+        workers in 2usize..8,
+        lr_millis in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::kernels::WorkerPool;
+        use securetf_tensor::layers;
+        use securetf_tensor::optimizer::Sgd;
+        use securetf_tensor::session::Session;
+
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let model = layers::mlp_classifier(784, &[9], 10, &mut rng).unwrap();
+        let data = securetf_data::synthetic_mnist(40, seed);
+        let lr = lr_millis as f32 * 1e-3;
+
+        let run = |pool: WorkerPool| {
+            let mut session = Session::new(&model.graph);
+            session.set_worker_pool(pool);
+            let mut sgd = Sgd::new(lr);
+            let (x, y) = data.batch(0, 40).unwrap();
+            let mut loss = 0.0f32;
+            for _ in 0..3 {
+                loss = session
+                    .train_step(
+                        &model.graph,
+                        &[(model.input, x.clone()), (model.labels, y.clone())],
+                        model.loss,
+                        &mut sgd,
+                    )
+                    .unwrap();
+            }
+            let out = session.run(&model.graph, &[(model.input, x)], &[model.logits]).unwrap();
+            (loss.to_bits(), bits(&out[0]))
+        };
+        let (serial_loss, serial_logits) = run(WorkerPool::serial());
+        let (pooled_loss, pooled_logits) = run(WorkerPool::new(workers));
+        prop_assert_eq!(serial_loss, pooled_loss);
+        prop_assert_eq!(serial_logits, pooled_logits);
+    }
+}

@@ -1,0 +1,216 @@
+//! Memory-planner smoke gate: planned arenas vs per-tensor regions.
+//!
+//! Two experiments, both run planned and unplanned:
+//!
+//! * **training** at the Figure 8 size (CNN classifier, batch 100) in a
+//!   hardware SecureSession — the planner keeps one persistent EPC
+//!   region sized to the arena peak, so steady-state steps fault almost
+//!   no pages, where the legacy path re-faults every activation page
+//!   each step;
+//! * **inference** on the Figure 5 largest model (Inception-v4, 163 MB)
+//!   with the Lite interpreter, replaying the arena slot writes (or the
+//!   legacy free/realloc/touch-all cycle) against a raw enclave.
+//!
+//! The bin exits non-zero (assert) unless planned execution is
+//! bit-identical to unplanned AND strictly cheaper in EPC faults,
+//! paging time, and peak resident pages. CI runs it as a smoke gate and
+//! archives `BENCH_memory.json`.
+
+use rand::SeedableRng;
+use securetf::secure_session::SecureSession;
+use securetf_bench::report::{BenchReport, JsonValue};
+use securetf_bench::{fmt_ns, header};
+use securetf_tee::{EnclaveImage, EpcStats, ExecutionMode, Platform};
+use securetf_tensor::layers;
+use securetf_tensor::memory::MemoryMode;
+use securetf_tensor::optimizer::Sgd;
+use securetf_tflite::interpreter::Interpreter;
+use securetf_tflite::models::{self, INCEPTION_V4};
+
+const TRAIN_STEPS: usize = 6;
+const TRAIN_BATCH: usize = 100;
+const INFER_RUNS: usize = 3;
+
+struct ArmResult {
+    /// Bit patterns of the outputs (losses or logits), for exact
+    /// cross-arm comparison.
+    bits: Vec<u32>,
+    epc: EpcStats,
+    paging_ns: u64,
+    /// Peak activation residency: the EPC peak for training, and the
+    /// activation-region size for inference (under Inception-v4 both
+    /// arms thrash to the same 94 MiB EPC ceiling, so the region size is
+    /// the discriminating number there).
+    peak_bytes: u64,
+}
+
+fn train_arm(mode: MemoryMode) -> ArmResult {
+    let platform = Platform::builder().build();
+    let enclave = platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"memory bench").build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let model = layers::conv_classifier(28, 28, 1, 16, 10, &mut rng).expect("model");
+    let data = securetf_data::synthetic_mnist(600, 7);
+    let mut session = SecureSession::new(enclave, model);
+    session.set_memory_mode(mode);
+    let mut sgd = Sgd::new(5e-4);
+    let mut bits = Vec::with_capacity(TRAIN_STEPS);
+    for step in 0..TRAIN_STEPS {
+        let start = (step * TRAIN_BATCH) % (600 - TRAIN_BATCH);
+        let (x, y) = data.batch(start, TRAIN_BATCH).expect("batch");
+        let x = securetf_tensor::tensor::Tensor::from_vec(
+            &[TRAIN_BATCH, 28, 28, 1],
+            x.into_data(),
+        )
+        .expect("NHWC reshape");
+        let loss = session.train_step(x, y, &mut sgd).expect("train step");
+        bits.push(loss.to_bits());
+    }
+    let epc = session.enclave().epc_stats();
+    ArmResult {
+        bits,
+        paging_ns: epc.faults * session.enclave().cost_model().page_swap_ns(),
+        peak_bytes: epc.peak_resident_pages * 4096,
+        epc,
+    }
+}
+
+fn infer_arm(mode: MemoryMode) -> ArmResult {
+    let platform = Platform::builder().build();
+    let enclave = platform
+        .create_enclave(
+            &EnclaveImage::builder()
+                .code(b"memory bench")
+                .runtime_bytes(securetf_tflite::LITE_RUNTIME_BYTES)
+                .build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave");
+    let model = models::build(INCEPTION_V4);
+    let params_region = enclave.alloc("model", model.param_bytes());
+    enclave.touch_all(params_region).expect("model load");
+    let mut interp = Interpreter::new(model);
+    interp.set_memory_mode(mode);
+    let input = models::input_for(1);
+
+    let mut bits = Vec::new();
+    let mut activations = None;
+    let mut region_bytes = 0u64;
+    let mut last_stats = interp.stats();
+    for _ in 0..INFER_RUNS {
+        let out = interp.run(&input).expect("inference");
+        bits.extend(out.data().iter().map(|v| v.to_bits()));
+        let delta = interp.stats().since(&last_stats);
+        last_stats = interp.stats();
+        // Mirror SecureSession::charge: planned keeps one persistent
+        // region sized to the plan peak and touches only the slots the
+        // run wrote; unplanned re-allocates a region for everything the
+        // run produced and touches it end to end.
+        let planned_peak = interp.planned_peak_bytes().unwrap_or(0);
+        if mode == MemoryMode::Planned && planned_peak > 0 {
+            let region = *activations
+                .get_or_insert_with(|| enclave.alloc("activations", planned_peak));
+            region_bytes = planned_peak;
+            for w in interp.take_slot_writes() {
+                enclave.touch(region, w.offset, w.bytes).expect("touch slot");
+            }
+        } else {
+            if let Some(region) = activations.take() {
+                enclave.free(region).expect("free activations");
+            }
+            region_bytes = region_bytes.max(delta.activation_bytes.max(1));
+            let region = enclave.alloc("activations", delta.activation_bytes.max(1));
+            enclave.touch_all(region).expect("touch activations");
+            activations = Some(region);
+        }
+    }
+    let epc = enclave.epc_stats();
+    ArmResult {
+        bits,
+        paging_ns: epc.faults * enclave.cost_model().page_swap_ns(),
+        peak_bytes: region_bytes,
+        epc,
+    }
+}
+
+fn compare(name: &str, planned: &ArmResult, unplanned: &ArmResult) {
+    assert_eq!(
+        planned.bits, unplanned.bits,
+        "{name}: planned output diverges from unplanned"
+    );
+    assert!(
+        planned.epc.faults < unplanned.epc.faults,
+        "{name}: planned faults {} not below unplanned {}",
+        planned.epc.faults,
+        unplanned.epc.faults
+    );
+    assert!(
+        planned.paging_ns < unplanned.paging_ns,
+        "{name}: planned paging {} ns not below unplanned {} ns",
+        planned.paging_ns,
+        unplanned.paging_ns
+    );
+    assert!(
+        planned.peak_bytes < unplanned.peak_bytes,
+        "{name}: planned peak resident {} not below unplanned {}",
+        planned.peak_bytes,
+        unplanned.peak_bytes
+    );
+}
+
+fn row(name: &str, arm: &ArmResult) {
+    println!(
+        "{name:>22} | {:>8} | {:>10} | {:>12}",
+        arm.epc.faults,
+        fmt_ns(arm.paging_ns),
+        arm.peak_bytes,
+    );
+}
+
+fn report_arm(arm: &ArmResult) -> JsonValue {
+    JsonValue::Object(vec![
+        ("epc_faults".to_string(), JsonValue::U64(arm.epc.faults)),
+        ("paging_ns".to_string(), JsonValue::U64(arm.paging_ns)),
+        (
+            "peak_activation_bytes".to_string(),
+            JsonValue::U64(arm.peak_bytes),
+        ),
+    ])
+}
+
+fn main() {
+    header(
+        "Memory planner: planned arena vs per-tensor regions (hardware mode)",
+        &["experiment", "faults", "paging    ", "peak resident"],
+    );
+
+    let train_planned = train_arm(MemoryMode::Planned);
+    let train_unplanned = train_arm(MemoryMode::Unplanned);
+    row("train planned", &train_planned);
+    row("train unplanned", &train_unplanned);
+    compare("training (fig8 CNN)", &train_planned, &train_unplanned);
+
+    let infer_planned = infer_arm(MemoryMode::Planned);
+    let infer_unplanned = infer_arm(MemoryMode::Unplanned);
+    row("inception-v4 planned", &infer_planned);
+    row("inception-v4 unplanned", &infer_unplanned);
+    compare("inference (inception-v4)", &infer_planned, &infer_unplanned);
+
+    println!(
+        "\nplanned outputs are bit-identical to unplanned; faults, paging\n\
+         time and peak residency are strictly lower in both experiments."
+    );
+
+    BenchReport::new("memory")
+        .mode("hw")
+        .paper_target("planned arena faults/paging strictly below per-tensor regions")
+        .value("train_planned", report_arm(&train_planned))
+        .value("train_unplanned", report_arm(&train_unplanned))
+        .value("inception_v4_planned", report_arm(&infer_planned))
+        .value("inception_v4_unplanned", report_arm(&infer_unplanned))
+        .emit();
+}

@@ -109,10 +109,22 @@ impl SecureClassifier {
         }
         let model = LiteModel::from_bytes(&plaintext)?;
 
-        // Model and workspace live in enclave memory.
+        // Model and workspace live in enclave memory. Single-pass
+        // runtimes (the Lite interpreter) execute out of the planned
+        // arena, so the workspace is exactly the plan's peak; the full
+        // framework's executor has no planner and keeps the
+        // fraction-of-model heuristic.
         let model_bytes = model.param_bytes();
-        let workspace_bytes =
-            ((model_bytes as f64 * profile.workspace_fraction) as u64).max(512 * 1024);
+        let planned = if profile.memory_passes == 1 {
+            securetf_tflite::arena::plan_memory(&model, 1)
+                .ok()
+                .map(|plan| plan.peak_bytes)
+        } else {
+            None
+        };
+        let workspace_bytes = planned
+            .unwrap_or((model_bytes as f64 * profile.workspace_fraction) as u64)
+            .max(512 * 1024);
         let model_region = enclave.alloc("model", model_bytes);
         let workspace_region = enclave.alloc("workspace", workspace_bytes);
         // Cold load: fault the whole model in once (the paper warms up

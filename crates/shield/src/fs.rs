@@ -24,9 +24,11 @@ use std::sync::Arc;
 /// Chunk size used by the shield (64 KiB, matching SCONE's default).
 pub const CHUNK_SIZE: usize = 64 * 1024;
 
-/// Decrypted chunks kept in the in-enclave cache (16 × 64 KiB = 1 MiB —
-/// small enough to stay EPC-resident next to the model it serves).
-const CHUNK_CACHE_CAP: usize = 16;
+/// Default number of decrypted chunks kept in the in-enclave cache
+/// (16 × 64 KiB = 1 MiB — small enough to stay EPC-resident next to the
+/// model it serves). Tune per deployment with
+/// [`FsShield::set_chunk_cache_capacity`].
+pub const DEFAULT_CHUNK_CACHE_CAP: usize = 16;
 
 /// Protection level applied to a path prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -135,10 +137,27 @@ fn append_range(out: &mut Vec<u8>, plain: &[u8], i: usize, offset: u64, len: u64
 /// `(file_id, version, chunk)` so a rewritten file (new version) can never
 /// serve stale plaintext. FIFO eviction; the plaintext lives inside the
 /// enclave, so caching it weakens nothing the chunk's AEAD protected.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ChunkCache {
     entries: HashMap<(u64, u64, u32), Vec<u8>>,
     order: std::collections::VecDeque<(u64, u64, u32)>,
+    cap: usize,
+    /// Local hit/miss tallies, independent of whether the platform has
+    /// telemetry enabled (the [`FsMetrics`] counters are no-ops then).
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for ChunkCache {
+    fn default() -> Self {
+        ChunkCache {
+            entries: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            cap: DEFAULT_CHUNK_CACHE_CAP,
+            hits: 0,
+            misses: 0,
+        }
+    }
 }
 
 impl ChunkCache {
@@ -147,10 +166,22 @@ impl ChunkCache {
     }
 
     fn insert(&mut self, key: (u64, u64, u32), plain: Vec<u8>) {
+        if self.cap == 0 {
+            return;
+        }
         if self.entries.insert(key, plain).is_none() {
             self.order.push_back(key);
         }
-        while self.order.len() > CHUNK_CACHE_CAP {
+        self.evict_to_cap();
+    }
+
+    fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+        self.evict_to_cap();
+    }
+
+    fn evict_to_cap(&mut self) {
+        while self.order.len() > self.cap {
             if let Some(old) = self.order.pop_front() {
                 self.entries.remove(&old);
             }
@@ -175,6 +206,7 @@ struct FsMetrics {
     bytes_read: Counter,
     tamper_rejections: Counter,
     chunk_cache_hits: Counter,
+    chunk_cache_misses: Counter,
 }
 
 impl FsMetrics {
@@ -187,6 +219,7 @@ impl FsMetrics {
             bytes_read: t.counter("shield.fs.bytes_read"),
             tamper_rejections: t.counter("shield.fs.tamper_rejections"),
             chunk_cache_hits: t.counter("shield.fs.chunk_cache_hits"),
+            chunk_cache_misses: t.counter("shield.fs.chunk_cache_misses"),
         }
     }
 }
@@ -525,13 +558,20 @@ impl FsShield {
                 continue;
             }
             let cache_key = (meta.file_id, meta.version, i as u32);
-            if let Some(plain) = self.chunk_cache.lock().get(cache_key) {
-                // Verified and decrypted on a previous read; serving from
-                // the in-enclave copy charges no crypto time.
-                self.metrics.chunk_cache_hits.inc();
-                append_range(&mut out, &plain, i, offset, len);
-                continue;
+            {
+                let mut cache = self.chunk_cache.lock();
+                if let Some(plain) = cache.get(cache_key) {
+                    // Verified and decrypted on a previous read; serving
+                    // from the in-enclave copy charges no crypto time.
+                    cache.hits += 1;
+                    drop(cache);
+                    self.metrics.chunk_cache_hits.inc();
+                    append_range(&mut out, &plain, i, offset, len);
+                    continue;
+                }
+                cache.misses += 1;
             }
+            self.metrics.chunk_cache_misses.inc();
             if &sha256::digest(record) != digest {
                 return Err(ShieldError::FileTampered(format!(
                     "{path}: chunk {i} digest mismatch"
@@ -611,6 +651,34 @@ impl FsShield {
             h.update(d);
         }
         Some(h.finalize())
+    }
+
+    /// Resizes the in-enclave chunk cache to hold at most `chunks`
+    /// decrypted chunks (each up to [`CHUNK_SIZE`] bytes). Shrinking
+    /// evicts oldest entries immediately; a capacity of zero disables
+    /// caching. The capacity trades EPC residency against repeated
+    /// decryption time, so deployments size it to the model's read
+    /// pattern rather than a fixed 1 MiB.
+    pub fn set_chunk_cache_capacity(&mut self, chunks: usize) {
+        self.chunk_cache.lock().set_capacity(chunks);
+    }
+
+    /// Current chunk-cache capacity in chunks.
+    pub fn chunk_cache_capacity(&self) -> usize {
+        self.chunk_cache.lock().cap
+    }
+
+    /// Fraction of range-read chunk lookups served from the in-enclave
+    /// cache since this shield was created (0.0 when nothing was read).
+    /// Counted locally, so it works even when telemetry is disabled.
+    pub fn chunk_cache_hit_rate(&self) -> f64 {
+        let cache = self.chunk_cache.lock();
+        let total = cache.hits + cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / total as f64
+        }
     }
 
     /// The enclave this shield is bound to.
@@ -963,7 +1031,7 @@ mod tests {
         let (mut shield, _store) = setup();
         // More chunks than the cache holds: every read stays correct as
         // older entries are evicted.
-        let chunks = CHUNK_CACHE_CAP + 4;
+        let chunks = DEFAULT_CHUNK_CACHE_CAP + 4;
         let big: Vec<u8> = (0..chunks * CHUNK_SIZE).map(|i| (i % 239) as u8).collect();
         shield.write("/secure/big", &big).unwrap();
         for round in 0..2 {
@@ -977,6 +1045,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chunk_cache_capacity_is_configurable() {
+        let (mut shield, _store) = setup();
+        assert_eq!(shield.chunk_cache_capacity(), DEFAULT_CHUNK_CACHE_CAP);
+        let big: Vec<u8> = (0..4 * CHUNK_SIZE).map(|i| (i % 233) as u8).collect();
+        shield.write("/secure/big", &big).unwrap();
+
+        // Capacity 0 disables caching: every repeat decrypts again.
+        shield.set_chunk_cache_capacity(0);
+        for _ in 0..3 {
+            let got = shield.read_range("/secure/big", 10, 64).unwrap();
+            assert_eq!(got, &big[10..74]);
+        }
+        assert_eq!(shield.chunk_cache_hit_rate(), 0.0);
+
+        // A large enough cache turns the repeats into hits.
+        shield.set_chunk_cache_capacity(8);
+        for _ in 0..4 {
+            let got = shield.read_range("/secure/big", 10, 64).unwrap();
+            assert_eq!(got, &big[10..74]);
+        }
+        assert!(shield.chunk_cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn shrinking_chunk_cache_evicts_but_stays_correct() {
+        let (mut shield, _store) = setup();
+        let big: Vec<u8> = (0..6 * CHUNK_SIZE).map(|i| (i % 229) as u8).collect();
+        shield.write("/secure/big", &big).unwrap();
+        // Warm all six chunks, then shrink below that.
+        for c in 0..6u64 {
+            shield
+                .read_range("/secure/big", c * CHUNK_SIZE as u64, 16)
+                .unwrap();
+        }
+        shield.set_chunk_cache_capacity(2);
+        for c in 0..6u64 {
+            let offset = c * CHUNK_SIZE as u64 + 3;
+            let got = shield.read_range("/secure/big", offset, 16).unwrap();
+            assert_eq!(got, &big[offset as usize..offset as usize + 16]);
+        }
+    }
+
+    #[test]
+    fn chunk_cache_hit_rate_reflects_hits_and_misses() {
+        let (mut shield, _store) = setup();
+        let data: Vec<u8> = (0..CHUNK_SIZE).map(|i| (i % 227) as u8).collect();
+        shield.write("/secure/f", &data).unwrap();
+        assert_eq!(shield.chunk_cache_hit_rate(), 0.0);
+        shield.read_range("/secure/f", 0, 8).unwrap(); // miss
+        assert_eq!(shield.chunk_cache_hit_rate(), 0.0);
+        shield.read_range("/secure/f", 0, 8).unwrap(); // hit
+        assert_eq!(shield.chunk_cache_hit_rate(), 0.5);
+        shield.read_range("/secure/f", 100, 8).unwrap(); // hit (same chunk)
+        assert!((shield.chunk_cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! against numerical differentiation in this module's tests.
 
 use crate::graph::{Graph, NodeId, Op};
-use crate::kernels::{self, KernelCost, WorkerPool};
+use crate::kernels::{self, KernelCost, TakeBuffer, WorkerPool, Workspace};
+use crate::memory::ExecMemory;
 use crate::tensor::Tensor;
 use crate::TensorError;
 use std::collections::HashMap;
@@ -97,19 +98,19 @@ impl RunStats {
     }
 
     /// A serial op: total and critical flops coincide.
-    fn charge_serial(&mut self, flops: f64) {
+    pub(crate) fn charge_serial(&mut self, flops: f64) {
         self.flops += flops;
         self.critical_flops += flops;
         self.kernel_flops.other += flops;
     }
 
-    fn charge_matmul(&mut self, cost: KernelCost) {
+    pub(crate) fn charge_matmul(&mut self, cost: KernelCost) {
         self.flops += cost.flops;
         self.critical_flops += cost.critical_flops;
         self.kernel_flops.matmul += cost.flops;
     }
 
-    fn charge_conv(&mut self, cost: KernelCost) {
+    pub(crate) fn charge_conv(&mut self, cost: KernelCost) {
         self.flops += cost.flops;
         self.critical_flops += cost.critical_flops;
         self.kernel_flops.conv2d += cost.flops;
@@ -131,7 +132,7 @@ impl Forward {
     }
 }
 
-fn needed_set(graph: &Graph, targets: &[NodeId]) -> Result<Vec<bool>, TensorError> {
+pub(crate) fn needed_set(graph: &Graph, targets: &[NodeId]) -> Result<Vec<bool>, TensorError> {
     let mut needed = vec![false; graph.len()];
     let mut stack: Vec<NodeId> = targets.to_vec();
     while let Some(id) = stack.pop() {
@@ -147,7 +148,7 @@ fn needed_set(graph: &Graph, targets: &[NodeId]) -> Result<Vec<bool>, TensorErro
     Ok(needed)
 }
 
-fn feed_matches_template(template: &[usize], shape: &[usize]) -> bool {
+pub(crate) fn feed_matches_template(template: &[usize], shape: &[usize]) -> bool {
     template.len() == shape.len()
         && template
             .iter()
@@ -479,6 +480,352 @@ pub fn backward_with(
     Ok(grads)
 }
 
+// ---- planned execution -----------------------------------------------------
+//
+// The planned forward/backward passes mirror `forward_with`/`backward_with`
+// arm for arm — same kernels, same reduction orders, same stats charges —
+// but draw kernel output buffers from the session arena
+// ([`crate::memory::ExecMemory`]), reuse the kernel [`Workspace`], read
+// shape-only operands from the plan instead of keeping the tensors alive,
+// and recycle each value the moment its planned lifetime ends. The memory
+// proptests assert bit-identity between the two pairs.
+
+/// [`forward_with`] executing into planned arena slots. `values` must be
+/// cleared and resized to `graph.len()` by the caller; results land there
+/// so the backward pass (and fetch cloning) can read them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_planned(
+    graph: &Graph,
+    feeds: &HashMap<NodeId, Tensor>,
+    vars: &HashMap<NodeId, Tensor>,
+    needed: &[bool],
+    pool: &WorkerPool,
+    ws: &mut Workspace,
+    mem: &mut ExecMemory,
+    values: &mut [Option<Tensor>],
+) -> Result<RunStats, TensorError> {
+    let mut stats = RunStats::default();
+    for (index, node) in graph.nodes().iter().enumerate() {
+        if !needed[index] {
+            continue;
+        }
+        let id = NodeId(index);
+        let get = |nid: NodeId| -> &Tensor {
+            values[nid.0]
+                .as_ref()
+                .expect("inputs precede node in topological order")
+        };
+        let value = match &node.op {
+            Op::Placeholder { shape } => {
+                let fed = feeds.get(&id).ok_or_else(|| {
+                    TensorError::BadFeed(format!("placeholder '{}' not fed", node.name))
+                })?;
+                if !feed_matches_template(shape, fed.shape()) {
+                    return Err(TensorError::BadFeed(format!(
+                        "placeholder '{}' expects {:?}, fed {:?}",
+                        node.name,
+                        shape,
+                        fed.shape()
+                    )));
+                }
+                fed.clone()
+            }
+            Op::Variable { .. } => vars
+                .get(&id)
+                .cloned()
+                .ok_or(TensorError::InvalidGraph("variable without session value"))?,
+            Op::Constant(t) => t.clone(),
+            Op::MatMul(a, b) => {
+                let (ta, tb) = (get(*a), get(*b));
+                let (out, cost) = kernels::matmul_with(pool, ta, tb, &mut |len| mem.take(len))?;
+                stats.charge_matmul(cost);
+                out
+            }
+            Op::AddBias(x, bias) => {
+                let (tx, tb) = (get(*x), get(*bias));
+                add_bias(tx, tb)?
+            }
+            Op::Add(a, b) => {
+                stats.charge_serial(get(*a).len() as f64);
+                get(*a).zip(get(*b), |x, y| x + y)?
+            }
+            Op::Mul(a, b) => {
+                stats.charge_serial(get(*a).len() as f64);
+                get(*a).zip(get(*b), |x, y| x * y)?
+            }
+            Op::Relu(x) => {
+                stats.charge_serial(get(*x).len() as f64);
+                get(*x).map(|v| v.max(0.0))
+            }
+            Op::Softmax(x) => {
+                let t = get(*x);
+                stats.charge_serial(5.0 * t.len() as f64);
+                softmax(t)?
+            }
+            Op::Conv2d {
+                input,
+                filter,
+                padding,
+            } => {
+                let (ti, tf) = (get(*input), get(*filter));
+                let (out, cost) =
+                    kernels::conv2d_with(pool, ws, ti, tf, *padding, &mut |len| mem.take(len))?;
+                stats.charge_conv(cost);
+                out
+            }
+            Op::MaxPool2(x) => {
+                stats.charge_serial(get(*x).len() as f64);
+                max_pool2_with(get(*x), &mut ws.pool_indices, &mut |len| mem.take(len))?
+            }
+            Op::Flatten(x) => {
+                let t = get(*x);
+                let batch = *t.shape().first().unwrap_or(&1);
+                let rest = t.len() / batch.max(1);
+                t.reshape(&[batch, rest])?
+            }
+            Op::Reshape(x, shape) => get(*x).reshape(shape)?,
+            Op::SoftmaxCrossEntropy { logits, labels } => {
+                let (tl, ty) = (get(*logits), get(*labels));
+                stats.charge_serial(8.0 * tl.len() as f64);
+                softmax_cross_entropy(tl, ty)?
+            }
+            Op::MseLoss(p, t) => {
+                let (tp, tt) = (get(*p), get(*t));
+                stats.charge_serial(3.0 * tp.len() as f64);
+                let diff = tp.zip(tt, |a, b| a - b)?;
+                Tensor::scalar(diff.data().iter().map(|d| d * d).sum::<f32>() / tp.len() as f32)
+            }
+            Op::Sub(a, b) => {
+                stats.charge_serial(get(*a).len() as f64);
+                get(*a).zip(get(*b), |x, y| x - y)?
+            }
+            Op::Scale(x, factor) => {
+                let f = *factor;
+                stats.charge_serial(get(*x).len() as f64);
+                get(*x).map(|v| v * f)
+            }
+            Op::Sigmoid(x) => {
+                stats.charge_serial(4.0 * get(*x).len() as f64);
+                get(*x).map(|v| 1.0 / (1.0 + (-v).exp()))
+            }
+            Op::Tanh(x) => {
+                stats.charge_serial(4.0 * get(*x).len() as f64);
+                get(*x).map(f32::tanh)
+            }
+            Op::AvgPool2(x) => {
+                stats.charge_serial(get(*x).len() as f64);
+                avg_pool2(get(*x))?
+            }
+            Op::ConcatCols(a, b) => concat_cols(get(*a), get(*b))?,
+        };
+        stats.activation_bytes += value.byte_len();
+        mem.on_value(index, &value);
+        values[index] = Some(value);
+        mem.drop_dead_values(index, values);
+    }
+    Ok(stats)
+}
+
+/// Accumulates gradient `g` into `nid`'s entry: in-place add on merge
+/// (value-identical to `backward_with`'s `zip(a + b)`, recycling `g`'s
+/// buffer), arena bookkeeping on first insert.
+fn accumulate_planned(
+    grads: &mut HashMap<NodeId, Tensor>,
+    mem: &mut ExecMemory,
+    nid: NodeId,
+    g: Tensor,
+) -> Result<(), TensorError> {
+    match grads.get_mut(&nid) {
+        Some(existing) => {
+            if existing.shape() != g.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "zip",
+                    detail: format!("{:?} vs {:?}", existing.shape(), g.shape()),
+                });
+            }
+            for (a, &b) in existing.data_mut().iter_mut().zip(g.data()) {
+                *a += b;
+            }
+            mem.recycle(g);
+        }
+        None => {
+            mem.on_grad(nid.0, &g);
+            grads.insert(nid, g);
+        }
+    }
+    Ok(())
+}
+
+/// [`backward_with`] over a planned forward pass: gradients draw buffers
+/// from the arena, shape-only operands come from the plan, forward values
+/// are recycled at their last backward reader, and non-variable gradients
+/// are recycled right after their node's rule fires. Returns exactly the
+/// variable gradients (what the optimizer consumes), each bit-identical
+/// to the unplanned pass.
+pub(crate) fn backward_planned(
+    graph: &Graph,
+    values: &mut [Option<Tensor>],
+    loss: NodeId,
+    pool: &WorkerPool,
+    ws: &mut Workspace,
+    mem: &mut ExecMemory,
+) -> Result<HashMap<NodeId, Tensor>, TensorError> {
+    let loss_value = values
+        .get(loss.0)
+        .and_then(Option::as_ref)
+        .ok_or(TensorError::InvalidGraph("loss not computed by forward"))?;
+    if loss_value.len() != 1 {
+        return Err(TensorError::InvalidGraph("loss must be scalar"));
+    }
+    let seed = Tensor::full(loss_value.shape(), 1.0);
+    let mut grads: HashMap<NodeId, Tensor> = HashMap::new();
+    mem.on_grad(loss.0, &seed);
+    grads.insert(loss, seed);
+
+    for index in (0..=loss.0).rev() {
+        let id = NodeId(index);
+        let node = graph.node(id)?;
+        // Variable gradients stay in the map for the optimizer; everything
+        // else is removed (not cloned), used, and recycled below.
+        let grad = if matches!(node.op, Op::Variable { .. }) {
+            None
+        } else {
+            grads.remove(&id)
+        };
+        if let Some(grad) = grad {
+            let value_of = |nid: NodeId| -> Result<&Tensor, TensorError> {
+                values
+                    .get(nid.0)
+                    .and_then(Option::as_ref)
+                    .ok_or(TensorError::InvalidGraph("missing forward value"))
+            };
+            match &node.op {
+                Op::Placeholder { .. } | Op::Variable { .. } | Op::Constant(_) => {}
+                Op::MatMul(a, b) => {
+                    let (ta, tb) = (value_of(*a)?, value_of(*b)?);
+                    let tat = ta.transpose()?;
+                    let tbt = tb.transpose()?;
+                    let ga = kernels::matmul_with(pool, &grad, &tbt, &mut |len| mem.take(len))?.0;
+                    let gb = kernels::matmul_with(pool, &tat, &grad, &mut |len| mem.take(len))?.0;
+                    mem.recycle(tat);
+                    mem.recycle(tbt);
+                    accumulate_planned(&mut grads, mem, *a, ga)?;
+                    accumulate_planned(&mut grads, mem, *b, gb)?;
+                }
+                Op::AddBias(x, bias) => {
+                    let bias_shape = mem.plan().shape(bias.0).to_vec();
+                    accumulate_planned(&mut grads, mem, *x, grad.clone())?;
+                    accumulate_planned(&mut grads, mem, *bias, column_sum(&grad, &bias_shape)?)?;
+                }
+                Op::Add(a, b) => {
+                    accumulate_planned(&mut grads, mem, *a, grad.clone())?;
+                    accumulate_planned(&mut grads, mem, *b, grad.clone())?;
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.zip(value_of(*b)?, |g, v| g * v)?;
+                    let gb = grad.zip(value_of(*a)?, |g, v| g * v)?;
+                    accumulate_planned(&mut grads, mem, *a, ga)?;
+                    accumulate_planned(&mut grads, mem, *b, gb)?;
+                }
+                Op::Relu(x) => {
+                    let gx = grad.zip(value_of(*x)?, |g, v| if v > 0.0 { g } else { 0.0 })?;
+                    accumulate_planned(&mut grads, mem, *x, gx)?;
+                }
+                Op::Softmax(x) => {
+                    let s = values
+                        .get(index)
+                        .and_then(Option::as_ref)
+                        .ok_or(TensorError::InvalidGraph("missing softmax value"))?;
+                    let gx = softmax_grad(s, &grad)?;
+                    accumulate_planned(&mut grads, mem, *x, gx)?;
+                }
+                Op::Conv2d {
+                    input,
+                    filter,
+                    padding,
+                } => {
+                    let (ti, tf) = (value_of(*input)?, value_of(*filter)?);
+                    let (gi, gf, _) =
+                        kernels::conv2d_grad_with(pool, ws, ti, tf, &grad, *padding, &mut |len| {
+                            mem.take(len)
+                        })?;
+                    accumulate_planned(&mut grads, mem, *input, gi)?;
+                    accumulate_planned(&mut grads, mem, *filter, gf)?;
+                }
+                Op::MaxPool2(x) => {
+                    let tx = value_of(*x)?;
+                    let routed =
+                        max_pool2_with(tx, &mut ws.pool_indices, &mut |len| mem.take(len))?;
+                    let mut gx = Tensor::from_vec(tx.shape(), mem.take(tx.len()))?;
+                    for (out_idx, &src_idx) in ws.pool_indices.iter().enumerate() {
+                        gx.data_mut()[src_idx] += grad.data()[out_idx];
+                    }
+                    mem.recycle(routed);
+                    accumulate_planned(&mut grads, mem, *x, gx)?;
+                }
+                Op::Flatten(x) | Op::Reshape(x, _) => {
+                    let x_shape = mem.plan().shape(x.0).to_vec();
+                    accumulate_planned(&mut grads, mem, *x, grad.reshape(&x_shape)?)?;
+                }
+                Op::SoftmaxCrossEntropy { logits, labels } => {
+                    let (tl, ty) = (value_of(*logits)?, value_of(*labels)?);
+                    let batch = tl.shape()[0] as f32;
+                    let probs = softmax(tl)?;
+                    let scale = grad.data()[0] / batch;
+                    let gl = probs.zip(ty, |p, y| (p - y) * scale)?;
+                    mem.recycle(probs);
+                    accumulate_planned(&mut grads, mem, *logits, gl)?;
+                }
+                Op::MseLoss(p, t) => {
+                    let (tp, tt) = (value_of(*p)?, value_of(*t)?);
+                    let n = tp.len() as f32;
+                    let scale = 2.0 * grad.data()[0] / n;
+                    let gp = tp.zip(tt, |a, b| (a - b) * scale)?;
+                    accumulate_planned(&mut grads, mem, *p, gp)?;
+                }
+                Op::Sub(a, b) => {
+                    accumulate_planned(&mut grads, mem, *a, grad.clone())?;
+                    accumulate_planned(&mut grads, mem, *b, grad.map(|g| -g))?;
+                }
+                Op::Scale(x, factor) => {
+                    let f = *factor;
+                    accumulate_planned(&mut grads, mem, *x, grad.map(|g| g * f))?;
+                }
+                Op::Sigmoid(x) => {
+                    let s = values
+                        .get(index)
+                        .and_then(Option::as_ref)
+                        .ok_or(TensorError::InvalidGraph("missing sigmoid value"))?;
+                    let gx = grad.zip(s, |g, sv| g * sv * (1.0 - sv))?;
+                    accumulate_planned(&mut grads, mem, *x, gx)?;
+                }
+                Op::Tanh(x) => {
+                    let t = values
+                        .get(index)
+                        .and_then(Option::as_ref)
+                        .ok_or(TensorError::InvalidGraph("missing tanh value"))?;
+                    let gx = grad.zip(t, |g, tv| g * (1.0 - tv * tv))?;
+                    accumulate_planned(&mut grads, mem, *x, gx)?;
+                }
+                Op::AvgPool2(x) => {
+                    let x_shape = mem.plan().shape(x.0).to_vec();
+                    accumulate_planned(&mut grads, mem, *x, avg_pool2_grad(&x_shape, &grad)?)?;
+                }
+                Op::ConcatCols(a, b) => {
+                    let a_shape = mem.plan().shape(a.0).to_vec();
+                    let b_shape = mem.plan().shape(b.0).to_vec();
+                    let (ga, gb) = concat_cols_grad(&a_shape, &b_shape, &grad)?;
+                    accumulate_planned(&mut grads, mem, *a, ga)?;
+                    accumulate_planned(&mut grads, mem, *b, gb)?;
+                }
+            }
+            mem.release_grad(index, grad);
+        }
+        mem.drop_dead_values(2 * loss.0 + 1 - index, values);
+    }
+    Ok(grads)
+}
+
 // ---- kernels ---------------------------------------------------------------
 
 fn add_bias(x: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
@@ -683,6 +1030,19 @@ fn concat_cols_grad(
 }
 
 fn max_pool2(x: &Tensor) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let mut indices = Vec::new();
+    let out = max_pool2_with(x, &mut indices, &mut |len| vec![0.0f32; len])?;
+    Ok((out, indices))
+}
+
+/// [`max_pool2`] writing the output into a `take`-provided buffer and the
+/// argmax routing indices into a caller-owned, reusable `indices` vector
+/// (resized here). Bit-identical to [`max_pool2`].
+fn max_pool2_with(
+    x: &Tensor,
+    indices: &mut Vec<usize>,
+    take: TakeBuffer<'_>,
+) -> Result<Tensor, TensorError> {
     let &[b, h, w, c] = x.shape() else {
         return Err(TensorError::ShapeMismatch {
             op: "max_pool2",
@@ -690,8 +1050,10 @@ fn max_pool2(x: &Tensor) -> Result<(Tensor, Vec<usize>), TensorError> {
         });
     };
     let (oh, ow) = (h / 2, w / 2);
-    let mut out = Tensor::zeros(&[b, oh, ow, c]);
-    let mut indices = vec![0usize; b * oh * ow * c];
+    let n = b * oh * ow * c;
+    let mut out = take(n);
+    indices.clear();
+    indices.resize(n, 0);
     let xd = x.data();
     for bi in 0..b {
         for oy in 0..oh {
@@ -711,13 +1073,13 @@ fn max_pool2(x: &Tensor) -> Result<(Tensor, Vec<usize>), TensorError> {
                         }
                     }
                     let oidx = ((bi * oh + oy) * ow + ox) * c + ci;
-                    out.data_mut()[oidx] = best;
+                    out[oidx] = best;
                     indices[oidx] = best_idx;
                 }
             }
         }
     }
-    Ok((out, indices))
+    Tensor::from_vec(&[b, oh, ow, c], out)
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 
 use super::gemm;
 use super::pool::{self, WorkerPool};
-use super::KernelCost;
+use super::{KernelCost, TakeBuffer, Workspace};
 use crate::graph::Padding;
 use crate::tensor::Tensor;
 use crate::TensorError;
@@ -95,15 +95,24 @@ pub(crate) fn geometry(input: &Tensor, filter: &Tensor, padding: Padding) -> Res
     })
 }
 
-/// Builds the `[positions, patch]` column matrix, one row per output
-/// position, parallel over position rows (pure copies, no arithmetic).
-fn im2col(pool: &WorkerPool, g: &Geometry, input: &[f32]) -> Vec<f32> {
-    let mut cols = vec![0.0f32; g.positions * g.patch];
+/// Builds the `[positions, patch]` column matrix into `ws.cols`, one row
+/// per output position, parallel over position rows (pure copies, no
+/// arithmetic). The buffer is resized and re-zeroed here, so padded taps
+/// stay `0.0` regardless of what a previous call left behind.
+fn im2col<'a>(pool: &WorkerPool, g: &Geometry, input: &[f32], ws: &'a mut Workspace) -> &'a [f32] {
+    ws.cols.clear();
+    ws.cols.resize(g.positions * g.patch, 0.0);
+    im2col_into(pool, g, input, &mut ws.cols[..]);
+    &ws.cols[..]
+}
+
+/// [`im2col`] writing into a pre-sized, pre-zeroed `cols` slice.
+fn im2col_into(pool: &WorkerPool, g: &Geometry, input: &[f32], cols: &mut [f32]) {
     if cols.is_empty() {
-        return cols;
+        return;
     }
     let (h, w, cin, oh, ow, ph, pw, kh, kw) = (g.h, g.w, g.cin, g.oh, g.ow, g.ph, g.pw, g.kh, g.kw);
-    pool.run_on_blocks(&mut cols, g.patch, &|p, row| {
+    pool.run_on_blocks(cols, g.patch, &|p, row| {
         let ox = p % ow;
         let rest = p / ow;
         let oy = rest % oh;
@@ -124,7 +133,6 @@ fn im2col(pool: &WorkerPool, g: &Geometry, input: &[f32]) -> Vec<f32> {
             }
         }
     });
-    cols
 }
 
 /// Critical path of `flops` split into `blocks` equal work units.
@@ -144,12 +152,29 @@ pub(super) fn conv2d(
     filter: &Tensor,
     padding: Padding,
 ) -> Result<(Tensor, KernelCost), TensorError> {
+    let mut ws = Workspace::new();
+    conv2d_with(pool, &mut ws, input, filter, padding, &mut |len| {
+        vec![0.0f32; len]
+    })
+}
+
+/// Forward convolution with caller-provided scratch and output buffer.
+pub(super) fn conv2d_with(
+    pool: &WorkerPool,
+    ws: &mut Workspace,
+    input: &Tensor,
+    filter: &Tensor,
+    padding: Padding,
+    take: TakeBuffer<'_>,
+) -> Result<(Tensor, KernelCost), TensorError> {
     let g = geometry(input, filter, padding)?;
-    let cols = im2col(pool, &g, input.data());
-    let mut out = vec![0.0f32; g.positions * g.cout];
-    // Per output element (p, co): reduction over patch index increasing —
-    // i.e. (ky, kx, ci) lexicographic, padded taps included as 0.0.
-    gemm::gemm(pool, g.positions, g.patch, g.cout, &cols, filter.data(), &mut out);
+    let mut out = take(g.positions * g.cout);
+    {
+        let cols = im2col(pool, &g, input.data(), ws);
+        // Per output element (p, co): reduction over patch index increasing —
+        // i.e. (ky, kx, ci) lexicographic, padded taps included as 0.0.
+        gemm::gemm(pool, g.positions, g.patch, g.cout, cols, filter.data(), &mut out);
+    }
     let cost = gemm::gemm_cost(pool, g.positions, g.patch, g.cout);
     Ok((Tensor::from_vec(&[g.b, g.oh, g.ow, g.cout], out)?, cost))
 }
@@ -162,6 +187,22 @@ pub(super) fn conv2d_grad(
     grad: &Tensor,
     padding: Padding,
 ) -> Result<(Tensor, Tensor, KernelCost), TensorError> {
+    let mut ws = Workspace::new();
+    conv2d_grad_with(pool, &mut ws, input, filter, grad, padding, &mut |len| {
+        vec![0.0f32; len]
+    })
+}
+
+/// Backward convolution with caller-provided scratch and output buffers.
+pub(super) fn conv2d_grad_with(
+    pool: &WorkerPool,
+    ws: &mut Workspace,
+    input: &Tensor,
+    filter: &Tensor,
+    grad: &Tensor,
+    padding: Padding,
+    take: TakeBuffer<'_>,
+) -> Result<(Tensor, Tensor, KernelCost), TensorError> {
     let g = geometry(input, filter, padding)?;
     if grad.shape() != [g.b, g.oh, g.ow, g.cout] {
         return Err(TensorError::ShapeMismatch {
@@ -169,7 +210,15 @@ pub(super) fn conv2d_grad(
             detail: format!("grad {:?} vs output {:?}", grad.shape(), [g.b, g.oh, g.ow, g.cout]),
         });
     }
-    let cols = im2col(pool, &g, input.data());
+    let mut gf = take(g.patch * g.cout);
+    let mut gi = take(input.len());
+    // `cols` and `gcol` live in distinct workspace fields; destructure so
+    // both can be borrowed at once.
+    let Workspace { cols: cols_buf, gcol, .. } = ws;
+    cols_buf.clear();
+    cols_buf.resize(g.positions * g.patch, 0.0);
+    im2col_into(pool, &g, input.data(), &mut cols_buf[..]);
+    let cols = &cols_buf[..];
     let gdata = grad.data();
     let fdata = filter.data();
     let (patch, positions, cout) = (g.patch, g.positions, g.cout);
@@ -179,7 +228,6 @@ pub(super) fn conv2d_grad(
     // gf = colsᵀ × grad, [patch, cout]; parallel over patch rows. Per
     // element (kk, co) the reduction runs over positions increasing,
     // each term cols-value-first — the order the serial scalar loop used.
-    let mut gf = vec![0.0f32; patch * cout];
     pool.run_on_blocks(&mut gf, cout, &|kk, gf_row| {
         for p in 0..positions {
             let cv = cols[p * patch + kk];
@@ -194,8 +242,10 @@ pub(super) fn conv2d_grad(
     // gcol = grad × filterᵀ, [positions, patch]; parallel over position
     // rows. Each element is one dot product over cout increasing
     // (grad-value-first), entirely within one worker.
-    let mut gcol = vec![0.0f32; positions * patch];
-    pool.run_on_blocks(&mut gcol, patch, &|p, row| {
+    gcol.clear();
+    gcol.resize(positions * patch, 0.0);
+    let gcol = &mut gcol[..];
+    pool.run_on_blocks(gcol, patch, &|p, row| {
         let grow = &gdata[p * cout..(p + 1) * cout];
         for (kk, o) in row.iter_mut().enumerate() {
             let frow = &fdata[kk * cout..(kk + 1) * cout];
@@ -207,12 +257,12 @@ pub(super) fn conv2d_grad(
         }
     });
     cost.merge(stage_cost(gemm_flops, positions, pool.workers()));
+    let gcol = &gcol[..];
 
     // col2im scatter, parallel over batches (batch slices of gi are
     // disjoint). Per gi element, contributions arrive in (oy, ox)-major,
     // (ky, kx, ci)-minor order — matching the serial scalar loop; padded
     // gcol entries fall outside the input and are dropped.
-    let mut gi = vec![0.0f32; input.len()];
     let per_batch = g.h * g.w * g.cin;
     let (h, w, cin, oh, ow, ph, pw, kh, kw) = (g.h, g.w, g.cin, g.oh, g.ow, g.ph, g.pw, g.kh, g.kw);
     pool.run_on_blocks(&mut gi, per_batch.max(1), &|bi, gi_b| {

@@ -25,6 +25,36 @@ use crate::graph::Padding;
 use crate::tensor::Tensor;
 use crate::TensorError;
 
+/// Reusable kernel scratch memory.
+///
+/// Kernels that need intermediate buffers (the im2col column matrix, the
+/// backward-convolution `gcol` product, max-pool routing indices) borrow
+/// them from here instead of heap-allocating per call. A `Workspace` is
+/// plain growable scratch: buffers are resized (and re-zeroed where the
+/// kernel's reduction requires zeroed memory) on each use, so reuse never
+/// changes results — only allocation traffic.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// im2col column matrix, `[positions, patch]`.
+    pub(crate) cols: Vec<f32>,
+    /// Backward-conv `gcol = grad × filterᵀ` scratch, `[positions, patch]`.
+    pub(crate) gcol: Vec<f32>,
+    /// Max-pool argmax routing indices, one per output element.
+    pub(crate) pool_indices: Vec<usize>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+/// A caller-provided output-buffer source for the `*_with` kernel entry
+/// points: called with the required element count, must return a zeroed
+/// buffer of exactly that length (an arena slot or a fresh `vec![0.0; n]`).
+pub type TakeBuffer<'a> = &'a mut dyn FnMut(usize) -> Vec<f32>;
+
 /// The cost of one kernel invocation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KernelCost {
@@ -48,6 +78,22 @@ impl KernelCost {
 /// Bit-identical to [`reference::naive_matmul`] for every worker count;
 /// see the module docs for the determinism argument.
 pub fn matmul(pool: &WorkerPool, lhs: &Tensor, rhs: &Tensor) -> Result<(Tensor, KernelCost), TensorError> {
+    matmul_with(pool, lhs, rhs, &mut |len| vec![0.0f32; len])
+}
+
+/// [`matmul`] writing its result into a caller-provided buffer obtained
+/// from `take` (see [`TakeBuffer`]). Bit-identical to [`matmul`]; only
+/// the allocation source differs.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_with(
+    pool: &WorkerPool,
+    lhs: &Tensor,
+    rhs: &Tensor,
+    take: TakeBuffer<'_>,
+) -> Result<(Tensor, KernelCost), TensorError> {
     let (&[m, k1], &[k2, n]) = (lhs.shape(), rhs.shape()) else {
         return Err(TensorError::ShapeMismatch {
             op: "matmul",
@@ -60,7 +106,7 @@ pub fn matmul(pool: &WorkerPool, lhs: &Tensor, rhs: &Tensor) -> Result<(Tensor, 
             detail: format!("inner dims {k1} vs {k2}"),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    let mut out = take(m * n);
     gemm::gemm(pool, m, k1, n, lhs.data(), rhs.data(), &mut out);
     let cost = gemm::gemm_cost(pool, m, k1, n);
     Ok((Tensor::from_vec(&[m, n], out)?, cost))
@@ -77,6 +123,23 @@ pub fn conv2d(
     conv::conv2d(pool, input, filter, padding)
 }
 
+/// [`conv2d`] with caller-provided scratch (`ws` holds the im2col column
+/// matrix) and output buffer (`take`). Bit-identical to [`conv2d`].
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_with(
+    pool: &WorkerPool,
+    ws: &mut Workspace,
+    input: &Tensor,
+    filter: &Tensor,
+    padding: Padding,
+    take: TakeBuffer<'_>,
+) -> Result<(Tensor, KernelCost), TensorError> {
+    conv::conv2d_with(pool, ws, input, filter, padding, take)
+}
+
 /// Backward convolution: `(grad_input, grad_filter, cost)`.
 /// Bit-identical to [`reference::naive_conv2d_grad`].
 pub fn conv2d_grad(
@@ -87,4 +150,23 @@ pub fn conv2d_grad(
     padding: Padding,
 ) -> Result<(Tensor, Tensor, KernelCost), TensorError> {
     conv::conv2d_grad(pool, input, filter, grad, padding)
+}
+
+/// [`conv2d_grad`] with caller-provided scratch (`ws` holds the im2col
+/// and `gcol` matrices) and output buffers (`take` supplies `grad_input`
+/// and `grad_filter`). Bit-identical to [`conv2d_grad`].
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_grad`].
+pub fn conv2d_grad_with(
+    pool: &WorkerPool,
+    ws: &mut Workspace,
+    input: &Tensor,
+    filter: &Tensor,
+    grad: &Tensor,
+    padding: Padding,
+    take: TakeBuffer<'_>,
+) -> Result<(Tensor, Tensor, KernelCost), TensorError> {
+    conv::conv2d_grad_with(pool, ws, input, filter, grad, padding, take)
 }

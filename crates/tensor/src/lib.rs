@@ -55,6 +55,7 @@ pub mod freeze;
 pub mod graph;
 pub mod kernels;
 pub mod layers;
+pub mod memory;
 pub mod optimizer;
 pub mod session;
 pub mod tensor;

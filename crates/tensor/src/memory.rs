@@ -1,0 +1,956 @@
+//! Liveness-driven memory planning shared by training and inference
+//! (DESIGN.md §12).
+//!
+//! The paper's central performance observation is that enclave throughput
+//! is dominated by EPC paging, which is why secureTF serves inference
+//! through TF Lite's statically planned arena. This module generalizes
+//! that planner to *training*: it computes the lifetime of every forward
+//! value and every gradient on one unified timeline (forward steps, then
+//! backward steps, then the optimizer), assigns each buffer an offset in
+//! a shared arena via first-fit over non-overlapping lifetime intervals,
+//! and drives execution so forward intermediates are recycled as soon as
+//! their last gradient consumer has fired.
+//!
+//! Three layers consume the plan:
+//!
+//! * [`PlannedExecutor`] runs forward/backward passes against a reusable
+//!   arena ([`crate::session::Session`] owns one per session),
+//! * `securetf-tflite` builds its inference [`plan_inference`] arena from
+//!   the same first-fit planner, and
+//! * the TEE layer sizes one EPC region to [`MemoryPlan::peak_bytes`] and
+//!   replays [`SlotWrite`]s as page touches, so the simulated hardware
+//!   sees planned execution touch strictly fewer pages than the
+//!   size-of-everything baseline.
+//!
+//! Planning never changes results: planned execution is bit-for-bit
+//! identical to the unplanned pass (property-tested), and when a graph
+//! cannot be planned (e.g. a placeholder fed with exotic shapes mid-run)
+//! the executor silently falls back to unplanned execution.
+
+use crate::autodiff::{self, RunStats};
+use crate::graph::{Graph, NodeId, Op, Padding};
+use crate::kernels::{WorkerPool, Workspace};
+use crate::tensor::Tensor;
+use crate::TensorError;
+use std::collections::HashMap;
+
+/// Execution memory strategy of a [`crate::session::Session`] (or a
+/// tflite interpreter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryMode {
+    /// Per-node `Vec` allocation; every intermediate lives to the end of
+    /// the run. The pre-planning baseline, kept for A/B benchmarks.
+    Unplanned,
+    /// Liveness-planned arena execution (the default): bit-identical
+    /// results, bounded resident set, recycled buffers.
+    #[default]
+    Planned,
+}
+
+/// One planned buffer: an offset range in the arena plus the half-open
+/// lifetime interval (in unified timeline steps) during which it is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Byte offset of the buffer within the arena.
+    pub offset: u64,
+    /// Buffer size in bytes.
+    pub bytes: u64,
+    /// First timeline step at which the buffer holds live data.
+    pub live_from: usize,
+    /// Last timeline step at which the buffer may be read.
+    pub live_to: usize,
+}
+
+/// A complete memory plan for one graph execution (inference or one
+/// training step).
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    /// Size of the arena: the high-water mark of the first-fit layout.
+    /// Every live set fits below this offset at every step.
+    pub peak_bytes: u64,
+    /// What the same buffers would cost without sharing (the per-node
+    /// `Vec` baseline): the sum of all planned buffer sizes.
+    pub unshared_bytes: u64,
+    steps: usize,
+    shapes: Vec<Vec<usize>>,
+    value_slots: Vec<Option<Slot>>,
+    grad_slots: Vec<Option<Slot>>,
+    /// For each timeline step, the nodes whose forward value dies there.
+    value_drops: Vec<Vec<usize>>,
+}
+
+impl MemoryPlan {
+    /// The arena slot of node `index`'s forward value, if planned.
+    pub fn value_slot(&self, index: usize) -> Option<&Slot> {
+        self.value_slots.get(index).and_then(Option::as_ref)
+    }
+
+    /// The arena slot of node `index`'s gradient, if planned.
+    pub fn grad_slot(&self, index: usize) -> Option<&Slot> {
+        self.grad_slots.get(index).and_then(Option::as_ref)
+    }
+
+    /// The statically inferred shape of node `index` (empty for scalars
+    /// and for nodes outside the needed set).
+    pub fn shape(&self, index: usize) -> &[usize] {
+        self.shapes.get(index).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of steps on the unified timeline.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+fn elems(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+fn bytes_of(shape: &[usize]) -> u64 {
+    elems(shape) as u64 * 4
+}
+
+/// Statically infers the shape of every needed node from the graph
+/// structure plus the shapes of the feeds and variables.
+///
+/// # Errors
+///
+/// Returns the same classes of error the executor would raise (missing
+/// feeds, operand rank/shape mismatches); callers treat any error as
+/// "not plannable" and fall back to unplanned execution, which re-raises
+/// the executor's own error for the user.
+pub fn infer_shapes(
+    graph: &Graph,
+    needed: &[bool],
+    feeds: &HashMap<NodeId, Tensor>,
+    vars: &HashMap<NodeId, Tensor>,
+) -> Result<Vec<Vec<usize>>, TensorError> {
+    let mut shapes: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+    for (index, node) in graph.nodes().iter().enumerate() {
+        if !needed.get(index).copied().unwrap_or(false) {
+            continue;
+        }
+        let id = NodeId(index);
+        let of = |nid: &NodeId| shapes[nid.0].clone();
+        let mismatch = |detail: String| TensorError::ShapeMismatch {
+            op: "memory_plan",
+            detail,
+        };
+        let shape = match &node.op {
+            Op::Placeholder { shape } => {
+                let fed = feeds
+                    .get(&id)
+                    .ok_or_else(|| TensorError::BadFeed(format!("placeholder '{}' not fed", node.name)))?;
+                if !autodiff::feed_matches_template(shape, fed.shape()) {
+                    return Err(TensorError::BadFeed(format!(
+                        "placeholder '{}' expects {:?}, fed {:?}",
+                        node.name,
+                        shape,
+                        fed.shape()
+                    )));
+                }
+                fed.shape().to_vec()
+            }
+            Op::Variable { .. } => vars
+                .get(&id)
+                .ok_or(TensorError::InvalidGraph("variable without session value"))?
+                .shape()
+                .to_vec(),
+            Op::Constant(t) => t.shape().to_vec(),
+            Op::MatMul(a, b) => {
+                let (sa, sb) = (of(a), of(b));
+                let (&[m, k1], &[k2, n]) = (sa.as_slice(), sb.as_slice()) else {
+                    return Err(mismatch(format!("matmul {sa:?} × {sb:?}")));
+                };
+                if k1 != k2 {
+                    return Err(mismatch(format!("matmul inner dims {k1} vs {k2}")));
+                }
+                vec![m, n]
+            }
+            Op::AddBias(x, _) | Op::Relu(x) | Op::Softmax(x) | Op::Sigmoid(x) | Op::Tanh(x) => of(x),
+            Op::Add(a, b) | Op::Mul(a, b) | Op::Sub(a, b) => {
+                let (sa, sb) = (of(a), of(b));
+                if sa != sb {
+                    return Err(mismatch(format!("elementwise {sa:?} vs {sb:?}")));
+                }
+                sa
+            }
+            Op::Scale(x, _) => of(x),
+            Op::Conv2d {
+                input,
+                filter,
+                padding,
+            } => {
+                let (si, sf) = (of(input), of(filter));
+                let (&[b, h, w, cin], &[kh, kw, fcin, cout]) = (si.as_slice(), sf.as_slice())
+                else {
+                    return Err(mismatch(format!("conv2d {si:?} * {sf:?}")));
+                };
+                if fcin != cin {
+                    return Err(mismatch(format!("conv2d channels {cin} vs {fcin}")));
+                }
+                let (oh, ow) = match padding {
+                    Padding::Same => (h, w),
+                    Padding::Valid => {
+                        if h < kh || w < kw {
+                            return Err(mismatch(format!(
+                                "conv2d input {h}x{w} smaller than kernel {kh}x{kw}"
+                            )));
+                        }
+                        (h - kh + 1, w - kw + 1)
+                    }
+                };
+                vec![b, oh, ow, cout]
+            }
+            Op::MaxPool2(x) | Op::AvgPool2(x) => {
+                let sx = of(x);
+                let &[b, h, w, c] = sx.as_slice() else {
+                    return Err(mismatch(format!("pool2 {sx:?} (need NHWC)")));
+                };
+                vec![b, h / 2, w / 2, c]
+            }
+            Op::Flatten(x) => {
+                let sx = of(x);
+                let batch = *sx.first().unwrap_or(&1);
+                let rest = elems(&sx) / batch.max(1);
+                vec![batch, rest]
+            }
+            Op::Reshape(x, shape) => {
+                if elems(&of(x)) != elems(shape) {
+                    return Err(mismatch(format!("reshape {:?} -> {shape:?}", of(x))));
+                }
+                shape.clone()
+            }
+            Op::SoftmaxCrossEntropy { logits, labels } => {
+                let (sl, sy) = (of(logits), of(labels));
+                if sl != sy || sl.len() != 2 {
+                    return Err(mismatch(format!("softmax_xent {sl:?} vs {sy:?}")));
+                }
+                Vec::new()
+            }
+            Op::MseLoss(p, t) => {
+                let (sp, st) = (of(p), of(t));
+                if sp != st {
+                    return Err(mismatch(format!("mse_loss {sp:?} vs {st:?}")));
+                }
+                Vec::new()
+            }
+            Op::ConcatCols(a, b) => {
+                let (sa, sb) = (of(a), of(b));
+                let (&[m1, n1], &[m2, n2]) = (sa.as_slice(), sb.as_slice()) else {
+                    return Err(mismatch(format!("concat_cols {sa:?} ++ {sb:?}")));
+                };
+                if m1 != m2 {
+                    return Err(mismatch(format!("concat_cols rows {m1} vs {m2}")));
+                }
+                vec![m1, n1 + n2]
+            }
+        };
+        shapes[index] = shape;
+    }
+    Ok(shapes)
+}
+
+/// Whether the backward rule of `op` reads the forward *value* of the
+/// given input position (as opposed to only its shape, which the plan
+/// provides statically).
+fn backward_reads_input(op: &Op, position: usize) -> bool {
+    match op {
+        // ga = grad × bᵀ and gb = aᵀ × grad read both operands.
+        Op::MatMul(..) | Op::Mul(..) => true,
+        // Relu masks on its input; pooling argmax recomputes from it.
+        Op::Relu(_) | Op::MaxPool2(_) => true,
+        // conv2d_grad rebuilds the im2col matrix from the input and
+        // multiplies by the filter.
+        Op::Conv2d { .. } => true,
+        // The loss gradients re-read both operands.
+        Op::SoftmaxCrossEntropy { .. } | Op::MseLoss(..) => true,
+        // Shape-only (AddBias, Flatten, Reshape, AvgPool2, ConcatCols)
+        // or nothing at all (Add, Sub, Scale); the self-output readers
+        // (Softmax, Sigmoid, Tanh) are handled by the caller.
+        _ => {
+            let _ = position;
+            false
+        }
+    }
+}
+
+/// Whether the backward rule of `op` reads the node's *own* forward
+/// output (the s·(1-s)-style activations).
+fn backward_reads_output(op: &Op) -> bool {
+    matches!(op, Op::Softmax(_) | Op::Sigmoid(_) | Op::Tanh(_))
+}
+
+/// The input positions of `op` that receive gradient contributions.
+fn grad_inputs(op: &Op) -> Vec<NodeId> {
+    match op {
+        // Losses propagate only through their prediction operand.
+        Op::SoftmaxCrossEntropy { logits, .. } => vec![*logits],
+        Op::MseLoss(p, _) => vec![*p],
+        _ => op.inputs(),
+    }
+}
+
+/// Nodes that never live in the arena: variable and constant storage is
+/// owned by the session/graph (the EPC "params" region), not the
+/// activation arena.
+fn is_param(op: &Op) -> bool {
+    matches!(op, Op::Variable { .. } | Op::Constant(_))
+}
+
+struct Request {
+    /// 0 = forward value, 1 = gradient (tie-break only).
+    kind: u8,
+    node: usize,
+    bytes: u64,
+    from: usize,
+    to: usize,
+}
+
+/// First-fit offset assignment over non-overlapping lifetime intervals —
+/// the TF Lite arena algorithm. Requests are placed in (birth, node,
+/// kind) order; each goes at the lowest offset whose gap clears every
+/// already-placed, lifetime-overlapping slot. Returns `(peak, offsets)`.
+fn first_fit(requests: &[Request]) -> (u64, Vec<u64>) {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| (requests[i].from, requests[i].node, requests[i].kind));
+    let mut offsets = vec![0u64; requests.len()];
+    let mut placed: Vec<usize> = Vec::new();
+    let mut peak = 0u64;
+    for &i in &order {
+        let req = &requests[i];
+        let mut conflicts: Vec<(u64, u64)> = placed
+            .iter()
+            .map(|&j| &requests[j])
+            .zip(placed.iter().map(|&j| offsets[j]))
+            .filter(|(other, _)| other.from <= req.to && req.from <= other.to)
+            .map(|(other, off)| (off, off + other.bytes))
+            .collect();
+        conflicts.sort_unstable();
+        let mut offset = 0u64;
+        for (start, end) in conflicts {
+            if offset + req.bytes <= start {
+                break;
+            }
+            offset = offset.max(end);
+        }
+        offsets[i] = offset;
+        peak = peak.max(offset + req.bytes);
+        placed.push(i);
+    }
+    (peak, offsets)
+}
+
+fn build_plan(
+    graph: &Graph,
+    shapes: Vec<Vec<usize>>,
+    steps: usize,
+    value_lives: &[Option<(usize, usize)>],
+    grad_lives: &[Option<(usize, usize)>],
+) -> MemoryPlan {
+    let mut requests = Vec::new();
+    let mut owners: Vec<(u8, usize)> = Vec::new();
+    for (index, live) in value_lives.iter().enumerate() {
+        let Some(&(from, to)) = live.as_ref() else {
+            continue;
+        };
+        let bytes = bytes_of(&shapes[index]);
+        if bytes == 0 || is_param(&graph.nodes()[index].op) {
+            continue;
+        }
+        requests.push(Request {
+            kind: 0,
+            node: index,
+            bytes,
+            from,
+            to,
+        });
+        owners.push((0, index));
+    }
+    for (index, live) in grad_lives.iter().enumerate() {
+        let Some(&(from, to)) = live.as_ref() else {
+            continue;
+        };
+        let bytes = bytes_of(&shapes[index]);
+        if bytes == 0 {
+            continue;
+        }
+        requests.push(Request {
+            kind: 1,
+            node: index,
+            bytes,
+            from,
+            to,
+        });
+        owners.push((1, index));
+    }
+    let (peak_bytes, offsets) = first_fit(&requests);
+    let unshared_bytes = requests.iter().map(|r| r.bytes).sum();
+    let mut value_slots: Vec<Option<Slot>> = vec![None; graph.len()];
+    let mut grad_slots: Vec<Option<Slot>> = vec![None; graph.len()];
+    let mut value_drops: Vec<Vec<usize>> = vec![Vec::new(); steps];
+    for ((req, &offset), &(kind, node)) in requests.iter().zip(&offsets).zip(&owners) {
+        let slot = Slot {
+            offset,
+            bytes: req.bytes,
+            live_from: req.from,
+            live_to: req.to,
+        };
+        if kind == 0 {
+            value_slots[node] = Some(slot);
+            // Values living to the final step are fetch targets (or
+            // optimizer inputs); the end-of-run sweep reclaims them.
+            if req.to + 1 < steps {
+                value_drops[req.to].push(node);
+            }
+        } else {
+            grad_slots[node] = Some(slot);
+        }
+    }
+    for drops in &mut value_drops {
+        drops.sort_unstable();
+    }
+    MemoryPlan {
+        peak_bytes,
+        unshared_bytes,
+        steps,
+        shapes,
+        value_slots,
+        grad_slots,
+        value_drops,
+    }
+}
+
+/// Plans an inference pass: node `i` is computed at step `i` and dies at
+/// its last consumer; `targets` survive to the end of the run.
+///
+/// # Errors
+///
+/// Returns [`TensorError::UnknownNode`] for out-of-range targets.
+pub fn plan_inference(
+    graph: &Graph,
+    shapes: Vec<Vec<usize>>,
+    needed: &[bool],
+    targets: &[NodeId],
+) -> Result<MemoryPlan, TensorError> {
+    let steps = graph.len() + 1;
+    let mut value_lives: Vec<Option<(usize, usize)>> = vec![None; graph.len()];
+    for index in 0..graph.len() {
+        if !needed.get(index).copied().unwrap_or(false) {
+            continue;
+        }
+        value_lives[index] = Some((index, index));
+        for input in graph.nodes()[index].op.inputs() {
+            if let Some(live) = value_lives[input.0].as_mut() {
+                live.1 = live.1.max(index);
+            }
+        }
+    }
+    for target in targets {
+        let live = value_lives
+            .get_mut(target.0)
+            .ok_or(TensorError::UnknownNode)?;
+        if let Some(live) = live.as_mut() {
+            live.1 = graph.len();
+        }
+    }
+    let grad_lives = vec![None; graph.len()];
+    Ok(build_plan(graph, shapes, steps, &value_lives, &grad_lives))
+}
+
+/// Plans one training step on the unified timeline: node `i`'s forward
+/// value is born at step `i`; the backward pass visits node `i` at step
+/// `2L+1-i` (`L` = the loss index); step `2L+2` is the optimizer update.
+/// A forward value lives until its last consumer — forward *or* backward
+/// (per `backward_reads_input`) — has fired; gradients are born at
+/// their first contribution and die when their node's backward rule runs
+/// (variables' gradients survive to the optimizer step).
+///
+/// # Errors
+///
+/// Returns [`TensorError::UnknownNode`] if `loss` is out of range.
+pub fn plan_training(
+    graph: &Graph,
+    shapes: Vec<Vec<usize>>,
+    needed: &[bool],
+    loss: NodeId,
+) -> Result<MemoryPlan, TensorError> {
+    let l = loss.0;
+    if l >= graph.len() {
+        return Err(TensorError::UnknownNode);
+    }
+    let steps = 2 * l + 3;
+    let bstep = |i: usize| 2 * l + 1 - i;
+
+    // Which nodes receive a gradient at all: walk contributions down
+    // from the loss.
+    let mut has_grad = vec![false; graph.len()];
+    has_grad[l] = true;
+    for index in (0..=l).rev() {
+        if !has_grad[index] || !needed.get(index).copied().unwrap_or(false) {
+            continue;
+        }
+        for input in grad_inputs(&graph.nodes()[index].op) {
+            has_grad[input.0] = true;
+        }
+    }
+
+    let mut value_lives: Vec<Option<(usize, usize)>> = vec![None; graph.len()];
+    for index in 0..=l {
+        if !needed.get(index).copied().unwrap_or(false) {
+            continue;
+        }
+        let op = &graph.nodes()[index].op;
+        let mut death = index;
+        if has_grad[index] && backward_reads_output(op) {
+            death = death.max(bstep(index));
+        }
+        value_lives[index] = Some((index, death));
+        for input in op.inputs() {
+            let Some(live) = value_lives[input.0].as_mut() else {
+                continue;
+            };
+            live.1 = live.1.max(index);
+            if has_grad[index] && backward_reads_input(op, 0) {
+                live.1 = live.1.max(bstep(index));
+            }
+        }
+    }
+    // The gradient seed reads the loss value's shape at the first
+    // backward step.
+    if let Some(live) = value_lives[l].as_mut() {
+        live.1 = live.1.max(l + 1);
+    }
+
+    let mut grad_lives: Vec<Option<(usize, usize)>> = vec![None; graph.len()];
+    for index in (0..=l).rev() {
+        if !has_grad[index] || !needed.get(index).copied().unwrap_or(false) {
+            continue;
+        }
+        let death = if is_var(graph, index) { 2 * l + 2 } else { bstep(index) };
+        if index == l {
+            grad_lives[index] = Some((l + 1, death));
+        } else {
+            // Born when the highest-index contributing consumer runs.
+            let birth = (index + 1..=l)
+                .rev()
+                .find(|&j| {
+                    has_grad[j]
+                        && needed.get(j).copied().unwrap_or(false)
+                        && grad_inputs(&graph.nodes()[j].op).contains(&NodeId(index))
+                })
+                .map(bstep);
+            if let Some(birth) = birth {
+                grad_lives[index] = Some((birth, death));
+            }
+        }
+    }
+
+    Ok(build_plan(graph, shapes, steps, &value_lives, &grad_lives))
+}
+
+fn is_var(graph: &Graph, index: usize) -> bool {
+    matches!(graph.nodes()[index].op, Op::Variable { .. })
+}
+
+/// A recycling pool of exact-length `f32` buffers backing arena slots.
+///
+/// The simulated arena is virtual: the *plan* assigns byte offsets (which
+/// the TEE layer replays as EPC page touches), while execution backs each
+/// live slot with a recycled `Vec<f32>`. `take` always returns a zeroed
+/// buffer, so recycling can never change results.
+#[derive(Debug, Clone, Default)]
+pub struct Arena {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+}
+
+impl Arena {
+    /// A zeroed buffer of exactly `len` elements, recycled if available.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        if let Some(mut buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            buf.fill(0.0);
+            buf
+        } else {
+            vec![0.0f32; len]
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        if !buf.is_empty() {
+            self.free.entry(buf.len()).or_default().push(buf);
+        }
+    }
+}
+
+/// One write into the planned arena, for the TEE layer to replay as an
+/// EPC page touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotWrite {
+    /// Byte offset of the written slot within the arena.
+    pub offset: u64,
+    /// Bytes written.
+    pub bytes: u64,
+}
+
+/// Point-in-time memory statistics of a planned executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Arena size the current plan requires (0 when unplanned).
+    pub planned_peak_bytes: u64,
+    /// Sum of all planned buffer sizes — the no-sharing baseline.
+    pub unshared_bytes: u64,
+    /// Slot bytes live right now.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` during the last run.
+    pub peak_resident_bytes: u64,
+}
+
+/// Runtime state of one planned execution: the plan, the backing arena,
+/// resident accounting, and the slot-write log.
+#[derive(Debug, Clone)]
+pub struct ExecMemory {
+    plan: MemoryPlan,
+    arena: Arena,
+    resident_bytes: u64,
+    peak_resident_bytes: u64,
+    writes: Vec<SlotWrite>,
+}
+
+impl ExecMemory {
+    fn new(plan: MemoryPlan) -> ExecMemory {
+        ExecMemory {
+            plan,
+            arena: Arena::default(),
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            writes: Vec::new(),
+        }
+    }
+
+    /// The plan this execution follows.
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    pub(crate) fn begin_run(&mut self) {
+        self.resident_bytes = 0;
+        self.peak_resident_bytes = 0;
+        // Bound the log when no one drains it between runs.
+        self.writes.clear();
+    }
+
+    pub(crate) fn take(&mut self, len: usize) -> Vec<f32> {
+        self.arena.take(len)
+    }
+
+    pub(crate) fn recycle(&mut self, tensor: Tensor) {
+        self.arena.put(tensor.into_data());
+    }
+
+    fn note_live(&mut self, slot: Slot) {
+        self.resident_bytes += slot.bytes;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.writes.push(SlotWrite {
+            offset: slot.offset,
+            bytes: slot.bytes,
+        });
+    }
+
+    pub(crate) fn on_value(&mut self, index: usize, value: &Tensor) {
+        if let Some(&slot) = self.plan.value_slot(index) {
+            debug_assert_eq!(slot.bytes, value.byte_len(), "planned shape drift at node {index}");
+            self.note_live(slot);
+        }
+    }
+
+    pub(crate) fn on_grad(&mut self, index: usize, grad: &Tensor) {
+        if let Some(&slot) = self.plan.grad_slot(index) {
+            debug_assert_eq!(slot.bytes, grad.byte_len(), "planned grad shape drift at node {index}");
+            self.note_live(slot);
+        }
+    }
+
+    pub(crate) fn release_grad(&mut self, index: usize, grad: Tensor) {
+        if let Some(slot) = self.plan.grad_slot(index) {
+            self.resident_bytes = self.resident_bytes.saturating_sub(slot.bytes);
+        }
+        self.recycle(grad);
+    }
+
+    /// Recycles every forward value whose planned lifetime ends at `step`.
+    pub(crate) fn drop_dead_values(&mut self, step: usize, values: &mut [Option<Tensor>]) {
+        // The drop list borrows the plan; move it out while recycling.
+        let Some(entry) = self.plan.value_drops.get_mut(step) else {
+            return;
+        };
+        let dead = std::mem::take(entry);
+        for &index in &dead {
+            if let Some(value) = values[index].take() {
+                if let Some(slot) = self.plan.value_slot(index) {
+                    self.resident_bytes = self.resident_bytes.saturating_sub(slot.bytes);
+                }
+                self.arena.put(value.into_data());
+            }
+        }
+        self.plan.value_drops[step] = dead;
+    }
+
+    /// Recycles everything left alive at the end of a run and zeroes the
+    /// resident gauge.
+    pub(crate) fn end_run(&mut self, values: &mut [Option<Tensor>]) {
+        for value in values.iter_mut() {
+            if let Some(t) = value.take() {
+                self.arena.put(t.into_data());
+            }
+        }
+        self.resident_bytes = 0;
+    }
+
+    /// Drains the slot writes recorded since the last call.
+    pub fn take_writes(&mut self) -> Vec<SlotWrite> {
+        std::mem::take(&mut self.writes)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    key: u64,
+    /// `None` records "this configuration is not plannable" so the
+    /// fallback path does not re-run inference every step.
+    mem: Option<ExecMemory>,
+}
+
+/// Fingerprint of everything the plan depends on: graph structure, feed
+/// and variable shapes, targets, and the training flag.
+fn plan_key(
+    graph: &Graph,
+    feeds: &HashMap<NodeId, Tensor>,
+    vars: &HashMap<NodeId, Tensor>,
+    targets: &[NodeId],
+    train: bool,
+) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(graph.len() as u64);
+    eat(u64::from(train));
+    for (index, node) in graph.nodes().iter().enumerate() {
+        for byte in node.op.kind().bytes() {
+            eat(u64::from(byte));
+        }
+        for input in node.op.inputs() {
+            eat(input.0 as u64);
+        }
+        let id = NodeId(index);
+        let shape: Option<&[usize]> = match &node.op {
+            Op::Placeholder { .. } => feeds.get(&id).map(Tensor::shape),
+            Op::Variable { .. } => vars.get(&id).map(Tensor::shape),
+            Op::Constant(t) => Some(t.shape()),
+            _ => None,
+        };
+        if let Some(shape) = shape {
+            eat(shape.len() as u64);
+            for &dim in shape {
+                eat(dim as u64);
+            }
+        }
+    }
+    for target in targets {
+        eat(target.0 as u64);
+    }
+    hash
+}
+
+/// A reusable planned-execution engine: caches the memory plan, the
+/// arena, and the values vector across runs of the same configuration
+/// (shape change → transparent replan; unplannable graph → transparent
+/// fallback to unplanned execution).
+#[derive(Debug, Clone, Default)]
+pub struct PlannedExecutor {
+    ws: Workspace,
+    values: Vec<Option<Tensor>>,
+    cached: Option<CachedPlan>,
+}
+
+impl PlannedExecutor {
+    /// Creates an executor with no cached plan.
+    pub fn new() -> PlannedExecutor {
+        PlannedExecutor::default()
+    }
+
+    /// The plan size of the current cached plan, if any.
+    pub fn planned_peak_bytes(&self) -> Option<u64> {
+        self.cached
+            .as_ref()
+            .and_then(|c| c.mem.as_ref())
+            .map(|m| m.plan.peak_bytes)
+    }
+
+    /// Current memory statistics (zeros when running unplanned).
+    pub fn memory_stats(&self) -> MemoryStats {
+        match self.cached.as_ref().and_then(|c| c.mem.as_ref()) {
+            Some(mem) => MemoryStats {
+                planned_peak_bytes: mem.plan.peak_bytes,
+                unshared_bytes: mem.plan.unshared_bytes,
+                resident_bytes: mem.resident_bytes,
+                peak_resident_bytes: mem.peak_resident_bytes,
+            },
+            None => MemoryStats::default(),
+        }
+    }
+
+    /// Drains the arena slot writes recorded by runs since the last call
+    /// (empty when running unplanned).
+    pub fn take_slot_writes(&mut self) -> Vec<SlotWrite> {
+        self.cached
+            .as_mut()
+            .and_then(|c| c.mem.as_mut())
+            .map(ExecMemory::take_writes)
+            .unwrap_or_default()
+    }
+
+    fn ensure_plan(
+        &mut self,
+        graph: &Graph,
+        feeds: &HashMap<NodeId, Tensor>,
+        vars: &HashMap<NodeId, Tensor>,
+        needed: &[bool],
+        targets: &[NodeId],
+        loss: Option<NodeId>,
+    ) {
+        let key = plan_key(graph, feeds, vars, targets, loss.is_some());
+        if let Some(cached) = &self.cached {
+            if cached.key == key {
+                return;
+            }
+        }
+        let plan = infer_shapes(graph, needed, feeds, vars).and_then(|shapes| match loss {
+            Some(loss) => plan_training(graph, shapes, needed, loss),
+            None => plan_inference(graph, shapes, needed, targets),
+        });
+        self.cached = Some(CachedPlan {
+            key,
+            mem: plan.ok().map(ExecMemory::new),
+        });
+    }
+
+    /// Evaluates `targets`, preferring planned execution. Results and
+    /// [`RunStats`] are bit-identical to [`autodiff::forward_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`autodiff::forward_with`].
+    pub fn run(
+        &mut self,
+        graph: &Graph,
+        feeds: &HashMap<NodeId, Tensor>,
+        vars: &HashMap<NodeId, Tensor>,
+        targets: &[NodeId],
+        pool: &WorkerPool,
+    ) -> Result<(Vec<Tensor>, RunStats), TensorError> {
+        let needed = autodiff::needed_set(graph, targets)?;
+        self.ensure_plan(graph, feeds, vars, &needed, targets, None);
+        let Some(mem) = self.cached.as_mut().and_then(|c| c.mem.as_mut()) else {
+            let fwd = autodiff::forward_with(graph, feeds, vars, targets, pool)?;
+            let outs = targets
+                .iter()
+                .map(|&id| fwd.value(id).cloned().ok_or(TensorError::UnknownNode))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok((outs, fwd.stats));
+        };
+        mem.begin_run();
+        self.values.clear();
+        self.values.resize(graph.len(), None);
+        let stats = autodiff::forward_planned(
+            graph,
+            feeds,
+            vars,
+            &needed,
+            pool,
+            &mut self.ws,
+            mem,
+            &mut self.values,
+        );
+        let stats = match stats {
+            Ok(stats) => stats,
+            Err(e) => {
+                mem.end_run(&mut self.values);
+                return Err(e);
+            }
+        };
+        let outs = targets
+            .iter()
+            .map(|&id| self.values[id.0].clone().ok_or(TensorError::UnknownNode))
+            .collect::<Result<Vec<_>, _>>();
+        mem.end_run(&mut self.values);
+        Ok((outs?, stats))
+    }
+
+    /// Runs forward + backward for one training step, preferring planned
+    /// execution. Returns the loss value, the gradients of every
+    /// variable, and the forward-pass stats — all bit-identical to the
+    /// unplanned `forward_with` + `backward_with` pair.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`autodiff::forward_with`] and
+    /// [`autodiff::backward_with`].
+    pub fn train(
+        &mut self,
+        graph: &Graph,
+        feeds: &HashMap<NodeId, Tensor>,
+        vars: &HashMap<NodeId, Tensor>,
+        loss: NodeId,
+        pool: &WorkerPool,
+    ) -> Result<(f32, HashMap<NodeId, Tensor>, RunStats), TensorError> {
+        let targets = [loss];
+        let needed = autodiff::needed_set(graph, &targets)?;
+        self.ensure_plan(graph, feeds, vars, &needed, &targets, Some(loss));
+        let Some(mem) = self.cached.as_mut().and_then(|c| c.mem.as_mut()) else {
+            let fwd = autodiff::forward_with(graph, feeds, vars, &targets, pool)?;
+            let loss_value = fwd.value(loss).ok_or(TensorError::UnknownNode)?.data()[0];
+            let grads = autodiff::backward_with(graph, &fwd, loss, pool)?;
+            let var_grads = graph
+                .variables()
+                .into_iter()
+                .filter_map(|v| grads.get(&v).map(|g| (v, g.clone())))
+                .collect();
+            return Ok((loss_value, var_grads, fwd.stats));
+        };
+        mem.begin_run();
+        self.values.clear();
+        self.values.resize(graph.len(), None);
+        let result = autodiff::forward_planned(
+            graph,
+            feeds,
+            vars,
+            &needed,
+            pool,
+            &mut self.ws,
+            mem,
+            &mut self.values,
+        )
+        .and_then(|stats| {
+            let loss_value = self.values[loss.0]
+                .as_ref()
+                .ok_or(TensorError::UnknownNode)?
+                .data()[0];
+            let grads = autodiff::backward_planned(
+                graph,
+                &mut self.values,
+                loss,
+                pool,
+                &mut self.ws,
+                mem,
+            )?;
+            Ok((loss_value, grads, stats))
+        });
+        mem.end_run(&mut self.values);
+        result
+    }
+}

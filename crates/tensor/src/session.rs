@@ -3,6 +3,7 @@
 use crate::autodiff::{backward_with, forward_with, RunStats};
 use crate::graph::{Graph, NodeId, Op};
 use crate::kernels::WorkerPool;
+use crate::memory::{MemoryMode, MemoryStats, PlannedExecutor, SlotWrite};
 use crate::optimizer::Optimizer;
 use crate::tensor::Tensor;
 use crate::TensorError;
@@ -14,6 +15,8 @@ pub struct Session {
     vars: HashMap<NodeId, Tensor>,
     stats: RunStats,
     pool: WorkerPool,
+    mode: MemoryMode,
+    planner: PlannedExecutor,
 }
 
 impl Session {
@@ -31,6 +34,8 @@ impl Session {
             vars,
             stats: RunStats::default(),
             pool: WorkerPool::serial(),
+            mode: MemoryMode::default(),
+            planner: PlannedExecutor::new(),
         }
     }
 
@@ -45,6 +50,35 @@ impl Session {
         self.pool
     }
 
+    /// Selects planned-arena or legacy per-node-`Vec` execution. Results
+    /// are bit-identical either way; only allocation behaviour (and the
+    /// EPC traffic the TEE layer derives from it) changes.
+    pub fn set_memory_mode(&mut self, mode: MemoryMode) {
+        self.mode = mode;
+    }
+
+    /// The session's current memory mode.
+    pub fn memory_mode(&self) -> MemoryMode {
+        self.mode
+    }
+
+    /// Arena size required by the current execution plan, if the last
+    /// run was planned.
+    pub fn planned_peak_bytes(&self) -> Option<u64> {
+        self.planner.planned_peak_bytes()
+    }
+
+    /// Memory-planner statistics (zeros when running unplanned).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.planner.memory_stats()
+    }
+
+    /// Drains the arena slot writes recorded since the last call; the
+    /// TEE layer replays them as EPC page touches.
+    pub fn take_slot_writes(&mut self) -> Vec<SlotWrite> {
+        self.planner.take_slot_writes()
+    }
+
     /// Evaluates `fetches` with the given placeholder feeds.
     ///
     /// # Errors
@@ -57,6 +91,13 @@ impl Session {
         fetches: &[NodeId],
     ) -> Result<Vec<Tensor>, TensorError> {
         let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
+        if self.mode == MemoryMode::Planned {
+            let (outs, stats) =
+                self.planner
+                    .run(graph, &feed_map, &self.vars, fetches, &self.pool)?;
+            self.stats.merge(stats);
+            return Ok(outs);
+        }
         let fwd = forward_with(graph, &feed_map, &self.vars, fetches, &self.pool)?;
         self.stats.merge(fwd.stats);
         fetches
@@ -84,14 +125,9 @@ impl Session {
         optimizer: &mut dyn Optimizer,
     ) -> Result<f32, TensorError> {
         let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
-        let fwd = forward_with(graph, &feed_map, &self.vars, &[loss], &self.pool)?;
-        let loss_value = fwd
-            .value(loss)
-            .ok_or(TensorError::UnknownNode)?
-            .data()[0];
-        let grads = backward_with(graph, &fwd, loss, &self.pool)?;
+        let (loss_value, grads, fwd_stats) = self.forward_backward(graph, &feed_map, loss)?;
         // Backward costs roughly 2x forward compute.
-        let mut stats = fwd.stats;
+        let mut stats = fwd_stats;
         stats.scale_compute(3.0);
         stats.activation_bytes *= 2;
         self.stats.merge(stats);
@@ -107,6 +143,31 @@ impl Session {
         Ok(loss_value)
     }
 
+    /// Forward + backward via the mode-selected executor. Returns the
+    /// loss value, the gradient of every variable, and the forward stats.
+    fn forward_backward(
+        &mut self,
+        graph: &Graph,
+        feed_map: &HashMap<NodeId, Tensor>,
+        loss: NodeId,
+    ) -> Result<(f32, HashMap<NodeId, Tensor>, RunStats), TensorError> {
+        if self.mode == MemoryMode::Planned {
+            return self.planner.train(graph, feed_map, &self.vars, loss, &self.pool);
+        }
+        let fwd = forward_with(graph, feed_map, &self.vars, &[loss], &self.pool)?;
+        let loss_value = fwd
+            .value(loss)
+            .ok_or(TensorError::UnknownNode)?
+            .data()[0];
+        let grads = backward_with(graph, &fwd, loss, &self.pool)?;
+        let var_grads = graph
+            .variables()
+            .into_iter()
+            .filter_map(|v| grads.get(&v).map(|g| (v, g.clone())))
+            .collect();
+        Ok((loss_value, var_grads, fwd.stats))
+    }
+
     /// Computes gradients without applying them (used by the
     /// parameter-server workers, which ship gradients over the network).
     ///
@@ -120,18 +181,11 @@ impl Session {
         loss: NodeId,
     ) -> Result<(f32, HashMap<NodeId, Tensor>), TensorError> {
         let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
-        let fwd = forward_with(graph, &feed_map, &self.vars, &[loss], &self.pool)?;
-        let loss_value = fwd.value(loss).ok_or(TensorError::UnknownNode)?.data()[0];
-        let grads = backward_with(graph, &fwd, loss, &self.pool)?;
-        let mut stats = fwd.stats;
+        let (loss_value, var_grads, fwd_stats) = self.forward_backward(graph, &feed_map, loss)?;
+        let mut stats = fwd_stats;
         stats.scale_compute(3.0);
         stats.activation_bytes *= 2;
         self.stats.merge(stats);
-        let var_grads = graph
-            .variables()
-            .into_iter()
-            .filter_map(|v| grads.get(&v).map(|g| (v, g.clone())))
-            .collect();
         Ok((loss_value, var_grads))
     }
 

@@ -10,10 +10,16 @@
 //!   (catches model/input mismatches before execution),
 //! * [`plan_memory`] — liveness analysis + first-fit offset assignment,
 //!   producing the peak activation footprint.
+//!
+//! Since the unified memory-planning refactor, the liveness analysis and
+//! first-fit layout live in [`securetf_tensor::memory`], shared with the
+//! training executor; this module keeps the Lite-flavoured static shape
+//! checks and the [`ArenaPlan`] surface.
 
 use crate::model::LiteModel;
 use crate::LiteError;
 use securetf_tensor::graph::{Graph, NodeId, Op, Padding};
+use securetf_tensor::memory;
 
 /// One planned activation buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,59 +157,24 @@ pub fn infer_shapes(graph: &Graph, batch: usize) -> Result<Vec<Vec<usize>>, Lite
 pub fn plan_memory(model: &LiteModel, batch: usize) -> Result<ArenaPlan, LiteError> {
     let graph = model.graph();
     let shapes = infer_shapes(graph, batch)?;
-
-    // Liveness: a node's output lives from its own index to its last use
-    // (the model output lives to the end).
-    let mut live_to: Vec<usize> = (0..graph.len()).collect();
-    for (index, node) in graph.nodes().iter().enumerate() {
-        for input in node.op.inputs() {
-            live_to[input.index()] = live_to[input.index()].max(index);
-        }
-    }
-    live_to[model.output().index()] = graph.len();
-
-    // First-fit offsets over activation buffers in topological order.
-    let mut placed: Vec<Slot> = Vec::new();
-    let mut slots: Vec<Option<Slot>> = vec![None; graph.len()];
-    let mut peak = 0u64;
-    let mut unshared = 0u64;
-    for (index, node) in graph.nodes().iter().enumerate() {
-        if matches!(node.op, Op::Constant(_) | Op::Variable { .. }) {
-            continue;
-        }
-        let bytes = (shapes[index].iter().product::<usize>() * 4) as u64;
-        if bytes == 0 {
-            continue;
-        }
-        unshared += bytes;
-        let (from, to) = (index, live_to[index]);
-        // Collect conflicting intervals and find the lowest gap.
-        let mut conflicts: Vec<(u64, u64)> = placed
-            .iter()
-            .filter(|s| s.live_from <= to && from <= s.live_to)
-            .map(|s| (s.offset, s.offset + s.bytes))
-            .collect();
-        conflicts.sort_unstable();
-        let mut offset = 0u64;
-        for (start, end) in conflicts {
-            if offset + bytes <= start {
-                break;
-            }
-            offset = offset.max(end);
-        }
-        let slot = Slot {
-            offset,
-            bytes,
-            live_from: from,
-            live_to: to,
-        };
-        peak = peak.max(offset + bytes);
-        placed.push(slot);
-        slots[index] = Some(slot);
-    }
+    // Lite models plan every node: the converter already pruned the graph
+    // to the output's ancestors.
+    let needed = vec![true; graph.len()];
+    let plan = memory::plan_inference(graph, shapes, &needed, &[model.output()])
+        .map_err(|_| LiteError::MalformedModel("memory planning failed"))?;
+    let slots = (0..graph.len())
+        .map(|index| {
+            plan.value_slot(index).map(|s| Slot {
+                offset: s.offset,
+                bytes: s.bytes,
+                live_from: s.live_from,
+                live_to: s.live_to,
+            })
+        })
+        .collect();
     Ok(ArenaPlan {
-        peak_bytes: peak,
-        unshared_bytes: unshared,
+        peak_bytes: plan.peak_bytes,
+        unshared_bytes: plan.unshared_bytes,
         slots,
     })
 }

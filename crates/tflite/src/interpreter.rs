@@ -4,6 +4,7 @@ use crate::model::LiteModel;
 use crate::LiteError;
 use securetf_tensor::autodiff::{forward_with, RunStats};
 use securetf_tensor::kernels::WorkerPool;
+use securetf_tensor::memory::{MemoryMode, MemoryStats, PlannedExecutor};
 use securetf_tensor::tensor::Tensor;
 use std::collections::HashMap;
 
@@ -16,6 +17,8 @@ pub struct Interpreter {
     stats: RunStats,
     runs: u64,
     pool: WorkerPool,
+    mode: MemoryMode,
+    planner: PlannedExecutor,
 }
 
 impl Interpreter {
@@ -32,12 +35,37 @@ impl Interpreter {
             stats: RunStats::default(),
             runs: 0,
             pool,
+            mode: MemoryMode::default(),
+            planner: PlannedExecutor::new(),
         }
     }
 
     /// Replaces the worker pool used by subsequent runs.
     pub fn set_worker_pool(&mut self, pool: WorkerPool) {
         self.pool = pool;
+    }
+
+    /// Selects planned-arena (the default) or legacy per-node-`Vec`
+    /// execution. Outputs are bit-identical either way.
+    pub fn set_memory_mode(&mut self, mode: MemoryMode) {
+        self.mode = mode;
+    }
+
+    /// Arena size required by the current execution plan, if the last
+    /// run was planned.
+    pub fn planned_peak_bytes(&self) -> Option<u64> {
+        self.planner.planned_peak_bytes()
+    }
+
+    /// Memory-planner statistics (zeros when running unplanned).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.planner.memory_stats()
+    }
+
+    /// Drains the arena slot writes of the last planned run, for EPC
+    /// page-touch replay by a hosting enclave.
+    pub fn take_slot_writes(&mut self) -> Vec<securetf_tensor::memory::SlotWrite> {
+        self.planner.take_slot_writes()
     }
 
     /// Runs one inference.
@@ -48,14 +76,33 @@ impl Interpreter {
     pub fn run(&mut self, input: &Tensor) -> Result<Tensor, LiteError> {
         let mut feeds = HashMap::new();
         feeds.insert(self.model.input(), input.clone());
-        let fwd = forward_with(
-            self.model.graph(),
-            &feeds,
-            &HashMap::new(),
-            &[self.model.output()],
-            &self.pool,
-        )?;
-        let mut stats = fwd.stats;
+        let vars = HashMap::new();
+        let (out, mut stats) = if self.mode == MemoryMode::Planned {
+            let (mut outs, stats) = self.planner.run(
+                self.model.graph(),
+                &feeds,
+                &vars,
+                &[self.model.output()],
+                &self.pool,
+            )?;
+            let out = outs
+                .pop()
+                .ok_or(LiteError::MalformedModel("output not computed"))?;
+            (out, stats)
+        } else {
+            let fwd = forward_with(
+                self.model.graph(),
+                &feeds,
+                &vars,
+                &[self.model.output()],
+                &self.pool,
+            )?;
+            let out = fwd
+                .value(self.model.output())
+                .cloned()
+                .ok_or(LiteError::MalformedModel("output not computed"))?;
+            (out, fwd.stats)
+        };
         if self.model.declared_flops() > 0.0 {
             // Synthetic stand-ins execute a reduced spatial extent; charge
             // the original model's declared compute instead.
@@ -63,9 +110,7 @@ impl Interpreter {
         }
         self.stats.merge(stats);
         self.runs += 1;
-        fwd.value(self.model.output())
-            .cloned()
-            .ok_or(LiteError::MalformedModel("output not computed"))
+        Ok(out)
     }
 
     /// Classifies and returns the argmax label of the last axis,

@@ -407,3 +407,187 @@ proptest! {
         prop_assert_eq!(serial_logits, pooled_logits);
     }
 }
+
+fn one_hot_labels(batch: usize, classes: usize, seed: u64) -> Tensor {
+    let mut data = vec![0.0f32; batch * classes];
+    for row in 0..batch {
+        let class = (seed as usize + row * 7) % classes;
+        data[row * classes + class] = 1.0;
+    }
+    Tensor::from_vec(&[batch, classes], data).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The unified memory planner (DESIGN.md §12): liveness-derived slots
+    // must never alias while both are live, the runtime must never hold
+    // more bytes than the planned peak, and planned execution must be
+    // bit-for-bit identical to the legacy per-node-Vec executor for any
+    // shape, batch size, and worker count.
+
+    #[test]
+    fn training_plan_never_aliases_overlapping_lifetimes(
+        widths in prop::collection::vec(2usize..12, 1..3),
+        inputs in 2usize..10,
+        classes in 2usize..5,
+        batch in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::layers;
+        use securetf_tensor::memory;
+        use securetf_tensor::session::Session;
+        use std::collections::HashMap;
+
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let model = layers::mlp_classifier(inputs, &widths, classes, &mut rng).unwrap();
+        let session = Session::new(&model.graph);
+        let vars: HashMap<_, _> = session
+            .variables()
+            .into_iter()
+            .map(|(id, t)| (id, t.clone()))
+            .collect();
+        let mut feeds = HashMap::new();
+        feeds.insert(model.input, Tensor::zeros(&[batch, inputs]));
+        feeds.insert(model.labels, one_hot_labels(batch, classes, seed));
+        let needed = vec![true; model.graph.len()];
+        let shapes = memory::infer_shapes(&model.graph, &needed, &feeds, &vars).unwrap();
+        let plan = memory::plan_training(&model.graph, shapes, &needed, model.loss).unwrap();
+
+        prop_assert!(plan.peak_bytes <= plan.unshared_bytes);
+        let mut slots = Vec::new();
+        for index in 0..model.graph.len() {
+            if let Some(s) = plan.value_slot(index) {
+                slots.push(*s);
+            }
+            if let Some(s) = plan.grad_slot(index) {
+                slots.push(*s);
+            }
+        }
+        for slot in &slots {
+            prop_assert!(slot.offset + slot.bytes <= plan.peak_bytes);
+        }
+        for (i, a) in slots.iter().enumerate() {
+            for b in slots.iter().skip(i + 1) {
+                let lifetimes = a.live_from <= b.live_to && b.live_from <= a.live_to;
+                let memory = a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+                prop_assert!(
+                    !(lifetimes && memory),
+                    "aliasing slots {:?} and {:?}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_training_is_bit_identical_and_bounded(
+        hidden in 2usize..16,
+        inputs in 2usize..12,
+        classes in 2usize..5,
+        batch in 1usize..6,
+        workers in 1usize..5,
+        steps in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::kernels::WorkerPool;
+        use securetf_tensor::layers;
+        use securetf_tensor::memory::MemoryMode;
+        use securetf_tensor::optimizer::Sgd;
+        use securetf_tensor::session::Session;
+
+        let x = Tensor::from_vec(&[batch, inputs], lcg_fill(seed, batch * inputs)).unwrap();
+        let y = one_hot_labels(batch, classes, seed);
+        let run = |mode: MemoryMode, workers: usize| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            let model = layers::mlp_classifier(inputs, &[hidden], classes, &mut rng).unwrap();
+            let mut session = Session::new(&model.graph);
+            session.set_memory_mode(mode);
+            if workers > 1 {
+                session.set_worker_pool(WorkerPool::new(workers));
+            }
+            let mut sgd = Sgd::new(0.05);
+            let mut losses = Vec::new();
+            let mut bounds = Vec::new();
+            for _ in 0..steps {
+                let loss = session
+                    .train_step(
+                        &model.graph,
+                        &[(model.input, x.clone()), (model.labels, y.clone())],
+                        model.loss,
+                        &mut sgd,
+                    )
+                    .unwrap();
+                losses.push(loss.to_bits());
+                bounds.push(session.memory_stats());
+            }
+            let out = session
+                .run(&model.graph, &[(model.input, x.clone())], &[model.logits])
+                .unwrap();
+            (losses, bits(&out[0]), bounds)
+        };
+
+        let (planned_losses, planned_logits, bounds) = run(MemoryMode::Planned, workers);
+        let (unplanned_losses, unplanned_logits, _) = run(MemoryMode::Unplanned, 1);
+        prop_assert_eq!(planned_losses, unplanned_losses);
+        prop_assert_eq!(planned_logits, unplanned_logits);
+        for stats in bounds {
+            prop_assert!(stats.planned_peak_bytes > 0);
+            prop_assert!(
+                stats.peak_resident_bytes <= stats.planned_peak_bytes,
+                "resident {} exceeds planned peak {}",
+                stats.peak_resident_bytes,
+                stats.planned_peak_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn planned_conv_training_matches_unplanned(
+        batch in 1usize..4,
+        filters in 1usize..5,
+        classes in 2usize..5,
+        workers in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::kernels::WorkerPool;
+        use securetf_tensor::layers;
+        use securetf_tensor::memory::MemoryMode;
+        use securetf_tensor::optimizer::Sgd;
+        use securetf_tensor::session::Session;
+
+        let x = Tensor::from_vec(&[batch, 8, 8, 1], lcg_fill(seed, batch * 64)).unwrap();
+        let y = one_hot_labels(batch, classes, seed);
+        let run = |mode: MemoryMode, workers: usize| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            let model = layers::conv_classifier(8, 8, 1, filters, classes, &mut rng).unwrap();
+            let mut session = Session::new(&model.graph);
+            session.set_memory_mode(mode);
+            if workers > 1 {
+                session.set_worker_pool(WorkerPool::new(workers));
+            }
+            let mut sgd = Sgd::new(0.05);
+            let mut losses = Vec::new();
+            for _ in 0..2 {
+                let loss = session
+                    .train_step(
+                        &model.graph,
+                        &[(model.input, x.clone()), (model.labels, y.clone())],
+                        model.loss,
+                        &mut sgd,
+                    )
+                    .unwrap();
+                losses.push(loss.to_bits());
+            }
+            let out = session
+                .run(&model.graph, &[(model.input, x.clone())], &[model.logits])
+                .unwrap();
+            (losses, bits(&out[0]))
+        };
+
+        let planned = run(MemoryMode::Planned, workers);
+        let unplanned = run(MemoryMode::Unplanned, 1);
+        prop_assert_eq!(planned, unplanned);
+    }
+}

@@ -62,6 +62,25 @@ pub enum FaultEvent {
         /// Outage length in virtual nanoseconds.
         duration_ns: u64,
     },
+    /// The host process dies mid-write: storage serves `after_ops` more
+    /// shield operations, then every I/O fails until the supervisor
+    /// restarts the host and remounts the fs shield.
+    CrashDuringWrite {
+        /// Shield mutating operations served before the host dies.
+        after_ops: u64,
+    },
+    /// Like [`FaultEvent::CrashDuringWrite`], but the dying operation
+    /// lands a torn prefix on disk — the classic partial sector write.
+    TornWrite {
+        /// Shield mutating operations served before the host dies.
+        after_ops: u64,
+        /// Bytes of the dying put that land.
+        torn_bytes: usize,
+    },
+    /// Untrusted storage is rolled back wholesale to an earlier disk
+    /// image (validly encrypted, validly MAC'd — just stale). The
+    /// monotonic counter and per-file versions must catch it.
+    StorageRollback,
 }
 
 /// A deterministic, step-indexed schedule of [`FaultEvent`]s.
@@ -124,6 +143,20 @@ impl FaultPlan {
                 at_step.push(FaultEvent::CasOutage {
                     duration_ns: rng.gen_range(1_000_000u64..8_000_000),
                 });
+            }
+            if rng.gen::<f64>() < 0.06 {
+                at_step.push(FaultEvent::CrashDuringWrite {
+                    after_ops: rng.gen_range(0u64..12),
+                });
+            }
+            if rng.gen::<f64>() < 0.05 {
+                at_step.push(FaultEvent::TornWrite {
+                    after_ops: rng.gen_range(0u64..12),
+                    torn_bytes: rng.gen_range(1usize..256),
+                });
+            }
+            if rng.gen::<f64>() < 0.04 {
+                at_step.push(FaultEvent::StorageRollback);
             }
             if !at_step.is_empty() {
                 events.insert(step, at_step);
@@ -210,6 +243,21 @@ impl FaultPlan {
                         mix(&[6]);
                         mix(&duration_ns.to_le_bytes());
                     }
+                    FaultEvent::CrashDuringWrite { after_ops } => {
+                        mix(&[7]);
+                        mix(&after_ops.to_le_bytes());
+                    }
+                    FaultEvent::TornWrite {
+                        after_ops,
+                        torn_bytes,
+                    } => {
+                        mix(&[8]);
+                        mix(&after_ops.to_le_bytes());
+                        mix(&(torn_bytes as u64).to_le_bytes());
+                    }
+                    FaultEvent::StorageRollback => {
+                        mix(&[9]);
+                    }
                 }
             }
         }
@@ -243,7 +291,7 @@ mod tests {
     fn generation_covers_every_fault_kind() {
         // Over enough steps, every event kind must appear.
         let plan = FaultPlan::generate(7, 500, 3);
-        let mut kinds = [false; 6];
+        let mut kinds = [false; 9];
         for step in 0..500 {
             for e in plan.events_at(step) {
                 let k = match e {
@@ -253,11 +301,14 @@ mod tests {
                     FaultEvent::NetTamper { .. } => 3,
                     FaultEvent::ChunkCorruption { .. } => 4,
                     FaultEvent::CasOutage { .. } => 5,
+                    FaultEvent::CrashDuringWrite { .. } => 6,
+                    FaultEvent::TornWrite { .. } => 7,
+                    FaultEvent::StorageRollback => 8,
                 };
                 kinds[k] = true;
             }
         }
-        assert_eq!(kinds, [true; 6], "missing fault kinds: {kinds:?}");
+        assert_eq!(kinds, [true; 9], "missing fault kinds: {kinds:?}");
     }
 
     #[test]

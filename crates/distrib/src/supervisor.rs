@@ -20,12 +20,22 @@
 //!   each AEAD-sealed under the CAS-provisioned `fs-key`); if a step
 //!   fails mid-flight it rolls back to the newest checkpoint that still
 //!   authenticates and retries the step.
+//! * **Crash consistency** — checkpoints are written through the
+//!   [`FsShield`]'s journaled two-phase commit path, so a host crash at
+//!   any point during a checkpoint leaves either the old or the new
+//!   generation — never a torn hybrid. When the storage host dies
+//!   mid-operation ([`securetf_shield::ShieldError::HostCrashed`]) the
+//!   supervisor restarts it, re-attests the parameter server to CAS and
+//!   remounts the shield via [`FsShield::recover`]; a whole
+//!   supervisor-process restart resumes from the newest committed
+//!   generation through [`Supervisor::remount`].
 
+use crate::cluster::TRAINING_SERVICE;
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::trainer::{DistributedTrainer, TrainReport};
 use crate::DistribError;
 use parking_lot::Mutex;
-use securetf_shield::fs::UntrustedStore;
+use securetf_shield::fs::{FsShield, PathPolicy, Policy, StoreSnapshot, UntrustedStore};
 use securetf_shield::net::{duplex, Adversary, PipeEnd, Role, SecureChannel, Tamper, Transport};
 use securetf_shield::ShieldError;
 use securetf_tee::telemetry::Counter;
@@ -78,6 +88,11 @@ pub struct SupervisorStats {
     pub checkpoint_fallbacks: u64,
     /// Fault events injected from the plan.
     pub faults_injected: u64,
+    /// Host-storage crashes healed: host restart, parameter-server
+    /// re-attestation and a shield remount via [`FsShield::recover`].
+    pub storage_recoveries: u64,
+    /// Whole-store rollback attacks injected from the plan.
+    pub storage_rollbacks: u64,
     /// Virtual time spent on supervision (probes, backoff, stalls), in
     /// nanoseconds; added to the report's elapsed time.
     pub supervision_ns: u64,
@@ -196,6 +211,8 @@ struct SupervisorMetrics {
     checkpoints: Counter,
     checkpoint_fallbacks: Counter,
     faults_injected: Counter,
+    storage_recoveries: Counter,
+    storage_rollbacks: Counter,
 }
 
 impl SupervisorMetrics {
@@ -209,6 +226,8 @@ impl SupervisorMetrics {
             checkpoints: t.counter("supervisor.checkpoints"),
             checkpoint_fallbacks: t.counter("supervisor.checkpoint_fallbacks"),
             faults_injected: t.counter("supervisor.faults_injected"),
+            storage_recoveries: t.counter("supervisor.storage_recoveries"),
+            storage_rollbacks: t.counter("supervisor.storage_rollbacks"),
         }
     }
 }
@@ -219,6 +238,10 @@ pub struct Supervisor {
     config: SupervisorConfig,
     plan: FaultPlan,
     store: UntrustedStore,
+    shield: FsShield,
+    /// Store image at the last committed checkpoint; what a
+    /// [`FaultEvent::StorageRollback`] rewinds the host to.
+    snapshot: Option<StoreSnapshot>,
     heartbeats: Vec<Heartbeat>,
     stats: SupervisorStats,
     metrics: SupervisorMetrics,
@@ -250,6 +273,50 @@ impl Supervisor {
         config: SupervisorConfig,
         store: UntrustedStore,
     ) -> Result<Self, DistribError> {
+        let mut shield = FsShield::new(trainer.cluster().ps.enclave.clone(), store.clone());
+        shield.add_policy(PathPolicy::new(&config.checkpoint_path, Policy::EncryptAuth));
+        let mut supervisor = Self::build(trainer, plan, config, store, shield)?;
+        supervisor.save_generation()?;
+        Ok(supervisor)
+    }
+
+    /// Rebuilds a supervisor after a whole supervisor-process restart:
+    /// restarts the crashed storage host, re-attests the parameter
+    /// server, remounts the fs shield ([`FsShield::recover`]) and resumes
+    /// the trainer from the newest committed checkpoint generation. If no
+    /// generation survives (or the host destroyed the manifest), the
+    /// still-intact in-enclave model is re-sealed as a fresh generation.
+    ///
+    /// The trainer must be backed by the same platforms as before the
+    /// restart — sealing keys and the manifest's monotonic counter live
+    /// in the machine, not the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns handshake, attestation or checkpoint errors from setup.
+    pub fn remount(
+        trainer: DistributedTrainer,
+        plan: FaultPlan,
+        config: SupervisorConfig,
+        store: UntrustedStore,
+    ) -> Result<Self, DistribError> {
+        let mut shield = FsShield::new(trainer.cluster().ps.enclave.clone(), store.clone());
+        shield.add_policy(PathPolicy::new(&config.checkpoint_path, Policy::EncryptAuth));
+        let mut supervisor = Self::build(trainer, plan, config, store, shield)?;
+        supervisor.recover_storage()?;
+        if !supervisor.restore_newest_generation() {
+            supervisor.save_generation()?;
+        }
+        Ok(supervisor)
+    }
+
+    fn build(
+        trainer: DistributedTrainer,
+        plan: FaultPlan,
+        config: SupervisorConfig,
+        store: UntrustedStore,
+        shield: FsShield,
+    ) -> Result<Self, DistribError> {
         let telemetry = trainer.cluster().config().telemetry.clone();
         let metrics = SupervisorMetrics::for_telemetry(&telemetry);
         let mut supervisor = Supervisor {
@@ -257,6 +324,8 @@ impl Supervisor {
             config,
             plan,
             store,
+            shield,
+            snapshot: None,
             heartbeats: Vec::new(),
             stats: SupervisorStats::default(),
             metrics,
@@ -271,7 +340,6 @@ impl Supervisor {
             )?;
             supervisor.heartbeats.push(hb);
         }
-        supervisor.save_generation()?;
         Ok(supervisor)
     }
 
@@ -357,6 +425,22 @@ impl Supervisor {
                 }
                 FaultEvent::CasOutage { duration_ns } => {
                     self.trainer.cluster_mut().cas_mut().inject_outage(duration_ns);
+                }
+                FaultEvent::CrashDuringWrite { after_ops } => {
+                    self.store.fail_after_ops(after_ops);
+                }
+                FaultEvent::TornWrite {
+                    after_ops,
+                    torn_bytes,
+                } => {
+                    self.store.fail_after_ops_torn(after_ops, torn_bytes);
+                }
+                FaultEvent::StorageRollback => {
+                    self.stats.storage_rollbacks += 1;
+                    self.metrics.storage_rollbacks.inc();
+                    if let Some(snapshot) = &self.snapshot {
+                        self.store.restore(snapshot);
+                    }
                 }
             }
         }
@@ -452,14 +536,30 @@ impl Supervisor {
         format!("{}/gen-{}", self.config.checkpoint_path, generation % 2)
     }
 
+    /// Seals the model as the next checkpoint generation and commits it
+    /// through the shield's journaled write path. The generation number
+    /// is prefixed to the sealed payload so a remount can tell which of
+    /// the two slots is newest. A host crash during the write is healed
+    /// once ([`Supervisor::recover_storage`]) and the write retried.
     fn save_generation(&mut self) -> Result<(), DistribError> {
-        let generation = self.latest_generation.map(|g| g + 1).unwrap_or(0);
-        let path = self.generation_path(generation);
-        self.trainer.save_checkpoint(&self.store, &path)?;
-        self.latest_generation = Some(generation);
-        self.stats.checkpoints += 1;
-        self.metrics.checkpoints.inc();
-        Ok(())
+        for attempt in 0..2 {
+            let generation = self.latest_generation.map(|g| g + 1).unwrap_or(0);
+            let path = self.generation_path(generation);
+            let mut payload = generation.to_le_bytes().to_vec();
+            payload.extend_from_slice(&self.trainer.checkpoint_bytes(&path)?);
+            match self.shield.write(&path, &payload) {
+                Ok(()) => {
+                    self.latest_generation = Some(generation);
+                    self.stats.checkpoints += 1;
+                    self.metrics.checkpoints.inc();
+                    self.snapshot = Some(self.store.snapshot());
+                    return Ok(());
+                }
+                Err(ShieldError::HostCrashed(_)) if attempt == 0 => self.recover_storage()?,
+                Err(_) => return Err(DistribError::BadMessage("checkpoint write failed")),
+            }
+        }
+        Err(DistribError::BadMessage("checkpoint write failed after recovery"))
     }
 
     /// Restores the newest checkpoint generation that still
@@ -473,21 +573,101 @@ impl Supervisor {
         let candidates = [latest, latest.saturating_sub(1)];
         for (i, &generation) in candidates.iter().enumerate() {
             let path = self.generation_path(generation);
-            match self.trainer.restore_checkpoint(&self.store, &path) {
-                Ok(()) => {
-                    if i > 0 {
-                        self.stats.checkpoint_fallbacks += 1;
-                        self.metrics.checkpoint_fallbacks.inc();
+            let mut recovered = false;
+            let restored = loop {
+                match self.shield.read(&path) {
+                    Ok(payload) if payload.len() >= 8 => {
+                        break self
+                            .trainer
+                            .restore_checkpoint_bytes(&payload[8..], &path)
+                            .is_ok();
                     }
-                    return Ok(());
+                    Ok(_) => break false,
+                    Err(ShieldError::HostCrashed(_)) if !recovered => {
+                        recovered = true;
+                        self.recover_storage()?;
+                    }
+                    Err(_) => break false,
                 }
-                Err(DistribError::BadMessage(_)) => continue,
-                Err(e) => return Err(e),
+            };
+            if restored {
+                if i > 0 {
+                    self.stats.checkpoint_fallbacks += 1;
+                    self.metrics.checkpoint_fallbacks.inc();
+                }
+                return Ok(());
             }
         }
         self.stats.checkpoint_fallbacks += 1;
         self.metrics.checkpoint_fallbacks.inc();
         self.save_generation()
+    }
+
+    /// Heals a crashed storage host: restart it, re-attest the parameter
+    /// server to CAS (riding out outages per the retry policy, exactly as
+    /// a freshly booted node would) and remount the fs shield from its
+    /// sealed manifest. If the host lost or rolled back the manifest the
+    /// shield fails closed on its contents — the supervisor remounts
+    /// fresh and re-seals from the intact in-enclave model.
+    fn recover_storage(&mut self) -> Result<(), DistribError> {
+        self.stats.storage_recoveries += 1;
+        self.metrics.storage_recoveries.inc();
+        self.store.host_restart();
+        let enclave = self.trainer.cluster().ps.enclave.clone();
+        let quote = enclave.quote(b"fs-shield remount")?;
+        self.trainer
+            .cluster_mut()
+            .cas_mut()
+            .attest_and_provision_with_retry(&quote, TRAINING_SERVICE, &self.config.retry)
+            .map_err(DistribError::Attestation)?;
+        match FsShield::recover(enclave.clone(), self.store.clone()) {
+            Ok((mut shield, _report)) => {
+                shield.add_policy(PathPolicy::new(
+                    &self.config.checkpoint_path,
+                    Policy::EncryptAuth,
+                ));
+                self.shield = shield;
+            }
+            Err(_) => {
+                let mut shield = FsShield::new(enclave, self.store.clone());
+                shield.add_policy(PathPolicy::new(
+                    &self.config.checkpoint_path,
+                    Policy::EncryptAuth,
+                ));
+                self.shield = shield;
+                self.latest_generation = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads both generation slots through the remounted shield and
+    /// restores the trainer from the newest payload that authenticates.
+    /// Returns whether any generation was restored.
+    fn restore_newest_generation(&mut self) -> bool {
+        let mut candidates: Vec<(u64, String, Vec<u8>)> = Vec::new();
+        for slot in 0..2u64 {
+            let path = format!("{}/gen-{}", self.config.checkpoint_path, slot);
+            if let Ok(payload) = self.shield.read(&path) {
+                if payload.len() >= 8 {
+                    let generation = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                    candidates.push((generation, path, payload));
+                }
+            }
+        }
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+        for (generation, path, payload) in candidates {
+            if self
+                .trainer
+                .restore_checkpoint_bytes(&payload[8..], &path)
+                .is_ok()
+            {
+                self.latest_generation = Some(generation);
+                self.snapshot = Some(self.store.snapshot());
+                return true;
+            }
+        }
+        false
     }
 
     /// Counters describing what supervision did so far.
@@ -730,6 +910,134 @@ mod tests {
         assert!(stats.respawns >= 2, "crash + tamper both replace workers");
         // Probe RTTs were attributed to the network cost category.
         assert!(telemetry.counter("cost.network.ns").get() > 0);
+    }
+
+    /// Bit-level image of every model variable, for state comparison.
+    fn var_bits(t: &DistributedTrainer) -> Vec<u32> {
+        t.ps_session()
+            .variables()
+            .iter()
+            .flat_map(|(_, v)| v.data().iter().map(|x| x.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn crash_during_checkpoint_write_is_recovered() {
+        let config = SupervisorConfig {
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        // Arm the host to die two ops into the next journaled write: the
+        // checkpoint after step 2 crashes mid-staging.
+        let plan = FaultPlan::none().with_event(1, FaultEvent::CrashDuringWrite { after_ops: 2 });
+        let mut s =
+            Supervisor::new(trainer(1), plan, config, UntrustedStore::new()).unwrap();
+        let report = s.train_steps(4).unwrap();
+        assert!(report.final_loss.is_finite());
+        assert_eq!(s.stats().storage_recoveries, 1);
+        // Initial checkpoint + two cadence checkpoints all committed.
+        assert_eq!(s.stats().checkpoints, 3);
+        assert!(s.restore_latest().is_ok(), "newest generation restores");
+    }
+
+    #[test]
+    fn torn_checkpoint_write_is_recovered() {
+        let config = SupervisorConfig {
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let plan = FaultPlan::none().with_event(1, FaultEvent::TornWrite {
+            after_ops: 3,
+            torn_bytes: 9,
+        });
+        let mut s =
+            Supervisor::new(trainer(1), plan, config, UntrustedStore::new()).unwrap();
+        let report = s.train_steps(4).unwrap();
+        assert!(report.final_loss.is_finite());
+        assert_eq!(s.stats().storage_recoveries, 1);
+        assert!(s.restore_latest().is_ok(), "torn bytes never restore");
+    }
+
+    #[test]
+    fn storage_rollback_is_survived() {
+        let config = SupervisorConfig {
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let plan = FaultPlan::none().with_event(3, FaultEvent::StorageRollback);
+        let mut s =
+            Supervisor::new(trainer(1), plan, config, UntrustedStore::new()).unwrap();
+        let report = s.train_steps(6).unwrap();
+        assert!(report.final_loss.is_finite());
+        assert_eq!(s.stats().storage_rollbacks, 1);
+    }
+
+    #[test]
+    fn remount_resumes_from_newest_committed_generation() {
+        let config = SupervisorConfig {
+            checkpoint_every: 5,
+            ..Default::default()
+        };
+        let store = UntrustedStore::new();
+        let mut s = Supervisor::new(
+            trainer(2),
+            FaultPlan::none(),
+            config.clone(),
+            store.clone(),
+        )
+        .unwrap();
+        s.train_steps(5).unwrap();
+        // The cadence checkpoint just sealed this exact state.
+        let at_checkpoint = var_bits(s.trainer());
+        s.train_steps(2).unwrap();
+        assert_ne!(var_bits(s.trainer()), at_checkpoint, "training moved on");
+        // Kill the supervisor process and the storage host; the machines
+        // (platforms, counters, sealing keys) survive.
+        store.fail_after_ops(0);
+        let trainer = s.into_trainer();
+        let s2 = Supervisor::remount(trainer, FaultPlan::none(), config, store).unwrap();
+        assert_eq!(
+            var_bits(s2.trainer()),
+            at_checkpoint,
+            "remount restores the newest committed generation"
+        );
+        assert_eq!(s2.latest_generation, Some(1), "init gen 0 + cadence gen 1");
+        assert_eq!(s2.stats().storage_recoveries, 1);
+        // And training continues from there.
+        let mut s2 = s2;
+        let report = s2.train_steps(3).unwrap();
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn remount_with_destroyed_manifest_fails_closed_then_reseals() {
+        let store = UntrustedStore::new();
+        let mut s = Supervisor::new(
+            trainer(1),
+            FaultPlan::none(),
+            SupervisorConfig::default(),
+            store.clone(),
+        )
+        .unwrap();
+        s.train_steps(6).unwrap();
+        let live = var_bits(s.trainer());
+        // The host wipes everything it stored (manifest included).
+        for path in store.paths() {
+            store.raw_delete(&path);
+        }
+        let trainer = s.into_trainer();
+        let s2 = Supervisor::remount(
+            trainer,
+            FaultPlan::none(),
+            SupervisorConfig::default(),
+            store.clone(),
+        )
+        .unwrap();
+        // No stored generation survives; the in-enclave model is re-sealed
+        // as a fresh generation instead of trusting the empty host.
+        assert_eq!(s2.latest_generation, Some(0));
+        assert_eq!(var_bits(s2.trainer()), live, "in-enclave state kept");
+        assert!(!store.paths().is_empty(), "fresh checkpoint re-sealed");
     }
 
     #[test]

@@ -408,6 +408,22 @@ impl DistributedTrainer {
         store: &securetf_shield::fs::UntrustedStore,
         path: &str,
     ) -> Result<(), DistribError> {
+        let sealed = self.checkpoint_bytes(path)?;
+        self.cluster.ps.enclave.charge_syscall();
+        store.raw_put(path, sealed);
+        Ok(())
+    }
+
+    /// Serializes and encrypts the global model under the CAS-provisioned
+    /// `fs-key`, bound to `aad` (normally the destination path), without
+    /// writing it anywhere — so callers can route the blob through a
+    /// crash-consistent channel like the fs shield's journaled writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::BadMessage`] if the PS was provisioned
+    /// without an `fs-key` secret.
+    pub fn checkpoint_bytes(&self, aad: &str) -> Result<Vec<u8>, DistribError> {
         let key = self.checkpoint_key()?;
         let entries: Vec<(u32, Tensor)> = self
             .ps_session
@@ -422,15 +438,13 @@ impl DistributedTrainer {
             &key,
             &nonce,
             &plaintext,
-            path.as_bytes(),
+            aad.as_bytes(),
         ));
-        self.cluster.ps.enclave.charge_syscall();
         self.cluster
             .ps
             .enclave
             .charge_shield_crypto(plaintext.len() as u64);
-        store.raw_put(path, sealed);
-        Ok(())
+        Ok(sealed)
     }
 
     /// Restores a checkpoint written by [`DistributedTrainer::save_checkpoint`]
@@ -445,11 +459,26 @@ impl DistributedTrainer {
         store: &securetf_shield::fs::UntrustedStore,
         path: &str,
     ) -> Result<(), DistribError> {
-        let key = self.checkpoint_key()?;
         self.cluster.ps.enclave.charge_syscall();
         let sealed = store
             .raw_contents(path)
             .ok_or(DistribError::BadMessage("checkpoint missing"))?;
+        self.restore_checkpoint_bytes(&sealed, path)
+    }
+
+    /// Decrypts and applies a checkpoint blob produced by
+    /// [`DistributedTrainer::checkpoint_bytes`] with the same `aad`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistribError::BadMessage`] if the blob is truncated, tampered
+    ///   with, or the PS lacks the `fs-key` secret.
+    pub fn restore_checkpoint_bytes(
+        &mut self,
+        sealed: &[u8],
+        aad: &str,
+    ) -> Result<(), DistribError> {
+        let key = self.checkpoint_key()?;
         if sealed.len() < securetf_crypto::aead::NONCE_LEN {
             return Err(DistribError::BadMessage("checkpoint truncated"));
         }
@@ -458,9 +487,8 @@ impl DistributedTrainer {
             .try_into()
             .map_err(|_| DistribError::BadMessage("checkpoint nonce malformed"))?;
         let nonce = securetf_crypto::aead::Nonce::from_bytes(nonce_bytes);
-        let plaintext =
-            securetf_crypto::aead::open(&key, &nonce, ciphertext, path.as_bytes())
-                .map_err(|_| DistribError::BadMessage("checkpoint failed authentication"))?;
+        let plaintext = securetf_crypto::aead::open(&key, &nonce, ciphertext, aad.as_bytes())
+            .map_err(|_| DistribError::BadMessage("checkpoint failed authentication"))?;
         self.cluster
             .ps
             .enclave

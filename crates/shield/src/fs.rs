@@ -11,11 +11,29 @@
 //! The untrusted side is modeled by [`UntrustedStore`], which stands in
 //! for the host filesystem: tests (and the Dolev-Yao adversary) mutate it
 //! directly to exercise tamper and rollback detection.
+//!
+//! # Crash consistency
+//!
+//! The host can die at *any* operation boundary (SGX-LKL's host interface
+//! makes no atomicity promises), so every protected write is a two-phase
+//! journaled transaction: chunk records are staged under a per-transaction
+//! directory, a MAC'd commit record carrying the metadata delta is
+//! appended (the commit point), and only then is the final blob installed
+//! and the staging reclaimed. The shield's whole metadata table is
+//! persisted as a sealed manifest versioned by a platform monotonic
+//! counter, and [`FsShield::recover`] lets a *fresh* enclave remount the
+//! store after a crash: committed transactions roll forward, torn or
+//! uncommitted staging is discarded, and a manifest older than the
+//! counter fails closed as a rollback. Paths under `!fs/` are reserved
+//! for this machinery (manifest slots and journal staging).
 
 use crate::ShieldError;
 use parking_lot::Mutex;
 use securetf_crypto::aead::{self, Key, Nonce};
+use securetf_crypto::hmac::hmac_sha256;
 use securetf_crypto::sha256;
+use securetf_tee::counter::CounterId;
+use securetf_tee::sealing::SealPolicy;
 use securetf_tee::telemetry::Counter;
 use securetf_tee::Enclave;
 use std::collections::HashMap;
@@ -59,12 +77,40 @@ impl PathPolicy {
     }
 }
 
+/// Mutable host-side state behind an [`UntrustedStore`].
+#[derive(Debug, Default)]
+struct StoreState {
+    files: HashMap<String, Vec<u8>>,
+    /// Count of *shield-issued* mutating host operations served so far.
+    ops: u64,
+    /// When `Some(n)`, the host dies after `n` more shield mutating ops
+    /// succeed (the op after that fails).
+    crash_after: Option<u64>,
+    /// If the dying op is a put, only this many bytes of it land (a torn
+    /// write); `None` means the dying op lands nothing at all.
+    torn_bytes: Option<usize>,
+    /// The host process is dead: every shield op fails until
+    /// [`UntrustedStore::host_restart`].
+    crashed: bool,
+}
+
+/// A full copy of the host disk, for rollback attacks and crash sweeps.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    files: HashMap<String, Vec<u8>>,
+}
+
 /// The untrusted host filesystem: an adversary-accessible byte store.
 ///
 /// Cloning shares the underlying storage (it models one host disk).
+///
+/// The `raw_*` methods are the *adversary's* view — they touch the disk
+/// image directly, bypass crash injection and never count as shield
+/// operations. The shield itself goes through private gated operations
+/// that honor the deterministic fault hook ([`UntrustedStore::fail_after_ops`]).
 #[derive(Debug, Clone, Default)]
 pub struct UntrustedStore {
-    files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+    inner: Arc<Mutex<StoreState>>,
 }
 
 impl UntrustedStore {
@@ -76,23 +122,23 @@ impl UntrustedStore {
     /// Host-side write (what the OS does on behalf of the enclave — or
     /// what an attacker does directly).
     pub fn raw_put(&self, path: &str, bytes: Vec<u8>) {
-        self.files.lock().insert(path.to_string(), bytes);
+        self.inner.lock().files.insert(path.to_string(), bytes);
     }
 
     /// Host-side read.
     pub fn raw_contents(&self, path: &str) -> Option<Vec<u8>> {
-        self.files.lock().get(path).cloned()
+        self.inner.lock().files.get(path).cloned()
     }
 
     /// Host-side delete.
     pub fn raw_delete(&self, path: &str) -> bool {
-        self.files.lock().remove(path).is_some()
+        self.inner.lock().files.remove(path).is_some()
     }
 
     /// Flips one bit of a stored file (adversary helper for tests).
     pub fn corrupt(&self, path: &str, byte_index: usize) -> bool {
-        let mut files = self.files.lock();
-        match files.get_mut(path) {
+        let mut state = self.inner.lock();
+        match state.files.get_mut(path) {
             Some(data) if byte_index < data.len() => {
                 data[byte_index] ^= 1;
                 true
@@ -101,11 +147,140 @@ impl UntrustedStore {
         }
     }
 
+    /// Truncates a stored file to `len` bytes (adversary helper).
+    /// Returns false if the path is missing or already at most `len`.
+    pub fn truncate(&self, path: &str, len: usize) -> bool {
+        let mut state = self.inner.lock();
+        match state.files.get_mut(path) {
+            Some(data) if data.len() > len => {
+                data.truncate(len);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Lists stored paths.
     pub fn paths(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.files.lock().keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.lock().files.keys().cloned().collect();
         v.sort();
         v
+    }
+
+    /// Copies the entire disk image (adversary helper: pair with
+    /// [`UntrustedStore::restore`] for whole-disk rollback attacks).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            files: self.inner.lock().files.clone(),
+        }
+    }
+
+    /// Replaces the disk image with an earlier snapshot.
+    pub fn restore(&self, snapshot: &StoreSnapshot) {
+        self.inner.lock().files = snapshot.files.clone();
+    }
+
+    /// Arms the deterministic crash hook: after `n` more shield mutating
+    /// operations succeed the host is dead — operation `n + 1` fails with
+    /// [`ShieldError::HostCrashed`] and lands nothing, as does everything
+    /// after it until [`UntrustedStore::host_restart`].
+    pub fn fail_after_ops(&self, n: u64) {
+        let mut state = self.inner.lock();
+        state.crash_after = Some(n);
+        state.torn_bytes = None;
+    }
+
+    /// Like [`UntrustedStore::fail_after_ops`], but the dying operation —
+    /// if it is a put — lands a torn prefix of `torn_bytes` bytes before
+    /// the host dies.
+    pub fn fail_after_ops_torn(&self, n: u64, torn_bytes: usize) {
+        let mut state = self.inner.lock();
+        state.crash_after = Some(n);
+        state.torn_bytes = Some(torn_bytes);
+    }
+
+    /// Brings a crashed host back up (the disk image is whatever survived
+    /// the crash) and disarms any pending crash hook.
+    pub fn host_restart(&self) {
+        let mut state = self.inner.lock();
+        state.crashed = false;
+        state.crash_after = None;
+        state.torn_bytes = None;
+    }
+
+    /// Whether the host is currently dead.
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Number of shield mutating operations served so far (used by crash
+    /// sweeps to enumerate every crash point of a transaction).
+    pub fn op_count(&self) -> u64 {
+        self.inner.lock().ops
+    }
+
+    /// Gate for one shield *mutating* op: counts it, or trips the armed
+    /// crash. Returns the torn-prefix length to land if the dying op
+    /// should tear.
+    fn gate_mutation(state: &mut StoreState) -> Result<(), Option<usize>> {
+        if state.crashed {
+            return Err(None);
+        }
+        match state.crash_after {
+            Some(0) => {
+                state.crashed = true;
+                state.crash_after = None;
+                Err(state.torn_bytes.take())
+            }
+            Some(n) => {
+                state.crash_after = Some(n - 1);
+                state.ops += 1;
+                Ok(())
+            }
+            None => {
+                state.ops += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Shield-side write: honors the crash hook (possibly landing a torn
+    /// prefix of `bytes` on the dying op).
+    pub(crate) fn shield_put(&self, path: &str, bytes: Vec<u8>) -> Result<(), ShieldError> {
+        let mut state = self.inner.lock();
+        match Self::gate_mutation(&mut state) {
+            Ok(()) => {
+                state.files.insert(path.to_string(), bytes);
+                Ok(())
+            }
+            Err(torn) => {
+                if let Some(n) = torn {
+                    let mut prefix = bytes;
+                    prefix.truncate(n);
+                    state.files.insert(path.to_string(), prefix);
+                }
+                Err(ShieldError::HostCrashed("host died during put"))
+            }
+        }
+    }
+
+    /// Shield-side delete: honors the crash hook.
+    pub(crate) fn shield_delete(&self, path: &str) -> Result<bool, ShieldError> {
+        let mut state = self.inner.lock();
+        match Self::gate_mutation(&mut state) {
+            Ok(()) => Ok(state.files.remove(path).is_some()),
+            Err(_) => Err(ShieldError::HostCrashed("host died during delete")),
+        }
+    }
+
+    /// Shield-side read: fails while the host is down, but neither counts
+    /// as a mutating op nor trips the crash hook.
+    pub(crate) fn shield_get(&self, path: &str) -> Result<Option<Vec<u8>>, ShieldError> {
+        let state = self.inner.lock();
+        if state.crashed {
+            return Err(ShieldError::HostCrashed("host died during get"));
+        }
+        Ok(state.files.get(path).cloned())
     }
 }
 
@@ -122,6 +297,84 @@ struct FileMeta {
     /// the digest additionally pins the exact ciphertext).
     chunk_digests: Vec<[u8; 32]>,
     file_id: u64,
+}
+
+/// Magic prefix of journal commit records.
+const COMMIT_MAGIC: &[u8] = b"STFJRNL1";
+
+/// Reads `n` bytes at `*cursor`, advancing it; `None` past the end.
+fn take<'a>(bytes: &'a [u8], cursor: &mut usize, n: usize) -> Option<&'a [u8]> {
+    if *cursor + n > bytes.len() {
+        return None;
+    }
+    let s = &bytes[*cursor..*cursor + n];
+    *cursor += n;
+    Some(s)
+}
+
+fn read_u32(bytes: &[u8], cursor: &mut usize) -> Option<u32> {
+    take(bytes, cursor, 4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Option<u64> {
+    take(bytes, cursor, 8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+}
+
+/// A decoded (unsealed) manifest.
+struct DecodedManifest {
+    generation: u64,
+    next_file_id: u64,
+    policies: Vec<PathPolicy>,
+    meta: HashMap<String, FileMeta>,
+}
+
+fn decode_manifest(bytes: &[u8]) -> Option<DecodedManifest> {
+    let mut cursor = 0usize;
+    let generation = read_u64(bytes, &mut cursor)?;
+    let next_file_id = read_u64(bytes, &mut cursor)?;
+    let n_policies = read_u32(bytes, &mut cursor)? as usize;
+    let mut policies = Vec::with_capacity(n_policies);
+    for _ in 0..n_policies {
+        let prefix_len = read_u32(bytes, &mut cursor)? as usize;
+        let prefix = String::from_utf8(take(bytes, &mut cursor, prefix_len)?.to_vec()).ok()?;
+        let policy = FsShield::policy_from_tag(take(bytes, &mut cursor, 1)?[0])?;
+        policies.push(PathPolicy { prefix, policy });
+    }
+    let n_files = read_u32(bytes, &mut cursor)? as usize;
+    let mut meta = HashMap::with_capacity(n_files);
+    for _ in 0..n_files {
+        let path_len = read_u32(bytes, &mut cursor)? as usize;
+        let path = String::from_utf8(take(bytes, &mut cursor, path_len)?.to_vec()).ok()?;
+        let policy = FsShield::policy_from_tag(take(bytes, &mut cursor, 1)?[0])?;
+        let version = read_u64(bytes, &mut cursor)?;
+        let len = read_u64(bytes, &mut cursor)?;
+        let file_id = read_u64(bytes, &mut cursor)?;
+        let n_chunks = read_u32(bytes, &mut cursor)? as usize;
+        let mut chunk_digests = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let d: [u8; 32] = take(bytes, &mut cursor, 32)?.try_into().ok()?;
+            chunk_digests.push(d);
+        }
+        meta.insert(
+            path,
+            FileMeta {
+                policy,
+                version,
+                len,
+                chunk_digests,
+                file_id,
+            },
+        );
+    }
+    if cursor != bytes.len() {
+        return None;
+    }
+    Some(DecodedManifest {
+        generation,
+        next_file_id,
+        policies,
+        meta,
+    })
 }
 
 /// Appends the part of decrypted chunk `i` that overlaps the requested
@@ -207,6 +460,10 @@ struct FsMetrics {
     tamper_rejections: Counter,
     chunk_cache_hits: Counter,
     chunk_cache_misses: Counter,
+    aborted_writes: Counter,
+    journal_commits: Counter,
+    journal_rollbacks: Counter,
+    recovery_ns: Counter,
 }
 
 impl FsMetrics {
@@ -220,8 +477,27 @@ impl FsMetrics {
             tamper_rejections: t.counter("shield.fs.tamper_rejections"),
             chunk_cache_hits: t.counter("shield.fs.chunk_cache_hits"),
             chunk_cache_misses: t.counter("shield.fs.chunk_cache_misses"),
+            aborted_writes: t.counter("shield.fs.aborted_writes"),
+            journal_commits: t.counter("shield.fs.journal_commits"),
+            journal_rollbacks: t.counter("shield.fs.journal_rollbacks"),
+            recovery_ns: t.counter("shield.fs.recovery_ns"),
         }
     }
+}
+
+/// What a mount-time [`FsShield::recover`] scan found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Manifest generation the shield resumed from (0 = fresh mount).
+    pub generation: u64,
+    /// Protected files known after recovery.
+    pub files: usize,
+    /// Committed journal transactions rolled forward.
+    pub rolled_forward: usize,
+    /// Torn or uncommitted transactions discarded.
+    pub discarded: usize,
+    /// Virtual time the whole scan took.
+    pub recovery_ns: u64,
 }
 
 /// The file-system shield.
@@ -235,6 +511,17 @@ pub struct FsShield {
     policies: Vec<PathPolicy>,
     meta: HashMap<String, FileMeta>,
     key: Key,
+    /// MAC key for journal commit records, derived from the file key so
+    /// shields sharing a file key can recover each other's journals.
+    journal_key: Key,
+    /// Reserved store namespace for this identity's manifest and journal
+    /// (derived from the enclave measurement, so two different enclave
+    /// identities sharing one disk never clash).
+    manifest_base: String,
+    /// Platform monotonic counter pinning the manifest generation.
+    counter: CounterId,
+    /// Generation of the newest persisted manifest.
+    manifest_generation: u64,
     next_file_id: u64,
     metrics: FsMetrics,
     chunk_cache: Mutex<ChunkCache>,
@@ -251,20 +538,36 @@ impl FsShield {
     /// enclaves, e.g. encrypted models provisioned by CAS).
     pub fn with_key(enclave: Arc<Enclave>, store: UntrustedStore, key: Key) -> Self {
         let metrics = FsMetrics::for_enclave(&enclave);
+        let journal_key = Key::from_bytes(hmac_sha256(key.as_bytes(), b"journal-mac-v1"));
+        let measurement = enclave.measurement();
+        let mut base = String::from("!fs/");
+        for b in &measurement.as_bytes()[..8] {
+            base.push_str(&format!("{b:02x}"));
+        }
+        let counter = enclave
+            .counters()
+            .lock()
+            .find_or_create_at(&format!("fs-shield:{base}"), 0);
         FsShield {
             enclave,
             store,
             policies: Vec::new(),
             meta: HashMap::new(),
             key,
+            journal_key,
+            manifest_base: base,
+            counter,
+            manifest_generation: 0,
             next_file_id: 1,
             metrics,
             chunk_cache: Mutex::new(ChunkCache::default()),
         }
     }
 
-    /// Adds a path-prefix policy. Longest matching prefix wins.
+    /// Adds a path-prefix policy, replacing any existing policy for the
+    /// same prefix. Longest matching prefix wins.
     pub fn add_policy(&mut self, policy: PathPolicy) {
+        self.policies.retain(|p| p.prefix != policy.prefix);
         self.policies.push(policy);
         self.policies
             .sort_by_key(|p| std::cmp::Reverse(p.prefix.len()));
@@ -296,23 +599,70 @@ impl FsShield {
         aad
     }
 
+    fn txn_dir(base: &str, file_id: u64, version: u64) -> String {
+        format!("{base}/txn/{file_id:016x}-{version:016x}")
+    }
+
+    fn staged_chunk_path(txn: &str, chunk: usize) -> String {
+        format!("{txn}/c{chunk:06}")
+    }
+
+    fn commit_path(txn: &str) -> String {
+        format!("{txn}/commit")
+    }
+
+    fn manifest_slot(base: &str, generation: u64) -> String {
+        format!("{base}/manifest-{}", generation % 2)
+    }
+
+    /// Assembles the on-disk blob for a file from its chunk records:
+    /// an 8-byte plaintext-length header, then `[u32 len | record]` per
+    /// chunk.
+    fn assemble_blob(data_len: u64, records: &[Vec<u8>]) -> Vec<u8> {
+        let total: usize = records.iter().map(|r| r.len() + 4).sum();
+        let mut stored = Vec::with_capacity(8 + total);
+        stored.extend_from_slice(&data_len.to_le_bytes());
+        for record in records {
+            stored.extend_from_slice(&(record.len() as u32).to_le_bytes());
+            stored.extend_from_slice(record);
+        }
+        stored
+    }
+
     /// Writes `data` to `path`, protecting it per the matching policy.
+    ///
+    /// Protected writes are two-phase journaled transactions: chunk
+    /// records are staged under `!fs/<id>/txn/…`, then a MAC'd commit
+    /// record carrying the metadata delta lands — the commit point —
+    /// and only then is the final blob installed, the sealed manifest
+    /// republished and the staging reclaimed. A crash at any host-op
+    /// boundary leaves the store recoverable to exactly the pre-write or
+    /// post-write state (see [`FsShield::recover`]).
     ///
     /// # Errors
     ///
-    /// Currently infallible in practice, but returns `Result` for
-    /// interface stability with real I/O backends.
+    /// [`ShieldError::HostCrashed`] if the host dies mid-transaction
+    /// (crash injection). If the commit record had already landed the
+    /// write *is* durable and a recovery scan will surface it; otherwise
+    /// it is aborted and counted in `shield.fs.aborted_writes`.
     pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), ShieldError> {
         self.enclave.charge_syscall();
-        self.metrics.writes.inc();
-        self.metrics.bytes_written.add(data.len() as u64);
         let policy = self.policy_for(path);
         if let Some(old) = self.meta.get(path) {
             self.chunk_cache.lock().invalidate_file(old.file_id);
         }
         if policy == Policy::Passthrough {
-            self.store.raw_put(path, data.to_vec());
-            self.meta.remove(path);
+            if let Err(e) = self.store.shield_put(path, data.to_vec()) {
+                self.metrics.aborted_writes.inc();
+                return Err(e);
+            }
+            let forgot = self.meta.remove(path).is_some();
+            self.metrics.writes.inc();
+            self.metrics.bytes_written.add(data.len() as u64);
+            if forgot {
+                // The path left the protected set; publish that fact.
+                self.persist_manifest()?;
+            }
             return Ok(());
         }
         let version = self.meta.get(path).map(|m| m.version + 1).unwrap_or(1);
@@ -331,8 +681,7 @@ impl FsShield {
             data.chunks(CHUNK_SIZE).collect()
         };
         let total = chunks.len() as u32;
-        let mut stored = Vec::with_capacity(data.len() + chunks.len() * aead::TAG_LEN + 8);
-        stored.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        let mut records = Vec::with_capacity(chunks.len());
         let mut digests = Vec::with_capacity(chunks.len());
         for (i, chunk) in chunks.iter().enumerate() {
             let aad = Self::chunk_aad(path, version, i as u32, total);
@@ -345,8 +694,7 @@ impl FsShield {
                     // Store plaintext followed by a MAC over chunk + aad.
                     let mut mac_input = chunk.to_vec();
                     mac_input.extend_from_slice(&aad);
-                    let tag =
-                        securetf_crypto::hmac::hmac_sha256(self.key.as_bytes(), &mac_input);
+                    let tag = hmac_sha256(self.key.as_bytes(), &mac_input);
                     let mut rec = chunk.to_vec();
                     rec.extend_from_slice(&tag);
                     rec
@@ -354,22 +702,59 @@ impl FsShield {
                 Policy::Passthrough => unreachable!("handled above"),
             };
             digests.push(sha256::digest(&record));
-            stored.extend_from_slice(&(record.len() as u32).to_le_bytes());
-            stored.extend_from_slice(&record);
+            records.push(record);
         }
         // The crypto work happens at AES-NI-like streaming rates (§5.3 #2).
         self.enclave.charge_shield_crypto(data.len() as u64);
-        self.store.raw_put(path, stored);
-        self.meta.insert(
-            path.to_string(),
-            FileMeta {
-                policy,
-                version,
-                len: data.len() as u64,
-                chunk_digests: digests,
-                file_id,
-            },
-        );
+
+        let meta = FileMeta {
+            policy,
+            version,
+            len: data.len() as u64,
+            chunk_digests: digests,
+            file_id,
+        };
+        let txn = Self::txn_dir(&self.manifest_base, file_id, version);
+
+        // Phase 1: stage every chunk record (ops 1..=m).
+        for (k, record) in records.iter().enumerate() {
+            self.enclave.charge_syscall();
+            if let Err(e) = self
+                .store
+                .shield_put(&Self::staged_chunk_path(&txn, k), record.clone())
+            {
+                self.metrics.aborted_writes.inc();
+                return Err(e);
+            }
+        }
+
+        // Phase 2: the commit point (op m+1). Before this lands, the
+        // write never happened; after it, the write is durable.
+        let commit = self.encode_commit(path, &meta);
+        self.enclave.charge_syscall();
+        if let Err(e) = self.store.shield_put(&Self::commit_path(&txn), commit) {
+            self.metrics.aborted_writes.inc();
+            return Err(e);
+        }
+        self.meta.insert(path.to_string(), meta);
+        self.metrics.writes.inc();
+        self.metrics.bytes_written.add(data.len() as u64);
+        self.metrics.journal_commits.inc();
+
+        // Phase 3: install the final blob, republish the manifest and
+        // reclaim the staging. A crash anywhere here still recovers to
+        // the post-write state (the commit record is the truth), but the
+        // host is down: surface that to the caller.
+        let stored = Self::assemble_blob(data.len() as u64, &records);
+        self.enclave.charge_syscall();
+        self.store.shield_put(path, stored)?;
+        self.persist_manifest()?;
+        self.enclave.charge_syscall();
+        self.store.shield_delete(&Self::commit_path(&txn))?;
+        for k in 0..records.len() {
+            self.enclave.charge_syscall();
+            self.store.shield_delete(&Self::staged_chunk_path(&txn, k))?;
+        }
         Ok(())
     }
 
@@ -403,7 +788,7 @@ impl FsShield {
         self.enclave.charge_syscall();
         let stored = self
             .store
-            .raw_contents(path)
+            .shield_get(path)?
             .ok_or_else(|| ShieldError::FileNotFound(path.to_string()))?;
         let meta = match self.meta.get(path) {
             Some(m) => m,
@@ -513,7 +898,7 @@ impl FsShield {
         if meta.policy == Policy::Passthrough {
             let stored = self
                 .store
-                .raw_contents(path)
+                .shield_get(path)?
                 .ok_or_else(|| ShieldError::FileNotFound(path.to_string()))?;
             let end = (offset + len) as usize;
             if end > stored.len() {
@@ -531,7 +916,7 @@ impl FsShield {
         }
         let stored = self
             .store
-            .raw_contents(path)
+            .shield_get(path)?
             .ok_or_else(|| ShieldError::FileNotFound(path.to_string()))?;
 
         // Walk the chunk records, decrypting only overlapping chunks.
@@ -615,15 +1000,25 @@ impl FsShield {
         Ok(out)
     }
 
-    /// Deletes a file from the store and the metadata table.
-    pub fn delete(&mut self, path: &str) -> bool {
+    /// Deletes a file from the store and the metadata table. Returns
+    /// whether the path existed.
+    ///
+    /// The manifest is republished *before* the host delete, so a crash
+    /// in between recovers to the post-delete state (file forgotten; the
+    /// orphaned blob is unreadable without metadata).
+    ///
+    /// # Errors
+    ///
+    /// [`ShieldError::HostCrashed`] if the host dies mid-operation.
+    pub fn delete(&mut self, path: &str) -> Result<bool, ShieldError> {
         self.enclave.charge_syscall();
-        let had = self.store.raw_delete(path);
         let meta = self.meta.remove(path);
         if let Some(meta) = &meta {
             self.chunk_cache.lock().invalidate_file(meta.file_id);
+            self.persist_manifest()?;
         }
-        meta.is_some() || had
+        let had = self.store.shield_delete(path)?;
+        Ok(meta.is_some() || had)
     }
 
     /// Whether `path` currently exists (written through this shield or
@@ -651,6 +1046,344 @@ impl FsShield {
             h.update(d);
         }
         Some(h.finalize())
+    }
+
+    // ---- crash consistency: manifest + journal ------------------------
+
+    fn policy_tag(policy: Policy) -> u8 {
+        match policy {
+            Policy::EncryptAuth => 0,
+            Policy::AuthOnly => 1,
+            Policy::Passthrough => 2,
+        }
+    }
+
+    fn policy_from_tag(tag: u8) -> Option<Policy> {
+        match tag {
+            0 => Some(Policy::EncryptAuth),
+            1 => Some(Policy::AuthOnly),
+            2 => Some(Policy::Passthrough),
+            _ => None,
+        }
+    }
+
+    fn manifest_aad(&self) -> Vec<u8> {
+        let mut aad = self.manifest_base.clone().into_bytes();
+        aad.extend_from_slice(b"/manifest");
+        aad
+    }
+
+    /// Deterministic encoding of the whole metadata table (files sorted
+    /// by path), prefixed by the generation it claims.
+    fn encode_manifest(&self, generation: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&generation.to_le_bytes());
+        out.extend_from_slice(&self.next_file_id.to_le_bytes());
+        out.extend_from_slice(&(self.policies.len() as u32).to_le_bytes());
+        for p in &self.policies {
+            out.extend_from_slice(&(p.prefix.len() as u32).to_le_bytes());
+            out.extend_from_slice(p.prefix.as_bytes());
+            out.push(Self::policy_tag(p.policy));
+        }
+        let mut paths: Vec<&String> = self.meta.keys().collect();
+        paths.sort();
+        out.extend_from_slice(&(paths.len() as u32).to_le_bytes());
+        for path in paths {
+            let m = &self.meta[path.as_str()];
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.push(Self::policy_tag(m.policy));
+            out.extend_from_slice(&m.version.to_le_bytes());
+            out.extend_from_slice(&m.len.to_le_bytes());
+            out.extend_from_slice(&m.file_id.to_le_bytes());
+            out.extend_from_slice(&(m.chunk_digests.len() as u32).to_le_bytes());
+            for d in &m.chunk_digests {
+                out.extend_from_slice(d);
+            }
+        }
+        out
+    }
+
+    /// Seals the metadata table and publishes it to the generation's
+    /// slot, then advances the monotonic counter that pins it. Slot
+    /// `g % 2` keeps the previous generation intact until the new one
+    /// has fully landed.
+    fn persist_manifest(&mut self) -> Result<(), ShieldError> {
+        let generation = self.enclave.counters().lock().read(self.counter)? + 1;
+        let encoded = self.encode_manifest(generation);
+        let sealed = self
+            .enclave
+            .seal(SealPolicy::Measurement, &encoded, &self.manifest_aad());
+        self.enclave.charge_syscall();
+        self.store
+            .shield_put(&Self::manifest_slot(&self.manifest_base, generation), sealed)?;
+        // NVRAM, not host storage: the increment cannot be lost to a
+        // host crash once the put above has succeeded.
+        self.enclave.counters().lock().increment(self.counter)?;
+        self.manifest_generation = generation;
+        Ok(())
+    }
+
+    /// MAC'd commit record carrying the metadata delta of one journaled
+    /// write — the single host object whose presence decides whether the
+    /// transaction happened.
+    fn encode_commit(&self, path: &str, meta: &FileMeta) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(COMMIT_MAGIC);
+        out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+        out.extend_from_slice(path.as_bytes());
+        out.push(Self::policy_tag(meta.policy));
+        out.extend_from_slice(&meta.version.to_le_bytes());
+        out.extend_from_slice(&meta.len.to_le_bytes());
+        out.extend_from_slice(&meta.file_id.to_le_bytes());
+        out.extend_from_slice(&(meta.chunk_digests.len() as u32).to_le_bytes());
+        for d in &meta.chunk_digests {
+            out.extend_from_slice(d);
+        }
+        let mac = hmac_sha256(self.journal_key.as_bytes(), &out);
+        out.extend_from_slice(&mac);
+        out
+    }
+
+    fn decode_commit(&self, bytes: &[u8]) -> Option<(String, FileMeta)> {
+        if bytes.len() < 32 + COMMIT_MAGIC.len() {
+            return None;
+        }
+        let (body, mac) = bytes.split_at(bytes.len() - 32);
+        let expect = hmac_sha256(self.journal_key.as_bytes(), body);
+        if !securetf_crypto::ct::eq(&expect, mac) {
+            return None;
+        }
+        let mut cursor = 0usize;
+        if take(body, &mut cursor, COMMIT_MAGIC.len())? != COMMIT_MAGIC {
+            return None;
+        }
+        let path_len = read_u32(body, &mut cursor)? as usize;
+        let path = String::from_utf8(take(body, &mut cursor, path_len)?.to_vec()).ok()?;
+        let policy = Self::policy_from_tag(take(body, &mut cursor, 1)?[0])?;
+        let version = read_u64(body, &mut cursor)?;
+        let len = read_u64(body, &mut cursor)?;
+        let file_id = read_u64(body, &mut cursor)?;
+        let n_chunks = read_u32(body, &mut cursor)? as usize;
+        let mut chunk_digests = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let d: [u8; 32] = take(body, &mut cursor, 32)?.try_into().ok()?;
+            chunk_digests.push(d);
+        }
+        if cursor != body.len() {
+            return None;
+        }
+        Some((
+            path,
+            FileMeta {
+                policy,
+                version,
+                len,
+                chunk_digests,
+                file_id,
+            },
+        ))
+    }
+
+    /// Remounts a store after a crash: loads the newest counter-fresh
+    /// sealed manifest, rolls committed journal transactions forward,
+    /// discards torn or uncommitted staging, and reclaims the journal.
+    ///
+    /// Keys derive from the enclave identity (like [`FsShield::new`]),
+    /// so any enclave with the *same measurement on the same platform*
+    /// can recover the files a dead instance wrote.
+    ///
+    /// # Errors
+    ///
+    /// * [`ShieldError::FileTampered`] — fail closed — if the counter
+    ///   says manifests were published but none that fresh is on disk
+    ///   (whole-store rollback or destruction).
+    /// * [`ShieldError::HostCrashed`] if the host is still down.
+    pub fn recover(
+        enclave: Arc<Enclave>,
+        store: UntrustedStore,
+    ) -> Result<(Self, RecoveryReport), ShieldError> {
+        let key = enclave.derived_key(b"fs-shield-v1");
+        Self::recover_with_key(enclave, store, key)
+    }
+
+    /// Like [`FsShield::recover`] with an explicit file key (the
+    /// [`FsShield::with_key`] counterpart).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FsShield::recover`].
+    pub fn recover_with_key(
+        enclave: Arc<Enclave>,
+        store: UntrustedStore,
+        key: Key,
+    ) -> Result<(Self, RecoveryReport), ShieldError> {
+        let t0 = enclave.clock().now_ns();
+        let mut shield = Self::with_key(enclave, store, key);
+        let counter_value = shield.enclave.counters().lock().read(shield.counter)?;
+
+        // Load the freshest acceptable manifest from the two slots. Only
+        // the generation the counter pins is live; one ahead is also
+        // accepted (crash between the manifest landing and the counter
+        // advancing). Anything older is a stale slot or a rollback.
+        let mut best: Option<DecodedManifest> = None;
+        for slot in 0..2u64 {
+            shield.enclave.charge_syscall();
+            let slot_path = format!("{}/manifest-{slot}", shield.manifest_base);
+            let Some(sealed) = shield.store.shield_get(&slot_path)? else {
+                continue;
+            };
+            let Ok(plain) =
+                shield
+                    .enclave
+                    .unseal(SealPolicy::Measurement, &sealed, &shield.manifest_aad())
+            else {
+                continue;
+            };
+            let Some(m) = decode_manifest(&plain) else {
+                continue;
+            };
+            if m.generation != counter_value && m.generation != counter_value + 1 {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| b.generation < m.generation) {
+                best = Some(m);
+            }
+        }
+        match best {
+            Some(m) => {
+                if m.generation == counter_value + 1 {
+                    // The manifest landed but the crash beat the counter
+                    // increment; catch the counter up to re-pin it.
+                    shield.enclave.counters().lock().increment(shield.counter)?;
+                }
+                shield.manifest_generation = m.generation;
+                shield.next_file_id = m.next_file_id;
+                shield.meta = m.meta;
+                for p in m.policies {
+                    shield.add_policy(p);
+                }
+            }
+            None if counter_value == 0 => {
+                // Nothing was ever published: a fresh mount.
+            }
+            None => {
+                // The counter proves manifests existed; none survived
+                // fresh enough. Fail closed: this is a rollback attack
+                // (or total destruction), not a recoverable crash.
+                shield.metrics.tamper_rejections.inc();
+                return Err(ShieldError::FileTampered(
+                    "fs manifest rolled back or destroyed".to_string(),
+                ));
+            }
+        }
+
+        // Journal scan: every transaction directory either has a MAC-valid
+        // commit record (roll it forward if the manifest predates it) or
+        // it is torn/uncommitted residue (discard — the write never
+        // happened).
+        let prefix = format!("{}/txn/", shield.manifest_base);
+        shield.enclave.charge_syscall();
+        let txn_paths: Vec<String> = shield
+            .store
+            .paths()
+            .into_iter()
+            .filter(|p| p.starts_with(&prefix))
+            .collect();
+        let mut dirs: Vec<String> = txn_paths
+            .iter()
+            .filter_map(|p| p.rfind('/').map(|i| p[..i].to_string()))
+            .collect();
+        dirs.sort();
+        dirs.dedup();
+        let mut rolled_forward = 0usize;
+        let mut discarded = 0usize;
+        for dir in &dirs {
+            shield.enclave.charge_syscall();
+            let commit_bytes = shield.store.shield_get(&Self::commit_path(dir))?;
+            match commit_bytes.as_deref().and_then(|b| shield.decode_commit(b)) {
+                Some((path, meta)) => {
+                    let already_current = shield
+                        .meta
+                        .get(&path)
+                        .is_some_and(|m| m.version >= meta.version);
+                    if already_current {
+                        // Residue of an interrupted cleanup: the manifest
+                        // already covers this commit.
+                    } else if shield.roll_forward(dir, &path, &meta)? {
+                        rolled_forward += 1;
+                    } else {
+                        // Committed, but the staged chunks were tampered
+                        // with or destroyed: detected, not silently
+                        // applied.
+                        shield.metrics.tamper_rejections.inc();
+                        discarded += 1;
+                    }
+                }
+                None => {
+                    // No commit record (or a forged one): the transaction
+                    // never happened. Discard the staging.
+                    shield.metrics.journal_rollbacks.inc();
+                    discarded += 1;
+                }
+            }
+        }
+        // Persist the caught-up manifest BEFORE reclaiming the journal:
+        // if the host dies between the two, the commit records are still
+        // there and the next recovery repeats the (idempotent)
+        // roll-forward. The reverse order would strand a rolled-forward
+        // blob under a manifest that predates it.
+        if rolled_forward > 0 {
+            shield.persist_manifest()?;
+        }
+        for p in &txn_paths {
+            shield.enclave.charge_syscall();
+            shield.store.shield_delete(p)?;
+        }
+        let recovery_ns = shield.enclave.clock().now_ns() - t0;
+        shield.metrics.recovery_ns.add(recovery_ns);
+        let report = RecoveryReport {
+            generation: shield.manifest_generation,
+            files: shield.meta.len(),
+            rolled_forward,
+            discarded,
+            recovery_ns,
+        };
+        Ok((shield, report))
+    }
+
+    /// Applies one committed transaction from its staged chunks. Returns
+    /// false (without touching state) if any staged chunk is missing or
+    /// fails its digest.
+    fn roll_forward(
+        &mut self,
+        dir: &str,
+        path: &str,
+        meta: &FileMeta,
+    ) -> Result<bool, ShieldError> {
+        let mut records = Vec::with_capacity(meta.chunk_digests.len());
+        for (k, digest) in meta.chunk_digests.iter().enumerate() {
+            self.enclave.charge_syscall();
+            let Some(record) = self.store.shield_get(&Self::staged_chunk_path(dir, k))? else {
+                return Ok(false);
+            };
+            if &sha256::digest(&record) != digest {
+                return Ok(false);
+            }
+            records.push(record);
+        }
+        let blob = Self::assemble_blob(meta.len, &records);
+        self.enclave.charge_syscall();
+        self.store.shield_put(path, blob)?;
+        self.meta.insert(path.to_string(), meta.clone());
+        self.metrics.journal_commits.inc();
+        Ok(true)
+    }
+
+    /// Generation of the newest persisted manifest (0 before any
+    /// protected write).
+    pub fn manifest_generation(&self) -> u64 {
+        self.manifest_generation
     }
 
     /// Resizes the in-enclave chunk cache to hold at most `chunks`
@@ -1022,7 +1755,7 @@ mod tests {
         let v2 = vec![2u8; 2 * CHUNK_SIZE];
         shield.write("/secure/m", &v2).unwrap();
         assert_eq!(shield.read_range("/secure/m", 0, 16).unwrap(), vec![2u8; 16]);
-        assert!(shield.delete("/secure/m"));
+        assert!(shield.delete("/secure/m").unwrap());
         assert!(shield.read_range("/secure/m", 0, 16).is_err());
     }
 
@@ -1142,6 +1875,237 @@ mod tests {
             Err(ShieldError::FileNotFound(_))
         ));
         assert_eq!(telemetry.counter("shield.fs.tamper_rejections").get(), 1);
+    }
+
+    // ---- crash consistency ------------------------------------------
+
+    /// A platform kept alive so a second enclave (the "restarted"
+    /// process) can be created with the same identity and NVRAM.
+    fn crash_setup() -> (Platform, Arc<Enclave>, UntrustedStore) {
+        let platform = Platform::builder().build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"fs crash test").build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap();
+        (platform, enclave, UntrustedStore::new())
+    }
+
+    fn restart_enclave(platform: &Platform) -> Arc<Enclave> {
+        platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"fs crash test").build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn journaled_write_reclaims_all_staging() {
+        let (_p, enclave, store) = crash_setup();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield
+            .write("/secure/f", &vec![3u8; 2 * CHUNK_SIZE + 9])
+            .unwrap();
+        let paths = store.paths();
+        assert!(
+            !paths.iter().any(|p| p.contains("/txn/")),
+            "staging residue left behind: {paths:?}"
+        );
+        assert!(
+            paths.iter().any(|p| p.contains("/manifest-")),
+            "no manifest published: {paths:?}"
+        );
+        assert_eq!(shield.manifest_generation(), 1);
+    }
+
+    #[test]
+    fn fresh_enclave_recovers_every_file_the_dead_one_wrote() {
+        let (platform, enclave, store) = crash_setup();
+        let big: Vec<u8> = (0..2 * CHUNK_SIZE + 77).map(|i| (i % 251) as u8).collect();
+        {
+            let mut shield = FsShield::new(enclave, store.clone());
+            shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+            shield.add_policy(PathPolicy::new("/auth/", Policy::AuthOnly));
+            shield.write("/secure/model", &big).unwrap();
+            shield.write("/auth/log", b"append only").unwrap();
+            shield.write("/secure/small", b"x").unwrap();
+        } // enclave process dies; in-memory metadata is gone
+        let (recovered, report) =
+            FsShield::recover(restart_enclave(&platform), store).unwrap();
+        assert_eq!(recovered.read("/secure/model").unwrap(), big);
+        assert_eq!(recovered.read("/auth/log").unwrap(), b"append only");
+        assert_eq!(recovered.read("/secure/small").unwrap(), b"x");
+        assert_eq!(report.files, 3);
+        assert_eq!(report.rolled_forward, 0);
+        assert_eq!(report.discarded, 0);
+        // Policies came back with the manifest.
+        assert_eq!(recovered.policy_for("/auth/x"), Policy::AuthOnly);
+    }
+
+    #[test]
+    fn crash_before_commit_aborts_and_preserves_old_content() {
+        let (platform, enclave, store) = crash_setup();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield.write("/secure/f", b"old contents").unwrap();
+        // Multi-chunk overwrite, crash on the very first staging put.
+        store.fail_after_ops(0);
+        let err = shield.write("/secure/f", &vec![9u8; 3 * CHUNK_SIZE]);
+        assert!(matches!(err, Err(ShieldError::HostCrashed(_))));
+        store.host_restart();
+        let (recovered, report) =
+            FsShield::recover(restart_enclave(&platform), store).unwrap();
+        assert_eq!(recovered.read("/secure/f").unwrap(), b"old contents");
+        assert_eq!(report.rolled_forward, 0);
+    }
+
+    #[test]
+    fn crash_after_commit_rolls_forward_to_new_content() {
+        let (platform, enclave, store) = crash_setup();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield.write("/secure/f", b"old contents").unwrap();
+        let new: Vec<u8> = (0..2 * CHUNK_SIZE).map(|i| (i % 13) as u8).collect();
+        // 2 chunks: ops 1-2 staging, op 3 the commit, then crash.
+        store.fail_after_ops(3);
+        let err = shield.write("/secure/f", &new);
+        assert!(matches!(err, Err(ShieldError::HostCrashed(_))));
+        store.host_restart();
+        let (recovered, report) =
+            FsShield::recover(restart_enclave(&platform), store).unwrap();
+        assert_eq!(recovered.read("/secure/f").unwrap(), new);
+        assert_eq!(report.rolled_forward, 1);
+    }
+
+    #[test]
+    fn torn_final_put_is_discarded_not_applied() {
+        let (platform, enclave, store) = crash_setup();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield.write("/secure/f", b"old contents").unwrap();
+        // Crash on the commit put itself, landing only 7 bytes of it: the
+        // commit record is torn, so the transaction never happened.
+        store.fail_after_ops_torn(1, 7);
+        assert!(shield.write("/secure/f", b"new contents").is_err());
+        store.host_restart();
+        let (recovered, report) =
+            FsShield::recover(restart_enclave(&platform), store).unwrap();
+        assert_eq!(recovered.read("/secure/f").unwrap(), b"old contents");
+        assert_eq!(report.rolled_forward, 0);
+        assert!(report.discarded >= 1, "torn txn not discarded");
+    }
+
+    #[test]
+    fn reads_fail_while_host_is_down_then_work_after_restart() {
+        let (_p, enclave, store) = crash_setup();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield.write("/secure/f", b"data").unwrap();
+        store.fail_after_ops(0);
+        assert!(matches!(
+            shield.write("/secure/g", b"x"),
+            Err(ShieldError::HostCrashed(_))
+        ));
+        assert!(matches!(
+            shield.read("/secure/f"),
+            Err(ShieldError::HostCrashed(_))
+        ));
+        store.host_restart();
+        // Same shield instance: its in-enclave metadata is intact, reads
+        // come back once the host does.
+        assert_eq!(shield.read("/secure/f").unwrap(), b"data");
+    }
+
+    #[test]
+    fn whole_store_rollback_fails_closed_on_recovery() {
+        let (platform, enclave, store) = crash_setup();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield.write("/secure/f", b"generation 1").unwrap();
+        let old_disk = store.snapshot();
+        shield.write("/secure/f", b"generation 2").unwrap();
+        shield.write("/secure/g", b"also new").unwrap();
+        // The adversary restores the whole disk image to the older
+        // snapshot. The manifest on it is validly sealed — but stale, and
+        // the monotonic counter proves it.
+        store.restore(&old_disk);
+        assert!(matches!(
+            FsShield::recover(restart_enclave(&platform), store),
+            Err(ShieldError::FileTampered(_))
+        ));
+    }
+
+    #[test]
+    fn aborted_writes_counted_and_durable_bytes_not_overstated() {
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock)
+            .telemetry(telemetry.clone())
+            .build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"fs metrics crash").build(),
+                ExecutionMode::Hardware,
+            )
+            .unwrap();
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave, store.clone());
+        shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+        shield.write("/secure/a", b"durable").unwrap();
+        assert_eq!(telemetry.counter("shield.fs.writes").get(), 1);
+        assert_eq!(telemetry.counter("shield.fs.bytes_written").get(), 7);
+        assert_eq!(telemetry.counter("shield.fs.journal_commits").get(), 1);
+        // An aborted write must count neither writes nor bytes.
+        store.fail_after_ops(0);
+        assert!(shield.write("/secure/b", b"never lands").is_err());
+        assert_eq!(telemetry.counter("shield.fs.writes").get(), 1);
+        assert_eq!(telemetry.counter("shield.fs.bytes_written").get(), 7);
+        assert_eq!(telemetry.counter("shield.fs.aborted_writes").get(), 1);
+    }
+
+    #[test]
+    fn recovery_charges_virtual_time() {
+        let clock = securetf_tee::SimClock::new();
+        let telemetry = clock.telemetry();
+        let platform = Platform::builder()
+            .clock(clock)
+            .telemetry(telemetry.clone())
+            .build();
+        let image = EnclaveImage::builder().code(b"fs recovery time").build();
+        let store = UntrustedStore::new();
+        {
+            let enclave = platform
+                .create_enclave(&image, ExecutionMode::Hardware)
+                .unwrap();
+            let mut shield = FsShield::new(enclave, store.clone());
+            shield.add_policy(PathPolicy::new("/secure/", Policy::EncryptAuth));
+            shield.write("/secure/f", &vec![1u8; CHUNK_SIZE]).unwrap();
+        }
+        let enclave = platform
+            .create_enclave(&image, ExecutionMode::Hardware)
+            .unwrap();
+        let (_shield, report) = FsShield::recover(enclave, store).unwrap();
+        assert!(report.recovery_ns > 0);
+        assert_eq!(
+            telemetry.counter("shield.fs.recovery_ns").get(),
+            report.recovery_ns
+        );
+    }
+
+    #[test]
+    fn truncate_helper_tampers_detectably() {
+        let (mut shield, store) = setup();
+        shield.write("/secure/f", &vec![4u8; 1000]).unwrap();
+        assert!(store.truncate("/secure/f", 100));
+        assert!(!store.truncate("/secure/f", 5000), "no-op past the end");
+        assert!(matches!(
+            shield.read("/secure/f"),
+            Err(ShieldError::FileTampered(_))
+        ));
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub enum ShieldError {
     /// The untrusted OS returned a malformed result (an attempted Iago
     /// attack) and the value was rejected.
     IagoViolation(&'static str),
+    /// The untrusted host process died mid-operation (crash injection):
+    /// the storage interface refuses further I/O until the host restarts.
+    HostCrashed(&'static str),
     /// An underlying TEE error.
     Tee(securetf_tee::TeeError),
 }
@@ -81,6 +84,7 @@ impl fmt::Display for ShieldError {
             ShieldError::ChannelClosed => write!(f, "secure channel closed"),
             ShieldError::HandshakeFailed(why) => write!(f, "handshake failed: {why}"),
             ShieldError::IagoViolation(why) => write!(f, "iago attack rejected: {why}"),
+            ShieldError::HostCrashed(why) => write!(f, "host storage crashed: {why}"),
             ShieldError::Tee(e) => write!(f, "tee error: {e}"),
         }
     }

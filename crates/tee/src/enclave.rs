@@ -7,6 +7,7 @@
 //! type, so the same application code runs in all three execution modes.
 
 use crate::clock::{CostModel, SimClock};
+use crate::counter::CounterStore;
 use crate::epc::{EpcManager, EpcStats, RegionId, PAGE_SIZE};
 use crate::measurement::{EnclaveImage, MrEnclave};
 use crate::quote::{Quote, REPORT_DATA_LEN};
@@ -19,6 +20,7 @@ use securetf_telemetry::{
     CostCategory, Counter, ExportError, SealedSnapshot, Snapshot, Telemetry, EXPORT_AAD,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters of TEE boundary crossings, for diagnostics and benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,6 +63,7 @@ pub struct Enclave {
     async_syscalls: Counter,
     failed: AtomicBool,
     telemetry: Telemetry,
+    counters: Arc<Mutex<CounterStore>>,
 }
 
 impl Enclave {
@@ -77,6 +80,7 @@ impl Enclave {
         model: CostModel,
         clock: SimClock,
         telemetry: Telemetry,
+        counters: Arc<Mutex<CounterStore>>,
     ) -> Result<Enclave, TeeError> {
         let image_bytes = image.code_bytes() + image.runtime_bytes();
         if mode.has_epc_limit() && image_bytes > model.epc_bytes {
@@ -130,6 +134,7 @@ impl Enclave {
             async_syscalls,
             failed: AtomicBool::new(false),
             telemetry,
+            counters,
         })
     }
 
@@ -156,6 +161,13 @@ impl Enclave {
     /// The shared virtual clock of the hosting platform.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// The platform's monotonic-counter store (NVRAM analogue): it is
+    /// shared by every enclave on the platform and — crucially for
+    /// rollback protection — survives enclave restarts.
+    pub fn counters(&self) -> &Arc<Mutex<CounterStore>> {
+        &self.counters
     }
 
     /// The platform cost model.

@@ -26,10 +26,12 @@
 //! ```
 
 use crate::clock::{CostModel, SimClock};
+use crate::counter::CounterStore;
 use crate::enclave::Enclave;
 use crate::measurement::EnclaveImage;
 use crate::quote::{self, Quote};
 use crate::{ExecutionMode, TeeError};
+use parking_lot::Mutex;
 use securetf_crypto::hmac::hmac_sha256;
 use securetf_telemetry::Telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +52,7 @@ pub struct Platform {
     model: CostModel,
     clock: SimClock,
     telemetry: Telemetry,
+    counters: Arc<Mutex<CounterStore>>,
 }
 
 impl Platform {
@@ -84,6 +87,13 @@ impl Platform {
         &self.telemetry
     }
 
+    /// The platform's monotonic-counter store — the NVRAM analogue. It
+    /// outlives any single enclave, so a restarted enclave on the same
+    /// machine sees the counters its predecessor advanced.
+    pub fn counters(&self) -> &Arc<Mutex<CounterStore>> {
+        &self.counters
+    }
+
     /// Creates an enclave from `image` in the given mode.
     ///
     /// # Errors
@@ -105,6 +115,7 @@ impl Platform {
             self.model.clone(),
             self.clock.clone(),
             self.telemetry.clone(),
+            self.counters.clone(),
         )
         .map(Arc::new)
     }
@@ -233,6 +244,7 @@ impl PlatformBuilder {
             model: self.model.unwrap_or_default(),
             clock: self.clock.unwrap_or_default(),
             telemetry: self.telemetry.unwrap_or_default(),
+            counters: Arc::new(Mutex::new(CounterStore::new())),
         }
     }
 }

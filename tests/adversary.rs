@@ -126,6 +126,63 @@ fn storage_adversary_cannot_fool_the_shield() {
 }
 
 #[test]
+fn whole_store_rollback_rejected_within_session() {
+    // The adversary snapshots the entire store — every blob validly
+    // encrypted, the manifest validly sealed — and restores it after the
+    // enclave has moved on. In-session, per-file version metadata makes
+    // the stale ciphertext fail authentication.
+    let store = UntrustedStore::new();
+    let mut shield = FsShield::new(enclave(b"rollback victim"), store.clone());
+    shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+    shield.write("/data/a", b"epoch 1").expect("write");
+    let old_image = store.snapshot();
+    shield.write("/data/a", b"epoch 2").expect("write");
+    shield.write("/data/new", b"born later").expect("write");
+
+    store.restore(&old_image);
+    assert!(
+        matches!(shield.read("/data/a"), Err(ShieldError::FileTampered(_))),
+        "stale-but-valid ciphertext must not authenticate"
+    );
+    // The rollback also erased a file the enclave knows exists: surfaced
+    // as tampering (the metadata says it must be there), not a 404.
+    assert!(shield.read("/data/new").is_err());
+}
+
+#[test]
+fn truncation_attack_rejected_at_any_length() {
+    // Chopping a protected file — to one chunk boundary, mid-chunk, or
+    // to nothing — must always be detected, never read back short.
+    use securetf_shield::fs::CHUNK_SIZE;
+    let payload: Vec<u8> = (0..2 * CHUNK_SIZE + 333).map(|i| (i % 191) as u8).collect();
+    let raw_len = {
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave(b"truncation victim"), store.clone());
+        shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+        shield.write("/data/f", &payload).expect("write");
+        store.raw_contents("/data/f").expect("stored").len()
+    };
+    for keep in [0, 1, 8, raw_len / 2, raw_len - 1] {
+        let store = UntrustedStore::new();
+        let mut shield = FsShield::new(enclave(b"truncation victim"), store.clone());
+        shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+        shield.write("/data/f", &payload).expect("write");
+        assert!(
+            store.truncate("/data/f", keep),
+            "truncate to {keep} must apply"
+        );
+        assert!(
+            shield.read("/data/f").is_err(),
+            "read after truncation to {keep} bytes must fail"
+        );
+        assert!(
+            shield.read_range("/data/f", 0, 10).is_err(),
+            "range read after truncation to {keep} bytes must fail"
+        );
+    }
+}
+
+#[test]
 fn quote_forgery_rejected_everywhere() {
     use securetf_cas::policy::ServicePolicy;
     use securetf_cas::service::CasService;

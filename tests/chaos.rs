@@ -248,6 +248,68 @@ fn hand_written_worst_case_plan_is_survived() {
     assert_eq!(supervisor.stats().respawns, WORKERS as u64);
 }
 
+#[test]
+fn hand_written_storage_crash_plan_is_survived() {
+    // The storage host dies mid-checkpoint (once cleanly, once leaving a
+    // torn record), and later rolls the whole store back to an older
+    // image. Checkpoints flow through the journaled fs-shield path, so
+    // every crash resolves to a committed generation and training
+    // completes.
+    let plan = FaultPlan::none()
+        .with_event(4, FaultEvent::CrashDuringWrite { after_ops: 1 })
+        .with_event(7, FaultEvent::TornWrite {
+            after_ops: 2,
+            torn_bytes: 11,
+        })
+        .with_event(8, FaultEvent::StorageRollback);
+    let mut supervisor = Supervisor::new(
+        trainer(),
+        plan,
+        SupervisorConfig::default(),
+        UntrustedStore::new(),
+    )
+    .expect("supervisor boots");
+    let report = supervisor
+        .train_steps(STEPS)
+        .expect("storage chaos survived");
+    assert!(report.final_loss.is_finite());
+    assert_eq!(report.samples, STEPS * WORKERS as u64 * 100);
+    let stats = supervisor.stats();
+    assert!(
+        stats.storage_recoveries >= 1,
+        "a crash during a checkpoint write must trigger remount recovery"
+    );
+    assert_eq!(stats.storage_rollbacks, 1);
+}
+
+#[test]
+fn storage_crash_plans_reproduce_bit_for_bit() {
+    // Same-seed determinism must hold on the storage-fault path too:
+    // host restarts, re-attestation and shield remounts are all charged
+    // to virtual time, never wall-clock.
+    let run = |seed: u64| {
+        let telemetry = Telemetry::new(std::sync::Arc::new(SimClock::new()));
+        let plan = FaultPlan::none()
+            .with_event(4, FaultEvent::CrashDuringWrite { after_ops: 0 })
+            .with_event(9, FaultEvent::StorageRollback);
+        let digest = plan.schedule_digest();
+        let mut supervisor = Supervisor::new(
+            trainer_with_telemetry(telemetry.clone()),
+            plan,
+            SupervisorConfig::default(),
+            UntrustedStore::new(),
+        )
+        .expect("supervisor boots");
+        let report = supervisor.train_steps(STEPS).expect("plan survived");
+        assert!(
+            supervisor.stats().storage_recoveries >= 1,
+            "seed {seed}: recovery path not exercised"
+        );
+        (digest, report.final_loss.to_bits(), telemetry.metrics_digest())
+    };
+    assert_eq!(run(11), run(11), "storage-crash run diverged");
+}
+
 // ---------------------------------------------------------------------
 // Serving under chaos.
 // ---------------------------------------------------------------------

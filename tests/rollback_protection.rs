@@ -36,6 +36,59 @@ fn fs_shield_detects_file_rollback_within_session() {
 }
 
 #[test]
+fn fs_shield_detects_manifest_replay_across_enclave_restart() {
+    // The attacker snapshots the whole store (including the sealed
+    // manifest — validly MAC'd, validly sealed) at generation g, lets
+    // the enclave write more generations, then replays the snapshot and
+    // waits for the enclave to restart. Within-session metadata is gone,
+    // so only the platform's monotonic counter can expose the replay.
+    let telemetry =
+        securetf_tee::Telemetry::new(Arc::new(securetf_tee::SimClock::new()));
+    let platform = Platform::builder().telemetry(telemetry.clone()).build();
+    let make_enclave = || {
+        platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"manifest replay").build(),
+                ExecutionMode::Hardware,
+            )
+            .expect("enclave")
+    };
+    let store = UntrustedStore::new();
+    {
+        let mut shield = FsShield::new(make_enclave(), store.clone());
+        shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+        shield.write("/ckpt", b"epoch 1 weights").expect("write");
+    }
+    let old_image = store.snapshot();
+    {
+        let mut shield = FsShield::new(make_enclave(), store.clone());
+        shield.write("/ckpt", b"epoch 9 weights").expect("write");
+    }
+    // Replay the old-but-validly-sealed store image, then "restart".
+    store.restore(&old_image);
+    let rejections_before = telemetry.counter("shield.fs.tamper_rejections").get();
+    let err = FsShield::recover(make_enclave(), store.clone());
+    assert!(
+        matches!(err, Err(ShieldError::FileTampered(_))),
+        "replayed manifest must fail closed, got {err:?}"
+    );
+    assert_eq!(
+        telemetry.counter("shield.fs.tamper_rejections").get(),
+        rejections_before + 1,
+        "the rollback must be counted as a tamper rejection"
+    );
+    // An honest, non-rolled-back store still recovers on this platform.
+    let honest = UntrustedStore::new();
+    {
+        let mut shield = FsShield::new(make_enclave(), honest.clone());
+        shield.add_policy(PathPolicy::new("/", Policy::EncryptAuth));
+        shield.write("/ckpt", b"fresh weights").expect("write");
+    }
+    let (recovered, _) = FsShield::recover(make_enclave(), honest).expect("honest recovery");
+    assert_eq!(recovered.read("/ckpt").expect("read"), b"fresh weights");
+}
+
+#[test]
 fn audit_service_detects_rollback_across_restarts() {
     // The enclave restarts and loses its in-memory metadata; the CAS
     // auditing service still knows the freshest version.

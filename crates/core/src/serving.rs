@@ -11,10 +11,18 @@
 //!
 //! ```text
 //! request  := 'Q' request_id:u64 rank:u32 dims:u32* payload:f32*
+//!           | 'D' request_id:u64 deadline:u64 rank:u32 dims:u32* payload:f32*
+//!           | 'B'
 //! response := 'R' request_id:u64 label:u32
 //!           | 'E' request_id:u64 len:u32 message:bytes
 //!           | 'U' request_id:u64 retry_after:u64
 //! ```
+//!
+//! The `'D'` frame carries an absolute virtual-time deadline; the
+//! inference gateway (`securetf-gateway`) uses it for EDF dispatch and
+//! sheds requests whose deadline has already passed. The `'B'` (bye)
+//! frame is an explicit goodbye: multiplexing servers cannot tell an
+//! idle client from a departed one by an empty transport alone.
 //!
 //! The `'U'` frame is graceful degradation: while the classifier's
 //! enclave is marked failed (crash, pending respawn), the service
@@ -26,6 +34,8 @@ use crate::classifier::SecureClassifier;
 use crate::SecureTfError;
 use securetf_shield::net::{SecureChannel, Transport};
 use securetf_shield::ShieldError;
+use securetf_tee::telemetry::{Counter, Histogram};
+use securetf_tee::Telemetry;
 use securetf_tensor::tensor::Tensor;
 
 /// A classification request on the wire.
@@ -33,8 +43,31 @@ use securetf_tensor::tensor::Tensor;
 pub struct Request {
     /// Client-chosen correlation id.
     pub id: u64,
+    /// Absolute virtual-time deadline, or `None` for best-effort.
+    pub deadline_ns: Option<u64>,
     /// The input tensor.
     pub input: Tensor,
+}
+
+impl Request {
+    /// A best-effort request (no deadline).
+    pub fn new(id: u64, input: Tensor) -> Self {
+        Request {
+            id,
+            deadline_ns: None,
+            input,
+        }
+    }
+
+    /// A request that must be answered by the absolute virtual-time
+    /// instant `deadline_ns`.
+    pub fn with_deadline(id: u64, input: Tensor, deadline_ns: u64) -> Self {
+        Request {
+            id,
+            deadline_ns: Some(deadline_ns),
+            input,
+        }
+    }
 }
 
 /// A classification response on the wire.
@@ -69,11 +102,20 @@ pub enum Response {
 /// respawning an enclave and re-attesting it through CAS.
 pub const RETRY_AFTER_HINT_NS: u64 = 5_000_000;
 
-/// Encodes a request frame.
+/// Encodes a request frame (`'Q'`, or `'D'` when a deadline is set).
 pub fn encode_request(request: &Request) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + request.input.len() * 4);
-    out.push(b'Q');
-    out.extend_from_slice(&request.id.to_le_bytes());
+    let mut out = Vec::with_capacity(21 + request.input.len() * 4);
+    match request.deadline_ns {
+        Some(deadline) => {
+            out.push(b'D');
+            out.extend_from_slice(&request.id.to_le_bytes());
+            out.extend_from_slice(&deadline.to_le_bytes());
+        }
+        None => {
+            out.push(b'Q');
+            out.extend_from_slice(&request.id.to_le_bytes());
+        }
+    }
     out.extend_from_slice(&(request.input.shape().len() as u32).to_le_bytes());
     for &d in request.input.shape() {
         out.extend_from_slice(&(d as u32).to_le_bytes());
@@ -107,13 +149,22 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ShieldError> {
             .map_err(|_| ShieldError::IagoViolation("bad u32 field"))?;
         Ok(u32::from_le_bytes(arr))
     };
-    if take(&mut cursor, 1)? != b"Q" {
+    let tag = take(&mut cursor, 1)?[0];
+    if tag != b'Q' && tag != b'D' {
         return Err(ShieldError::IagoViolation("not a request frame"));
     }
-    let id_bytes: [u8; 8] = take(&mut cursor, 8)?
-        .try_into()
-        .map_err(|_| ShieldError::IagoViolation("bad request id"))?;
-    let id = u64::from_le_bytes(id_bytes);
+    let le_u64 = |b: &[u8]| -> Result<u64, ShieldError> {
+        let arr: [u8; 8] = b
+            .try_into()
+            .map_err(|_| ShieldError::IagoViolation("bad u64 field"))?;
+        Ok(u64::from_le_bytes(arr))
+    };
+    let id = le_u64(take(&mut cursor, 8)?)?;
+    let deadline_ns = if tag == b'D' {
+        Some(le_u64(take(&mut cursor, 8)?)?)
+    } else {
+        None
+    };
     let rank = le_u32(take(&mut cursor, 4)?)? as usize;
     if rank > 8 {
         return Err(ShieldError::IagoViolation("hostile tensor rank"));
@@ -136,7 +187,32 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ShieldError> {
         .collect();
     let input = Tensor::from_vec(&shape, data)
         .map_err(|_| ShieldError::IagoViolation("inconsistent tensor"))?;
-    Ok(Request { id, input })
+    Ok(Request {
+        id,
+        deadline_ns,
+        input,
+    })
+}
+
+/// Recovers the request id from a frame whose header parses even though
+/// the body is malformed, so errors can be correlated by the client
+/// instead of landing on id 0.
+pub fn salvage_request_id(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 9 || (bytes[0] != b'Q' && bytes[0] != b'D') {
+        return None;
+    }
+    bytes[1..9].try_into().ok().map(u64::from_le_bytes)
+}
+
+/// Encodes the explicit goodbye frame a client sends before departing a
+/// multiplexing server.
+pub fn encode_goodbye() -> Vec<u8> {
+    vec![b'B']
+}
+
+/// Whether `bytes` is the goodbye frame.
+pub fn is_goodbye(bytes: &[u8]) -> bool {
+    bytes == [b'B']
 }
 
 /// Encodes a response frame.
@@ -224,6 +300,41 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, ShieldError> {
     }
 }
 
+/// Per-response serving telemetry, shared by the single-channel
+/// [`serve`] loop and the gateway's response path so the bookkeeping
+/// lives in exactly one place.
+#[derive(Debug, Clone)]
+pub struct ServingMetrics {
+    requests: Counter,
+    unavailable: Counter,
+    errors: Counter,
+    latency: Histogram,
+}
+
+impl ServingMetrics {
+    /// Resolves the serving counters and latency histogram on `telemetry`.
+    pub fn for_telemetry(telemetry: &Telemetry) -> Self {
+        ServingMetrics {
+            requests: telemetry.counter("serving.requests"),
+            unavailable: telemetry.counter("serving.unavailable"),
+            errors: telemetry.counter("serving.errors"),
+            latency: telemetry.histogram("serving.request_latency_ns"),
+        }
+    }
+
+    /// Records one answered request: the request counter, its latency,
+    /// and the per-outcome counter.
+    pub fn record(&self, response: &Response, latency_ns: u64) {
+        self.requests.inc();
+        self.latency.record(latency_ns);
+        match response {
+            Response::Unavailable { .. } => self.unavailable.inc(),
+            Response::Error { .. } => self.errors.inc(),
+            Response::Label { .. } => {}
+        }
+    }
+}
+
 /// Serves classification requests from one secure channel until the
 /// client disconnects. Returns the number of requests served.
 ///
@@ -241,11 +352,7 @@ pub fn serve<T: Transport>(
     classifier: &mut SecureClassifier,
     channel: &mut SecureChannel<T>,
 ) -> Result<u64, SecureTfError> {
-    let telemetry = classifier.enclave().telemetry().clone();
-    let requests = telemetry.counter("serving.requests");
-    let unavailable = telemetry.counter("serving.unavailable");
-    let errors = telemetry.counter("serving.errors");
-    let latency = telemetry.histogram("serving.request_latency_ns");
+    let metrics = ServingMetrics::for_telemetry(classifier.enclave().telemetry());
     let clock = classifier.enclave().clock().clone();
     let mut served = 0u64;
     loop {
@@ -270,21 +377,17 @@ pub fn serve<T: Transport>(
                     message: e.to_string(),
                 },
             },
+            // The body is hostile, but when the header parses the real
+            // request id still lets the client correlate the failure.
             Err(e) => Response::Error {
-                id: 0,
+                id: salvage_request_id(&frame).unwrap_or(0),
                 message: e.to_string(),
             },
         };
         match channel.send(&encode_response(&response)) {
             Ok(()) => {
                 served += 1;
-                requests.inc();
-                latency.record(clock.now_ns() - started_ns);
-                match &response {
-                    Response::Unavailable { .. } => unavailable.inc(),
-                    Response::Error { .. } => errors.inc(),
-                    Response::Label { .. } => {}
-                }
+                metrics.record(&response, clock.now_ns() - started_ns);
             }
             // The channel's own endpoint died mid-reply: the session is
             // over, but requests already answered still count.
@@ -305,10 +408,7 @@ pub fn request_label<T: Transport>(
     input: &Tensor,
 ) -> Result<Response, SecureTfError> {
     channel
-        .send(&encode_request(&Request {
-            id,
-            input: input.clone(),
-        }))
+        .send(&encode_request(&Request::new(id, input.clone())))
         .map_err(SecureTfError::Shield)?;
     let frame = channel.recv().map_err(SecureTfError::Shield)?;
     decode_response(&frame).map_err(SecureTfError::Shield)
@@ -366,11 +466,15 @@ mod tests {
 
     #[test]
     fn frames_roundtrip() {
-        let request = Request {
-            id: 42,
-            input: Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap(),
-        };
+        let request = Request::new(
+            42,
+            Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap(),
+        );
         assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+        let deadlined = Request::with_deadline(43, Tensor::full(&[1, 4], 0.5), 9_000_000);
+        assert_eq!(decode_request(&encode_request(&deadlined)).unwrap(), deadlined);
+        assert!(is_goodbye(&encode_goodbye()));
+        assert!(decode_request(&encode_goodbye()).is_err());
         for response in [
             Response::Label { id: 7, label: 3 },
             Response::Error {
@@ -410,6 +514,20 @@ mod tests {
     }
 
     #[test]
+    fn salvage_recovers_id_from_malformed_bodies() {
+        // A truncated request whose header still parses keeps its id.
+        let full = encode_request(&Request::new(0xAB, Tensor::full(&[1, 4], 1.0)));
+        let truncated = &full[..full.len() - 3];
+        assert!(decode_request(truncated).is_err());
+        assert_eq!(salvage_request_id(truncated), Some(0xAB));
+        let deadlined = encode_request(&Request::with_deadline(7, Tensor::full(&[1, 2], 0.0), 5));
+        assert_eq!(salvage_request_id(&deadlined[..10]), Some(7));
+        // Unknown tags and too-short frames salvage nothing.
+        assert_eq!(salvage_request_id(b"garbage"), None);
+        assert_eq!(salvage_request_id(b"Xabcdefgh"), None);
+    }
+
+    #[test]
     fn serve_answers_requests_and_counts() {
         let mut deployment = Deployment::new(ExecutionMode::Hardware);
         deployment.publish_model("svc", "/m", &tiny_model()).unwrap();
@@ -437,17 +555,17 @@ mod tests {
         // (the in-memory pipe buffers requests).
         for i in 0..3u64 {
             client
-                .send(&encode_request(&Request {
-                    id: i,
-                    input: Tensor::full(&[1, 6], i as f32),
-                }))
+                .send(&encode_request(&Request::new(i, Tensor::full(&[1, 6], i as f32))))
                 .unwrap();
         }
-        // One malformed frame.
+        // One malformed frame, and one whose body is truncated but whose
+        // header (and so its id) still parses.
         client.send(b"garbage").unwrap();
+        let full = encode_request(&Request::new(77, Tensor::full(&[1, 6], 0.0)));
+        client.send(&full[..full.len() - 2]).unwrap();
         drop_extra(&mut client); // no-op, keeps client mutable in scope
         let served = serve_fn(&mut classifier).expect("serve");
-        assert_eq!(served, 4);
+        assert_eq!(served, 5);
         for i in 0..3u64 {
             match decode_response(&client.recv().expect("response")).expect("frame") {
                 Response::Label { id, label } => {
@@ -458,8 +576,15 @@ mod tests {
             }
         }
         match decode_response(&client.recv().expect("response")).expect("frame") {
-            Response::Error { message, .. } => {
+            Response::Error { id, message } => {
+                assert_eq!(id, 0, "unsalvageable frame lands on id 0");
                 assert!(message.contains("iago") || message.contains("frame"), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        match decode_response(&client.recv().expect("response")).expect("frame") {
+            Response::Error { id, .. } => {
+                assert_eq!(id, 77, "truncated body must keep its salvaged id");
             }
             other => panic!("expected error, got {other:?}"),
         }
@@ -490,10 +615,7 @@ mod tests {
 
         let ask = |client: &mut SecureChannel<Spin>, id: u64| {
             client
-                .send(&encode_request(&Request {
-                    id,
-                    input: Tensor::full(&[1, 6], 1.0),
-                }))
+                .send(&encode_request(&Request::new(id, Tensor::full(&[1, 6], 1.0))))
                 .unwrap();
         };
 
@@ -556,10 +678,7 @@ mod tests {
 
         let ask = |client: &mut SecureChannel<Spin>, id: u64| {
             client
-                .send(&encode_request(&Request {
-                    id,
-                    input: Tensor::full(&[1, 6], 1.0),
-                }))
+                .send(&encode_request(&Request::new(id, Tensor::full(&[1, 6], 1.0))))
                 .unwrap();
         };
 
@@ -601,10 +720,7 @@ mod tests {
 
         // Queue request, serve one round, read response.
         client
-            .send(&encode_request(&Request {
-                id: 5,
-                input: Tensor::full(&[1, 6], 1.0),
-            }))
+            .send(&encode_request(&Request::new(5, Tensor::full(&[1, 6], 1.0))))
             .unwrap();
         serve(&mut classifier, &mut server).expect("serve drained the queue");
         let frame = client.recv().expect("response");

@@ -81,6 +81,28 @@ pub enum FaultEvent {
     /// image (validly encrypted, validly MAC'd — just stale). The
     /// monotonic counter and per-file versions must catch it.
     StorageRollback,
+    /// A serving client fires a burst of back-to-back requests, stressing
+    /// admission control and micro-batch formation in the gateway.
+    RequestBurst {
+        /// Client index (taken modulo the connected client count).
+        client: usize,
+        /// Number of requests in the burst.
+        requests: u64,
+    },
+    /// A serving client goes quiet for a stretch of virtual time before
+    /// its next request, forcing batch timeouts to fire under-full.
+    SlowClient {
+        /// Client index (taken modulo the connected client count).
+        client: usize,
+        /// Virtual nanoseconds of client-side delay.
+        delay_ns: u64,
+    },
+    /// A serving client disconnects (sends its goodbye frame) and issues
+    /// no further requests.
+    ClientDisconnect {
+        /// Client index (taken modulo the connected client count).
+        client: usize,
+    },
 }
 
 /// A deterministic, step-indexed schedule of [`FaultEvent`]s.
@@ -157,6 +179,47 @@ impl FaultPlan {
             }
             if rng.gen::<f64>() < 0.04 {
                 at_step.push(FaultEvent::StorageRollback);
+            }
+            if !at_step.is_empty() {
+                events.insert(step, at_step);
+            }
+        }
+        FaultPlan { seed, events }
+    }
+
+    /// Generates a serving-side plan for `steps` gateway pump rounds over
+    /// `clients` connected clients, entirely determined by `seed`.
+    ///
+    /// Serving plans draw from a distinct rng stream (the seed is mixed
+    /// with a fixed tag), so a chaos harness can run a training plan and
+    /// a serving plan from the same user seed without the two schedules
+    /// being correlated. Only client-facing events are scheduled:
+    /// [`FaultEvent::RequestBurst`], [`FaultEvent::SlowClient`] and
+    /// [`FaultEvent::ClientDisconnect`].
+    pub fn generate_serving(seed: u64, steps: u64, clients: usize) -> Self {
+        // "SERV" — keeps serving schedules decorrelated from training
+        // schedules generated from the same user-facing seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5345_5256);
+        let clients = clients.max(1);
+        let mut events: BTreeMap<u64, Vec<FaultEvent>> = BTreeMap::new();
+        for step in 0..steps {
+            let mut at_step = Vec::new();
+            if rng.gen::<f64>() < 0.25 {
+                at_step.push(FaultEvent::RequestBurst {
+                    client: rng.gen_range(0..clients),
+                    requests: rng.gen_range(2u64..9),
+                });
+            }
+            if rng.gen::<f64>() < 0.15 {
+                at_step.push(FaultEvent::SlowClient {
+                    client: rng.gen_range(0..clients),
+                    delay_ns: rng.gen_range(500_000u64..10_000_000),
+                });
+            }
+            if rng.gen::<f64>() < 0.08 {
+                at_step.push(FaultEvent::ClientDisconnect {
+                    client: rng.gen_range(0..clients),
+                });
             }
             if !at_step.is_empty() {
                 events.insert(step, at_step);
@@ -258,6 +321,20 @@ impl FaultPlan {
                     FaultEvent::StorageRollback => {
                         mix(&[9]);
                     }
+                    FaultEvent::RequestBurst { client, requests } => {
+                        mix(&[10]);
+                        mix(&(client as u64).to_le_bytes());
+                        mix(&requests.to_le_bytes());
+                    }
+                    FaultEvent::SlowClient { client, delay_ns } => {
+                        mix(&[11]);
+                        mix(&(client as u64).to_le_bytes());
+                        mix(&delay_ns.to_le_bytes());
+                    }
+                    FaultEvent::ClientDisconnect { client } => {
+                        mix(&[12]);
+                        mix(&(client as u64).to_le_bytes());
+                    }
                 }
             }
         }
@@ -304,11 +381,45 @@ mod tests {
                     FaultEvent::CrashDuringWrite { .. } => 6,
                     FaultEvent::TornWrite { .. } => 7,
                     FaultEvent::StorageRollback => 8,
+                    FaultEvent::RequestBurst { .. }
+                    | FaultEvent::SlowClient { .. }
+                    | FaultEvent::ClientDisconnect { .. } => {
+                        panic!("training plans must not schedule serving events: {e:?}")
+                    }
                 };
                 kinds[k] = true;
             }
         }
         assert_eq!(kinds, [true; 9], "missing fault kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn serving_generation_covers_every_serving_kind() {
+        let plan = FaultPlan::generate_serving(7, 300, 4);
+        let mut kinds = [false; 3];
+        for step in 0..300 {
+            for e in plan.events_at(step) {
+                let k = match e {
+                    FaultEvent::RequestBurst { .. } => 0,
+                    FaultEvent::SlowClient { .. } => 1,
+                    FaultEvent::ClientDisconnect { .. } => 2,
+                    other => panic!("serving plans must only schedule serving events: {other:?}"),
+                };
+                kinds[k] = true;
+            }
+        }
+        assert_eq!(kinds, [true; 3], "missing serving fault kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn serving_plan_is_deterministic_and_decorrelated() {
+        let a = FaultPlan::generate_serving(42, 80, 4);
+        let b = FaultPlan::generate_serving(42, 80, 4);
+        assert_eq!(a.schedule_digest(), b.schedule_digest());
+        // Same user seed, but the serving stream must not mirror the
+        // training stream.
+        let training = FaultPlan::generate(42, 80, 4);
+        assert_ne!(a.schedule_digest(), training.schedule_digest());
     }
 
     #[test]

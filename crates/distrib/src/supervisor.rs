@@ -442,6 +442,12 @@ impl Supervisor {
                         self.store.restore(snapshot);
                     }
                 }
+                // Serving-side events target the inference gateway's
+                // clients, not the training cluster; a training
+                // supervisor ignores them.
+                FaultEvent::RequestBurst { .. }
+                | FaultEvent::SlowClient { .. }
+                | FaultEvent::ClientDisconnect { .. } => {}
             }
         }
         Ok(())

@@ -331,6 +331,32 @@ impl<T: Transport> SecureChannel<T> {
         }
         self.enclave.charge_syscall();
         let record = self.transport.recv().ok_or(ShieldError::ChannelClosed)?;
+        self.open_record(record)
+    }
+
+    /// Non-blocking receive for multiplexing servers polling many
+    /// channels: `Ok(None)` when the transport currently has no record
+    /// (no syscall is charged for an empty poll), otherwise exactly
+    /// [`SecureChannel::recv`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ShieldError::ChannelClosed`] if this channel's enclave is
+    ///   marked failed.
+    /// * [`ShieldError::ChannelTampered`] if a present record fails
+    ///   authentication.
+    pub fn try_recv(&mut self) -> Result<Option<Vec<u8>>, ShieldError> {
+        if self.enclave.is_failed() {
+            return Err(ShieldError::ChannelClosed);
+        }
+        let Some(record) = self.transport.recv() else {
+            return Ok(None);
+        };
+        self.enclave.charge_syscall();
+        self.open_record(record).map(Some)
+    }
+
+    fn open_record(&mut self, record: Vec<u8>) -> Result<Vec<u8>, ShieldError> {
         for candidate in self.recv_seq..=self.recv_seq + self.loss_window {
             let nonce = Nonce::from_counter(REC_DATA, candidate);
             let aad = candidate.to_le_bytes();
@@ -563,6 +589,18 @@ mod tests {
     fn recv_on_empty_is_closed() {
         let (mut a, _b) = pair(None);
         assert!(matches!(a.recv(), Err(ShieldError::ChannelClosed)));
+    }
+
+    #[test]
+    fn try_recv_polls_without_closing() {
+        let (mut a, mut b) = pair(None);
+        assert!(matches!(b.try_recv(), Ok(None)));
+        a.send(b"polled").unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), b"polled");
+        assert!(matches!(b.try_recv(), Ok(None)));
+        // A failed enclave still fails closed even on a poll.
+        b.enclave.mark_failed();
+        assert!(matches!(b.try_recv(), Err(ShieldError::ChannelClosed)));
     }
 
     #[test]

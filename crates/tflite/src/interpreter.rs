@@ -124,6 +124,19 @@ impl Interpreter {
         Ok(out.argmax().unwrap_or(0))
     }
 
+    /// Classifies a stacked `[batch, …]` input in one pass, returning one
+    /// argmax label per output row. Every kernel computes each output row
+    /// from its own input row with a fixed reduction order, so per-row
+    /// labels are bit-identical to running the rows one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiteError::Exec`] on shape or graph errors.
+    pub fn classify_batch(&mut self, input: &Tensor) -> Result<Vec<usize>, LiteError> {
+        let out = self.run(input)?;
+        out.argmax_rows().map_err(LiteError::Exec)
+    }
+
     /// The model being interpreted.
     pub fn model(&self) -> &LiteModel {
         &self.model
@@ -227,6 +240,21 @@ mod tests {
         let mut b = Interpreter::new(tiny_model(0.0));
         let x = Tensor::from_vec(&[2, 4], vec![0.5; 8]).unwrap();
         assert_eq!(a.run(&x).unwrap().data(), b.run(&x).unwrap().data());
+    }
+
+    #[test]
+    fn batched_classify_matches_single_rows_bitwise() {
+        let mut batched = Interpreter::new(tiny_model(0.0));
+        let mut single = Interpreter::new(tiny_model(0.0));
+        let rows = 9usize;
+        let data: Vec<f32> = (0..rows * 4).map(|i| (i % 13) as f32 * 0.3 - 1.5).collect();
+        let stacked = Tensor::from_vec(&[rows, 4], data.clone()).unwrap();
+        let labels = batched.classify_batch(&stacked).unwrap();
+        assert_eq!(labels.len(), rows);
+        for (r, &label) in labels.iter().enumerate() {
+            let row = Tensor::from_vec(&[1, 4], data[r * 4..(r + 1) * 4].to_vec()).unwrap();
+            assert_eq!(single.classify(&row).unwrap(), label, "row {r}");
+        }
     }
 
     #[test]

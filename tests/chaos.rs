@@ -400,10 +400,7 @@ fn serving_returns_unavailable_during_outages_and_recovers() {
         for i in 0..3u64 {
             let id = cycle * 10 + i;
             client
-                .send(&encode_request(&Request {
-                    id,
-                    input: input.clone(),
-                }))
+                .send(&encode_request(&Request::new(id, input.clone())))
                 .expect("client send");
         }
         let served = serve(&mut classifier, &mut server).expect("serve never panics");
@@ -434,10 +431,7 @@ fn serving_returns_unavailable_during_outages_and_recovers() {
     // The request/response helper sees the typed degradation too.
     classifier.enclave().mark_failed();
     client
-        .send(&encode_request(&Request {
-            id: 99,
-            input: input.clone(),
-        }))
+        .send(&encode_request(&Request::new(99, input.clone())))
         .expect("send");
     serve(&mut classifier, &mut server).expect("degraded serve");
     let frame = client.recv().expect("response");
@@ -449,10 +443,7 @@ fn serving_returns_unavailable_during_outages_and_recovers() {
     // Full recovery via the helper path.
     classifier.enclave().revive();
     client
-        .send(&encode_request(&Request {
-            id: 100,
-            input: input.clone(),
-        }))
+        .send(&encode_request(&Request::new(100, input.clone())))
         .expect("send");
     serve(&mut classifier, &mut server).expect("healthy serve");
     let frame = client.recv().expect("response");

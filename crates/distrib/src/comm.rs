@@ -1,0 +1,310 @@
+//! Communication plane for distributed training (§5.4).
+//!
+//! The trainer's per-step exchange is built from three pieces that live
+//! here:
+//!
+//! * **Shard ownership** — variables are range-partitioned across the
+//!   parameter-server nodes by cumulative byte size
+//!   ([`partition_by_bytes`]); each worker pushes a gradient chunk only
+//!   to the owning shard, and the shards' NICs drain in parallel.
+//! * **Layer-wise overlap** — the backward pass emits per-variable
+//!   gradient chunks as each segment completes (last layer first), so
+//!   chunk sealing and transfer overlap the remaining compute on the
+//!   worker's virtual clock. [`schedule`] resolves the resulting
+//!   pipeline deterministically: a per-worker seal queue feeds
+//!   per-shard NIC queues, processed in a fixed global order.
+//! * **Codec choice** — [`CommConfig`] selects the wire codec
+//!   ([`Codec::Dense`] exact f32, or [`Codec::Quantized`] int8 with
+//!   worker-side error feedback) and whether overlap is enabled.
+//!
+//! Everything is pure virtual-time arithmetic: no RNG, no wall clock,
+//! so same-seed runs produce bit-identical schedules and telemetry.
+
+pub use crate::wire::Codec;
+use securetf_tee::telemetry::{Counter, Gauge, Histogram};
+use securetf_tee::Telemetry;
+
+/// How the trainer moves bytes between workers and parameter servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommConfig {
+    /// Wire codec for gradient pushes (and federated updates). The
+    /// weight broadcast always stays dense: workers must hold the exact
+    /// global model so sharded installs stay bit-identical.
+    pub codec: Codec,
+    /// Pipeline per-variable chunks into the PS as backward segments
+    /// complete, instead of one barrier after the full backward pass.
+    /// Overlap changes only the virtual-time schedule — the applied
+    /// update is bit-identical either way.
+    pub overlap: bool,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            codec: Codec::Dense,
+            overlap: true,
+        }
+    }
+}
+
+/// Cumulative communication accounting across a trainer's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Bytes put on the wire (broadcast + gradient pushes).
+    pub bytes_sent: u64,
+    /// Bytes the quantized codec avoided sending vs dense frames.
+    pub bytes_saved: u64,
+    /// Exposed (non-hidden) communication time, nanoseconds.
+    pub comm_ns: u64,
+    /// Communication time kept off the step's critical path —
+    /// overlapped under compute or drained by parallel shard NICs.
+    pub overlap_hidden_ns: u64,
+}
+
+/// Assigns each entry of `sizes` (byte size per variable, in id order)
+/// to one of `shards` contiguous ranges, balancing cumulative bytes:
+/// entry `i` lands on the shard its byte midpoint falls in. The result
+/// is non-decreasing (contiguous ranges) and identical across steps for
+/// a fixed model, so shard ownership is stable.
+pub fn partition_by_bytes(sizes: &[u64], shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let total: u128 = sizes.iter().map(|&s| u128::from(s)).sum();
+    if total == 0 {
+        return vec![0; sizes.len()];
+    }
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut cum: u128 = 0;
+    for &s in sizes {
+        let mid = cum + u128::from(s) / 2;
+        out.push(((mid * shards as u128) / total) as usize);
+        cum += u128::from(s);
+    }
+    out
+}
+
+/// One gradient chunk awaiting transmission, with its virtual-time
+/// costs. All offsets are relative to the exchange start (the moment
+/// every worker begins its step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Owning parameter-server shard (NIC queue index).
+    pub shard: usize,
+    /// When the backward segment producing this chunk completes on the
+    /// worker's timeline.
+    pub ready_ns: u64,
+    /// Worker-side shield record sealing cost.
+    pub seal_ns: u64,
+    /// LAN transfer time at the shard's NIC.
+    pub transfer_ns: u64,
+    /// PS-side shield record processing at the shard.
+    pub ps_shield_ns: u64,
+}
+
+/// Outcome of resolving an overlapped exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeOutcome {
+    /// When the last chunk lands at its shard, relative to exchange
+    /// start.
+    pub done_ns: u64,
+    /// Total serialized cost of every chunk (seal + transfer + PS
+    /// shield) — what a barrier exchange would pay end-to-end.
+    pub serial_comm_ns: u64,
+}
+
+/// Resolves the overlapped exchange: per worker, chunks seal in order
+/// on the worker's CPU (a chunk cannot seal before its gradient is
+/// ready or before the previous chunk finished sealing); sealed chunks
+/// then queue at the owning shard's NIC, which serializes transfer +
+/// PS-side record processing. NIC arbitration is deterministic: sealed
+/// chunks drain in `(seal_end, worker, chunk)` order.
+pub fn schedule(per_worker: &[Vec<Chunk>], shards: usize) -> ExchangeOutcome {
+    let mut sealed: Vec<(u64, usize, usize)> = Vec::new();
+    let mut serial_comm_ns = 0u64;
+    for (w, chunks) in per_worker.iter().enumerate() {
+        let mut seal_end = 0u64;
+        for (i, chunk) in chunks.iter().enumerate() {
+            seal_end = seal_end.max(chunk.ready_ns) + chunk.seal_ns;
+            sealed.push((seal_end, w, i));
+            serial_comm_ns += chunk.seal_ns + chunk.transfer_ns + chunk.ps_shield_ns;
+        }
+    }
+    sealed.sort_unstable();
+    let mut nic_free = vec![0u64; shards.max(1)];
+    let mut done_ns = 0u64;
+    for (seal_end, w, i) in sealed {
+        let chunk = &per_worker[w][i];
+        let nic = &mut nic_free[chunk.shard];
+        let arrive = seal_end.max(*nic) + chunk.transfer_ns + chunk.ps_shield_ns;
+        *nic = arrive;
+        done_ns = done_ns.max(arrive);
+    }
+    ExchangeOutcome {
+        done_ns,
+        serial_comm_ns,
+    }
+}
+
+/// Registry handles for the trainer's communication metrics, cached so
+/// the hot loop never re-resolves names.
+#[derive(Debug)]
+pub struct CommMetrics {
+    /// `distrib.comm.bytes_sent` — bytes put on the wire.
+    pub bytes_sent: Counter,
+    /// `distrib.comm.bytes_saved` — bytes the codec avoided sending.
+    pub bytes_saved: Counter,
+    /// `distrib.comm.compression_ratio` — dense-equivalent over actual
+    /// push bytes, in thousandths (1000 = dense).
+    pub compression_ratio: Gauge,
+    /// `distrib.comm.comm_ns` — exposed communication time per step.
+    pub comm_ns: Histogram,
+    /// `distrib.comm.overlap_hidden_ns` — comm hidden under compute per
+    /// step.
+    pub overlap_hidden_ns: Histogram,
+}
+
+impl CommMetrics {
+    /// Resolves the handles against `telemetry`'s registry (zero-cost
+    /// no-ops when telemetry is disabled).
+    pub fn new(telemetry: &Telemetry) -> Self {
+        CommMetrics {
+            bytes_sent: telemetry.counter("distrib.comm.bytes_sent"),
+            bytes_saved: telemetry.counter("distrib.comm.bytes_saved"),
+            compression_ratio: telemetry.gauge("distrib.comm.compression_ratio"),
+            comm_ns: telemetry.histogram("distrib.comm.comm_ns"),
+            overlap_hidden_ns: telemetry.histogram("distrib.comm.overlap_hidden_ns"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_covers_all_shards() {
+        let sizes = vec![100, 100, 100, 100, 100, 100, 100, 100];
+        let parts = partition_by_bytes(&sizes, 4);
+        assert_eq!(parts.len(), sizes.len());
+        for pair in parts.windows(2) {
+            assert!(pair[0] <= pair[1], "ranges must be contiguous");
+        }
+        assert_eq!(parts.first(), Some(&0));
+        assert_eq!(parts.last(), Some(&3));
+        // Equal sizes split evenly.
+        assert_eq!(parts, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn partition_handles_degenerate_inputs() {
+        assert_eq!(partition_by_bytes(&[], 3), Vec::<usize>::new());
+        assert_eq!(partition_by_bytes(&[0, 0], 2), vec![0, 0]);
+        assert_eq!(partition_by_bytes(&[10], 1), vec![0]);
+        // One giant variable cannot be split; everything else balances
+        // around it.
+        let parts = partition_by_bytes(&[1_000_000, 10, 10], 2);
+        assert_eq!(parts[0], 0);
+        assert!(parts[1] >= parts[0] && parts[2] >= parts[1]);
+    }
+
+    #[test]
+    fn single_worker_serial_chunks_sum() {
+        // One worker, chunks all ready at t=0: the pipeline degenerates
+        // to seal-serialize then NIC-serialize; done = seal(first) +
+        // everything queued behind one NIC.
+        let chunks = vec![
+            Chunk {
+                shard: 0,
+                ready_ns: 0,
+                seal_ns: 10,
+                transfer_ns: 100,
+                ps_shield_ns: 5,
+            },
+            Chunk {
+                shard: 0,
+                ready_ns: 0,
+                seal_ns: 10,
+                transfer_ns: 100,
+                ps_shield_ns: 5,
+            },
+        ];
+        let out = schedule(&[chunks], 1);
+        // Seal ends at 10 and 20; NIC: 10+105=115, then max(20,115)+105=220.
+        assert_eq!(out.done_ns, 220);
+        assert_eq!(out.serial_comm_ns, 230);
+    }
+
+    #[test]
+    fn overlap_hides_comm_under_compute() {
+        // A chunk ready early overlaps the long tail of compute: the
+        // exchange finishes when the last-ready chunk lands, not at
+        // compute end + all comm.
+        let chunks = vec![
+            Chunk {
+                shard: 0,
+                ready_ns: 100,
+                seal_ns: 10,
+                transfer_ns: 50,
+                ps_shield_ns: 0,
+            },
+            Chunk {
+                shard: 0,
+                ready_ns: 1000,
+                seal_ns: 10,
+                transfer_ns: 50,
+                ps_shield_ns: 0,
+            },
+        ];
+        let out = schedule(&[chunks], 1);
+        // First chunk fully hidden (lands at 160 < 1000); second costs
+        // 60 after its ready point.
+        assert_eq!(out.done_ns, 1060);
+        assert_eq!(out.serial_comm_ns, 120);
+    }
+
+    #[test]
+    fn more_shards_drain_nic_queues_in_parallel() {
+        let worker = |shard0: usize, shard1: usize| {
+            vec![
+                Chunk {
+                    shard: shard0,
+                    ready_ns: 0,
+                    seal_ns: 0,
+                    transfer_ns: 100,
+                    ps_shield_ns: 0,
+                },
+                Chunk {
+                    shard: shard1,
+                    ready_ns: 0,
+                    seal_ns: 0,
+                    transfer_ns: 100,
+                    ps_shield_ns: 0,
+                },
+            ]
+        };
+        let one = schedule(&[worker(0, 0), worker(0, 0)], 1);
+        let two = schedule(&[worker(0, 1), worker(0, 1)], 2);
+        assert!(two.done_ns < one.done_ns, "{} !< {}", two.done_ns, one.done_ns);
+        assert_eq!(one.done_ns, 400);
+        assert_eq!(two.done_ns, 200);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let chunks: Vec<Vec<Chunk>> = (0..4)
+            .map(|w| {
+                (0..6)
+                    .map(|i| Chunk {
+                        shard: (w + i) % 2,
+                        ready_ns: (i as u64) * 37 + (w as u64) * 11,
+                        seal_ns: 5,
+                        transfer_ns: 40 + (i as u64) * 3,
+                        ps_shield_ns: 7,
+                    })
+                    .collect()
+            })
+            .collect();
+        let a = schedule(&chunks, 2);
+        let b = schedule(&chunks, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -5,13 +5,16 @@
 //! bootstraps trust through CAS, and wraps all links in the network
 //! shield. This crate simulates that cluster:
 //!
-//! * [`wire`] — the byte format for weights and gradients on the wire.
+//! * [`wire`] — the byte format for weights and gradients on the wire:
+//!   exact dense frames plus a deterministic int8-quantized codec.
+//! * [`comm`] — the communication plane: PS shard ownership, the
+//!   layer-wise overlapped chunk scheduler, and codec configuration.
 //! * [`cluster`] — simulated nodes: a platform + enclave per machine,
 //!   CAS attestation on join, per-node virtual clocks.
 //! * [`trainer`] — synchronous data-parallel SGD over the cluster with a
-//!   faithful latency model (parallel compute, serialized parameter-server
-//!   link, shield costs), elastic worker addition (challenge ❹) and
-//!   worker-failure handling.
+//!   faithful latency model (parallel compute, per-shard NIC queues,
+//!   shield costs, gradient pushes overlapped with backward compute),
+//!   elastic worker addition (challenge ❹) and worker-failure handling.
 //! * [`federated`] — federated averaging for the paper's medical use-case
 //!   (§6.2).
 //! * [`faults`] — deterministic, seed-derived fault-injection plans
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod cluster;
+pub mod comm;
 pub mod faults;
 pub mod federated;
 pub mod supervisor;

@@ -7,14 +7,25 @@
 //!
 //! * worker gradient computation runs **in parallel** across nodes (the
 //!   step takes the slowest worker, including that node's own EPC paging),
-//! * weight/gradient transfers serialize at the parameter server's NIC,
+//! * variables are range-partitioned across the PS shards; each shard's
+//!   NIC serializes its own transfers, and the shards drain in parallel,
+//! * with overlap enabled (the default), gradient chunks are pushed as
+//!   each backward segment completes, hiding transfer time under the
+//!   remaining compute ([`crate::comm::schedule`]),
 //! * the network shield adds record-processing cost at both endpoints,
+//!   charged on the (possibly compressed) wire length,
 //! * under the shielded runtime, multi-threaded training compute pays the
 //!   scheduler slowdown the paper reports (§5.4).
+//!
+//! Neither overlap nor sharding changes the training math: gradients are
+//! applied per variable in worker-index order whatever the arrival
+//! order, so the applied update is bit-identical across comm settings.
 
 use crate::cluster::Cluster;
-use crate::wire;
+use crate::comm::{self, Chunk, CommConfig, CommMetrics, CommStats};
+use crate::wire::{self, Codec};
 use crate::DistribError;
+use std::collections::HashMap;
 use securetf_data::Dataset;
 use securetf_tensor::graph::NodeId;
 use securetf_tensor::layers::Classifier;
@@ -53,6 +64,17 @@ struct WorkerState {
     enclave: std::sync::Arc<securetf_tee::Enclave>,
     params_region: RegionId,
     activations_region: RegionId,
+    /// Error-feedback residuals left by quantized pushes, per variable.
+    /// A respawned worker starts with empty residuals (state rebuilt).
+    residuals: HashMap<u32, Tensor>,
+}
+
+/// One worker's encoded gradient push for a step: the wire frames, plus
+/// chunk timings when the exchange is overlapped (one chunk per frame,
+/// same order).
+struct Push {
+    frames: Vec<Vec<u8>>,
+    chunks: Vec<Chunk>,
 }
 
 /// Drives synchronous data-parallel training over a [`Cluster`].
@@ -66,6 +88,12 @@ pub struct DistributedTrainer {
     ps_params_region: RegionId,
     workers: Vec<WorkerState>,
     pool: securetf_tensor::kernels::WorkerPool,
+    comm: CommConfig,
+    comm_stats: CommStats,
+    comm_metrics: CommMetrics,
+    /// Encoded dense entry body per variable, dropped when the PS apply
+    /// changes the variable — unchanged variables are never re-encoded.
+    weight_cache: HashMap<u32, Vec<u8>>,
     global_ns: u64,
     steps: u64,
     samples: u64,
@@ -106,8 +134,10 @@ impl DistributedTrainer {
                 enclave: node.enclave.clone(),
                 params_region: node.enclave.alloc("params", param_bytes),
                 activations_region: node.enclave.alloc("activations", 1),
+                residuals: HashMap::new(),
             })
             .collect();
+        let comm_metrics = CommMetrics::new(&cluster.config().telemetry);
         Ok(DistributedTrainer {
             cluster,
             model,
@@ -118,10 +148,36 @@ impl DistributedTrainer {
             ps_params_region,
             workers,
             pool: securetf_tensor::kernels::WorkerPool::serial(),
+            comm: CommConfig::default(),
+            comm_stats: CommStats::default(),
+            comm_metrics,
+            weight_cache: HashMap::new(),
             global_ns: 0,
             steps: 0,
             samples: 0,
         })
+    }
+
+    /// Selects the wire codec and overlap behavior for subsequent steps.
+    /// Changing the codec resets workers' error-feedback residuals.
+    pub fn set_comm_config(&mut self, comm: CommConfig) {
+        if comm.codec != self.comm.codec {
+            for state in &mut self.workers {
+                state.residuals.clear();
+            }
+        }
+        self.comm = comm;
+    }
+
+    /// The active communication configuration.
+    pub fn comm_config(&self) -> CommConfig {
+        self.comm
+    }
+
+    /// Cumulative communication accounting (bytes on the wire, bytes
+    /// saved by the codec, exposed vs hidden comm time).
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm_stats
     }
 
     /// Sets the in-enclave worker pool every session's kernels run on —
@@ -149,6 +205,7 @@ impl DistributedTrainer {
                 enclave: node.enclave.clone(),
                 params_region: node.enclave.alloc("params", param_bytes),
                 activations_region: node.enclave.alloc("activations", 1),
+                residuals: HashMap::new(),
             });
         }
         // Respawned workers run in fresh enclaves; rebuild their state.
@@ -162,6 +219,7 @@ impl DistributedTrainer {
                     enclave: node.enclave.clone(),
                     params_region: node.enclave.alloc("params", param_bytes),
                     activations_region: node.enclave.alloc("activations", 1),
+                    residuals: HashMap::new(),
                 };
             }
         }
@@ -189,44 +247,109 @@ impl DistributedTrainer {
         } else {
             1.0
         };
+        let telemetry = self.cluster.config().telemetry.clone();
+        let _step_span = telemetry.span("distrib.step");
 
-        let ps_count = self.cluster.parameter_server_count() as u64;
-        // 1. Broadcast current weights. With model sharding each PS node
-        //    sends its shard concurrently with the others, so the serial
-        //    bottleneck divides across the PS NICs.
-        let weights: Vec<(u32, Tensor)> = self
+        let ps_count = self.cluster.parameter_server_count();
+        let live_count = live.len() as u64;
+        let overlap = self.comm.overlap;
+        let codec = self.comm.codec;
+
+        // Shard ownership: contiguous byte-balanced ranges over the
+        // variables in id order — stable across steps for a fixed model.
+        let var_meta: Vec<(u32, u64)> = self
             .ps_session
             .variables()
             .iter()
-            .map(|(id, t)| (id.index() as u32, (*t).clone()))
+            .map(|(id, t)| (id.index() as u32, t.byte_len()))
             .collect();
-        let weight_bytes = wire::encode(&weights);
-        // Network-shield record processing happens at both endpoints: the
-        // PS side serializes, the worker side runs on each worker's own
-        // CPU (parallel across workers).
-        let mut comm_ns = 0u64;
-        for &w in &live {
-            comm_ns += model.lan_transfer_ns(weight_bytes.len() as u64) / ps_count;
-            if shield {
-                comm_ns += model.shield_net_ns(weight_bytes.len() as u64) / ps_count;
+        let sizes: Vec<u64> = var_meta.iter().map(|&(_, b)| b).collect();
+        let shard_index = comm::partition_by_bytes(&sizes, ps_count);
+        let shard_of: HashMap<u32, usize> = var_meta
+            .iter()
+            .map(|&(raw, _)| raw)
+            .zip(shard_index.iter().copied())
+            .collect();
+        let mut shard_counts = vec![0usize; ps_count];
+        for &s in &shard_index {
+            shard_counts[s] += 1;
+        }
+
+        // 1. Broadcast current weights: one dense frame per shard,
+        //    assembled from cached entry bodies (only variables the last
+        //    apply actually changed are re-encoded). The broadcast stays
+        //    dense — workers must hold the exact global model.
+        let broadcast_span = telemetry.span("distrib.broadcast");
+        for (id, t) in self.ps_session.variables() {
+            let raw = id.index() as u32;
+            self.weight_cache
+                .entry(raw)
+                .or_insert_with(|| wire::encode_dense_entry(raw, t));
+        }
+        let mut shard_frames: Vec<Vec<u8>> = Vec::with_capacity(ps_count);
+        for s in 0..ps_count {
+            let bodies: Vec<&[u8]> = var_meta
+                .iter()
+                .zip(&shard_index)
+                .filter(|(_, &si)| si == s)
+                .map(|((raw, _), _)| self.weight_cache[raw].as_slice())
+                .collect();
+            shard_frames.push(wire::assemble_dense_frame(&bodies));
+        }
+        // Each shard's NIC serializes the LAN send of its frame to every
+        // live worker; the per-link record sealing runs on the shield's
+        // async crypto threads (one per link), so a single record-
+        // processing term sits on the critical path before the first
+        // send. Shards transmit in parallel, so the broadcast takes the
+        // slowest shard. Workers decrypt their own copy on their own
+        // clock (charged in the compute phase below).
+        let mut broadcast_ns = 0u64;
+        let mut weight_bytes_total = 0u64;
+        for (s, frame) in shard_frames.iter().enumerate() {
+            if shard_counts[s] == 0 {
+                continue;
             }
-            let decoded = wire::decode(&weight_bytes)?;
-            let state = &mut self.workers[w];
-            for (raw_id, tensor) in decoded {
+            weight_bytes_total += frame.len() as u64;
+            let mut nic = live_count * model.lan_transfer_ns(frame.len() as u64);
+            if shield {
+                nic += model.shield_net_ns(frame.len() as u64);
+            }
+            broadcast_ns = broadcast_ns.max(nic);
+        }
+        // Decode each shard frame ONCE; install into every worker by
+        // cloning the decoded tensors (not by re-decoding the bytes).
+        let mut decoded_weights: Vec<(NodeId, Tensor)> = Vec::with_capacity(var_meta.len());
+        for (s, frame) in shard_frames.iter().enumerate() {
+            if shard_counts[s] == 0 {
+                continue;
+            }
+            for (raw_id, tensor) in wire::decode_frame(frame)? {
                 let id = self
                     .model
                     .graph
                     .node_id(raw_id as usize)
                     .ok_or(DistribError::BadMessage("unknown variable"))?;
-                state.session.set_variable(id, tensor)?;
+                decoded_weights.push((id, tensor));
             }
         }
+        for &w in &live {
+            let state = &mut self.workers[w];
+            for (id, tensor) in &decoded_weights {
+                state.session.set_variable(*id, tensor.clone())?;
+            }
+        }
+        drop(broadcast_span);
 
         // 2. Parallel gradient computation; the step takes the slowest
         //    worker (each on its own clock, so paging is node-local).
+        //    With overlap, each variable's gradient is encoded into its
+        //    own chunk the moment its backward segment completes.
+        let compute_span = telemetry.span("distrib.compute");
         let mut max_worker_ns = 0u64;
-        let mut grad_messages: Vec<Vec<u8>> = Vec::with_capacity(live.len());
+        let mut pushes: Vec<Push> = Vec::with_capacity(live.len());
         let mut loss_sum = 0.0f32;
+        let mut push_bytes = 0u64;
+        let mut push_dense_bytes = 0u64;
         for &w in &live {
             let node = &self.cluster.workers[w];
             let state = &mut self.workers[w];
@@ -234,7 +357,7 @@ impl DistributedTrainer {
             let t0 = clock.now_ns();
             if shield {
                 // Worker-side record processing of the weight broadcast.
-                clock.advance(model.shield_net_ns(weight_bytes.len() as u64));
+                clock.advance(model.shield_net_ns(weight_bytes_total));
             }
 
             // Fetch this worker's batch (wraps around its shard).
@@ -246,6 +369,7 @@ impl DistributedTrainer {
             let (x, y) = self.batch_for_model(cursor, self.batch)?;
             let state = &mut self.workers[w];
             node.enclave.charge_syscall(); // input read
+            let pre_ns = clock.now_ns() - t0;
 
             state.session.reset_stats();
             let (loss, grads) = state.session.gradients(
@@ -268,36 +392,141 @@ impl DistributedTrainer {
             node.enclave.free(state.activations_region)?;
             state.activations_region = node.enclave.alloc("activations", act_bytes);
             node.enclave.touch_all(state.activations_region)?;
+            let compute_end = clock.now_ns() - t0;
 
-            let message: Vec<(u32, Tensor)> = grads
+            // The backward pass produces the last layer's gradients
+            // first: descending variable id. This fixed order also pins
+            // the PS apply order, so results are bit-identical whatever
+            // the wire schedule.
+            let mut message: Vec<(u32, Tensor)> = grads
                 .into_iter()
                 .map(|(id, g)| (id.index() as u32, g))
                 .collect();
-            let encoded = wire::encode(&message);
-            if shield {
-                // Worker-side record processing of the gradient push.
-                clock.advance(model.shield_net_ns(encoded.len() as u64));
+            message.sort_by_key(|e| std::cmp::Reverse(e.0));
+
+            // Error feedback: fold the residual the quantizer dropped
+            // last step into this step's gradient, then keep the new
+            // drop. The residual is derived from the decoder's exact
+            // arithmetic (q * scale), so worker and PS agree bit-for-bit
+            // on what was transmitted.
+            let mut entries: Vec<(u32, Tensor)> = Vec::with_capacity(message.len());
+            for (raw, grad) in message {
+                let adjusted = if codec == Codec::Quantized {
+                    match state.residuals.get(&raw) {
+                        Some(r) => grad.zip(r, |g, r| g + r)?,
+                        None => grad,
+                    }
+                } else {
+                    grad
+                };
+                if codec == Codec::Quantized {
+                    let q = wire::quantize(adjusted.data());
+                    let sent = q.dequantize();
+                    let residual: Vec<f32> = adjusted
+                        .data()
+                        .iter()
+                        .zip(&sent)
+                        .map(|(a, s)| a - s)
+                        .collect();
+                    state
+                        .residuals
+                        .insert(raw, Tensor::from_vec(adjusted.shape(), residual)?);
+                }
+                entries.push((raw, adjusted));
             }
-            grad_messages.push(encoded);
+
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            let mut chunks: Vec<Chunk> = Vec::new();
+            if overlap {
+                // Chunk i becomes ready after a byte-proportional share
+                // of the backward compute; sealing runs on the shield's
+                // async syscall threads, so it overlaps the remaining
+                // compute (the schedule below serializes it per worker).
+                let total_bytes: u64 = entries
+                    .iter()
+                    .map(|(_, t)| t.byte_len().max(1))
+                    .sum::<u64>()
+                    .max(1);
+                let compute_ns = compute_end - pre_ns;
+                let mut cum = 0u64;
+                for entry in &entries {
+                    cum += entry.1.byte_len().max(1);
+                    let ready = pre_ns
+                        + ((u128::from(compute_ns) * u128::from(cum))
+                            / u128::from(total_bytes)) as u64;
+                    let frame = wire::encode_frame(std::slice::from_ref(entry), codec);
+                    let len = frame.len() as u64;
+                    chunks.push(Chunk {
+                        shard: shard_of[&entry.0],
+                        ready_ns: ready,
+                        seal_ns: if shield { model.shield_net_ns(len) } else { 0 },
+                        transfer_ns: model.lan_transfer_ns(len),
+                        ps_shield_ns: if shield { model.shield_net_ns(len) } else { 0 },
+                    });
+                    push_dense_bytes += wire::dense_frame_len(std::slice::from_ref(entry));
+                    frames.push(frame);
+                }
+            } else {
+                // Barrier: the worker pushes only after its full
+                // backward pass — one joined frame per owning shard,
+                // sealed on the same async shield threads. Only chunk
+                // granularity and readiness differ from the overlapped
+                // path; the NIC physics are identical.
+                for s in 0..ps_count {
+                    let shard_entries: Vec<(u32, Tensor)> = entries
+                        .iter()
+                        .filter(|(raw, _)| shard_of[raw] == s)
+                        .cloned()
+                        .collect();
+                    if shard_entries.is_empty() {
+                        continue;
+                    }
+                    let frame = wire::encode_frame(&shard_entries, codec);
+                    let len = frame.len() as u64;
+                    chunks.push(Chunk {
+                        shard: s,
+                        ready_ns: compute_end,
+                        seal_ns: if shield { model.shield_net_ns(len) } else { 0 },
+                        transfer_ns: model.lan_transfer_ns(len),
+                        ps_shield_ns: if shield { model.shield_net_ns(len) } else { 0 },
+                    });
+                    push_dense_bytes += wire::dense_frame_len(&shard_entries);
+                    frames.push(frame);
+                }
+            }
+            push_bytes += frames.iter().map(|f| f.len() as u64).sum::<u64>();
+            pushes.push(Push { frames, chunks });
             max_worker_ns = max_worker_ns.max(clock.now_ns() - t0);
         }
+        drop(compute_span);
 
-        // 3. Gradient pushes: worker-side shield cost was charged to each
-        //    worker above; transfers and PS-side processing serialize here.
-        for message in &grad_messages {
-            comm_ns += model.lan_transfer_ns(message.len() as u64) / ps_count;
-            if shield {
-                comm_ns += model.shield_net_ns(message.len() as u64) / ps_count;
-            }
-        }
+        // 3. Gradient exchange: per-worker seal pipelines feed per-shard
+        //    NIC queues, resolved deterministically. Overlapped chunks
+        //    whose backward segment finished early land while the rest
+        //    of the backward pass is still running; barrier frames all
+        //    queue at compute end. `hidden` is the comm cost kept off
+        //    the step's critical path — overlapped under compute or
+        //    drained by parallel shard NICs.
+        let exchange_span = telemetry.span("distrib.exchange");
+        let per_worker: Vec<Vec<Chunk>> = pushes.iter().map(|p| p.chunks.clone()).collect();
+        let outcome = comm::schedule(&per_worker, ps_count);
+        let exchange_ns = outcome.done_ns.max(max_worker_ns);
+        let exposed_comm_ns = exchange_ns.saturating_sub(max_worker_ns);
+        let hidden_ns = outcome.serial_comm_ns.saturating_sub(exposed_comm_ns);
+        drop(exchange_span);
 
-        // 4. PS averages and applies (on the PS node's clock).
+        // 4. PS averages and applies (on the PS node's clock). Messages
+        //    are consumed in worker-index order regardless of arrival
+        //    order, and entries within a message in their fixed
+        //    descending-id order — the applied update is bit-identical
+        //    across overlap/shard settings.
+        let apply_span = telemetry.span("distrib.apply");
         let ps_clock = self.cluster.ps.clock().clone();
         let t0 = ps_clock.now_ns();
         let scale = self.lr / live.len() as f32;
         let mut param_flops = 0.0f64;
-        for message in grad_messages {
-            for (raw_id, grad) in wire::decode(&message)? {
+        for push in &pushes {
+            for (raw_id, grad) in wire::decode_frames(&push.frames)? {
                 let id = self
                     .model
                     .graph
@@ -309,7 +538,13 @@ impl DistributedTrainer {
                     .ok_or(DistribError::BadMessage("gradient for non-variable"))?;
                 let updated = current.zip(&grad, |v, g| v - scale * g)?;
                 param_flops += 2.0 * updated.len() as f64;
+                if updated.data() == current.data() {
+                    // Update is a bit-level no-op (e.g. zero gradient):
+                    // keep the cached broadcast encoding.
+                    continue;
+                }
                 self.ps_session.set_variable(id, updated)?;
+                self.weight_cache.remove(&raw_id);
             }
         }
         // Shard application parallelizes across the PS nodes.
@@ -319,10 +554,27 @@ impl DistributedTrainer {
             .charge_compute(param_flops / ps_count as f64);
         self.cluster.ps.enclave.touch_all(self.ps_params_region)?;
         let ps_ns = ps_clock.now_ns() - t0;
+        drop(apply_span);
 
-        self.global_ns += max_worker_ns + comm_ns + ps_ns;
+        let comm_ns = broadcast_ns + exposed_comm_ns;
+        self.global_ns += broadcast_ns + exchange_ns + ps_ns;
         self.steps += 1;
         self.samples += (self.batch * live.len()) as u64;
+
+        telemetry.charge(securetf_tee::CostCategory::Network, comm_ns);
+        let bytes_sent = weight_bytes_total * live_count + push_bytes;
+        let bytes_saved = push_dense_bytes.saturating_sub(push_bytes);
+        self.comm_metrics.bytes_sent.add(bytes_sent);
+        self.comm_metrics.bytes_saved.add(bytes_saved);
+        if let Some(ratio) = (push_dense_bytes * 1000).checked_div(push_bytes) {
+            self.comm_metrics.compression_ratio.set(ratio as i64);
+        }
+        self.comm_metrics.comm_ns.record(comm_ns);
+        self.comm_metrics.overlap_hidden_ns.record(hidden_ns);
+        self.comm_stats.bytes_sent += bytes_sent;
+        self.comm_stats.bytes_saved += bytes_saved;
+        self.comm_stats.comm_ns += comm_ns;
+        self.comm_stats.overlap_hidden_ns += hidden_ns;
         Ok(loss_sum / live.len() as f32)
     }
 
@@ -501,6 +753,8 @@ impl DistributedTrainer {
                 .ok_or(DistribError::BadMessage("unknown variable in checkpoint"))?;
             self.ps_session.set_variable(id, tensor)?;
         }
+        // The restored weights invalidate every cached broadcast body.
+        self.weight_cache.clear();
         Ok(())
     }
 

@@ -161,6 +161,59 @@ fn identical_seed_reproduces_telemetry_digest_bit_for_bit() {
 }
 
 #[test]
+fn comm_plane_telemetry_digest_is_config_deterministic() {
+    // The rebuilt comm plane (ISSUE 8) must keep the determinism
+    // contract across its whole configuration space: for every worker
+    // count x codec x overlap cell, two same-seed runs agree bit-for-bit
+    // on the final loss and on every comm counter/histogram in the
+    // registry.
+    use securetf_distrib::comm::{Codec, CommConfig};
+    let run = |workers: usize, comm: CommConfig| {
+        let telemetry = Telemetry::new(std::sync::Arc::new(SimClock::new()));
+        let cluster = Cluster::new(ClusterConfig {
+            workers,
+            parameter_servers: 2,
+            mode: ExecutionMode::Simulation,
+            network_shield: true,
+            runtime_bytes: 8 * 1024 * 1024,
+            heap_bytes: 16 * 1024 * 1024,
+            telemetry: telemetry.clone(),
+            ..ClusterConfig::default()
+        })
+        .expect("cluster boots");
+        let data = securetf_data::synthetic_mnist(300, 5);
+        let mut trainer =
+            DistributedTrainer::new(cluster, small_model(), data, 100, 0.2).expect("trainer");
+        trainer.set_comm_config(comm);
+        let report = trainer.train_steps(STEPS).expect("training");
+        // Non-vacuous: the comm metrics must actually have recorded.
+        assert!(
+            telemetry.counter("distrib.comm.bytes_sent").get() > 0,
+            "no comm bytes recorded"
+        );
+        if comm.codec == Codec::Quantized {
+            assert!(
+                telemetry.counter("distrib.comm.bytes_saved").get() > 0,
+                "quantized run saved no bytes"
+            );
+        }
+        (report.final_loss.to_bits(), telemetry.metrics_digest())
+    };
+    for workers in [2usize, 3] {
+        for codec in [Codec::Dense, Codec::Quantized] {
+            for overlap in [false, true] {
+                let comm = CommConfig { codec, overlap };
+                assert_eq!(
+                    run(workers, comm),
+                    run(workers, comm),
+                    "workers={workers} {comm:?}: loss or telemetry digest diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn telemetry_digest_deterministic_with_worker_pool_enabled() {
     // Parallel kernels must not erode the determinism contract: with the
     // in-enclave worker pool splitting every matmul across threads, two

@@ -1,0 +1,163 @@
+//! Comm-plane properties (ISSUE 8 satellites): the tagged wire frames
+//! roundtrip (dense exactly, quantized within half a quantization
+//! step), every strict truncation / unknown tag / trailing byte is
+//! rejected, int8 + error feedback converges next to dense training,
+//! and the wire schedule (overlap, shard count) never changes the
+//! arithmetic.
+
+use proptest::prelude::*;
+use securetf_distrib::cluster::{Cluster, ClusterConfig};
+use securetf_distrib::comm::{Codec, CommConfig};
+use securetf_distrib::trainer::DistributedTrainer;
+use securetf_distrib::wire;
+use securetf_tee::ExecutionMode;
+use securetf_tensor::layers;
+use securetf_tensor::tensor::Tensor;
+
+/// Seeded multi-variable entry list. Values come from a finite grid
+/// (no NaN), so dense equality is exact.
+fn build_entries(vars: usize, cols: usize, cells: &[u8]) -> Vec<(u32, Tensor)> {
+    (0..vars)
+        .map(|v| {
+            let data: Vec<f32> = (0..cols)
+                .map(|i| cells[(v * cols + i) % cells.len()] as f32 * 0.125 - 16.0)
+                .collect();
+            (v as u32 * 3, Tensor::from_vec(&[cols], data).unwrap())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_frames_roundtrip_exactly(
+        vars in 1usize..5,
+        cols in 1usize..17,
+        cells in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let entries = build_entries(vars, cols, &cells);
+        let frame = wire::encode_frame(&entries, Codec::Dense);
+        let decoded = wire::decode_frame(&frame).unwrap();
+        prop_assert_eq!(decoded, entries);
+        prop_assert_eq!(frame.len() as u64, wire::dense_frame_len(&build_entries(vars, cols, &cells)));
+    }
+
+    #[test]
+    fn quantized_frames_bounded_error(
+        vars in 1usize..5,
+        cols in 1usize..17,
+        cells in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let entries = build_entries(vars, cols, &cells);
+        let frame = wire::encode_frame(&entries, Codec::Quantized);
+        let decoded = wire::decode_frame(&frame).unwrap();
+        prop_assert_eq!(decoded.len(), entries.len());
+        for ((id, original), (did, lossy)) in entries.iter().zip(&decoded) {
+            prop_assert_eq!(id, did);
+            prop_assert_eq!(original.shape(), lossy.shape());
+            // Per-tensor scale: worst-case error is half a step.
+            let max_abs = original.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let half_step = max_abs / 127.0 / 2.0 + 1e-6;
+            for (a, b) in original.data().iter().zip(lossy.data()) {
+                prop_assert!((a - b).abs() <= half_step, "{a} vs {b} (bound {half_step})");
+            }
+        }
+        // Quantization is deterministic: same input, same bytes.
+        prop_assert_eq!(frame, wire::encode_frame(&build_entries(vars, cols, &cells), Codec::Quantized));
+    }
+
+    #[test]
+    fn truncated_frames_always_rejected(
+        vars in 1usize..4,
+        cols in 1usize..9,
+        cells in prop::collection::vec(any::<u8>(), 1..32),
+        quantized in any::<bool>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let codec = if quantized { Codec::Quantized } else { Codec::Dense };
+        let frame = wire::encode_frame(&build_entries(vars, cols, &cells), codec);
+        // Every strict prefix must fail: the rank/count fields pin the
+        // exact frame length, so a shorter frame is always truncation.
+        let keep = cut.index(frame.len());
+        prop_assert!(wire::decode_frame(&frame[..keep]).is_err());
+        // A truncated chunk poisons a whole multi-chunk decode.
+        let good = wire::encode_frame(&[(1000, Tensor::zeros(&[2]))], codec);
+        prop_assert!(wire::decode_frames(&[good, frame[..keep].to_vec()]).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_rejected(
+        tag in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+        cols in 1usize..9,
+        cells in prop::collection::vec(any::<u8>(), 1..16),
+        quantized in any::<bool>(),
+        junk in any::<u8>(),
+    ) {
+        if tag != wire::FRAME_DENSE && tag != wire::FRAME_QUANTIZED {
+            let mut frame = vec![tag];
+            frame.extend_from_slice(&body);
+            prop_assert!(wire::decode_frame(&frame).is_err());
+        }
+        let codec = if quantized { Codec::Quantized } else { Codec::Dense };
+        let mut frame = wire::encode_frame(&build_entries(1, cols, &cells), codec);
+        frame.push(junk);
+        prop_assert!(wire::decode_frame(&frame).is_err());
+    }
+}
+
+fn final_loss_bits(workers: usize, ps: usize, comm: CommConfig) -> u32 {
+    let cluster = Cluster::new(ClusterConfig {
+        workers,
+        parameter_servers: ps,
+        mode: ExecutionMode::Simulation,
+        network_shield: true,
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let model = layers::mlp_classifier(784, &[24], 10, &mut rng).expect("model");
+    let data = securetf_data::synthetic_mnist(200, 4);
+    let mut trainer = DistributedTrainer::new(cluster, model, data, 50, 0.15).expect("trainer");
+    trainer.set_comm_config(comm);
+    let report = trainer.train_steps(8).expect("training");
+    assert!(report.final_loss.is_finite());
+    report.final_loss.to_bits()
+}
+
+#[test]
+fn quantized_error_feedback_tracks_dense_training() {
+    let dense = f32::from_bits(final_loss_bits(
+        2,
+        1,
+        CommConfig { codec: Codec::Dense, overlap: true },
+    ));
+    let quant = f32::from_bits(final_loss_bits(
+        2,
+        1,
+        CommConfig { codec: Codec::Quantized, overlap: true },
+    ));
+    let drift = (dense - quant).abs() / dense.abs().max(f32::EPSILON);
+    assert!(
+        drift <= 0.02,
+        "quantized loss {quant} drifts {:.2}% from dense {dense} (cap 2%)",
+        drift * 100.0
+    );
+}
+
+#[test]
+fn wire_schedule_never_changes_the_arithmetic() {
+    // Overlap and PS sharding alter only the virtual-time schedule; the
+    // applied update — and therefore the loss — must be bit-identical.
+    for codec in [Codec::Dense, Codec::Quantized] {
+        let reference = final_loss_bits(3, 1, CommConfig { codec, overlap: true });
+        for (ps, overlap) in [(1, false), (2, true), (2, false)] {
+            let bits = final_loss_bits(3, ps, CommConfig { codec, overlap });
+            assert_eq!(
+                bits, reference,
+                "{codec:?} loss diverged at ps={ps} overlap={overlap}"
+            );
+        }
+    }
+}

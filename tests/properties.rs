@@ -260,9 +260,12 @@ proptest! {
         parties in 1usize..5,
     ) {
         use securetf_distrib::{federated, wire};
-        let msg = wire::encode(&[(0, Tensor::from_vec(&[values.len()], values.clone()).unwrap())]);
+        let msg = wire::encode_frame(
+            &[(0, Tensor::from_vec(&[values.len()], values.clone()).unwrap())],
+            wire::Codec::Dense,
+        );
         let avg = federated::federated_average(&vec![msg; parties]).unwrap();
-        let decoded = wire::decode(&avg).unwrap();
+        let decoded = wire::decode_frame(&avg).unwrap();
         for (got, want) in decoded[0].1.data().iter().zip(values.iter()) {
             prop_assert!((got - want).abs() < 1e-4);
         }

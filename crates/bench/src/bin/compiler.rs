@@ -1,0 +1,258 @@
+//! Graph-compiler smoke gate: pass pipeline on vs off.
+//!
+//! Two experiments, each run optimized (the default) and baseline:
+//!
+//! * **training** one Figure 8 CNN epoch slice in a hardware
+//!   SecureSession — the training pipeline (DCE → fold → fuse) rewrites
+//!   every `matmul → bias` / `conv → bias → relu` chain into fused
+//!   kernels; the loss trajectory must stay bit-identical;
+//! * **inference** on the Figure 5 largest model (Inception-v4, 163 MB)
+//!   with the Lite interpreter hosted on a raw enclave, replaying arena
+//!   slot writes — fusion skips the per-layer bias/relu intermediates,
+//!   so the optimized run writes fewer arena slots (fewer EPC faults)
+//!   and moves the epilogue flops out of the element-wise kernel family.
+//!
+//! The bin exits non-zero (assert) unless both experiments are
+//! bit-identical AND fused inference charges strictly fewer EPC faults
+//! AND at least 15% less element-wise (`other`-family) kernel time AND
+//! no more total kernel time. CI runs it as a smoke gate and archives
+//! `BENCH_compiler.json`.
+
+use rand::SeedableRng;
+use securetf::secure_session::SecureSession;
+use securetf_bench::report::{BenchReport, JsonValue};
+use securetf_bench::{fmt_ns, header};
+use securetf_tee::{EnclaveImage, ExecutionMode, Platform, SimClock, Telemetry};
+use securetf_tensor::layers;
+use securetf_tensor::optimizer::Sgd;
+use securetf_tensor::passes::PipelineReport;
+use securetf_tflite::interpreter::Interpreter;
+use securetf_tflite::models::{self, INCEPTION_V4};
+
+const TRAIN_STEPS: usize = 6;
+const TRAIN_BATCH: usize = 100;
+const INFER_RUNS: usize = 3;
+
+#[derive(Default)]
+struct ArmResult {
+    /// Bit patterns of the outputs (losses or logits), for exact
+    /// cross-arm comparison.
+    bits: Vec<u32>,
+    epc_faults: u64,
+    /// Virtual time in the element-wise kernel family (biases, relus,
+    /// pools, losses) — what fusion removes.
+    other_ns: u64,
+    /// Virtual time across all kernel families.
+    total_ns: u64,
+    /// Graph node count before/after compilation (equal when the
+    /// pipeline is off).
+    nodes_before: u64,
+    nodes_after: u64,
+    nodes_fused: u64,
+    nodes_eliminated: u64,
+}
+
+fn record_report(arm: &mut ArmResult, report: Option<&PipelineReport>) {
+    if let Some(report) = report {
+        arm.nodes_before = report.nodes_before() as u64;
+        arm.nodes_after = report.nodes_after() as u64;
+        arm.nodes_fused = report.nodes_fused();
+        arm.nodes_eliminated = report.nodes_eliminated();
+    }
+}
+
+fn train_arm(optimize: bool) -> ArmResult {
+    let telemetry = Telemetry::new(std::sync::Arc::new(SimClock::new()));
+    let platform = Platform::builder().telemetry(telemetry.clone()).build();
+    let enclave = platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"compiler bench").build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let model = layers::conv_classifier(28, 28, 1, 16, 10, &mut rng).expect("model");
+    let data = securetf_data::synthetic_mnist(600, 7);
+    let mut session = SecureSession::new(enclave, model);
+    session.set_graph_optimize(optimize);
+    let mut sgd = Sgd::new(5e-4);
+    let mut arm = ArmResult::default();
+    for step in 0..TRAIN_STEPS {
+        let start = (step * TRAIN_BATCH) % (600 - TRAIN_BATCH);
+        let (x, y) = data.batch(start, TRAIN_BATCH).expect("batch");
+        let x = securetf_tensor::tensor::Tensor::from_vec(
+            &[TRAIN_BATCH, 28, 28, 1],
+            x.into_data(),
+        )
+        .expect("NHWC reshape");
+        let loss = session.train_step(x, y, &mut sgd).expect("train step");
+        arm.bits.push(loss.to_bits());
+    }
+    // SecureSession::charge drains the session stats onto telemetry
+    // after every step; read the accumulated per-family counters back.
+    arm.other_ns = telemetry.counter("kernel.other.ns").get();
+    arm.total_ns = arm.other_ns
+        + telemetry.counter("kernel.matmul.ns").get()
+        + telemetry.counter("kernel.conv2d.ns").get();
+    arm.epc_faults = session.enclave().epc_stats().faults;
+    let graph_len = session.model().graph.len() as u64;
+    arm.nodes_before = graph_len;
+    arm.nodes_after = graph_len;
+    record_report(&mut arm, session.session().pipeline_report());
+    arm
+}
+
+fn infer_arm(optimize: bool) -> ArmResult {
+    let platform = Platform::builder().build();
+    let enclave = platform
+        .create_enclave(
+            &EnclaveImage::builder()
+                .code(b"compiler bench")
+                .runtime_bytes(securetf_tflite::LITE_RUNTIME_BYTES)
+                .build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave");
+    let model = models::build(INCEPTION_V4);
+    let unoptimized_nodes = model.graph().len() as u64;
+    let params_region = enclave.alloc("model", model.param_bytes());
+    enclave.touch_all(params_region).expect("model load");
+    let mut interp = if optimize {
+        Interpreter::new(model)
+    } else {
+        Interpreter::unoptimized(model)
+    };
+    let input = models::input_for(1);
+
+    let mut arm = ArmResult::default();
+    let mut activations = None;
+    for _ in 0..INFER_RUNS {
+        let out = interp.run(&input).expect("inference");
+        arm.bits.extend(out.data().iter().map(|v| v.to_bits()));
+        // Mirror SecureClassifier: every inference streams the model
+        // through the EPC once (evicting the small activation region),
+        // then touches exactly the arena slots the run wrote — so each
+        // run re-faults one page per written slot.
+        enclave.touch_all(params_region).expect("model pass");
+        let planned_peak = interp.planned_peak_bytes().unwrap_or(0).max(1);
+        let region =
+            *activations.get_or_insert_with(|| enclave.alloc("activations", planned_peak));
+        for w in interp.take_slot_writes() {
+            enclave.touch(region, w.offset, w.bytes).expect("touch slot");
+        }
+    }
+    let kf = interp.stats().kernel_flops;
+    let cost = enclave.cost_model();
+    let mode = enclave.mode();
+    arm.other_ns = cost.compute_ns(kf.other, mode);
+    arm.total_ns = cost.compute_ns(kf.matmul + kf.conv2d + kf.other, mode);
+    arm.epc_faults = enclave.epc_stats().faults;
+    arm.nodes_before = unoptimized_nodes;
+    arm.nodes_after = interp.model().graph().len() as u64;
+    record_report(&mut arm, interp.pipeline_report());
+    arm
+}
+
+fn compare(name: &str, optimized: &ArmResult, baseline: &ArmResult, gate_costs: bool) {
+    assert_eq!(
+        optimized.bits, baseline.bits,
+        "{name}: optimized output diverges from baseline"
+    );
+    assert!(
+        optimized.nodes_fused > 0 && optimized.nodes_after < optimized.nodes_before,
+        "{name}: pipeline fused nothing ({} nodes before, {} after)",
+        optimized.nodes_before,
+        optimized.nodes_after
+    );
+    if !gate_costs {
+        return;
+    }
+    assert!(
+        optimized.epc_faults < baseline.epc_faults,
+        "{name}: optimized EPC faults {} not strictly below baseline {}",
+        optimized.epc_faults,
+        baseline.epc_faults
+    );
+    assert!(
+        (optimized.other_ns as f64) <= 0.85 * baseline.other_ns as f64,
+        "{name}: element-wise kernel time {} ns not >=15% below baseline {} ns",
+        optimized.other_ns,
+        baseline.other_ns
+    );
+    assert!(
+        optimized.total_ns <= baseline.total_ns,
+        "{name}: total kernel time {} ns above baseline {} ns",
+        optimized.total_ns,
+        baseline.total_ns
+    );
+}
+
+fn row(name: &str, arm: &ArmResult) {
+    println!(
+        "{name:>24} | {:>9} | {:>10} | {:>10} | {:>5} -> {:<5}",
+        arm.epc_faults,
+        fmt_ns(arm.other_ns),
+        fmt_ns(arm.total_ns),
+        arm.nodes_before,
+        arm.nodes_after,
+    );
+}
+
+fn report_arm(arm: &ArmResult) -> JsonValue {
+    JsonValue::Object(vec![
+        ("epc_faults".to_string(), JsonValue::U64(arm.epc_faults)),
+        ("other_kernel_ns".to_string(), JsonValue::U64(arm.other_ns)),
+        ("total_kernel_ns".to_string(), JsonValue::U64(arm.total_ns)),
+        ("nodes_before".to_string(), JsonValue::U64(arm.nodes_before)),
+        ("nodes_after".to_string(), JsonValue::U64(arm.nodes_after)),
+        ("nodes_fused".to_string(), JsonValue::U64(arm.nodes_fused)),
+        (
+            "nodes_eliminated".to_string(),
+            JsonValue::U64(arm.nodes_eliminated),
+        ),
+    ])
+}
+
+fn main() {
+    header(
+        "Graph compiler: pass pipeline on vs off (hardware mode)",
+        &["experiment", "faults  ", "other ns ", "total ns ", "nodes"],
+    );
+
+    let train_optimized = train_arm(true);
+    let train_baseline = train_arm(false);
+    row("train optimized", &train_optimized);
+    row("train baseline", &train_baseline);
+    compare(
+        "training (fig8 CNN)",
+        &train_optimized,
+        &train_baseline,
+        false,
+    );
+
+    let infer_optimized = infer_arm(true);
+    let infer_baseline = infer_arm(false);
+    row("inception-v4 optimized", &infer_optimized);
+    row("inception-v4 baseline", &infer_baseline);
+    compare(
+        "inference (inception-v4)",
+        &infer_optimized,
+        &infer_baseline,
+        true,
+    );
+
+    println!(
+        "\noptimized outputs are bit-identical to baseline in both\n\
+         experiments; fused inference charges strictly fewer EPC faults\n\
+         and >=15% less element-wise kernel time."
+    );
+
+    BenchReport::new("compiler")
+        .mode("hw")
+        .paper_target("fused inference: fewer EPC faults, >=15% less element-wise kernel time")
+        .value("train_optimized", report_arm(&train_optimized))
+        .value("train_baseline", report_arm(&train_baseline))
+        .value("inception_v4_optimized", report_arm(&infer_optimized))
+        .value("inception_v4_baseline", report_arm(&infer_baseline))
+        .emit();
+}

@@ -111,14 +111,30 @@ impl SecureClassifier {
         }
         let model = LiteModel::from_bytes(&plaintext)?;
 
+        // The interpreter lowers the model through the shared compiler
+        // pipeline at construction; size every region from the graph it
+        // will actually execute, so the plan, the slot-write replay, and
+        // the resident regions all describe the same (optimized) model.
+        let interpreter = Interpreter::new(model);
+        if let Some(report) = interpreter.pipeline_report() {
+            let telemetry = enclave.telemetry();
+            telemetry
+                .counter("compiler.nodes_eliminated")
+                .add(report.nodes_eliminated());
+            telemetry
+                .counter("compiler.nodes_fused")
+                .add(report.nodes_fused());
+            telemetry.counter("compiler.pass_ns").add(report.virtual_ns());
+        }
+
         // Model and workspace live in enclave memory. Single-pass
         // runtimes (the Lite interpreter) execute out of the planned
         // arena, so the workspace is exactly the plan's peak; the full
         // framework's executor has no planner and keeps the
         // fraction-of-model heuristic.
-        let model_bytes = model.param_bytes();
+        let model_bytes = interpreter.model().param_bytes();
         let planned = if profile.memory_passes == 1 {
-            securetf_tflite::arena::plan_memory(&model, 1)
+            securetf_tflite::arena::plan_memory(interpreter.model(), 1)
                 .ok()
                 .map(|plan| plan.peak_bytes)
         } else {
@@ -136,7 +152,7 @@ impl SecureClassifier {
         Ok(SecureClassifier {
             platform,
             enclave,
-            interpreter: Interpreter::new(model),
+            interpreter,
             profile,
             model_region,
             workspace_region,
@@ -163,10 +179,14 @@ impl SecureClassifier {
             }
         }
 
-        // The interpreter traverses model + workspace memory.
+        self.ensure_workspace_rows(input.shape().first().copied().unwrap_or(1))?;
+        // The interpreter traverses model memory; heuristic (multi-pass)
+        // runtimes also sweep the whole workspace each pass.
         for _ in 0..self.profile.memory_passes {
             self.enclave.touch_all(self.model_region)?;
-            self.enclave.touch_all(self.workspace_region)?;
+            if self.profile.memory_passes != 1 {
+                self.enclave.touch_all(self.workspace_region)?;
+            }
         }
 
         // Real inference math (reduced extent), charged at declared FLOPs
@@ -176,9 +196,29 @@ impl SecureClassifier {
         let delta = self.interpreter.stats().since(&before);
         self.enclave.charge_parallel_compute(delta.flops, delta.critical_flops);
         crate::attribute_kernel_flops(&self.enclave, &delta);
+        self.replay_workspace_writes()?;
 
         self.inferences += 1;
         Ok((label, clock.now_ns() - t0))
+    }
+
+    /// Charges workspace EPC traffic. Planned single-pass runtimes
+    /// replay the arena slot writes the interpreter actually performed —
+    /// so a fused graph, which writes fewer intermediates, faults fewer
+    /// workspace pages. Unplanned runs fall back to a full sweep.
+    fn replay_workspace_writes(&mut self) -> Result<(), SecureTfError> {
+        let writes = self.interpreter.take_slot_writes();
+        if self.profile.memory_passes != 1 {
+            return Ok(());
+        }
+        if writes.is_empty() {
+            self.enclave.touch_all(self.workspace_region)?;
+            return Ok(());
+        }
+        for w in writes {
+            self.enclave.touch(self.workspace_region, w.offset, w.bytes)?;
+        }
+        Ok(())
     }
 
     /// Classifies a stacked `[batch, …]` input in one pass, returning one
@@ -211,7 +251,9 @@ impl SecureClassifier {
         self.ensure_workspace_rows(batch.shape().first().copied().unwrap_or(1))?;
         for _ in 0..self.profile.memory_passes {
             self.enclave.touch_all(self.model_region)?;
-            self.enclave.touch_all(self.workspace_region)?;
+            if self.profile.memory_passes != 1 {
+                self.enclave.touch_all(self.workspace_region)?;
+            }
         }
 
         let before = self.interpreter.stats();
@@ -219,6 +261,7 @@ impl SecureClassifier {
         let delta = self.interpreter.stats().since(&before);
         self.enclave.charge_parallel_compute(delta.flops, delta.critical_flops);
         crate::attribute_kernel_flops(&self.enclave, &delta);
+        self.replay_workspace_writes()?;
 
         self.inferences += labels.len() as u64;
         Ok((labels, clock.now_ns() - t0))

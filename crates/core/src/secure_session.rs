@@ -66,7 +66,48 @@ impl SecureSession {
         self.session.set_memory_mode(mode);
     }
 
+    /// Enables or disables the graph-compiler pass pipeline (on by
+    /// default). Results are bit-identical either way; disabling exists
+    /// for A/B benchmarking and determinism audits.
+    pub fn set_graph_optimize(&mut self, on: bool) {
+        self.session.set_optimize(on);
+    }
+
+    /// Records the compiler's work on telemetry: `compiler.*` counters
+    /// plus one span per executed pass, charged with the pass's
+    /// *deterministic* virtual time (derived from node counts, never
+    /// wall clock). A pipeline that changed nothing records nothing, so
+    /// same-seed digests are unaffected when node counts are equal.
+    fn charge_compiler_reports(&mut self) {
+        for report in self.session.take_pipeline_reports() {
+            if !report.changed() {
+                continue;
+            }
+            let telemetry = self.enclave.telemetry();
+            telemetry
+                .counter("compiler.nodes_eliminated")
+                .add(report.nodes_eliminated());
+            telemetry
+                .counter("compiler.nodes_fused")
+                .add(report.nodes_fused());
+            telemetry.counter("compiler.pass_ns").add(report.virtual_ns());
+            for pass in &report.passes {
+                let name = match pass.name {
+                    "dce" => "compiler.dce",
+                    "cse" => "compiler.cse",
+                    "fold" => "compiler.fold",
+                    "fuse" => "compiler.fuse",
+                    _ => "compiler.pass",
+                };
+                let _span = telemetry.span(name);
+                self.enclave.clock().advance(pass.virtual_ns);
+                telemetry.charge(securetf_tee::CostCategory::Other, pass.virtual_ns);
+            }
+        }
+    }
+
     fn charge(&mut self) -> Result<(), SecureTfError> {
+        self.charge_compiler_reports();
         let stats = self.session.stats();
         self.session.reset_stats();
         self.enclave.charge_parallel_compute(stats.flops, stats.critical_flops);
@@ -217,9 +258,30 @@ impl SecureSession {
             &input_name,
             &output_name,
         )?;
-        // Drop anything the output doesn't need (e.g. the labels
-        // placeholder of the training head).
-        Ok(securetf_tflite::optimize::strip_unreachable(&converted))
+        // Lower through the full shared pipeline (DCE + CSE + fold +
+        // fuse): the exported artifact is what the serving enclave keeps
+        // resident in EPC, so every eliminated node shrinks that region.
+        let before_peak = securetf_tflite::arena::plan_memory(&converted, 1)
+            .map(|p| p.peak_bytes)
+            .unwrap_or(0);
+        let (optimized, report) = securetf_tflite::optimize::optimize_for_inference(&converted)?;
+        let after_peak = securetf_tflite::arena::plan_memory(&optimized, 1)
+            .map(|p| p.peak_bytes)
+            .unwrap_or(0);
+        let telemetry = self.enclave.telemetry();
+        telemetry
+            .counter("compiler.export.nodes_eliminated")
+            .add(report.nodes_eliminated());
+        telemetry
+            .counter("compiler.export.nodes_fused")
+            .add(report.nodes_fused());
+        telemetry
+            .gauge("compiler.export.planned_peak_bytes_before")
+            .set(before_peak as i64);
+        telemetry
+            .gauge("compiler.export.planned_peak_bytes_after")
+            .set(after_peak as i64);
+        Ok(optimized)
     }
 
     /// The enclave hosting the session.

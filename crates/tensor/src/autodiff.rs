@@ -304,6 +304,29 @@ pub fn forward_with(
                 avg_pool2(get(*x))?
             }
             Op::ConcatCols(a, b) => concat_cols(get(*a), get(*b))?,
+            Op::FusedMatMul {
+                lhs,
+                rhs,
+                bias,
+                relu,
+            } => {
+                let (tl, tr, tb) = (get(*lhs), get(*rhs), get(*bias));
+                let (out, cost) = kernels::matmul_bias_relu(pool, tl, tr, tb, *relu)?;
+                stats.charge_matmul(cost);
+                out
+            }
+            Op::FusedConv2d {
+                input,
+                filter,
+                bias,
+                padding,
+                relu,
+            } => {
+                let (ti, tf, tb) = (get(*input), get(*filter), get(*bias));
+                let (out, cost) = kernels::conv2d_bias_relu(pool, ti, tf, tb, *padding, *relu)?;
+                stats.charge_conv(cost);
+                out
+            }
         };
         stats.activation_bytes += value.byte_len();
         values[index] = Some(value);
@@ -475,6 +498,55 @@ pub fn backward_with(
                 accumulate(&mut grads, *a, ga)?;
                 accumulate(&mut grads, *b, gb)?;
             }
+            Op::FusedMatMul {
+                lhs,
+                rhs,
+                bias,
+                relu,
+            } => {
+                // `relu(pre) > 0 ⟺ pre > 0`, so masking on the fused
+                // output is bit-identical to the unfused relu backward's
+                // mask on the never-materialized pre-activation.
+                let dpre = if *relu {
+                    let y = fwd
+                        .value(id)
+                        .ok_or(TensorError::InvalidGraph("missing fused value"))?;
+                    grad.zip(y, |g, v| if v > 0.0 { g } else { 0.0 })?
+                } else {
+                    grad.clone()
+                };
+                let (tl, tr, tb) = (value_of(*lhs)?, value_of(*rhs)?, value_of(*bias)?);
+                let gbias = column_sum(&dpre, tb.shape())?;
+                let ga = kernels::matmul(pool, &dpre, &tr.transpose()?)?.0;
+                let gb = kernels::matmul(pool, &tl.transpose()?, &dpre)?.0;
+                // Unfused order: add_bias's bias grad lands before the
+                // matmul grads, so aliased inputs accumulate identically.
+                accumulate(&mut grads, *bias, gbias)?;
+                accumulate(&mut grads, *lhs, ga)?;
+                accumulate(&mut grads, *rhs, gb)?;
+            }
+            Op::FusedConv2d {
+                input,
+                filter,
+                bias,
+                padding,
+                relu,
+            } => {
+                let dpre = if *relu {
+                    let y = fwd
+                        .value(id)
+                        .ok_or(TensorError::InvalidGraph("missing fused value"))?;
+                    grad.zip(y, |g, v| if v > 0.0 { g } else { 0.0 })?
+                } else {
+                    grad.clone()
+                };
+                let (ti, tf, tb) = (value_of(*input)?, value_of(*filter)?, value_of(*bias)?);
+                let gbias = column_sum(&dpre, tb.shape())?;
+                let (gi, gf, _) = kernels::conv2d_grad(pool, ti, tf, &dpre, *padding)?;
+                accumulate(&mut grads, *bias, gbias)?;
+                accumulate(&mut grads, *input, gi)?;
+                accumulate(&mut grads, *filter, gf)?;
+            }
         }
     }
     Ok(grads)
@@ -617,6 +689,41 @@ pub(crate) fn forward_planned(
                 avg_pool2(get(*x))?
             }
             Op::ConcatCols(a, b) => concat_cols(get(*a), get(*b))?,
+            Op::FusedMatMul {
+                lhs,
+                rhs,
+                bias,
+                relu,
+            } => {
+                let (tl, tr, tb) = (get(*lhs), get(*rhs), get(*bias));
+                let (out, cost) =
+                    kernels::matmul_bias_relu_with(pool, tl, tr, tb, *relu, &mut |len| {
+                        mem.take(len)
+                    })?;
+                stats.charge_matmul(cost);
+                out
+            }
+            Op::FusedConv2d {
+                input,
+                filter,
+                bias,
+                padding,
+                relu,
+            } => {
+                let (ti, tf, tb) = (get(*input), get(*filter), get(*bias));
+                let (out, cost) = kernels::conv2d_bias_relu_with(
+                    pool,
+                    ws,
+                    ti,
+                    tf,
+                    tb,
+                    *padding,
+                    *relu,
+                    &mut |len| mem.take(len),
+                )?;
+                stats.charge_conv(cost);
+                out
+            }
         };
         stats.activation_bytes += value.byte_len();
         mem.on_value(index, &value);
@@ -817,6 +924,63 @@ pub(crate) fn backward_planned(
                     let (ga, gb) = concat_cols_grad(&a_shape, &b_shape, &grad)?;
                     accumulate_planned(&mut grads, mem, *a, ga)?;
                     accumulate_planned(&mut grads, mem, *b, gb)?;
+                }
+                Op::FusedMatMul {
+                    lhs,
+                    rhs,
+                    bias,
+                    relu,
+                } => {
+                    let dpre = if *relu {
+                        let y = values
+                            .get(index)
+                            .and_then(Option::as_ref)
+                            .ok_or(TensorError::InvalidGraph("missing fused value"))?;
+                        grad.zip(y, |g, v| if v > 0.0 { g } else { 0.0 })?
+                    } else {
+                        grad.clone()
+                    };
+                    let bias_shape = mem.plan().shape(bias.0).to_vec();
+                    let gbias = column_sum(&dpre, &bias_shape)?;
+                    let (tl, tr) = (value_of(*lhs)?, value_of(*rhs)?);
+                    let tlt = tl.transpose()?;
+                    let trt = tr.transpose()?;
+                    let ga = kernels::matmul_with(pool, &dpre, &trt, &mut |len| mem.take(len))?.0;
+                    let gb = kernels::matmul_with(pool, &tlt, &dpre, &mut |len| mem.take(len))?.0;
+                    mem.recycle(tlt);
+                    mem.recycle(trt);
+                    mem.recycle(dpre);
+                    accumulate_planned(&mut grads, mem, *bias, gbias)?;
+                    accumulate_planned(&mut grads, mem, *lhs, ga)?;
+                    accumulate_planned(&mut grads, mem, *rhs, gb)?;
+                }
+                Op::FusedConv2d {
+                    input,
+                    filter,
+                    bias,
+                    padding,
+                    relu,
+                } => {
+                    let dpre = if *relu {
+                        let y = values
+                            .get(index)
+                            .and_then(Option::as_ref)
+                            .ok_or(TensorError::InvalidGraph("missing fused value"))?;
+                        grad.zip(y, |g, v| if v > 0.0 { g } else { 0.0 })?
+                    } else {
+                        grad.clone()
+                    };
+                    let bias_shape = mem.plan().shape(bias.0).to_vec();
+                    let gbias = column_sum(&dpre, &bias_shape)?;
+                    let (ti, tf) = (value_of(*input)?, value_of(*filter)?);
+                    let (gi, gf, _) =
+                        kernels::conv2d_grad_with(pool, ws, ti, tf, &dpre, *padding, &mut |len| {
+                            mem.take(len)
+                        })?;
+                    mem.recycle(dpre);
+                    accumulate_planned(&mut grads, mem, *bias, gbias)?;
+                    accumulate_planned(&mut grads, mem, *input, gi)?;
+                    accumulate_planned(&mut grads, mem, *filter, gf)?;
                 }
             }
             mem.release_grad(index, grad);

@@ -236,6 +236,30 @@ pub fn export_graph(graph: &Graph) -> Vec<u8> {
                 put_u32(&mut out, a.0 as u32);
                 put_u32(&mut out, b.0 as u32);
             }
+            Op::FusedMatMul { lhs, rhs, bias, relu } => {
+                out.push(21);
+                put_u32(&mut out, lhs.0 as u32);
+                put_u32(&mut out, rhs.0 as u32);
+                put_u32(&mut out, bias.0 as u32);
+                out.push(u8::from(*relu));
+            }
+            Op::FusedConv2d {
+                input,
+                filter,
+                bias,
+                padding,
+                relu,
+            } => {
+                out.push(22);
+                put_u32(&mut out, input.0 as u32);
+                put_u32(&mut out, filter.0 as u32);
+                put_u32(&mut out, bias.0 as u32);
+                out.push(match padding {
+                    Padding::Same => 0,
+                    Padding::Valid => 1,
+                });
+                out.push(u8::from(*relu));
+            }
         }
     }
     out
@@ -323,6 +347,39 @@ pub fn import_graph(bytes: &[u8]) -> Result<Graph, TensorError> {
             18 => Op::Tanh(node_ref(&mut r)?),
             19 => Op::AvgPool2(node_ref(&mut r)?),
             20 => Op::ConcatCols(node_ref(&mut r)?, node_ref(&mut r)?),
+            21 => {
+                let lhs = node_ref(&mut r)?;
+                let rhs = node_ref(&mut r)?;
+                let bias = node_ref(&mut r)?;
+                let relu = match r.take(1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(TensorError::MalformedModel("bad relu flag")),
+                };
+                Op::FusedMatMul { lhs, rhs, bias, relu }
+            }
+            22 => {
+                let input = node_ref(&mut r)?;
+                let filter = node_ref(&mut r)?;
+                let bias = node_ref(&mut r)?;
+                let padding = match r.take(1)?[0] {
+                    0 => Padding::Same,
+                    1 => Padding::Valid,
+                    _ => return Err(TensorError::MalformedModel("bad padding")),
+                };
+                let relu = match r.take(1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(TensorError::MalformedModel("bad relu flag")),
+                };
+                Op::FusedConv2d {
+                    input,
+                    filter,
+                    bias,
+                    padding,
+                    relu,
+                }
+            }
             _ => return Err(TensorError::MalformedModel("unknown op tag")),
         };
         graph.push_node(Node { op, name });
@@ -425,6 +482,77 @@ mod tests {
         let out1 = s1.run(&g, &[(x, input.clone())], &[s]).unwrap();
         let out2 = s2.run(&g2, &[(x, input)], &[s]).unwrap();
         assert_eq!(out1[0].data(), out2[0].data());
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_fused_graphs() {
+        use crate::graph::Padding;
+        use crate::passes::Pipeline;
+        use std::collections::HashMap;
+
+        // Fuse a conv → bias → relu → flatten → matmul → bias → softmax
+        // chain through the inference pipeline, then round-trip the fused
+        // graph through the GraphDef bytes.
+        let mut g = Graph::new();
+        let x = g.placeholder("x", &[0, 4, 4, 2]);
+        let f = g.constant(
+            "f",
+            Tensor::from_vec(&[3, 3, 2, 3], (0..54).map(|i| i as f32 * 0.01 - 0.2).collect())
+                .unwrap(),
+        );
+        let cb = g.constant("cb", Tensor::from_vec(&[3], vec![0.1, -0.2, 0.3]).unwrap());
+        let conv = g.conv2d(x, f, Padding::Same).unwrap();
+        let biased = g.add_bias(conv, cb).unwrap();
+        let act = g.relu(biased).unwrap();
+        let flat = g.flatten(act).unwrap();
+        let w = g.constant(
+            "w",
+            Tensor::from_vec(&[48, 2], (0..96).map(|i| (i % 7) as f32 * 0.1 - 0.3).collect())
+                .unwrap(),
+        );
+        let b = g.constant("b", Tensor::from_vec(&[2], vec![0.05, -0.05]).unwrap());
+        let mm = g.matmul(flat, w).unwrap();
+        let logits = g.add_bias(mm, b).unwrap();
+        let out = g.softmax(logits).unwrap();
+
+        let optimized = Pipeline::inference().run(&g, &[x, out]).unwrap();
+        assert!(optimized.report.nodes_fused() >= 2);
+        let fused_out = optimized.target(out).unwrap();
+        let fused_x = optimized.target(x).unwrap();
+        assert!(optimized.graph.nodes().iter().any(|n| matches!(
+            n.op,
+            Op::FusedConv2d { relu: true, .. }
+        )));
+        assert!(optimized.graph.nodes().iter().any(|n| matches!(
+            n.op,
+            Op::FusedMatMul { relu: false, .. }
+        )));
+
+        let bytes = export_graph(&optimized.graph);
+        let imported = import_graph(&bytes).unwrap();
+        assert_eq!(imported.len(), optimized.graph.len());
+        for (a, b) in imported.nodes().iter().zip(optimized.graph.nodes()) {
+            assert_eq!(a.op.kind(), b.op.kind());
+            assert_eq!(a.name, b.name);
+        }
+
+        let input =
+            Tensor::from_vec(&[2, 4, 4, 2], (0..64).map(|i| (i % 9) as f32 * 0.2 - 0.8).collect())
+                .unwrap();
+        let feeds = HashMap::from([(fused_x, input.clone())]);
+        let vars = HashMap::new();
+        let fwd_a =
+            crate::autodiff::forward(&optimized.graph, &feeds, &vars, &[fused_out]).unwrap();
+        let fwd_b = crate::autodiff::forward(&imported, &feeds, &vars, &[fused_out]).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(fwd_a.value(fused_out).unwrap()),
+            bits(fwd_b.value(fused_out).unwrap())
+        );
+        // And the fused graph computes the same values the unfused one did.
+        let mut unfused = Session::new(&g);
+        let plain = unfused.run(&g, &[(x, input)], &[out]).unwrap();
+        assert_eq!(bits(&plain[0]), bits(fwd_a.value(fused_out).unwrap()));
     }
 
     #[test]

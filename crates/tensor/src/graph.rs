@@ -88,6 +88,33 @@ pub enum Op {
     /// Concatenation of two matrices along the feature axis:
     /// `[m, a] ++ [m, b] -> [m, a + b]`.
     ConcatCols(NodeId, NodeId),
+    /// Fused `matmul → add_bias[ → relu]`. The bias/relu epilogue runs
+    /// inside the GEMM kernel, so the intermediates never materialize;
+    /// results are bit-identical to the unfused op sequence.
+    FusedMatMul {
+        /// Left operand `[m, k]`.
+        lhs: NodeId,
+        /// Right operand `[k, n]`.
+        rhs: NodeId,
+        /// Bias row `[n]`.
+        bias: NodeId,
+        /// Whether a ReLU follows the bias addition.
+        relu: bool,
+    },
+    /// Fused `conv2d → add_bias[ → relu]` with the same bit-identity
+    /// guarantee as [`Op::FusedMatMul`].
+    FusedConv2d {
+        /// Input activations `[batch, h, w, c_in]`.
+        input: NodeId,
+        /// Filter bank `[kh, kw, c_in, c_out]`.
+        filter: NodeId,
+        /// Bias over output channels `[c_out]`.
+        bias: NodeId,
+        /// Padding mode.
+        padding: Padding,
+        /// Whether a ReLU follows the bias addition.
+        relu: bool,
+    },
 }
 
 impl Op {
@@ -112,6 +139,10 @@ impl Op {
             Op::Reshape(a, _) | Op::Scale(a, _) => vec![*a],
             Op::Conv2d { input, filter, .. } => vec![*input, *filter],
             Op::SoftmaxCrossEntropy { logits, labels } => vec![*logits, *labels],
+            Op::FusedMatMul { lhs, rhs, bias, .. } => vec![*lhs, *rhs, *bias],
+            Op::FusedConv2d {
+                input, filter, bias, ..
+            } => vec![*input, *filter, *bias],
         }
     }
 
@@ -148,6 +179,18 @@ impl Op {
                 *logits = f(*logits);
                 *labels = f(*labels);
             }
+            Op::FusedMatMul { lhs, rhs, bias, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+                *bias = f(*bias);
+            }
+            Op::FusedConv2d {
+                input, filter, bias, ..
+            } => {
+                *input = f(*input);
+                *filter = f(*filter);
+                *bias = f(*bias);
+            }
         }
         op
     }
@@ -176,6 +219,12 @@ impl Op {
             Op::Tanh(_) => "tanh",
             Op::AvgPool2(_) => "avg_pool2",
             Op::ConcatCols(..) => "concat_cols",
+            // The relu flag is part of the kind so plan/pipeline cache
+            // keys never collide across the two epilogues.
+            Op::FusedMatMul { relu: false, .. } => "fused_matmul_bias",
+            Op::FusedMatMul { relu: true, .. } => "fused_matmul_bias_relu",
+            Op::FusedConv2d { relu: false, .. } => "fused_conv2d_bias",
+            Op::FusedConv2d { relu: true, .. } => "fused_conv2d_bias_relu",
         }
     }
 }
@@ -445,6 +494,61 @@ impl Graph {
         self.check(a)?;
         self.check(b)?;
         Ok(self.push("concat_cols", Op::ConcatCols(a, b)))
+    }
+
+    /// Adds a fused `matmul → add_bias[ → relu]` node (normally produced
+    /// by the fusion pass rather than built by hand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnknownNode`] for foreign node ids.
+    pub fn fused_matmul(
+        &mut self,
+        lhs: NodeId,
+        rhs: NodeId,
+        bias: NodeId,
+        relu: bool,
+    ) -> Result<NodeId, TensorError> {
+        self.check(lhs)?;
+        self.check(rhs)?;
+        self.check(bias)?;
+        Ok(self.push(
+            "fused_matmul",
+            Op::FusedMatMul {
+                lhs,
+                rhs,
+                bias,
+                relu,
+            },
+        ))
+    }
+
+    /// Adds a fused `conv2d → add_bias[ → relu]` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnknownNode`] for foreign node ids.
+    pub fn fused_conv2d(
+        &mut self,
+        input: NodeId,
+        filter: NodeId,
+        bias: NodeId,
+        padding: Padding,
+        relu: bool,
+    ) -> Result<NodeId, TensorError> {
+        self.check(input)?;
+        self.check(filter)?;
+        self.check(bias)?;
+        Ok(self.push(
+            "fused_conv2d",
+            Op::FusedConv2d {
+                input,
+                filter,
+                bias,
+                padding,
+                relu,
+            },
+        ))
     }
 
     /// All nodes in topological order.

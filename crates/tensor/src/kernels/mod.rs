@@ -112,6 +112,128 @@ pub fn matmul_with(
     Ok((Tensor::from_vec(&[m, n], out)?, cost))
 }
 
+/// Applies the fused `+bias[ → relu]` epilogue in place, one block per
+/// output row (`bias.len()` elements), and returns its cost.
+///
+/// Per element this performs exactly the operations of the unfused
+/// `add_bias` then `relu` sequence (`out[i] += bias[i % n]`, then
+/// `max(0.0)`), and every element is independent, so blocking and
+/// parallelism cannot change results. The bias add charges no flops
+/// (matching the unfused `AddBias`); the relu charges one flop per
+/// element, pool-parallel over rows.
+fn bias_relu_epilogue(pool: &WorkerPool, out: &mut [f32], bias: &[f32], relu: bool) -> KernelCost {
+    let n = bias.len().max(1);
+    pool.run_on_blocks(out, n, &|_, block| {
+        for (v, b) in block.iter_mut().zip(bias) {
+            *v += *b;
+            if relu {
+                *v = v.max(0.0);
+            }
+        }
+    });
+    if relu {
+        let nblocks = out.len().div_ceil(n);
+        KernelCost {
+            flops: out.len() as f64,
+            critical_flops: (pool::critical_units(nblocks, pool.workers()) * n) as f64,
+        }
+    } else {
+        KernelCost::default()
+    }
+}
+
+/// Fused `lhs × rhs + bias[ → relu]`: the GEMM of [`matmul`] followed by
+/// an in-buffer bias/relu epilogue, so the pre-bias and pre-relu
+/// intermediates never materialize. Bit-identical to the unfused
+/// `matmul → add_bias → relu` op sequence for any worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`], plus a bias shape check (`[n]`).
+pub fn matmul_bias_relu(
+    pool: &WorkerPool,
+    lhs: &Tensor,
+    rhs: &Tensor,
+    bias: &Tensor,
+    relu: bool,
+) -> Result<(Tensor, KernelCost), TensorError> {
+    matmul_bias_relu_with(pool, lhs, rhs, bias, relu, &mut |len| vec![0.0f32; len])
+}
+
+/// [`matmul_bias_relu`] writing into a caller-provided buffer.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_bias_relu`].
+pub fn matmul_bias_relu_with(
+    pool: &WorkerPool,
+    lhs: &Tensor,
+    rhs: &Tensor,
+    bias: &Tensor,
+    relu: bool,
+    take: TakeBuffer<'_>,
+) -> Result<(Tensor, KernelCost), TensorError> {
+    let (mut out, mut cost) = matmul_with(pool, lhs, rhs, take)?;
+    let n = out.shape()[1];
+    if bias.shape() != [n] {
+        return Err(TensorError::ShapeMismatch {
+            op: "fused_matmul",
+            detail: format!("bias {:?} vs columns {n}", bias.shape()),
+        });
+    }
+    cost.merge(bias_relu_epilogue(pool, out.data_mut(), bias.data(), relu));
+    Ok((out, cost))
+}
+
+/// Fused `conv2d + bias[ → relu]`: [`conv2d`]'s im2col + GEMM followed by
+/// an in-buffer per-channel bias/relu epilogue. Bit-identical to the
+/// unfused `conv2d → add_bias → relu` op sequence for any worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`], plus a bias shape check (`[cout]`).
+pub fn conv2d_bias_relu(
+    pool: &WorkerPool,
+    input: &Tensor,
+    filter: &Tensor,
+    bias: &Tensor,
+    padding: Padding,
+    relu: bool,
+) -> Result<(Tensor, KernelCost), TensorError> {
+    let mut ws = Workspace::new();
+    conv2d_bias_relu_with(pool, &mut ws, input, filter, bias, padding, relu, &mut |len| {
+        vec![0.0f32; len]
+    })
+}
+
+/// [`conv2d_bias_relu`] with caller-provided scratch and output buffer.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_bias_relu`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_bias_relu_with(
+    pool: &WorkerPool,
+    ws: &mut Workspace,
+    input: &Tensor,
+    filter: &Tensor,
+    bias: &Tensor,
+    padding: Padding,
+    relu: bool,
+    take: TakeBuffer<'_>,
+) -> Result<(Tensor, KernelCost), TensorError> {
+    let (mut out, mut cost) = conv::conv2d_with(pool, ws, input, filter, padding, take)?;
+    let cout = *out.shape().last().expect("conv output is NHWC");
+    if bias.shape() != [cout] {
+        return Err(TensorError::ShapeMismatch {
+            op: "fused_conv2d",
+            detail: format!("bias {:?} vs channels {cout}", bias.shape()),
+        });
+    }
+    cost.merge(bias_relu_epilogue(pool, out.data_mut(), bias.data(), relu));
+    Ok((out, cost))
+}
+
 /// im2col + GEMM forward convolution (NHWC input, `[kh,kw,cin,cout]`
 /// filter). Bit-identical to [`reference::naive_conv2d`].
 pub fn conv2d(

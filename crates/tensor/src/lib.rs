@@ -57,6 +57,7 @@ pub mod kernels;
 pub mod layers;
 pub mod memory;
 pub mod optimizer;
+pub mod passes;
 pub mod session;
 pub mod tensor;
 

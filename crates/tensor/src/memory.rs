@@ -245,6 +245,50 @@ pub fn infer_shapes(
                 }
                 vec![m1, n1 + n2]
             }
+            Op::FusedMatMul { lhs, rhs, bias, .. } => {
+                let (sa, sb, sc) = (of(lhs), of(rhs), of(bias));
+                let (&[m, k1], &[k2, n]) = (sa.as_slice(), sb.as_slice()) else {
+                    return Err(mismatch(format!("fused_matmul {sa:?} × {sb:?}")));
+                };
+                if k1 != k2 {
+                    return Err(mismatch(format!("fused_matmul inner dims {k1} vs {k2}")));
+                }
+                if sc != [n] {
+                    return Err(mismatch(format!("fused_matmul bias {sc:?} vs columns {n}")));
+                }
+                vec![m, n]
+            }
+            Op::FusedConv2d {
+                input,
+                filter,
+                bias,
+                padding,
+                ..
+            } => {
+                let (si, sf, sc) = (of(input), of(filter), of(bias));
+                let (&[b, h, w, cin], &[kh, kw, fcin, cout]) = (si.as_slice(), sf.as_slice())
+                else {
+                    return Err(mismatch(format!("fused_conv2d {si:?} * {sf:?}")));
+                };
+                if fcin != cin {
+                    return Err(mismatch(format!("fused_conv2d channels {cin} vs {fcin}")));
+                }
+                if sc != [cout] {
+                    return Err(mismatch(format!("fused_conv2d bias {sc:?} vs channels {cout}")));
+                }
+                let (oh, ow) = match padding {
+                    Padding::Same => (h, w),
+                    Padding::Valid => {
+                        if h < kh || w < kw {
+                            return Err(mismatch(format!(
+                                "fused_conv2d input {h}x{w} smaller than kernel {kh}x{kw}"
+                            )));
+                        }
+                        (h - kh + 1, w - kw + 1)
+                    }
+                };
+                vec![b, oh, ow, cout]
+            }
         };
         shapes[index] = shape;
     }
@@ -265,20 +309,29 @@ fn backward_reads_input(op: &Op, position: usize) -> bool {
         Op::Conv2d { .. } => true,
         // The loss gradients re-read both operands.
         Op::SoftmaxCrossEntropy { .. } | Op::MseLoss(..) => true,
+        // Fused epilogue ops read their data operands (positions 0/1)
+        // like the unfused MatMul/Conv2d; the bias gradient is a column
+        // sum of the incoming gradient, so the bias *value* (position 2)
+        // is never read — only its plan shape.
+        Op::FusedMatMul { .. } | Op::FusedConv2d { .. } => position < 2,
         // Shape-only (AddBias, Flatten, Reshape, AvgPool2, ConcatCols)
         // or nothing at all (Add, Sub, Scale); the self-output readers
         // (Softmax, Sigmoid, Tanh) are handled by the caller.
-        _ => {
-            let _ = position;
-            false
-        }
+        _ => false,
     }
 }
 
 /// Whether the backward rule of `op` reads the node's *own* forward
-/// output (the s·(1-s)-style activations).
+/// output (the s·(1-s)-style activations, and the fused-relu mask).
 fn backward_reads_output(op: &Op) -> bool {
-    matches!(op, Op::Softmax(_) | Op::Sigmoid(_) | Op::Tanh(_))
+    match op {
+        Op::Softmax(_) | Op::Sigmoid(_) | Op::Tanh(_) => true,
+        // A fused relu masks the backward pass on the fused output
+        // (`y > 0 ⟺ pre-activation > 0`, exactly); without relu the
+        // epilogue is linear and nothing re-reads the output.
+        Op::FusedMatMul { relu, .. } | Op::FusedConv2d { relu, .. } => *relu,
+        _ => false,
+    }
 }
 
 /// The input positions of `op` that receive gradient contributions.
@@ -506,12 +559,12 @@ pub fn plan_training(
             death = death.max(bstep(index));
         }
         value_lives[index] = Some((index, death));
-        for input in op.inputs() {
+        for (position, input) in op.inputs().into_iter().enumerate() {
             let Some(live) = value_lives[input.0].as_mut() else {
                 continue;
             };
             live.1 = live.1.max(index);
-            if has_grad[index] && backward_reads_input(op, 0) {
+            if has_grad[index] && backward_reads_input(op, position) {
                 live.1 = live.1.max(bstep(index));
             }
         }

@@ -1,13 +1,101 @@
 //! Sessions: stateful graph execution (TensorFlow's `tf.Session`).
 
 use crate::autodiff::{backward_with, forward_with, RunStats};
-use crate::graph::{Graph, NodeId, Op};
+use crate::graph::{Graph, NodeId, Op, Padding};
 use crate::kernels::WorkerPool;
 use crate::memory::{MemoryMode, MemoryStats, PlannedExecutor, SlotWrite};
 use crate::optimizer::Optimizer;
+use crate::passes::{Pipeline, PipelineReport};
 use crate::tensor::Tensor;
 use crate::TensorError;
 use std::collections::HashMap;
+
+/// A pipeline-optimized graph cached by the session, keyed by the
+/// compile key of (graph structure, roots, training flag).
+#[derive(Debug, Clone)]
+struct CompiledGraph {
+    graph: Graph,
+    /// Original-id → optimized-id map; `None` for eliminated nodes.
+    remap: Vec<Option<NodeId>>,
+    report: PipelineReport,
+}
+
+/// Structural fingerprint of a compilation request (FNV-1a). Covers
+/// every input that can change what the pipeline produces: op kinds,
+/// graph wiring, attribute payloads, constant *data* (folding bakes the
+/// values into the optimized graph), leaf shapes, the requested roots,
+/// and whether the training or inference pipeline applies. Variable
+/// values are deliberately excluded — folding never evaluates them and
+/// execution reads them from the session's own state.
+fn compile_key(graph: &Graph, roots: &[NodeId], train: bool) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let eat_usize = |h: &mut dyn FnMut(u8), v: usize| {
+        for b in (v as u64).to_le_bytes() {
+            h(b);
+        }
+    };
+    eat(u8::from(train));
+    eat_usize(&mut eat, graph.len());
+    for node in graph.nodes() {
+        for &b in node.op.kind().as_bytes() {
+            eat(b);
+        }
+        eat(0xFF);
+        match &node.op {
+            Op::Constant(t) => {
+                for &d in t.shape() {
+                    eat_usize(&mut eat, d);
+                }
+                eat(0xFE);
+                for &v in t.data() {
+                    for b in v.to_bits().to_le_bytes() {
+                        eat(b);
+                    }
+                }
+            }
+            Op::Placeholder { shape } => {
+                for &d in shape {
+                    eat_usize(&mut eat, d);
+                }
+            }
+            Op::Variable { init } => {
+                for &d in init.shape() {
+                    eat_usize(&mut eat, d);
+                }
+            }
+            Op::Scale(_, factor) => {
+                for b in factor.to_bits().to_le_bytes() {
+                    eat(b);
+                }
+            }
+            Op::Reshape(_, shape) => {
+                for &d in shape {
+                    eat_usize(&mut eat, d);
+                }
+            }
+            Op::Conv2d { padding, .. } | Op::FusedConv2d { padding, .. } => {
+                eat(match padding {
+                    Padding::Same => 0,
+                    Padding::Valid => 1,
+                });
+            }
+            _ => {}
+        }
+        eat(0xFF);
+        for input in node.op.inputs() {
+            eat_usize(&mut eat, input.index());
+        }
+    }
+    eat(0xFD);
+    for &root in roots {
+        eat_usize(&mut eat, root.index());
+    }
+    hash
+}
 
 /// Owns variable state and runs graphs.
 #[derive(Debug, Clone)]
@@ -17,6 +105,10 @@ pub struct Session {
     pool: WorkerPool,
     mode: MemoryMode,
     planner: PlannedExecutor,
+    optimize: bool,
+    compiled: HashMap<u64, CompiledGraph>,
+    last_key: Option<u64>,
+    fresh_reports: Vec<PipelineReport>,
 }
 
 impl Session {
@@ -36,6 +128,107 @@ impl Session {
             pool: WorkerPool::serial(),
             mode: MemoryMode::default(),
             planner: PlannedExecutor::new(),
+            optimize: true,
+            compiled: HashMap::new(),
+            last_key: None,
+            fresh_reports: Vec::new(),
+        }
+    }
+
+    /// Enables or disables the graph-compiler pass pipeline. Optimized
+    /// execution is bit-identical to unoptimized — this switch exists
+    /// for A/B verification and cost benchmarking.
+    pub fn set_optimize(&mut self, on: bool) {
+        self.optimize = on;
+    }
+
+    /// Whether the pass pipeline is applied before execution.
+    pub fn optimize_enabled(&self) -> bool {
+        self.optimize
+    }
+
+    /// The pipeline report of the most recently used compiled graph,
+    /// if the session has optimized anything yet.
+    pub fn pipeline_report(&self) -> Option<&PipelineReport> {
+        self.last_key
+            .and_then(|key| self.compiled.get(&key))
+            .map(|c| &c.report)
+    }
+
+    /// Drains the reports of pipeline runs performed since the last
+    /// call (one per newly compiled graph; cache hits produce none).
+    /// The TEE layer turns these into `compiler.*` telemetry.
+    pub fn take_pipeline_reports(&mut self) -> Vec<PipelineReport> {
+        std::mem::take(&mut self.fresh_reports)
+    }
+
+    /// Compiles `graph` for the given roots if not already cached, and
+    /// returns the cache key.
+    fn ensure_compiled(
+        &mut self,
+        graph: &Graph,
+        roots: &[NodeId],
+        train: bool,
+    ) -> Result<u64, TensorError> {
+        let key = compile_key(graph, roots, train);
+        if !self.compiled.contains_key(&key) {
+            let pipeline = if train {
+                Pipeline::training()
+            } else {
+                Pipeline::inference()
+            };
+            let optimized = pipeline.run(graph, roots)?;
+            // Bound the cache: sessions normally see a handful of
+            // distinct (graph, fetch-set) pairs; a runaway caller
+            // resets rather than grows without limit.
+            if self.compiled.len() >= 16 {
+                self.compiled.clear();
+            }
+            self.fresh_reports.push(optimized.report.clone());
+            self.compiled.insert(
+                key,
+                CompiledGraph {
+                    graph: optimized.graph,
+                    remap: optimized.remap,
+                    report: optimized.report,
+                },
+            );
+        }
+        self.last_key = Some(key);
+        Ok(key)
+    }
+
+    /// Moves the session's variable values into the optimized graph's
+    /// id space (zero-copy). Returns the translated map and the
+    /// `(new_id, old_id)` pairs needed to move them back.
+    fn translate_vars(
+        vars: &mut HashMap<NodeId, Tensor>,
+        graph: &Graph,
+        remap: &[Option<NodeId>],
+    ) -> (HashMap<NodeId, Tensor>, Vec<(NodeId, NodeId)>) {
+        let mut translated = HashMap::with_capacity(vars.len());
+        let mut back = Vec::with_capacity(vars.len());
+        for old in graph.variables() {
+            if let Some(new_id) = remap.get(old.index()).copied().flatten() {
+                if let Some(value) = vars.remove(&old) {
+                    translated.insert(new_id, value);
+                    back.push((new_id, old));
+                }
+            }
+        }
+        (translated, back)
+    }
+
+    /// Moves translated variable values back under their original ids.
+    fn restore_vars(
+        vars: &mut HashMap<NodeId, Tensor>,
+        translated: &mut HashMap<NodeId, Tensor>,
+        back: &[(NodeId, NodeId)],
+    ) {
+        for &(new_id, old) in back {
+            if let Some(value) = translated.remove(&new_id) {
+                vars.insert(old, value);
+            }
         }
     }
 
@@ -90,6 +283,53 @@ impl Session {
         feeds: &[(NodeId, Tensor)],
         fetches: &[NodeId],
     ) -> Result<Vec<Tensor>, TensorError> {
+        for &fetch in fetches {
+            graph.node(fetch)?;
+        }
+        if self.optimize {
+            let key = self.ensure_compiled(graph, fetches, false)?;
+            let compiled = self.compiled.get(&key).expect("just compiled");
+            let feed_map: HashMap<NodeId, Tensor> = feeds
+                .iter()
+                .filter_map(|(id, t)| {
+                    compiled
+                        .remap
+                        .get(id.index())
+                        .copied()
+                        .flatten()
+                        .map(|new_id| (new_id, t.clone()))
+                })
+                .collect();
+            let new_fetches: Vec<NodeId> = fetches
+                .iter()
+                .map(|&f| {
+                    compiled
+                        .remap
+                        .get(f.index())
+                        .copied()
+                        .flatten()
+                        .ok_or(TensorError::UnknownNode)
+                })
+                .collect::<Result<_, _>>()?;
+            let (mut tvars, back) = Self::translate_vars(&mut self.vars, graph, &compiled.remap);
+            let result = if self.mode == MemoryMode::Planned {
+                self.planner
+                    .run(&compiled.graph, &feed_map, &tvars, &new_fetches, &self.pool)
+            } else {
+                forward_with(&compiled.graph, &feed_map, &tvars, &new_fetches, &self.pool)
+                    .and_then(|fwd| {
+                        let outs = new_fetches
+                            .iter()
+                            .map(|&id| fwd.value(id).cloned().ok_or(TensorError::UnknownNode))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Ok((outs, fwd.stats))
+                    })
+            };
+            Self::restore_vars(&mut self.vars, &mut tvars, &back);
+            let (outs, stats) = result?;
+            self.stats.merge(stats);
+            return Ok(outs);
+        }
         let feed_map: HashMap<NodeId, Tensor> = feeds.iter().cloned().collect();
         if self.mode == MemoryMode::Planned {
             let (outs, stats) =
@@ -151,15 +391,78 @@ impl Session {
         feed_map: &HashMap<NodeId, Tensor>,
         loss: NodeId,
     ) -> Result<(f32, HashMap<NodeId, Tensor>, RunStats), TensorError> {
-        if self.mode == MemoryMode::Planned {
-            return self.planner.train(graph, feed_map, &self.vars, loss, &self.pool);
+        graph.node(loss)?;
+        if self.optimize {
+            let key = self.ensure_compiled(graph, &[loss], true)?;
+            let compiled = self.compiled.get(&key).expect("just compiled");
+            let new_loss = compiled
+                .remap
+                .get(loss.index())
+                .copied()
+                .flatten()
+                .ok_or(TensorError::UnknownNode)?;
+            let new_feeds: HashMap<NodeId, Tensor> = feed_map
+                .iter()
+                .filter_map(|(id, t)| {
+                    compiled
+                        .remap
+                        .get(id.index())
+                        .copied()
+                        .flatten()
+                        .map(|new_id| (new_id, t.clone()))
+                })
+                .collect();
+            let (mut tvars, back) = Self::translate_vars(&mut self.vars, graph, &compiled.remap);
+            let result = Self::executor_forward_backward(
+                &mut self.planner,
+                self.mode,
+                &compiled.graph,
+                &new_feeds,
+                &tvars,
+                new_loss,
+                &self.pool,
+            );
+            Self::restore_vars(&mut self.vars, &mut tvars, &back);
+            let (loss_value, mut grads, stats) = result?;
+            // Gradients come back in the optimized id space; translate
+            // to the caller's original variable ids.
+            let var_grads = back
+                .iter()
+                .filter_map(|&(new_id, old)| grads.remove(&new_id).map(|g| (old, g)))
+                .collect();
+            return Ok((loss_value, var_grads, stats));
         }
-        let fwd = forward_with(graph, feed_map, &self.vars, &[loss], &self.pool)?;
+        Self::executor_forward_backward(
+            &mut self.planner,
+            self.mode,
+            graph,
+            feed_map,
+            &self.vars,
+            loss,
+            &self.pool,
+        )
+    }
+
+    /// Forward + backward on an already-translated graph, via the
+    /// mode-selected executor.
+    fn executor_forward_backward(
+        planner: &mut PlannedExecutor,
+        mode: MemoryMode,
+        graph: &Graph,
+        feed_map: &HashMap<NodeId, Tensor>,
+        vars: &HashMap<NodeId, Tensor>,
+        loss: NodeId,
+        pool: &WorkerPool,
+    ) -> Result<(f32, HashMap<NodeId, Tensor>, RunStats), TensorError> {
+        if mode == MemoryMode::Planned {
+            return planner.train(graph, feed_map, vars, loss, pool);
+        }
+        let fwd = forward_with(graph, feed_map, vars, &[loss], pool)?;
         let loss_value = fwd
             .value(loss)
             .ok_or(TensorError::UnknownNode)?
             .data()[0];
-        let grads = backward_with(graph, &fwd, loss, &self.pool)?;
+        let grads = backward_with(graph, &fwd, loss, pool)?;
         let var_grads = graph
             .variables()
             .into_iter()

@@ -139,6 +139,45 @@ pub fn infer_shapes(graph: &Graph, batch: usize) -> Result<Vec<Vec<usize>>, Lite
                 }
                 vec![sa[0], sa[1] + sb[1]]
             }
+            Op::FusedMatMul { lhs, rhs, bias, .. } => {
+                let (sa, sb, sc) = (get(&shapes, *lhs), get(&shapes, *rhs), get(&shapes, *bias));
+                if sa.len() != 2 || sb.len() != 2 || sa[1] != sb[0] {
+                    return Err(LiteError::MalformedModel("fused_matmul shape mismatch"));
+                }
+                if sc.len() != 1 || sc[0] != sb[1] {
+                    return Err(LiteError::MalformedModel("fused_matmul bias mismatch"));
+                }
+                vec![sa[0], sb[1]]
+            }
+            Op::FusedConv2d {
+                input,
+                filter,
+                bias,
+                padding,
+                ..
+            } => {
+                let (si, sf, sc) = (
+                    get(&shapes, *input),
+                    get(&shapes, *filter),
+                    get(&shapes, *bias),
+                );
+                if si.len() != 4 || sf.len() != 4 || si[3] != sf[2] {
+                    return Err(LiteError::MalformedModel("fused_conv2d shape mismatch"));
+                }
+                if sc.len() != 1 || sc[0] != sf[3] {
+                    return Err(LiteError::MalformedModel("fused_conv2d bias mismatch"));
+                }
+                let (oh, ow) = match padding {
+                    Padding::Same => (si[1], si[2]),
+                    Padding::Valid => {
+                        if si[1] < sf[0] || si[2] < sf[1] {
+                            return Err(LiteError::MalformedModel("fused_conv2d input too small"));
+                        }
+                        (si[1] - sf[0] + 1, si[2] - sf[1] + 1)
+                    }
+                };
+                vec![si[0], oh, ow, sf[3]]
+            }
             Op::SoftmaxCrossEntropy { .. } | Op::MseLoss(..) => vec![],
         };
         shapes.push(shape);

@@ -1,10 +1,12 @@
 //! The Lite interpreter: single-input, single-output inference.
 
 use crate::model::LiteModel;
+use crate::optimize::optimize_for_inference;
 use crate::LiteError;
 use securetf_tensor::autodiff::{forward_with, RunStats};
 use securetf_tensor::kernels::WorkerPool;
 use securetf_tensor::memory::{MemoryMode, MemoryStats, PlannedExecutor};
+use securetf_tensor::passes::PipelineReport;
 use securetf_tensor::tensor::Tensor;
 use std::collections::HashMap;
 
@@ -14,6 +16,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct Interpreter {
     model: LiteModel,
+    report: Option<PipelineReport>,
     stats: RunStats,
     runs: u64,
     pool: WorkerPool,
@@ -29,15 +32,47 @@ impl Interpreter {
 
     /// Creates an interpreter whose kernels run on `pool`. Outputs are
     /// bit-identical for any pool; only the critical-path cost changes.
+    ///
+    /// The model is lowered through the shared inference pipeline
+    /// (DCE → CSE → fold → fuse) once, at construction; every run then
+    /// executes the optimized graph. Outputs are bit-identical to the
+    /// unoptimized model ([`Interpreter::unoptimized`] for A/B checks).
     pub fn with_pool(model: LiteModel, pool: WorkerPool) -> Self {
+        let (model, report) = match optimize_for_inference(&model) {
+            Ok((optimized, report)) => (optimized, Some(report)),
+            // A graph the pipeline rejects still runs unoptimized.
+            Err(_) => (model, None),
+        };
         Interpreter {
             model,
+            report,
             stats: RunStats::default(),
             runs: 0,
             pool,
             mode: MemoryMode::default(),
             planner: PlannedExecutor::new(),
         }
+    }
+
+    /// Creates an interpreter that executes `model` exactly as given —
+    /// no compiler passes. Exists for bit-identity verification and
+    /// optimized-vs-baseline cost benchmarking.
+    pub fn unoptimized(model: LiteModel) -> Self {
+        Interpreter {
+            model,
+            report: None,
+            stats: RunStats::default(),
+            runs: 0,
+            pool: WorkerPool::serial(),
+            mode: MemoryMode::default(),
+            planner: PlannedExecutor::new(),
+        }
+    }
+
+    /// The pass-pipeline report of the construction-time lowering
+    /// (`None` for [`Interpreter::unoptimized`] or rejected graphs).
+    pub fn pipeline_report(&self) -> Option<&PipelineReport> {
+        self.report.as_ref()
     }
 
     /// Replaces the worker pool used by subsequent runs.

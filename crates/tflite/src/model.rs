@@ -54,6 +54,31 @@ impl LiteModel {
         })
     }
 
+    /// Rebinds this model's metadata (name, declared FLOPs) onto a
+    /// rewritten graph with explicit input/output ids. Id-based, so it
+    /// stays correct when node names are duplicated or nodes were
+    /// renumbered by an optimization pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`LiteError::UnsupportedOp`] if `graph` contains training-only ops.
+    /// * [`LiteError::MalformedModel`] if `input`/`output` are out of range.
+    pub fn rebound(&self, graph: Graph, input: NodeId, output: NodeId) -> Result<LiteModel, LiteError> {
+        for node in graph.nodes() {
+            op_supported(&node.op)?;
+        }
+        if input.index() >= graph.len() || output.index() >= graph.len() {
+            return Err(LiteError::MalformedModel("binding out of range"));
+        }
+        Ok(LiteModel {
+            graph,
+            input,
+            output,
+            name: self.name.clone(),
+            declared_flops: self.declared_flops,
+        })
+    }
+
     /// Sets a display name.
     pub fn with_name(mut self, name: &str) -> Self {
         self.name = name.to_string();

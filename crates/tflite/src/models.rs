@@ -67,7 +67,18 @@ fn pattern_weights(rows: usize, cols: usize, seed: usize) -> Tensor {
     Tensor::from_vec(&[rows, cols], data).expect("sized to shape")
 }
 
+fn pattern_bias(cols: usize, seed: usize) -> Tensor {
+    let data: Vec<f32> = (0..cols)
+        .map(|i| ((i.wrapping_mul(40503).wrapping_add(seed * 131)) % 7) as f32 * 0.01 - 0.03)
+        .collect();
+    Tensor::from_vec(&[cols], data).expect("sized to shape")
+}
+
 /// Builds a synthetic model matching `spec`'s parameter bytes and FLOPs.
+///
+/// Each hidden layer is the real architectures' `matmul → bias → relu`
+/// block (so the graph compiler's fusion pass sees the same chains it
+/// would in Inception/Densenet); the tail layer is `matmul → bias`.
 ///
 /// The input placeholder is `[0, 1024]`; feed `[positions, 1024]` rows
 /// (use [`input_for`] for a ready-made input).
@@ -77,22 +88,27 @@ pub fn build(spec: ModelSpec) -> LiteModel {
     let mut params_left = (spec.bytes / 4) as usize;
     let mut x = input;
     let mut layer = 0usize;
-    while params_left >= WIDTH * WIDTH {
+    while params_left >= WIDTH * WIDTH + WIDTH {
         let w = g.constant(
             &format!("layer{layer}/w"),
             pattern_weights(WIDTH, WIDTH, layer),
         );
+        let b = g.constant(&format!("layer{layer}/b"), pattern_bias(WIDTH, layer));
         x = g.matmul(x, w).expect("nodes from this graph");
-        params_left -= WIDTH * WIDTH;
+        x = g.add_bias(x, b).expect("nodes from this graph");
+        x = g.relu(x).expect("nodes from this graph");
+        params_left -= WIDTH * WIDTH + WIDTH;
         layer += 1;
     }
-    let tail_cols = (params_left / WIDTH).max(1);
+    let tail_cols = (params_left / (WIDTH + 1)).max(1);
     let w = g.constant(
         &format!("layer{layer}/w"),
         pattern_weights(WIDTH, tail_cols, layer),
     );
+    let b = g.constant(&format!("layer{layer}/b"), pattern_bias(tail_cols, layer));
     x = g.matmul(x, w).expect("nodes from this graph");
- 
+    x = g.add_bias(x, b).expect("nodes from this graph");
+
     let out = g.softmax(x).expect("nodes from this graph");
     let _ = out;
     // Rename the output node for stable lookup.
@@ -134,7 +150,7 @@ mod tests {
         let m = build(spec);
         let err = (m.param_bytes() as i64 - spec.bytes as i64).abs();
         assert!(
-            err <= (WIDTH * 4) as i64,
+            err <= ((WIDTH + 1) * 4) as i64,
             "param bytes {} vs spec {} (err {err})",
             m.param_bytes(),
             spec.bytes

@@ -18,6 +18,7 @@
 use crate::model::LiteModel;
 use crate::LiteError;
 use securetf_tensor::graph::{Graph, Node, NodeId, Op};
+use securetf_tensor::passes::{self, Pipeline, PipelineReport};
 use securetf_tensor::tensor::Tensor;
 
 /// Outcome of a pruning pass.
@@ -118,87 +119,54 @@ pub fn strip_unreachable(model: &LiteModel) -> LiteModel {
             .expect("remapped inputs exist");
         remap[index] = Some(new_id);
     }
-    let input_name = graph.nodes()[model.input().index()].name.clone();
-    let output_name = graph.nodes()[model.output().index()].name.clone();
-    LiteModel::convert(&out, &input_name, &output_name)
+    let input = remap[model.input().index()].expect("input is a strip root");
+    let output = remap[model.output().index()].expect("output is a strip root");
+    model
+        .rebound(out, input, output)
         .expect("subgraph of a valid lite model")
-        .with_name(model.name())
-        .with_declared_flops(model.declared_flops())
 }
 
 /// Folds every operation whose inputs are all constants into a constant
 /// (the paper's §7.2 graph optimization: "pruning unnecessary edges and
-/// nodes"). Combine with [`strip_unreachable`] to drop the now-dead
-/// input constants.
+/// nodes"). A thin wrapper over the shared compiler pass
+/// [`securetf_tensor::passes::fold_graph`] — the training and Lite
+/// engines fold with the same code. Combine with [`strip_unreachable`]
+/// to drop the now-dead input constants.
 ///
 /// Returns the folded model and the number of nodes folded.
 pub fn fold_constants(model: &LiteModel) -> (LiteModel, usize) {
-    use securetf_tensor::autodiff;
-    use std::collections::HashMap;
-
     let mut graph = model.graph().clone();
-    let mut known: HashMap<usize, Tensor> = graph
-        .nodes()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, n)| match &n.op {
-            Op::Constant(t) => Some((i, t.clone())),
-            _ => None,
-        })
-        .collect();
-    let mut folded = 0usize;
-    for index in 0..graph.len() {
-        let node = &graph.nodes()[index];
-        if matches!(
-            node.op,
-            Op::Constant(_) | Op::Placeholder { .. } | Op::Variable { .. }
-        ) {
-            continue;
-        }
-        let inputs = node.op.inputs();
-        if inputs.is_empty() || !inputs.iter().all(|i| known.contains_key(&i.index())) {
-            continue;
-        }
-        // Evaluate the op in a scratch graph fed by the known constants.
-        let mut scratch = Graph::new();
-        let mut remap = HashMap::new();
-        for input in &inputs {
-            remap
-                .entry(input.index())
-                .or_insert_with(|| scratch.constant("in", known[&input.index()].clone()));
-        }
-        let op = node.op.map_inputs(|old| remap[&old.index()]);
-        let Ok(target) = scratch.append_node(securetf_tensor::graph::Node {
-            op,
-            name: node.name.clone(),
-        }) else {
-            continue;
-        };
-        let Ok(fwd) =
-            autodiff::forward(&scratch, &HashMap::new(), &HashMap::new(), &[target])
-        else {
-            continue;
-        };
-        let Some(value) = fwd.value(target).cloned() else {
-            continue;
-        };
-        let id = graph.node_id(index).expect("in range");
-        graph
-            .replace_with_constant(id, value.clone())
-            .expect("id in range");
-        known.insert(index, value);
-        folded += 1;
-    }
+    let folded = passes::fold_graph(&mut graph);
     (rebind(model, graph), folded)
 }
 
+/// Lowers a model through the full shared inference pipeline
+/// (DCE → CSE → constant folding → operator fusion). Outputs are
+/// bit-identical to the unoptimized model; the graph shrinks and
+/// `matmul/conv → add_bias[ → relu]` chains become fused single-kernel
+/// nodes (fewer arena slots, fewer EPC page touches).
+///
+/// # Errors
+///
+/// Returns [`LiteError::Exec`] if the pipeline rejects the graph.
+pub fn optimize_for_inference(model: &LiteModel) -> Result<(LiteModel, PipelineReport), LiteError> {
+    let optimized = Pipeline::inference().run(model.graph(), &[model.input(), model.output()])?;
+    let input = optimized
+        .target(model.input())
+        .ok_or(LiteError::MalformedModel("input eliminated"))?;
+    let output = optimized
+        .target(model.output())
+        .ok_or(LiteError::MalformedModel("output eliminated"))?;
+    let lite = model.rebound(optimized.graph, input, output)?;
+    Ok((lite, optimized.report))
+}
+
+/// Rebinds after an id-preserving rewrite (prune, fold, quantize):
+/// the input/output bindings carry over unchanged.
 fn rebind(model: &LiteModel, graph: Graph) -> LiteModel {
-    let input_name = graph.nodes()[model.input().index()].name.clone();
-    let output_name = graph.nodes()[model.output().index()].name.clone();
-    LiteModel::convert(&graph, &input_name, &output_name)
+    model
+        .rebound(graph, model.input(), model.output())
         .expect("same ops as a valid lite model")
-        .with_name(model.name())
-        .with_declared_flops(model.declared_flops())
 }
 
 /// One 8-bit-quantized weight tensor.

@@ -214,6 +214,103 @@ fn comm_plane_telemetry_digest_is_config_deterministic() {
 }
 
 #[test]
+fn compiler_pipeline_is_telemetry_neutral_when_node_counts_are_equal() {
+    // DESIGN.md §16 determinism argument: the pass pipeline may only
+    // perturb telemetry when it actually rewrites the graph. On a graph
+    // with no dead nodes, no constant subgraphs, and no fusable chains,
+    // node counts before and after compilation are equal — and the
+    // same-seed metrics digest must be bit-identical with the pipeline
+    // on and off.
+    use securetf::secure_session::SecureSession;
+    use securetf_tensor::optimizer::Sgd;
+
+    // matmul (no bias, no relu) straight into the loss: every node is
+    // live from the loss root and nothing folds or fuses. The inference
+    // head aliases the logits so no dead softmax dangles off the graph.
+    let neutral_model = || {
+        let mut g = Graph::new();
+        let input = g.placeholder("input", &[0, 16]);
+        let labels = g.placeholder("labels", &[0, 4]);
+        let w = g.variable(
+            "w",
+            Tensor::from_vec(&[16, 4], (0..64).map(|i| (i % 9) as f32 * 0.05 - 0.2).collect())
+                .expect("sized"),
+        );
+        let logits = g.matmul(input, w).expect("valid");
+        let loss = g.softmax_cross_entropy(logits, labels).expect("valid");
+        Classifier {
+            graph: g,
+            input,
+            labels,
+            logits,
+            probabilities: logits,
+            loss,
+        }
+    };
+    let x = Tensor::from_vec(&[8, 16], (0..128).map(|i| (i % 7) as f32 * 0.1 - 0.3).collect())
+        .expect("sized");
+    let y = {
+        let mut data = vec![0.0f32; 32];
+        for row in 0..8 {
+            data[row * 4 + row % 4] = 1.0;
+        }
+        Tensor::from_vec(&[8, 4], data).expect("sized")
+    };
+    let run = |optimize: bool| {
+        let telemetry = Telemetry::new(std::sync::Arc::new(SimClock::new()));
+        let platform = Platform::builder().telemetry(telemetry.clone()).build();
+        let enclave = platform
+            .create_enclave(
+                &EnclaveImage::builder().code(b"trainer").build(),
+                ExecutionMode::Hardware,
+            )
+            .expect("enclave boots");
+        let mut session = SecureSession::new(enclave, neutral_model());
+        session.set_graph_optimize(optimize);
+        let mut sgd = Sgd::new(0.1);
+        let mut loss = 0.0f32;
+        for _ in 0..4 {
+            loss = session
+                .train_step(x.clone(), y.clone(), &mut sgd)
+                .expect("trains");
+        }
+        assert!(
+            telemetry.counter("compiler.nodes_eliminated").get() == 0
+                && telemetry.counter("compiler.nodes_fused").get() == 0,
+            "pipeline recorded work on a graph it cannot rewrite"
+        );
+        (loss.to_bits(), telemetry.metrics_digest())
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "telemetry digest diverged between pipeline on and off on a no-rewrite graph"
+    );
+
+    // Non-vacuity: on a fusable graph (dense layers with bias + relu)
+    // the same harness *does* record compiler work.
+    let telemetry = Telemetry::new(std::sync::Arc::new(SimClock::new()));
+    let platform = Platform::builder().telemetry(telemetry.clone()).build();
+    let enclave = platform
+        .create_enclave(
+            &EnclaveImage::builder().code(b"trainer").build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave boots");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let fusable = layers::mlp_classifier(16, &[8], 4, &mut rng).expect("valid model");
+    let mut session = SecureSession::new(enclave, fusable);
+    let mut sgd = Sgd::new(0.1);
+    session
+        .train_step(x.clone(), y.clone(), &mut sgd)
+        .expect("trains");
+    assert!(
+        telemetry.counter("compiler.nodes_fused").get() > 0,
+        "fusable graph recorded no compiler work — neutrality test is vacuous"
+    );
+}
+
+#[test]
 fn telemetry_digest_deterministic_with_worker_pool_enabled() {
     // Parallel kernels must not erode the determinism contract: with the
     // in-enclave worker pool splitting every matmul across threads, two

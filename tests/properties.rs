@@ -594,3 +594,219 @@ proptest! {
         prop_assert_eq!(planned, unplanned);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The graph-compiler pass pipeline (DESIGN.md §16): optimizing a
+    // graph (DCE, constant folding, fusion — plus CSE for inference)
+    // must be invisible in the numbers. For any model shape, batch
+    // size, worker count, and memory mode, the optimized execution is
+    // bit-for-bit identical to the unoptimized one: same outputs, same
+    // gradients, same loss trajectory.
+
+    #[test]
+    fn compiled_mlp_training_is_bit_identical_to_unoptimized(
+        widths in prop::collection::vec(2usize..12, 1..3),
+        inputs in 2usize..10,
+        classes in 2usize..5,
+        batch in 1usize..5,
+        workers in 1usize..6,
+        planned in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::kernels::WorkerPool;
+        use securetf_tensor::layers;
+        use securetf_tensor::memory::MemoryMode;
+        use securetf_tensor::optimizer::Sgd;
+        use securetf_tensor::session::Session;
+
+        let x = Tensor::from_vec(&[batch, inputs], lcg_fill(seed, batch * inputs)).unwrap();
+        let y = one_hot_labels(batch, classes, seed);
+        let mode = if planned { MemoryMode::Planned } else { MemoryMode::Unplanned };
+        let run = |optimize: bool| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            let model = layers::mlp_classifier(inputs, &widths, classes, &mut rng).unwrap();
+            let mut session = Session::new(&model.graph);
+            session.set_optimize(optimize);
+            session.set_memory_mode(mode);
+            if workers > 1 {
+                session.set_worker_pool(WorkerPool::new(workers));
+            }
+            let feeds = [(model.input, x.clone()), (model.labels, y.clone())];
+            let (first_loss, grads) = session
+                .gradients(&model.graph, &feeds, model.loss)
+                .unwrap();
+            let mut grad_bits: Vec<(usize, Vec<u32>)> = grads
+                .iter()
+                .map(|(id, g)| (id.index(), bits(g)))
+                .collect();
+            grad_bits.sort_by_key(|(id, _)| *id);
+            let mut sgd = Sgd::new(0.05);
+            let mut losses = vec![first_loss.to_bits()];
+            for _ in 0..3 {
+                let loss = session
+                    .train_step(&model.graph, &feeds, model.loss, &mut sgd)
+                    .unwrap();
+                losses.push(loss.to_bits());
+            }
+            let out = session
+                .run(&model.graph, &[(model.input, x.clone())], &[model.logits])
+                .unwrap();
+            (losses, grad_bits, bits(&out[0]))
+        };
+
+        let optimized = run(true);
+        let baseline = run(false);
+        prop_assert_eq!(optimized, baseline);
+    }
+
+    #[test]
+    fn compiled_conv_bias_relu_training_is_bit_identical_to_unoptimized(
+        h in 4usize..8,
+        w in 4usize..8,
+        cin in 1usize..3,
+        cout in 1usize..4,
+        classes in 2usize..5,
+        batch in 1usize..4,
+        workers in 1usize..6,
+        planned in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::graph::{Graph, Padding};
+        use securetf_tensor::kernels::WorkerPool;
+        use securetf_tensor::memory::MemoryMode;
+        use securetf_tensor::optimizer::Sgd;
+        use securetf_tensor::session::Session;
+
+        // A conv → bias → relu head the fusion pass rewrites into
+        // FusedConv2d, followed by a dense layer it rewrites into
+        // FusedMatMul; the unoptimized session runs the original ops.
+        let build = || {
+            let mut g = Graph::new();
+            let input = g.placeholder("input", &[0, h, w, cin]);
+            let labels = g.placeholder("labels", &[0, classes]);
+            let f = g.variable(
+                "conv/f",
+                Tensor::from_vec(&[3, 3, cin, cout], lcg_fill(seed ^ 0xF1, 9 * cin * cout))
+                    .unwrap(),
+            );
+            let cb = g.variable(
+                "conv/b",
+                Tensor::from_vec(&[cout], lcg_fill(seed ^ 0xB2, cout)).unwrap(),
+            );
+            let conv = g.conv2d(input, f, Padding::Same).unwrap();
+            let biased = g.add_bias(conv, cb).unwrap();
+            let act = g.relu(biased).unwrap();
+            let flat = g.flatten(act).unwrap();
+            let dim = h * w * cout;
+            let wv = g.variable(
+                "fc/w",
+                Tensor::from_vec(&[dim, classes], lcg_fill(seed ^ 0xC3, dim * classes))
+                    .unwrap(),
+            );
+            let bv = g.variable(
+                "fc/b",
+                Tensor::from_vec(&[classes], lcg_fill(seed ^ 0xD4, classes)).unwrap(),
+            );
+            let mm = g.matmul(flat, wv).unwrap();
+            let logits = g.add_bias(mm, bv).unwrap();
+            let loss = g.softmax_cross_entropy(logits, labels).unwrap();
+            (g, input, labels, logits, loss)
+        };
+        let x = Tensor::from_vec(&[batch, h, w, cin], lcg_fill(seed, batch * h * w * cin))
+            .unwrap();
+        let y = one_hot_labels(batch, classes, seed);
+        let mode = if planned { MemoryMode::Planned } else { MemoryMode::Unplanned };
+        let run = |optimize: bool| {
+            let (g, input, labels, logits, loss) = build();
+            let mut session = Session::new(&g);
+            session.set_optimize(optimize);
+            session.set_memory_mode(mode);
+            if workers > 1 {
+                session.set_worker_pool(WorkerPool::new(workers));
+            }
+            let feeds = [(input, x.clone()), (labels, y.clone())];
+            let (first_loss, grads) = session.gradients(&g, &feeds, loss).unwrap();
+            let mut grad_bits: Vec<(usize, Vec<u32>)> = grads
+                .iter()
+                .map(|(id, t)| (id.index(), bits(t)))
+                .collect();
+            grad_bits.sort_by_key(|(id, _)| *id);
+            let mut sgd = Sgd::new(0.02);
+            let mut losses = vec![first_loss.to_bits()];
+            for _ in 0..2 {
+                let step = session.train_step(&g, &feeds, loss, &mut sgd).unwrap();
+                losses.push(step.to_bits());
+            }
+            let out = session.run(&g, &[(input, x.clone())], &[logits]).unwrap();
+            (losses, grad_bits, bits(&out[0]))
+        };
+
+        let optimized = run(true);
+        let baseline = run(false);
+        prop_assert_eq!(optimized, baseline);
+    }
+
+    #[test]
+    fn compiled_lite_inference_is_bit_identical_to_unoptimized(
+        widths in prop::collection::vec(2usize..10, 1..4),
+        inputs in 2usize..8,
+        classes in 2usize..5,
+        rows in 1usize..6,
+        workers in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use securetf_tensor::kernels::WorkerPool;
+        use securetf_tflite::interpreter::Interpreter;
+        use securetf_tflite::model::LiteModel;
+
+        // A frozen dense classifier: matmul → bias → relu per hidden
+        // layer, matmul → bias → softmax head. Every layer is a fusion
+        // candidate for the inference pipeline.
+        let mut g = Graph::new();
+        let mut x = g.placeholder("input", &[0, inputs]);
+        let mut dim = inputs;
+        for (i, &width) in widths.iter().enumerate() {
+            let w = g.constant(
+                &format!("l{i}/w"),
+                Tensor::from_vec(&[dim, width], lcg_fill(seed ^ i as u64, dim * width))
+                    .unwrap(),
+            );
+            let b = g.constant(
+                &format!("l{i}/b"),
+                Tensor::from_vec(&[width], lcg_fill(seed ^ (0x77 + i as u64), width)).unwrap(),
+            );
+            x = g.matmul(x, w).unwrap();
+            x = g.add_bias(x, b).unwrap();
+            x = g.relu(x).unwrap();
+            dim = width;
+        }
+        let w = g.constant(
+            "head/w",
+            Tensor::from_vec(&[dim, classes], lcg_fill(seed ^ 0xE5, dim * classes)).unwrap(),
+        );
+        let b = g.constant(
+            "head/b",
+            Tensor::from_vec(&[classes], lcg_fill(seed ^ 0xF6, classes)).unwrap(),
+        );
+        x = g.matmul(x, w).unwrap();
+        x = g.add_bias(x, b).unwrap();
+        let out = g.softmax(x).unwrap();
+        let out_name = g.nodes()[out.index()].name.clone();
+        let lite = LiteModel::convert(&g, "input", &out_name).unwrap();
+        let x = Tensor::from_vec(&[rows, inputs], lcg_fill(seed, rows * inputs)).unwrap();
+
+        let mut baseline = Interpreter::unoptimized(lite.clone());
+        let expect = baseline.run(&x).unwrap();
+        prop_assert!(baseline.pipeline_report().is_none());
+
+        let mut optimized = Interpreter::with_pool(lite.clone(), WorkerPool::new(workers));
+        let got = optimized.run(&x).unwrap();
+        prop_assert_eq!(bits(&got), bits(&expect));
+        // The pipeline ran and fused every dense layer's matmul chain.
+        let report = optimized.pipeline_report().expect("pipeline ran");
+        prop_assert!(report.nodes_fused() > widths.len() as u64);
+        prop_assert!(optimized.model().graph().len() < lite.graph().len());
+    }
+}

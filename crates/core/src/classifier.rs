@@ -102,7 +102,16 @@ impl SecureClassifier {
         let key = key.expect("always set above");
         let nonce = Nonce::from_counter(0x4d4f_4445, 1);
         enclave.charge_shield_crypto(sealed.len() as u64);
-        let plaintext = aead::open(&key, &nonce, &sealed, path.as_bytes())
+        if sealed.len() < aead::TAG_LEN {
+            return Err(SecureTfError::ModelIntegrity("decryption/authentication failed"));
+        }
+        // Verify-then-decrypt the stored blob in its own buffer: the
+        // ciphertext read from the host becomes the plaintext in place.
+        let mut plaintext = sealed;
+        let tag_start = plaintext.len() - aead::TAG_LEN;
+        let tag: [u8; aead::TAG_LEN] = plaintext[tag_start..].try_into().expect("tag length");
+        plaintext.truncate(tag_start);
+        aead::open_in_place_detached(&key, &nonce, &mut plaintext, &tag, path.as_bytes())
             .map_err(|_| SecureTfError::ModelIntegrity("decryption/authentication failed"))?;
         if let Some(digest) = expected_digest {
             if sha256::digest(&plaintext) != digest {

@@ -127,7 +127,12 @@ impl Deployment {
         ));
         let key = Key::from_bytes(key_bytes);
         let nonce = Nonce::from_counter(0x4d4f_4445, 1);
-        let sealed = aead::seal(&key, &nonce, &plaintext, path.as_bytes());
+        // Encrypt the serialized model in place and append the detached
+        // tag: one buffer end to end, no ciphertext copy.
+        let mut sealed = plaintext;
+        sealed.reserve_exact(aead::TAG_LEN);
+        let tag = aead::seal_in_place_detached(&key, &nonce, &mut sealed, path.as_bytes());
+        sealed.extend_from_slice(&tag);
         self.store.raw_put(path, sealed);
         // Allow every runtime profile's enclave identity: the data owner
         // reviews and approves each runtime build it trusts.

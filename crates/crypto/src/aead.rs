@@ -4,6 +4,22 @@
 //! file-system shield, the network shield record layer, EPC page sealing
 //! and the CAS secret database all encrypt through this module.
 //!
+//! Three API tiers share one wire format (`ciphertext || tag`):
+//!
+//! * **in-place detached** ([`seal_in_place_detached`] /
+//!   [`open_in_place_detached`], also on [`AeadCtx`]) — encrypts the
+//!   caller's buffer and returns/accepts the tag separately; performs
+//!   **zero heap allocations**, and derives the Poly1305 key and payload
+//!   keystream from a single ChaCha20 key schedule (block 0 → one-time
+//!   key, blocks 1.. → payload),
+//! * **allocating wrappers** ([`seal`] / [`open`]) — the original
+//!   convenience API, now thin shims over the in-place core with output
+//!   capacity reserved up front, and
+//! * **reference** ([`seal_reference`] / [`open_reference`]) — the
+//!   original correctness-first implementation (scalar one-block
+//!   ChaCha20, allocating pad path), retained for differential tests and
+//!   the `BENCH_crypto.json` A/B gate.
+//!
 //! # Examples
 //!
 //! ```
@@ -18,10 +34,26 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Zero-alloc steady state with a reusable context and buffer:
+//!
+//! ```
+//! use securetf_crypto::aead::{AeadCtx, Key, Nonce, TAG_LEN};
+//!
+//! # fn main() -> Result<(), securetf_crypto::CryptoError> {
+//! let ctx = AeadCtx::new(Key::from_bytes([3u8; 32]));
+//! let nonce = Nonce::from_counter(7, 1);
+//! let mut buf = *b"in-place payload";
+//! let tag = ctx.seal_in_place_detached(&nonce, &mut buf, b"aad");
+//! ctx.open_in_place_detached(&nonce, &mut buf, &tag, b"aad")?;
+//! assert_eq!(&buf, b"in-place payload");
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::chacha20::ChaCha20;
 use crate::ct;
-use crate::poly1305::Poly1305;
+use crate::poly1305::{Poly1305, ReferencePoly1305};
 use crate::CryptoError;
 
 /// Length of the authentication tag appended to each ciphertext.
@@ -95,32 +127,181 @@ impl Nonce {
     }
 }
 
-fn poly_key(key: &Key, nonce: &Nonce) -> [u8; 32] {
-    let mut c = ChaCha20::new(&key.0, &nonce.0, 0);
-    let block = c.next_block();
+/// Starts the single ChaCha20 key schedule shared by the Poly1305 key
+/// and the payload keystream: block 0 yields the one-time key, and the
+/// returned cipher sits at counter 1 ready for the payload.
+#[inline]
+fn start_cipher(key: &Key, nonce: &Nonce) -> (ChaCha20, [u8; 32]) {
+    let mut cipher = ChaCha20::new(&key.0, &nonce.0, 0);
+    let block0 = cipher.next_block();
     let mut pk = [0u8; 32];
-    pk.copy_from_slice(&block[..32]);
-    pk
+    pk.copy_from_slice(&block0[..32]);
+    (cipher, pk)
 }
 
-fn compute_tag(pk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+/// RFC 7539 §2.8 tag: pad16(aad) || pad16(ciphertext) || LE64 lengths,
+/// with the pads taken from a stack buffer (no per-record allocations).
+fn compute_tag(pk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    const ZERO: [u8; 16] = [0u8; 16];
     let mut mac = Poly1305::new(pk);
     mac.update(aad);
-    mac.update(&vec![0u8; (16 - aad.len() % 16) % 16]);
+    mac.update(&ZERO[..(16 - aad.len() % 16) % 16]);
     mac.update(ciphertext);
-    mac.update(&vec![0u8; (16 - ciphertext.len() % 16) % 16]);
-    mac.update(&(aad.len() as u64).to_le_bytes());
-    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.update(&ZERO[..(16 - ciphertext.len() % 16) % 16]);
+    let mut lens = [0u8; 16];
+    lens[..8].copy_from_slice(&(aad.len() as u64).to_le_bytes());
+    lens[8..].copy_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    mac.update(&lens);
     mac.finalize()
+}
+
+/// Encrypts `buf` in place and returns the detached tag.
+///
+/// This is the zero-allocation core every other seal entry point wraps:
+/// no heap traffic, one ChaCha20 key schedule, multi-block keystream.
+pub fn seal_in_place_detached(
+    key: &Key,
+    nonce: &Nonce,
+    buf: &mut [u8],
+    aad: &[u8],
+) -> [u8; TAG_LEN] {
+    let (mut cipher, pk) = start_cipher(key, nonce);
+    cipher.apply_keystream(buf);
+    compute_tag(&pk, aad, buf)
+}
+
+/// Verifies `tag` over the ciphertext in `buf`, then decrypts in place.
+///
+/// Authentication runs **before** decryption: on error the buffer still
+/// holds the untouched ciphertext, never unauthenticated plaintext.
+///
+/// # Errors
+///
+/// * [`CryptoError::TruncatedInput`] if `tag` is not exactly [`TAG_LEN`].
+/// * [`CryptoError::TagMismatch`] if authentication fails.
+pub fn open_in_place_detached(
+    key: &Key,
+    nonce: &Nonce,
+    buf: &mut [u8],
+    tag: &[u8],
+    aad: &[u8],
+) -> Result<(), CryptoError> {
+    if tag.len() != TAG_LEN {
+        return Err(CryptoError::TruncatedInput);
+    }
+    let (mut cipher, pk) = start_cipher(key, nonce);
+    let expect = compute_tag(&pk, aad, buf);
+    if !ct::eq(&expect, tag) {
+        return Err(CryptoError::TagMismatch);
+    }
+    cipher.apply_keystream(buf);
+    Ok(())
+}
+
+/// A reusable AEAD context owning a key.
+///
+/// Holding the key in a context lets steady-state callers (the shields'
+/// record loops) seal and open through the in-place entry points with
+/// zero heap allocations; the append variants reuse the capacity of a
+/// caller-provided scratch `Vec` across records.
+#[derive(Clone)]
+pub struct AeadCtx {
+    key: Key,
+}
+
+impl std::fmt::Debug for AeadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AeadCtx(..)")
+    }
+}
+
+impl AeadCtx {
+    /// Wraps a key in a reusable context.
+    pub fn new(key: Key) -> Self {
+        AeadCtx { key }
+    }
+
+    /// Returns the underlying key.
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// Encrypts `buf` in place and returns the detached tag.
+    pub fn seal_in_place_detached(
+        &self,
+        nonce: &Nonce,
+        buf: &mut [u8],
+        aad: &[u8],
+    ) -> [u8; TAG_LEN] {
+        seal_in_place_detached(&self.key, nonce, buf, aad)
+    }
+
+    /// Verifies `tag` and decrypts `buf` in place.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open_in_place_detached`].
+    pub fn open_in_place_detached(
+        &self,
+        nonce: &Nonce,
+        buf: &mut [u8],
+        tag: &[u8],
+        aad: &[u8],
+    ) -> Result<(), CryptoError> {
+        open_in_place_detached(&self.key, nonce, buf, tag, aad)
+    }
+
+    /// Seals `plaintext`, appending `ciphertext || tag` to `out`.
+    ///
+    /// Reuses `out`'s existing capacity, so a scratch buffer cleared and
+    /// passed back in each record allocates only until it reaches the
+    /// high-water mark.
+    pub fn seal_append(&self, nonce: &Nonce, plaintext: &[u8], aad: &[u8], out: &mut Vec<u8>) {
+        out.reserve(plaintext.len() + TAG_LEN);
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        let tag = seal_in_place_detached(&self.key, nonce, &mut out[start..], aad);
+        out.extend_from_slice(&tag);
+    }
+
+    /// Opens `sealed` (`ciphertext || tag`), appending the plaintext to
+    /// `out`. On error `out` is left exactly as passed in.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open`].
+    pub fn open_append(
+        &self,
+        nonce: &Nonce,
+        sealed: &[u8],
+        aad: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::TruncatedInput);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let start = out.len();
+        out.extend_from_slice(ciphertext);
+        match open_in_place_detached(&self.key, nonce, &mut out[start..], tag, aad) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                out.truncate(start);
+                Err(e)
+            }
+        }
+    }
 }
 
 /// Encrypts and authenticates `plaintext` with associated data `aad`.
 ///
-/// Returns `ciphertext || tag`.
+/// Returns `ciphertext || tag`. Thin wrapper over
+/// [`seal_in_place_detached`] with the full output capacity (payload +
+/// tag) reserved up front, so the tag append never reallocates.
 pub fn seal(key: &Key, nonce: &Nonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
-    let mut out = plaintext.to_vec();
-    ChaCha20::new(&key.0, &nonce.0, 1).apply_keystream(&mut out);
-    let tag = compute_tag(&poly_key(key, nonce), aad, &out);
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    out.extend_from_slice(plaintext);
+    let tag = seal_in_place_detached(key, nonce, &mut out, aad);
     out.extend_from_slice(&tag);
     out
 }
@@ -137,13 +318,65 @@ pub fn open(key: &Key, nonce: &Nonce, sealed: &[u8], aad: &[u8]) -> Result<Vec<u
         return Err(CryptoError::TruncatedInput);
     }
     let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-    let expect = compute_tag(&poly_key(key, nonce), aad, ciphertext);
+    let mut out = ciphertext.to_vec();
+    open_in_place_detached(key, nonce, &mut out, tag, aad)?;
+    Ok(out)
+}
+
+/// The original correctness-first seal: scalar one-block ChaCha20 via
+/// [`ChaCha20::apply_keystream_reference`] and the allocating pad path.
+/// Retained as the A/B baseline — output is bit-identical to [`seal`].
+pub fn seal_reference(key: &Key, nonce: &Nonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    ChaCha20::new(&key.0, &nonce.0, 1).apply_keystream_reference(&mut out);
+    let mut c = ChaCha20::new(&key.0, &nonce.0, 0);
+    let block0 = c.next_block();
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block0[..32]);
+    let tag = compute_tag_reference(&pk, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// The original allocating open, counterpart of [`seal_reference`].
+///
+/// # Errors
+///
+/// Same contract as [`open`].
+pub fn open_reference(
+    key: &Key,
+    nonce: &Nonce,
+    sealed: &[u8],
+    aad: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if sealed.len() < TAG_LEN {
+        return Err(CryptoError::TruncatedInput);
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let mut c = ChaCha20::new(&key.0, &nonce.0, 0);
+    let block0 = c.next_block();
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block0[..32]);
+    let expect = compute_tag_reference(&pk, aad, ciphertext);
     if !ct::eq(&expect, tag) {
         return Err(CryptoError::TagMismatch);
     }
     let mut out = ciphertext.to_vec();
-    ChaCha20::new(&key.0, &nonce.0, 1).apply_keystream(&mut out);
+    ChaCha20::new(&key.0, &nonce.0, 1).apply_keystream_reference(&mut out);
     Ok(out)
+}
+
+/// The original tag computation with heap-allocated pads, kept only so
+/// the reference path exercises the pre-optimization code shape.
+fn compute_tag_reference(pk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut mac = ReferencePoly1305::new(pk);
+    mac.update(aad);
+    mac.update(&vec![0u8; (16 - aad.len() % 16) % 16]);
+    mac.update(ciphertext);
+    mac.update(&vec![0u8; (16 - ciphertext.len() % 16) % 16]);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
 }
 
 #[cfg(test)]
@@ -181,6 +414,131 @@ only one tip for the future, sunscreen would be it.";
         );
         assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
         assert_eq!(open(&key, &nonce, &sealed, &aad).unwrap(), plaintext);
+    }
+
+    // RFC 8439 §2.6.2: Poly1305 one-time key generation from ChaCha20
+    // block 0 (the key schedule `start_cipher` relies on).
+    #[test]
+    fn rfc8439_poly1305_key_gen_vector() {
+        let key = Key::from_bytes(
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap(),
+        );
+        let nonce = Nonce::from_bytes(unhex("000000000001020304050607").try_into().unwrap());
+        let (_, pk) = start_cipher(&key, &nonce);
+        assert_eq!(
+            hex(&pk),
+            "8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646"
+        );
+    }
+
+    // RFC 8439 appendix A.5: the full AEAD *decryption* vector.
+    #[test]
+    fn rfc8439_a5_decryption_vector() {
+        let key = Key::from_bytes(
+            unhex("1c9240a5eb55d38af333888604f6b5f0473917c1402b80099dca5cbc207075c0")
+                .try_into()
+                .unwrap(),
+        );
+        let nonce = Nonce::from_bytes(unhex("000000000102030405060708").try_into().unwrap());
+        let aad = unhex("f33388860000000000004e91");
+        let mut sealed = unhex(
+            "64a0861575861af460f062c79be643bd\
+             5e805cfd345cf389f108670ac76c8cb2\
+             4c6cfc18755d43eea09ee94e382d26b0\
+             bdb7b73c321b0100d4f03b7f355894cf\
+             332f830e710b97ce98c8a84abd0b9481\
+             14ad176e008d33bd60f982b1ff37c855\
+             9797a06ef4f0ef61c186324e2b350638\
+             3606907b6a7c02b0f9f6157b53c867e4\
+             b9166c767b804d46a59b5216cde7a4e9\
+             9040c5a40433225ee282a1b0a06c523e\
+             af4534d7f83fa1155b0047718cbc546a\
+             0d072b04b3564eea1b422273f548271a\
+             0bb2316053fa76991955ebd63159434e\
+             cebb4e466dae5a1073a6727627097a10\
+             49e617d91d361094fa68f0ff77987130\
+             305beaba2eda04df997b714d6c6f2c29\
+             a6ad5cb4022b02709b",
+        );
+        let tag = unhex("eead9d67890cbb22392336fea1851f38");
+        sealed.extend_from_slice(&tag);
+        let plaintext = open(&key, &nonce, &sealed, &aad).unwrap();
+        let expect = "Internet-Drafts are draft documents valid for a maximum of six \
+months and may be updated, replaced, or obsoleted by other documents at any time. It is \
+inappropriate to use Internet-Drafts as reference material or to cite them other than as \
+/\u{201c}work in progress./\u{201d}";
+        assert_eq!(plaintext, expect.as_bytes());
+        // Same record through the reference and in-place paths.
+        assert_eq!(open_reference(&key, &nonce, &sealed, &aad).unwrap(), plaintext);
+        let mut buf = sealed[..sealed.len() - TAG_LEN].to_vec();
+        open_in_place_detached(&key, &nonce, &mut buf, &tag, &aad).unwrap();
+        assert_eq!(buf, plaintext);
+    }
+
+    #[test]
+    fn in_place_detached_matches_allocating_seal() {
+        let key = Key::from_bytes([9; 32]);
+        let nonce = Nonce::from_counter(3, 42);
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 255, 256, 300, 1024] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            let aad = &plaintext[..len.min(7)];
+            let sealed = seal(&key, &nonce, &plaintext, aad);
+            let reference = seal_reference(&key, &nonce, &plaintext, aad);
+            assert_eq!(sealed, reference, "len {len}");
+            let mut buf = plaintext.clone();
+            let tag = seal_in_place_detached(&key, &nonce, &mut buf, aad);
+            assert_eq!(&sealed[..len], &buf[..], "ciphertext len {len}");
+            assert_eq!(&sealed[len..], &tag[..], "tag len {len}");
+        }
+    }
+
+    #[test]
+    fn ctx_roundtrip_and_append_reuse() {
+        let ctx = AeadCtx::new(Key::from_bytes([4; 32]));
+        let mut scratch = Vec::with_capacity(256);
+        for seq in 0..4u64 {
+            let nonce = Nonce::from_counter(1, seq);
+            let msg = format!("record {seq}");
+            scratch.clear();
+            ctx.seal_append(&nonce, msg.as_bytes(), b"hdr", &mut scratch);
+            assert_eq!(
+                scratch,
+                seal(ctx.key(), &nonce, msg.as_bytes(), b"hdr"),
+                "seq {seq}"
+            );
+            let mut out = Vec::new();
+            ctx.open_append(&nonce, &scratch, b"hdr", &mut out).unwrap();
+            assert_eq!(out, msg.as_bytes());
+        }
+    }
+
+    #[test]
+    fn open_in_place_failure_leaves_ciphertext() {
+        let key = Key::from_bytes([6; 32]);
+        let nonce = Nonce::from_bytes([7; 12]);
+        let mut buf = *b"some secret data";
+        let mut tag = seal_in_place_detached(&key, &nonce, &mut buf, b"");
+        let ciphertext = buf;
+        tag[0] ^= 1;
+        assert_eq!(
+            open_in_place_detached(&key, &nonce, &mut buf, &tag, b""),
+            Err(CryptoError::TagMismatch)
+        );
+        // Buffer untouched: no unauthenticated plaintext escapes.
+        assert_eq!(buf, ciphertext);
+    }
+
+    #[test]
+    fn open_append_failure_restores_out() {
+        let ctx = AeadCtx::new(Key::from_bytes([6; 32]));
+        let nonce = Nonce::from_bytes([7; 12]);
+        let mut sealed = seal(ctx.key(), &nonce, b"payload", b"");
+        sealed[0] ^= 1;
+        let mut out = b"prefix".to_vec();
+        assert!(ctx.open_append(&nonce, &sealed, b"", &mut out).is_err());
+        assert_eq!(out, b"prefix");
     }
 
     #[test]
@@ -223,6 +581,11 @@ only one tip for the future, sunscreen would be it.";
         let nonce = Nonce::from_bytes([2; 12]);
         assert_eq!(
             open(&key, &nonce, &[0u8; 5], b""),
+            Err(CryptoError::TruncatedInput)
+        );
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            open_in_place_detached(&key, &nonce, &mut buf, &[0u8; 5], b""),
             Err(CryptoError::TruncatedInput)
         );
     }

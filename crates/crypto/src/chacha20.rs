@@ -1,4 +1,26 @@
-//! The ChaCha20 stream cipher (RFC 7539).
+//! The ChaCha20 stream cipher (RFC 7539 / RFC 8439).
+//!
+//! Two keystream engines share one state layout:
+//!
+//! * the **fast path** ([`ChaCha20::apply_keystream`]) generates four
+//!   independent block states at a time, round-robining each vector of
+//!   four lanes through the quarter-round so the compiler keeps the
+//!   lanes in SIMD registers, and XORs the keystream into the data
+//!   word-wise (`u64`), and
+//! * the **reference path** ([`ChaCha20::apply_keystream_reference`])
+//!   retains the original one-block scalar loop with byte-wise XOR, kept
+//!   for differential tests and A/B benchmarking (`BENCH_crypto.json`).
+//!
+//! Both produce bit-identical keystream for any input length.
+//!
+//! # Block-counter exhaustion
+//!
+//! The RFC's block counter is 32 bits: a single (key, nonce) stream is
+//! good for 2³² · 64 B = 256 GiB of keystream. Advancing past that wraps
+//! the counter back onto already-emitted keystream — silent catastrophic
+//! reuse — so debug builds **panic** on counter wrap-around; release
+//! builds keep the RFC's wrapping behavior, and callers are expected to
+//! re-nonce long before the limit (the shields chunk at 64 KiB).
 //!
 //! # Examples
 //!
@@ -11,6 +33,9 @@
 //! ChaCha20::new(&[0u8; 32], &[0u8; 12], 1).apply_keystream(&mut data);
 //! assert_eq!(&data, b"secret tensor bytes");
 //! ```
+
+/// Number of interleaved block states in the multi-block fast path.
+const LANES: usize = 4;
 
 /// ChaCha20 stream cipher state.
 #[derive(Debug, Clone)]
@@ -28,6 +53,270 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[d] = (state[d] ^ state[a]).rotate_left(8);
     state[c] = state[c].wrapping_add(state[d]);
     state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Quarter-round over four independent lanes at once. Each statement is
+/// a 4-wide lane loop, so the four block states march through the round
+/// in lockstep — the layout auto-vectorizes to 128-bit SIMD.
+#[inline(always)]
+// Indexing two rows of `v` per statement; the explicit lane loops keep
+// the four states visibly in lockstep, which is the whole point.
+#[allow(clippy::needless_range_loop)]
+fn quarter_round_x4(v: &mut [[u32; LANES]; 16], a: usize, b: usize, c: usize, d: usize) {
+    for l in 0..LANES {
+        v[a][l] = v[a][l].wrapping_add(v[b][l]);
+    }
+    for l in 0..LANES {
+        v[d][l] = (v[d][l] ^ v[a][l]).rotate_left(16);
+    }
+    for l in 0..LANES {
+        v[c][l] = v[c][l].wrapping_add(v[d][l]);
+    }
+    for l in 0..LANES {
+        v[b][l] = (v[b][l] ^ v[c][l]).rotate_left(12);
+    }
+    for l in 0..LANES {
+        v[a][l] = v[a][l].wrapping_add(v[b][l]);
+    }
+    for l in 0..LANES {
+        v[d][l] = (v[d][l] ^ v[a][l]).rotate_left(8);
+    }
+    for l in 0..LANES {
+        v[c][l] = v[c][l].wrapping_add(v[d][l]);
+    }
+    for l in 0..LANES {
+        v[b][l] = (v[b][l] ^ v[c][l]).rotate_left(7);
+    }
+}
+
+/// Four-lane block generation on SSE2 (baseline on x86_64): each 128-bit
+/// register holds one state word across the four interleaved blocks —
+/// the same layout as the portable `[[u32; LANES]; 16]` path — but with
+/// the rotates issued as explicit vector shift/or pairs, which the
+/// baseline autovectorizer does not reliably derive from `rotate_left`.
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_loadu_si128, _mm_or_si128, _mm_set1_epi32, _mm_set_epi32,
+        _mm_slli_epi32, _mm_srli_epi32, _mm_storeu_si128, _mm_unpackhi_epi32, _mm_unpackhi_epi64,
+        _mm_unpacklo_epi32, _mm_unpacklo_epi64, _mm_xor_si128,
+    };
+
+    /// 32-bit left-rotate of each lane (shift counts must be immediates).
+    macro_rules! rotl {
+        ($x:expr, $n:literal) => {
+            _mm_or_si128(_mm_slli_epi32($x, $n), _mm_srli_epi32($x, 32 - $n))
+        };
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn quarter_round(v: &mut [__m128i; 16], a: usize, b: usize, c: usize, d: usize) {
+        v[a] = _mm_add_epi32(v[a], v[b]);
+        v[d] = rotl!(_mm_xor_si128(v[d], v[a]), 16);
+        v[c] = _mm_add_epi32(v[c], v[d]);
+        v[b] = rotl!(_mm_xor_si128(v[b], v[c]), 12);
+        v[a] = _mm_add_epi32(v[a], v[b]);
+        v[d] = rotl!(_mm_xor_si128(v[d], v[a]), 8);
+        v[c] = _mm_add_epi32(v[c], v[d]);
+        v[b] = rotl!(_mm_xor_si128(v[b], v[c]), 7);
+    }
+
+    /// Runs the 20 ChaCha rounds over four interleaved block states
+    /// (counters `state[12]` through `state[12] + 3`, wrapping per the
+    /// RFC) and returns the post-round vectors with the initial state
+    /// added back — word `i` of block `l` in lane `l` of vector `i`.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn rounds(state: &[u32; 16]) -> [__m128i; 16] {
+        let mut v: [__m128i; 16] = core::array::from_fn(|i| _mm_set1_epi32(state[i] as i32));
+        v[12] = _mm_add_epi32(v[12], _mm_set_epi32(3, 2, 1, 0));
+        let init = v;
+        for _ in 0..10 {
+            quarter_round(&mut v, 0, 4, 8, 12);
+            quarter_round(&mut v, 1, 5, 9, 13);
+            quarter_round(&mut v, 2, 6, 10, 14);
+            quarter_round(&mut v, 3, 7, 11, 15);
+            quarter_round(&mut v, 0, 5, 10, 15);
+            quarter_round(&mut v, 1, 6, 11, 12);
+            quarter_round(&mut v, 2, 7, 8, 13);
+            quarter_round(&mut v, 3, 4, 9, 14);
+        }
+        for (word, start) in v.iter_mut().zip(init) {
+            *word = _mm_add_epi32(*word, start);
+        }
+        v
+    }
+
+    /// Transposes one group of four lane vectors (`v[g]..v[g+4]`, word
+    /// rows) into four block rows: element `l` of the result is the
+    /// 16 contiguous keystream bytes `g*16..g*16+16` of block `l`.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn transpose4(v0: __m128i, v1: __m128i, v2: __m128i, v3: __m128i) -> [__m128i; 4] {
+        let t0 = _mm_unpacklo_epi32(v0, v1);
+        let t1 = _mm_unpackhi_epi32(v0, v1);
+        let t2 = _mm_unpacklo_epi32(v2, v3);
+        let t3 = _mm_unpackhi_epi32(v2, v3);
+        [
+            _mm_unpacklo_epi64(t0, t2),
+            _mm_unpackhi_epi64(t0, t2),
+            _mm_unpacklo_epi64(t1, t3),
+            _mm_unpackhi_epi64(t1, t3),
+        ]
+    }
+
+    /// Computes four consecutive keystream blocks into `out`.
+    #[target_feature(enable = "sse2")]
+    pub(super) fn four_blocks(state: &[u32; 16], out: &mut [u8; 4 * 64]) {
+        let v = rounds(state);
+        for g in 0..4 {
+            let rows = transpose4(v[g * 4], v[g * 4 + 1], v[g * 4 + 2], v[g * 4 + 3]);
+            for (l, row) in rows.into_iter().enumerate() {
+                let at = l * 64 + g * 16;
+                // SAFETY: `at + 16 <= 256`, an in-bounds unaligned store.
+                unsafe { _mm_storeu_si128(out.as_mut_ptr().add(at).cast::<__m128i>(), row) };
+            }
+        }
+    }
+
+    /// XORs four consecutive keystream blocks straight into `data` — one
+    /// pass over memory, no intermediate keystream buffer.
+    #[target_feature(enable = "sse2")]
+    pub(super) fn xor_four_blocks(state: &[u32; 16], data: &mut [u8; 4 * 64]) {
+        let v = rounds(state);
+        for g in 0..4 {
+            let rows = transpose4(v[g * 4], v[g * 4 + 1], v[g * 4 + 2], v[g * 4 + 3]);
+            for (l, row) in rows.into_iter().enumerate() {
+                let at = l * 64 + g * 16;
+                // SAFETY: `at + 16 <= 256`, in-bounds unaligned accesses.
+                unsafe {
+                    let p = data.as_mut_ptr().add(at).cast::<__m128i>();
+                    _mm_storeu_si128(p, _mm_xor_si128(_mm_loadu_si128(p), row));
+                }
+            }
+        }
+    }
+}
+
+/// Eight-lane block generation on AVX2, selected at runtime (the first
+/// `apply_keystream` call probes CPUID; the result is cached by std).
+/// Same interleaved layout as the SSE2 engine, twice as wide.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_or_si256, _mm256_permute2x128_si256,
+        _mm256_set1_epi32, _mm256_set_epi32, _mm256_slli_epi32, _mm256_srli_epi32,
+        _mm256_storeu_si256, _mm256_unpackhi_epi32, _mm256_unpackhi_epi64, _mm256_unpacklo_epi32,
+        _mm256_unpacklo_epi64, _mm256_xor_si256,
+    };
+
+    /// 32-bit left-rotate of each lane (shift counts must be immediates).
+    macro_rules! rotl {
+        ($x:expr, $n:literal) => {
+            _mm256_or_si256(_mm256_slli_epi32($x, $n), _mm256_srli_epi32($x, 32 - $n))
+        };
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn quarter_round(v: &mut [__m256i; 16], a: usize, b: usize, c: usize, d: usize) {
+        v[a] = _mm256_add_epi32(v[a], v[b]);
+        v[d] = rotl!(_mm256_xor_si256(v[d], v[a]), 16);
+        v[c] = _mm256_add_epi32(v[c], v[d]);
+        v[b] = rotl!(_mm256_xor_si256(v[b], v[c]), 12);
+        v[a] = _mm256_add_epi32(v[a], v[b]);
+        v[d] = rotl!(_mm256_xor_si256(v[d], v[a]), 8);
+        v[c] = _mm256_add_epi32(v[c], v[d]);
+        v[b] = rotl!(_mm256_xor_si256(v[b], v[c]), 7);
+    }
+
+    /// Transposes one group of eight lane vectors (word rows `g*8..g*8+8`
+    /// across eight blocks) into eight block rows: element `l` of the
+    /// result is the 32 contiguous keystream bytes `g*32..g*32+32` of
+    /// block `l`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn transpose8(r: [__m256i; 8]) -> [__m256i; 8] {
+        let t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+        let t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+        let t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+        let t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+        let t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+        let t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+        let t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+        let t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+        let u0 = _mm256_unpacklo_epi64(t0, t2);
+        let u1 = _mm256_unpackhi_epi64(t0, t2);
+        let u2 = _mm256_unpacklo_epi64(t1, t3);
+        let u3 = _mm256_unpackhi_epi64(t1, t3);
+        let u4 = _mm256_unpacklo_epi64(t4, t6);
+        let u5 = _mm256_unpackhi_epi64(t4, t6);
+        let u6 = _mm256_unpacklo_epi64(t5, t7);
+        let u7 = _mm256_unpackhi_epi64(t5, t7);
+        // The unpacks work within 128-bit halves; stitch the halves.
+        [
+            _mm256_permute2x128_si256(u0, u4, 0x20),
+            _mm256_permute2x128_si256(u1, u5, 0x20),
+            _mm256_permute2x128_si256(u2, u6, 0x20),
+            _mm256_permute2x128_si256(u3, u7, 0x20),
+            _mm256_permute2x128_si256(u0, u4, 0x31),
+            _mm256_permute2x128_si256(u1, u5, 0x31),
+            _mm256_permute2x128_si256(u2, u6, 0x31),
+            _mm256_permute2x128_si256(u3, u7, 0x31),
+        ]
+    }
+
+    /// XORs eight consecutive keystream blocks (counters `state[12]`
+    /// through `state[12] + 7`, wrapping per the RFC) straight into
+    /// `data` — one pass over memory, no intermediate keystream buffer.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn xor_eight_blocks(state: &[u32; 16], data: &mut [u8; 8 * 64]) {
+        let mut v: [__m256i; 16] = core::array::from_fn(|i| _mm256_set1_epi32(state[i] as i32));
+        v[12] = _mm256_add_epi32(v[12], _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0));
+        let init = v;
+        for _ in 0..10 {
+            quarter_round(&mut v, 0, 4, 8, 12);
+            quarter_round(&mut v, 1, 5, 9, 13);
+            quarter_round(&mut v, 2, 6, 10, 14);
+            quarter_round(&mut v, 3, 7, 11, 15);
+            quarter_round(&mut v, 0, 5, 10, 15);
+            quarter_round(&mut v, 1, 6, 11, 12);
+            quarter_round(&mut v, 2, 7, 8, 13);
+            quarter_round(&mut v, 3, 4, 9, 14);
+        }
+        for (word, start) in v.iter_mut().zip(init) {
+            *word = _mm256_add_epi32(*word, start);
+        }
+        for g in 0..2 {
+            let rows = transpose8(core::array::from_fn(|i| v[g * 8 + i]));
+            for (l, row) in rows.into_iter().enumerate() {
+                let at = l * 64 + g * 32;
+                // SAFETY: `at + 32 <= 512`, in-bounds unaligned accesses.
+                unsafe {
+                    let p = data.as_mut_ptr().add(at).cast::<__m256i>();
+                    _mm256_storeu_si256(p, _mm256_xor_si256(_mm256_loadu_si256(p), row));
+                }
+            }
+        }
+    }
+}
+
+/// XORs `ks[..data.len()]` into `data`, eight bytes at a time.
+#[inline(always)]
+fn xor_words(data: &mut [u8], ks: &[u8]) {
+    let full = data.len() - data.len() % 8;
+    for (dw, kw) in data[..full]
+        .chunks_exact_mut(8)
+        .zip(ks[..full].chunks_exact(8))
+    {
+        let x = u64::from_le_bytes(dw.try_into().expect("8 bytes"))
+            ^ u64::from_le_bytes(kw.try_into().expect("8 bytes"));
+        dw.copy_from_slice(&x.to_le_bytes());
+    }
+    for (db, kb) in data[full..].iter_mut().zip(&ks[full..]) {
+        *db ^= kb;
+    }
 }
 
 impl ChaCha20 {
@@ -59,6 +348,19 @@ impl ChaCha20 {
         ChaCha20 { state }
     }
 
+    /// Advances the block counter by `blocks`, panicking in debug builds
+    /// if the 32-bit counter wraps (keystream reuse past 256 GiB).
+    #[inline(always)]
+    fn advance_counter(&mut self, blocks: u32) {
+        let (next, wrapped) = self.state[12].overflowing_add(blocks);
+        debug_assert!(
+            !wrapped,
+            "ChaCha20 32-bit block counter wrapped: >256 GiB of keystream \
+             requested under a single nonce (keystream reuse)"
+        );
+        self.state[12] = next;
+    }
+
     /// Produces the next 64-byte keystream block and advances the counter.
     pub fn next_block(&mut self) -> [u8; 64] {
         let mut working = self.state;
@@ -77,12 +379,107 @@ impl ChaCha20 {
             let word = working[i].wrapping_add(self.state[i]);
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
         }
-        self.state[12] = self.state[12].wrapping_add(1);
+        self.advance_counter(1);
         out
     }
 
+    /// Computes four consecutive keystream blocks (counters `c..c+4`)
+    /// into `out` without advancing the counter. Dispatches to the SSE2
+    /// engine on x86_64 (where SSE2 is baseline); the portable four-lane
+    /// scalar path serves every other architecture and the differential
+    /// tests.
+    #[inline]
+    #[cfg_attr(all(target_arch = "x86_64", not(test)), allow(dead_code))]
+    fn four_blocks(&self, out: &mut [u8; 4 * 64]) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline target, so the
+        // required target feature is statically present.
+        unsafe {
+            sse2::four_blocks(&self.state, out)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        self.four_blocks_portable(out)
+    }
+
+    /// Portable four-lane block generation (the auto-vectorizable layout
+    /// the SSE2 engine mirrors). Kept on every architecture so the
+    /// differential tests can pin the SIMD engine against it.
+    #[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+    fn four_blocks_portable(&self, out: &mut [u8; 4 * 64]) {
+        let mut v = [[0u32; LANES]; 16];
+        for (row, &word) in v.iter_mut().zip(self.state.iter()) {
+            *row = [word; LANES];
+        }
+        for (l, counter) in v[12].iter_mut().enumerate() {
+            *counter = self.state[12].wrapping_add(l as u32);
+        }
+        let init = v;
+        for _ in 0..10 {
+            quarter_round_x4(&mut v, 0, 4, 8, 12);
+            quarter_round_x4(&mut v, 1, 5, 9, 13);
+            quarter_round_x4(&mut v, 2, 6, 10, 14);
+            quarter_round_x4(&mut v, 3, 7, 11, 15);
+            quarter_round_x4(&mut v, 0, 5, 10, 15);
+            quarter_round_x4(&mut v, 1, 6, 11, 12);
+            quarter_round_x4(&mut v, 2, 7, 8, 13);
+            quarter_round_x4(&mut v, 3, 4, 9, 14);
+        }
+        for l in 0..LANES {
+            let base = l * 64;
+            for i in 0..16 {
+                let word = v[i][l].wrapping_add(init[i][l]);
+                out[base + i * 4..base + i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+            }
+        }
+    }
+
     /// XORs the keystream into `data` in place (encrypts or decrypts).
+    ///
+    /// Multi-block fast path: 256-byte stretches run four interleaved
+    /// block states through the rounds and XOR word-wise; the sub-256-byte
+    /// tail falls back to single blocks so short records never pay for
+    /// keystream they do not consume. Output is bit-identical to
+    /// [`ChaCha20::apply_keystream_reference`] for every input length.
     pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        #[cfg(target_arch = "x86_64")]
+        let data = if std::arch::is_x86_feature_detected!("avx2") {
+            let mut chunks = data.chunks_exact_mut(8 * 64);
+            for chunk in &mut chunks {
+                // SAFETY: the AVX2 target feature was just detected.
+                unsafe {
+                    avx2::xor_eight_blocks(&self.state, chunk.try_into().expect("512-byte chunk"))
+                }
+                self.advance_counter(2 * LANES as u32);
+            }
+            chunks.into_remainder()
+        } else {
+            data
+        };
+        let mut chunks = data.chunks_exact_mut(4 * 64);
+        for chunk in &mut chunks {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: SSE2 is part of the x86_64 baseline target, so the
+            // required target feature is statically present.
+            unsafe {
+                sse2::xor_four_blocks(&self.state, chunk.try_into().expect("256-byte chunk"))
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                let mut ks = [0u8; 4 * 64];
+                self.four_blocks(&mut ks);
+                xor_words(chunk, &ks);
+            }
+            self.advance_counter(LANES as u32);
+        }
+        for chunk in chunks.into_remainder().chunks_mut(64) {
+            let block = self.next_block();
+            xor_words(chunk, &block);
+        }
+    }
+
+    /// The original scalar keystream application — one block at a time,
+    /// byte-wise XOR — retained as the A/B reference for the fast path.
+    pub fn apply_keystream_reference(&mut self, data: &mut [u8]) {
         for chunk in data.chunks_mut(64) {
             let block = self.next_block();
             for (byte, k) in chunk.iter_mut().zip(block.iter()) {
@@ -165,12 +562,90 @@ offer you only one tip for the future, sunscreen would be it."
 
     #[test]
     fn roundtrip_arbitrary_lengths() {
-        for len in [0usize, 1, 63, 64, 65, 200] {
+        for len in [0usize, 1, 63, 64, 65, 200, 255, 256, 257, 1000] {
             let original: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
             let mut data = original.clone();
             ChaCha20::new(&[9u8; 32], &[3u8; 12], 5).apply_keystream(&mut data);
             ChaCha20::new(&[9u8; 32], &[3u8; 12], 5).apply_keystream(&mut data);
             assert_eq!(data, original, "len {len}");
         }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_for_every_length() {
+        // Straddles the 512-byte (AVX2), 256-byte (SSE2/portable) and
+        // 64-byte block boundaries and every mixed-tail combination.
+        for len in 0..=1200usize {
+            let original: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(31) % 256) as u8).collect();
+            let mut fast = original.clone();
+            let mut slow = original.clone();
+            ChaCha20::new(&[7u8; 32], &[4u8; 12], 3).apply_keystream(&mut fast);
+            ChaCha20::new(&[7u8; 32], &[4u8; 12], 3).apply_keystream_reference(&mut slow);
+            assert_eq!(fast, slow, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fast_path_advances_counter_identically() {
+        let mut fast = ChaCha20::new(&[8u8; 32], &[6u8; 12], 0);
+        let mut slow = fast.clone();
+        let mut a = vec![0u8; 999];
+        let mut b = vec![0u8; 999];
+        fast.apply_keystream(&mut a);
+        slow.apply_keystream_reference(&mut b);
+        assert_eq!(a, b);
+        // Subsequent blocks agree: both engines consumed the same counters.
+        assert_eq!(fast.next_block(), slow.next_block());
+    }
+
+    #[test]
+    fn simd_engine_matches_portable_four_lane_path() {
+        // Pins whichever engine `four_blocks` dispatches to (SSE2 on
+        // x86_64) against the portable lane layout, including at the
+        // counter's wrap boundary where lanes wrap individually.
+        for counter in [0u32, 1, 77, u32::MAX - 3, u32::MAX] {
+            let c = ChaCha20::new(&[9u8; 32], &[2u8; 12], counter);
+            let mut dispatched = [0u8; 4 * 64];
+            let mut portable = [0u8; 4 * 64];
+            c.four_blocks(&mut dispatched);
+            c.four_blocks_portable(&mut portable);
+            assert_eq!(dispatched, portable, "counter {counter}");
+        }
+    }
+
+    // The 32-bit counter is allowed to reach its last block...
+    #[test]
+    fn counter_may_reach_last_block() {
+        let mut c = ChaCha20::new(&[1u8; 32], &[1u8; 12], u32::MAX - 4);
+        let mut data = [0u8; 4 * 64]; // blocks MAX-4 .. MAX-1: no wrap
+        c.apply_keystream(&mut data);
+    }
+
+    // ...but producing keystream past it must fail loudly in debug builds
+    // instead of silently reusing the stream (>256 GiB single-nonce).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "block counter wrapped")]
+    fn counter_wrap_panics_in_debug() {
+        let mut c = ChaCha20::new(&[1u8; 32], &[1u8; 12], u32::MAX);
+        let _ = c.next_block(); // uses counter MAX, then wraps advancing
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "block counter wrapped")]
+    fn multi_block_counter_wrap_panics_in_debug() {
+        let mut c = ChaCha20::new(&[1u8; 32], &[1u8; 12], u32::MAX - 2);
+        let mut data = [0u8; 4 * 64]; // needs counters MAX-2..MAX+1: wraps
+        c.apply_keystream(&mut data);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "block counter wrapped")]
+    fn eight_block_counter_wrap_panics_in_debug() {
+        let mut c = ChaCha20::new(&[1u8; 32], &[1u8; 12], u32::MAX - 6);
+        let mut data = [0u8; 8 * 64]; // needs counters MAX-6..MAX+1: wraps
+        c.apply_keystream(&mut data);
     }
 }

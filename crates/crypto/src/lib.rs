@@ -8,9 +8,13 @@
 //! * [`sha256`] — SHA-256 (FIPS 180-4)
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104, vectors from RFC 4231)
 //! * [`hkdf`] — HKDF (RFC 5869)
-//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 7539)
-//! * [`poly1305`] — the Poly1305 one-time authenticator (RFC 7539)
-//! * [`aead`] — ChaCha20-Poly1305 AEAD (RFC 7539)
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 7539), with a 4-way
+//!   interleaved multi-block fast path and word-wise keystream XOR
+//! * [`poly1305`] — the Poly1305 one-time authenticator (RFC 7539),
+//!   copy-free 16-byte block loop with precomputed reduction multipliers
+//! * [`aead`] — ChaCha20-Poly1305 AEAD (RFC 7539), with zero-allocation
+//!   in-place detached seal/open on a reusable [`aead::AeadCtx`] plus the
+//!   original allocating and reference paths for A/B comparison
 //! * [`x25519`] — Diffie-Hellman over Curve25519 (RFC 7748)
 //! * [`drbg`] — a deterministic HMAC-DRBG (NIST SP 800-90A style)
 //! * [`ct`] — constant-time comparison helpers

@@ -1,6 +1,17 @@
 //! The Poly1305 one-time authenticator (RFC 7539).
 //!
-//! Implemented with 26-bit limbs over 2^130 - 5.
+//! Two implementations share the streaming API:
+//!
+//! * [`Poly1305`] — the **fast path**: 44/44/42-bit limbs over 2^130 - 5
+//!   with `u128` products, three multiplications per 16-byte block. The
+//!   block loop consumes 16-byte chunks straight from the input slice
+//!   (no intermediate copies) and the clamped `r` plus its reduction
+//!   multipliers are precomputed once at key setup.
+//! * [`ReferencePoly1305`] — the retained original 26-bit-limb
+//!   implementation, kept verbatim for differential tests and A/B
+//!   benchmarking (`BENCH_crypto.json`).
+//!
+//! Both produce identical tags for every key and message.
 //!
 //! # Examples
 //!
@@ -14,9 +25,210 @@
 //! assert_eq!(tag.len(), 16);
 //! ```
 
-/// Poly1305 authenticator state.
+/// Mask of a 44-bit low/middle limb.
+const M44: u64 = 0xfff_ffff_ffff;
+/// Mask of the 42-bit top limb.
+const M42: u64 = 0x3ff_ffff_ffff;
+
+/// Poly1305 authenticator state (44/44/42-bit limbs, `u128` products).
 #[derive(Debug, Clone)]
 pub struct Poly1305 {
+    /// Clamped `r` split into 44/44/42-bit limbs.
+    r: [u64; 3],
+    /// `20 * r[1..3]`: the reduction multipliers (2^132 ≡ 4·5 = 20).
+    s: [u64; 2],
+    h: [u64; 3],
+    pad: [u64; 2],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates a new authenticator from a 32-byte one-time key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        // Clamp r per the RFC, then split into 44/44/42-bit limbs.
+        let t0 = u64::from_le_bytes(key[0..8].try_into().expect("8 bytes"))
+            & 0x0ffffffc_0fffffff;
+        let t1 = u64::from_le_bytes(key[8..16].try_into().expect("8 bytes"))
+            & 0x0ffffffc_0ffffffc;
+        let r = [
+            t0 & M44,
+            ((t0 >> 44) | (t1 << 20)) & M44,
+            (t1 >> 24) & M42,
+        ];
+        let s = [r[1] * 20, r[2] * 20];
+        let pad = [
+            u64::from_le_bytes(key[16..24].try_into().expect("8 bytes")),
+            u64::from_le_bytes(key[24..32].try_into().expect("8 bytes")),
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 3],
+            pad,
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn block(&mut self, block: &[u8; 16], partial: bool) {
+        // A full block contributes 2^128; bit 128 lands 40 bits into the
+        // top limb (128 - 88).
+        let hibit: u64 = if partial { 0 } else { 1 << 40 };
+        let t0 = u64::from_le_bytes(block[0..8].try_into().expect("8 bytes"));
+        let t1 = u64::from_le_bytes(block[8..16].try_into().expect("8 bytes"));
+
+        let [r0, r1, r2] = self.r;
+        let [s1, s2] = self.s;
+        let h0 = self.h[0] + (t0 & M44);
+        let h1 = self.h[1] + (((t0 >> 44) | (t1 << 20)) & M44);
+        let h2 = self.h[2] + (((t1 >> 24) & M42) | hibit);
+
+        // h * r mod 2^130 - 5: three 128-bit column products.
+        let d0 = h0 as u128 * r0 as u128 + h1 as u128 * s2 as u128 + h2 as u128 * s1 as u128;
+        let d1 = h0 as u128 * r1 as u128 + h1 as u128 * r0 as u128 + h2 as u128 * s2 as u128;
+        let d2 = h0 as u128 * r2 as u128 + h1 as u128 * r1 as u128 + h2 as u128 * r0 as u128;
+
+        let mut c = (d0 >> 44) as u64;
+        let h0 = (d0 as u64) & M44;
+        let d1 = d1 + c as u128;
+        c = (d1 >> 44) as u64;
+        let h1 = (d1 as u64) & M44;
+        let d2 = d2 + c as u128;
+        c = (d2 >> 42) as u64;
+        let h2 = (d2 as u64) & M42;
+        let h0 = h0 + c * 5;
+        let c = h0 >> 44;
+        self.h = [h0 & M44, h1 + c, h2];
+    }
+
+    /// Absorbs a run of full 16-byte blocks with `h` held in locals so
+    /// the hot loop never round-trips the accumulator through memory.
+    fn blocks(&mut self, data: &[u8]) {
+        let [r0, r1, r2] = self.r;
+        let [s1, s2] = self.s;
+        let [mut h0, mut h1, mut h2] = self.h;
+        for b in data.chunks_exact(16) {
+            let t0 = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+            let t1 = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
+            let m0 = h0 + (t0 & M44);
+            let m1 = h1 + (((t0 >> 44) | (t1 << 20)) & M44);
+            let m2 = h2 + (((t1 >> 24) & M42) | (1 << 40));
+
+            let d0 = m0 as u128 * r0 as u128 + m1 as u128 * s2 as u128 + m2 as u128 * s1 as u128;
+            let d1 = m0 as u128 * r1 as u128 + m1 as u128 * r0 as u128 + m2 as u128 * s2 as u128;
+            let d2 = m0 as u128 * r2 as u128 + m1 as u128 * r1 as u128 + m2 as u128 * r0 as u128;
+
+            let mut c = (d0 >> 44) as u64;
+            h0 = (d0 as u64) & M44;
+            let d1 = d1 + c as u128;
+            c = (d1 >> 44) as u64;
+            h1 = (d1 as u64) & M44;
+            let d2 = d2 + c as u128;
+            c = (d2 >> 42) as u64;
+            h2 = (d2 as u64) & M42;
+            h0 += c * 5;
+            c = h0 >> 44;
+            h0 &= M44;
+            h1 += c;
+        }
+        self.h = [h0, h1, h2];
+    }
+
+    /// Absorbs message bytes. Full 16-byte blocks are consumed directly
+    /// from `data`; only a sub-block tail is buffered.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        let full = data.len() - data.len() % 16;
+        self.blocks(&data[..full]);
+        let rem = &data[full..];
+        if !rem.is_empty() {
+            self.buf[..rem.len()].copy_from_slice(rem);
+            self.buf_len = rem.len();
+        }
+    }
+
+    /// Produces the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.block(&block, true);
+        }
+        // Full carry propagation.
+        let [mut h0, mut h1, mut h2] = self.h;
+        let mut c = h1 >> 44;
+        h1 &= M44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= M42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 += c;
+        c = h1 >> 44;
+        h1 &= M44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= M42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 += c;
+
+        // Compute h + -p (i.e. h - (2^130 - 5)) and select.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 44;
+        g0 &= M44;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 44;
+        g1 &= M44;
+        let g2 = h2.wrapping_add(c).wrapping_sub(1 << 42);
+
+        // Borrow in g2's sign bit means h < p: keep h. Otherwise take g.
+        let mask = (g2 >> 63).wrapping_sub(1);
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & M42 & mask);
+
+        // Add the pad mod 2^128.
+        let [t0, t1] = self.pad;
+        h0 += t0 & M44;
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 += (((t0 >> 44) | (t1 << 20)) & M44) + c;
+        c = h1 >> 44;
+        h1 &= M44;
+        h2 += ((t1 >> 24) & M42) + c;
+        h2 &= M42;
+
+        // Serialize h to 128 bits little-endian.
+        let lo = h0 | (h1 << 44);
+        let hi = (h1 >> 20) | (h2 << 24);
+        let mut out = [0u8; 16];
+        out[0..8].copy_from_slice(&lo.to_le_bytes());
+        out[8..16].copy_from_slice(&hi.to_le_bytes());
+        out
+    }
+}
+
+/// The retained original Poly1305 (26-bit limbs), kept verbatim so the
+/// fast path has a fixed baseline for differential tests and the
+/// `BENCH_crypto.json` A/B comparison.
+#[derive(Debug, Clone)]
+pub struct ReferencePoly1305 {
     r: [u32; 5],
     h: [u32; 5],
     pad: [u32; 4],
@@ -24,7 +236,7 @@ pub struct Poly1305 {
     buf_len: usize,
 }
 
-impl Poly1305 {
+impl ReferencePoly1305 {
     /// Creates a new authenticator from a 32-byte one-time key.
     pub fn new(key: &[u8; 32]) -> Self {
         // Clamp r per the RFC.
@@ -45,7 +257,7 @@ impl Poly1305 {
             u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
             u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
         ];
-        Poly1305 {
+        ReferencePoly1305 {
             r,
             h: [0; 5],
             pad,
@@ -266,5 +478,35 @@ mod tests {
         );
         let tag = poly1305(&key, &msg);
         assert_eq!(hex(&tag), "05000000000000000000000000000000");
+    }
+
+    // A.3 #4-#6: the clamp edge (r all-ones) and h saturation edges —
+    // exactly where a limb-width rewrite would slip.
+    #[test]
+    fn reference_agrees_across_every_length_and_edge_key() {
+        let keys: [[u8; 32]; 3] = [
+            [0xff; 32],
+            std::array::from_fn(|i| i as u8),
+            {
+                let mut k = [0u8; 32];
+                k[0..16].copy_from_slice(&unhex("02000000000000000000000000000000"));
+                k
+            },
+        ];
+        for key in &keys {
+            for len in 0..=130usize {
+                let msg: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+                let fast = poly1305(key, &msg);
+                let mut r = ReferencePoly1305::new(key);
+                r.update(&msg);
+                assert_eq!(fast, r.finalize(), "len {len}");
+            }
+            // All-ones message stresses carry saturation at bulk sizes.
+            let bulk = vec![0xffu8; 1024];
+            let fast = poly1305(key, &bulk);
+            let mut r = ReferencePoly1305::new(key);
+            r.update(&bulk);
+            assert_eq!(fast, r.finalize());
+        }
     }
 }

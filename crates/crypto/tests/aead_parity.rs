@@ -1,0 +1,99 @@
+//! Differential tests: every AEAD entry point — allocating, in-place
+//! detached, context append — must produce bytes identical to the
+//! retained reference implementation across arbitrary payload lengths
+//! and every AAD alignment, and the multi-block ChaCha20 fast path must
+//! emit the reference keystream.
+
+use proptest::prelude::*;
+use securetf_crypto::aead::{self, AeadCtx, Key, Nonce, TAG_LEN};
+use securetf_crypto::chacha20::ChaCha20;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_seal_path_matches_the_reference(
+        len in 0usize..4096,
+        aad_len in 0usize..49,
+        key_seed in any::<u8>(),
+        stream in any::<u32>(),
+        seq in any::<u64>(),
+    ) {
+        let key = Key::from_bytes(std::array::from_fn(|i| key_seed.wrapping_add(i as u8)));
+        let nonce = Nonce::from_counter(stream, seq);
+        let plaintext: Vec<u8> =
+            (0..len).map(|i| (i.wrapping_mul(131) >> 2) as u8).collect();
+        let aad: Vec<u8> = (0..aad_len).map(|i| (i * 7 + 3) as u8).collect();
+
+        let reference = aead::seal_reference(&key, &nonce, &plaintext, &aad);
+        let sealed = aead::seal(&key, &nonce, &plaintext, &aad);
+        prop_assert_eq!(&sealed, &reference, "allocating seal diverged");
+
+        let mut buf = plaintext.clone();
+        let tag = aead::seal_in_place_detached(&key, &nonce, &mut buf, &aad);
+        prop_assert_eq!(&buf[..], &reference[..len], "in-place ciphertext diverged");
+        prop_assert_eq!(&tag[..], &reference[len..], "in-place tag diverged");
+
+        let ctx = AeadCtx::new(key.clone());
+        let mut appended = Vec::new();
+        ctx.seal_append(&nonce, &plaintext, &aad, &mut appended);
+        prop_assert_eq!(&appended, &reference, "seal_append diverged");
+
+        // Every open path accepts the record and agrees on the plaintext.
+        prop_assert_eq!(
+            aead::open(&key, &nonce, &sealed, &aad).unwrap(),
+            plaintext.clone()
+        );
+        prop_assert_eq!(
+            aead::open_reference(&key, &nonce, &sealed, &aad).unwrap(),
+            plaintext.clone()
+        );
+        let mut in_place = sealed[..len].to_vec();
+        aead::open_in_place_detached(&key, &nonce, &mut in_place, &sealed[len..], &aad).unwrap();
+        prop_assert_eq!(&in_place, &plaintext);
+        let mut opened = Vec::new();
+        ctx.open_append(&nonce, &sealed, &aad, &mut opened).unwrap();
+        prop_assert_eq!(&opened, &plaintext);
+    }
+
+    #[test]
+    fn fast_keystream_matches_reference(
+        len in 0usize..2048,
+        counter in 0u32..1000,
+        key_seed in any::<u8>(),
+    ) {
+        let key: [u8; 32] = std::array::from_fn(|i| key_seed.wrapping_mul(i as u8 + 1));
+        let nonce: [u8; 12] = std::array::from_fn(|i| (i as u8) ^ key_seed);
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+
+        let mut fast = data.clone();
+        ChaCha20::new(&key, &nonce, counter).apply_keystream(&mut fast);
+        let mut slow = data;
+        ChaCha20::new(&key, &nonce, counter).apply_keystream_reference(&mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn tampering_any_byte_is_rejected_by_every_open_path(
+        len in 1usize..256,
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let key = Key::from_bytes([3u8; 32]);
+        let nonce = Nonce::from_counter(1, 1);
+        let plaintext: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        let mut sealed = aead::seal(&key, &nonce, &plaintext, b"aad");
+        let idx = flip.index(sealed.len());
+        sealed[idx] ^= 0x40;
+
+        prop_assert!(aead::open(&key, &nonce, &sealed, b"aad").is_err());
+        prop_assert!(aead::open_reference(&key, &nonce, &sealed, b"aad").is_err());
+        let ct_len = sealed.len() - TAG_LEN;
+        let mut buf = sealed[..ct_len].to_vec();
+        prop_assert!(
+            aead::open_in_place_detached(&key, &nonce, &mut buf, &sealed[ct_len..], b"aad")
+                .is_err()
+        );
+        // Failed in-place open leaves the ciphertext untouched.
+        prop_assert_eq!(&buf[..], &sealed[..ct_len]);
+    }
+}

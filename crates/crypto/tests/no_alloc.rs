@@ -1,0 +1,53 @@
+//! Counting-allocator proof of the zero-allocation steady-state contract:
+//! in-place detached seal/open on a reusable [`AeadCtx`] must not touch
+//! the heap. This file holds exactly one test so allocations from other
+//! tests running in the same process can never pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use securetf_crypto::aead::{AeadCtx, Key, Nonce};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_in_place_seal_open_allocates_nothing() {
+    let ctx = AeadCtx::new(Key::from_bytes([7u8; 32]));
+    let mut buf = vec![0xabu8; 64 * 1024];
+    let aad = [0x5au8; 13];
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for seq in 0..32u64 {
+        let nonce = Nonce::from_counter(9, seq);
+        let tag = ctx.seal_in_place_detached(&nonce, &mut buf, &aad);
+        ctx.open_in_place_detached(&nonce, &mut buf, &tag, &aad)
+            .expect("roundtrip authenticates");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "in-place detached seal/open must not allocate in steady state"
+    );
+}

@@ -685,13 +685,20 @@ impl DistributedTrainer {
             .collect();
         let plaintext = wire::encode(&entries);
         let nonce = securetf_crypto::aead::Nonce::from_counter(0xC4EC, self.steps);
-        let mut sealed = nonce.as_bytes().to_vec();
-        sealed.extend_from_slice(&securetf_crypto::aead::seal(
+        // Single exactly-sized buffer: nonce || payload encrypted in
+        // place || detached tag — no intermediate ciphertext copy.
+        let mut sealed = Vec::with_capacity(
+            securetf_crypto::aead::NONCE_LEN + plaintext.len() + securetf_crypto::aead::TAG_LEN,
+        );
+        sealed.extend_from_slice(nonce.as_bytes());
+        sealed.extend_from_slice(&plaintext);
+        let tag = securetf_crypto::aead::seal_in_place_detached(
             &key,
             &nonce,
-            &plaintext,
+            &mut sealed[securetf_crypto::aead::NONCE_LEN..],
             aad.as_bytes(),
-        ));
+        );
+        sealed.extend_from_slice(&tag);
         self.cluster
             .ps
             .enclave
@@ -739,8 +746,20 @@ impl DistributedTrainer {
             .try_into()
             .map_err(|_| DistribError::BadMessage("checkpoint nonce malformed"))?;
         let nonce = securetf_crypto::aead::Nonce::from_bytes(nonce_bytes);
-        let plaintext = securetf_crypto::aead::open(&key, &nonce, ciphertext, aad.as_bytes())
-            .map_err(|_| DistribError::BadMessage("checkpoint failed authentication"))?;
+        if ciphertext.len() < securetf_crypto::aead::TAG_LEN {
+            return Err(DistribError::BadMessage("checkpoint truncated"));
+        }
+        let (body, tag) = ciphertext.split_at(ciphertext.len() - securetf_crypto::aead::TAG_LEN);
+        // Verify-then-decrypt in place on the single plaintext buffer.
+        let mut plaintext = body.to_vec();
+        securetf_crypto::aead::open_in_place_detached(
+            &key,
+            &nonce,
+            &mut plaintext,
+            tag,
+            aad.as_bytes(),
+        )
+        .map_err(|_| DistribError::BadMessage("checkpoint failed authentication"))?;
         self.cluster
             .ps
             .enclave

@@ -34,8 +34,9 @@ use securetf_crypto::hmac::hmac_sha256;
 use securetf_crypto::sha256;
 use securetf_tee::counter::CounterId;
 use securetf_tee::sealing::SealPolicy;
-use securetf_tee::telemetry::Counter;
+use securetf_tee::telemetry::{Counter, Histogram};
 use securetf_tee::Enclave;
+use securetf_tensor::kernels::WorkerPool;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -464,6 +465,9 @@ struct FsMetrics {
     journal_commits: Counter,
     journal_rollbacks: Counter,
     recovery_ns: Counter,
+    crypto_bytes_sealed: Counter,
+    crypto_bytes_opened: Counter,
+    crypto_seal_ns: Histogram,
 }
 
 impl FsMetrics {
@@ -481,6 +485,9 @@ impl FsMetrics {
             journal_commits: t.counter("shield.fs.journal_commits"),
             journal_rollbacks: t.counter("shield.fs.journal_rollbacks"),
             recovery_ns: t.counter("shield.fs.recovery_ns"),
+            crypto_bytes_sealed: t.counter("crypto.bytes_sealed"),
+            crypto_bytes_opened: t.counter("crypto.bytes_opened"),
+            crypto_seal_ns: t.histogram("crypto.seal_ns"),
         }
     }
 }
@@ -525,6 +532,10 @@ pub struct FsShield {
     next_file_id: u64,
     metrics: FsMetrics,
     chunk_cache: Mutex<ChunkCache>,
+    /// Pool for parallel chunk sealing on multi-chunk writes. Wall-clock
+    /// only: virtual-time charges and output bytes are identical to a
+    /// serial seal for any worker count.
+    pool: WorkerPool,
 }
 
 impl FsShield {
@@ -561,7 +572,16 @@ impl FsShield {
             next_file_id: 1,
             metrics,
             chunk_cache: Mutex::new(ChunkCache::default()),
+            pool: WorkerPool::serial(),
         }
+    }
+
+    /// Sets the worker pool used to seal the chunks of multi-chunk writes
+    /// in parallel. Chunks are independently nonced and assembled in
+    /// chunk order, so the stored bytes are bit-identical to a serial
+    /// seal for any worker count (default: serial).
+    pub fn set_worker_pool(&mut self, pool: WorkerPool) {
+        self.pool = pool;
     }
 
     /// Adds a path-prefix policy, replacing any existing policy for the
@@ -681,31 +701,48 @@ impl FsShield {
             data.chunks(CHUNK_SIZE).collect()
         };
         let total = chunks.len() as u32;
-        let mut records = Vec::with_capacity(chunks.len());
-        let mut digests = Vec::with_capacity(chunks.len());
-        for (i, chunk) in chunks.iter().enumerate() {
+        // Seal the independently-nonced chunks across the pool: each slot
+        // is written by exactly one worker at its chunk index, so the
+        // records (and the blob assembled from them) are bit-identical to
+        // a serial seal regardless of worker count.
+        let mut slots: Vec<(Vec<u8>, [u8; 32])> = vec![(Vec::new(), [0u8; 32]); chunks.len()];
+        let key = &self.key;
+        self.pool.run_items(&mut slots, &|i, slot| {
+            let chunk = chunks[i];
             let aad = Self::chunk_aad(path, version, i as u32, total);
             let record = match policy {
                 Policy::EncryptAuth => {
                     let nonce = Self::chunk_nonce(file_id, version, i as u32);
-                    aead::seal(&self.key, &nonce, chunk, &aad)
+                    aead::seal(key, &nonce, chunk, &aad)
                 }
                 Policy::AuthOnly => {
                     // Store plaintext followed by a MAC over chunk + aad.
                     let mut mac_input = chunk.to_vec();
                     mac_input.extend_from_slice(&aad);
-                    let tag = hmac_sha256(self.key.as_bytes(), &mac_input);
+                    let tag = hmac_sha256(key.as_bytes(), &mac_input);
                     let mut rec = chunk.to_vec();
                     rec.extend_from_slice(&tag);
                     rec
                 }
                 Policy::Passthrough => unreachable!("handled above"),
             };
-            digests.push(sha256::digest(&record));
+            slot.1 = sha256::digest(&record);
+            slot.0 = record;
+        });
+        let mut records = Vec::with_capacity(slots.len());
+        let mut digests = Vec::with_capacity(slots.len());
+        for (record, digest) in slots {
             records.push(record);
+            digests.push(digest);
         }
         // The crypto work happens at AES-NI-like streaming rates (§5.3 #2).
+        // Virtual time charges the full serial cost for any worker count —
+        // parallel sealing is a wall-clock optimization only.
         self.enclave.charge_shield_crypto(data.len() as u64);
+        self.metrics.crypto_bytes_sealed.add(data.len() as u64);
+        self.metrics
+            .crypto_seal_ns
+            .record(self.enclave.cost_model().shield_crypto_ns(data.len() as u64));
 
         let meta = FileMeta {
             policy,
@@ -823,6 +860,7 @@ impl FsShield {
         }
         let total = meta.chunk_digests.len() as u32;
         let mut out = Vec::with_capacity(meta.len as usize);
+        let ctx = aead::AeadCtx::new(self.key.clone());
         for (i, digest) in meta.chunk_digests.iter().enumerate() {
             let rec_len_bytes = take(&mut cursor, 4)?;
             let rec_len = u32::from_le_bytes(rec_len_bytes.try_into().expect("4 bytes")) as usize;
@@ -836,10 +874,11 @@ impl FsShield {
             match meta.policy {
                 Policy::EncryptAuth => {
                     let nonce = Self::chunk_nonce(meta.file_id, meta.version, i as u32);
-                    let plain = aead::open(&self.key, &nonce, record, &aad).map_err(|_| {
+                    // Decrypt straight into the output buffer: no
+                    // per-chunk plaintext allocation.
+                    ctx.open_append(&nonce, record, &aad, &mut out).map_err(|_| {
                         ShieldError::FileTampered(format!("{path}: chunk {i} auth failure"))
                     })?;
-                    out.extend_from_slice(&plain);
                 }
                 Policy::AuthOnly => {
                     if record.len() < 32 {
@@ -869,6 +908,7 @@ impl FsShield {
         }
         out.truncate(meta.len as usize);
         self.enclave.charge_shield_crypto(meta.len);
+        self.metrics.crypto_bytes_opened.add(meta.len);
         Ok(out)
     }
 
@@ -996,6 +1036,7 @@ impl FsShield {
         }
         if decrypted_bytes > 0 {
             self.enclave.charge_shield_crypto(decrypted_bytes);
+            self.metrics.crypto_bytes_opened.add(decrypted_bytes);
         }
         Ok(out)
     }

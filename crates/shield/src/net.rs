@@ -22,7 +22,8 @@ use securetf_crypto::aead::{self, Key, Nonce};
 use securetf_crypto::hkdf;
 use securetf_crypto::sha256::Sha256;
 use securetf_crypto::x25519::{PublicKey, StaticSecret};
-use securetf_tee::telemetry::{Counter, SealedSnapshot};
+use securetf_tee::telemetry::{Counter, Histogram, SealedSnapshot};
+use securetf_tensor::kernels::WorkerPool;
 use securetf_tee::{CostCategory, Enclave, RetryPolicy};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -142,6 +143,9 @@ struct NetMetrics {
     bytes_sent: Counter,
     bytes_received: Counter,
     vectored_sends: Counter,
+    crypto_bytes_sealed: Counter,
+    crypto_bytes_opened: Counter,
+    crypto_seal_ns: Histogram,
 }
 
 impl NetMetrics {
@@ -154,6 +158,9 @@ impl NetMetrics {
             bytes_sent: telemetry.counter("shield.net.bytes_sent"),
             bytes_received: telemetry.counter("shield.net.bytes_received"),
             vectored_sends: telemetry.counter("shield.net.vectored_sends"),
+            crypto_bytes_sealed: telemetry.counter("crypto.bytes_sealed"),
+            crypto_bytes_opened: telemetry.counter("crypto.bytes_opened"),
+            crypto_seal_ns: telemetry.histogram("crypto.seal_ns"),
         }
     }
 }
@@ -169,6 +176,10 @@ pub struct SecureChannel<T: Transport> {
     loss_window: u64,
     transcript: [u8; 32],
     metrics: NetMetrics,
+    /// Pool for parallel record sealing in vectored sends. Wall-clock
+    /// only: wire bytes and virtual-time charges stay identical to a
+    /// serial seal for any worker count.
+    pool: WorkerPool,
 }
 
 impl<T: Transport> std::fmt::Debug for SecureChannel<T> {
@@ -267,7 +278,17 @@ impl<T: Transport> SecureChannel<T> {
             loss_window: 0,
             transcript,
             metrics,
+            pool: WorkerPool::serial(),
         })
+    }
+
+    /// Sets the worker pool used by [`SecureChannel::send_vectored`] to
+    /// seal the records of a batch in parallel. Records keep their
+    /// pre-assigned sequence numbers and are submitted in batch order, so
+    /// the wire bytes are bit-identical to a serial seal for any worker
+    /// count (default: serial).
+    pub fn set_worker_pool(&mut self, pool: WorkerPool) {
+        self.pool = pool;
     }
 
     /// The handshake transcript hash; embed this in an attestation quote's
@@ -305,6 +326,8 @@ impl<T: Transport> SecureChannel<T> {
         }
         let nonce = Nonce::from_counter(REC_DATA, self.send_seq);
         let aad = self.send_seq.to_le_bytes();
+        // One exactly-sized allocation for the record the transport
+        // consumes; the seal itself runs in place.
         let record = aead::seal(&self.send_key, &nonce, plaintext, &aad);
         self.send_seq += 1;
         self.enclave.charge_syscall();
@@ -312,6 +335,10 @@ impl<T: Transport> SecureChannel<T> {
             .charge_shield_crypto_as(plaintext.len() as u64, CostCategory::Network);
         self.metrics.records_sent.inc();
         self.metrics.bytes_sent.add(plaintext.len() as u64);
+        self.metrics.crypto_bytes_sealed.add(plaintext.len() as u64);
+        self.metrics
+            .crypto_seal_ns
+            .record(self.enclave.cost_model().shield_crypto_ns(plaintext.len() as u64));
         self.transport.send(record);
         Ok(())
     }
@@ -342,15 +369,29 @@ impl<T: Transport> SecureChannel<T> {
         }
         self.enclave.charge_syscall();
         self.metrics.vectored_sends.inc();
-        for &chunk in chunks {
-            let nonce = Nonce::from_counter(REC_DATA, self.send_seq);
-            let aad = self.send_seq.to_le_bytes();
-            let record = aead::seal(&self.send_key, &nonce, chunk, &aad);
+        // Sequence numbers are assigned up front, so the records of one
+        // batch are independent and seal across the pool; submission stays
+        // in batch order, making the wire bytes identical to a serial
+        // seal for any worker count.
+        let base_seq = self.send_seq;
+        let key = &self.send_key;
+        let mut records: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
+        self.pool.run_items(&mut records, &|i, slot| {
+            let seq = base_seq + i as u64;
+            let nonce = Nonce::from_counter(REC_DATA, seq);
+            let aad = seq.to_le_bytes();
+            *slot = aead::seal(key, &nonce, chunks[i], &aad);
+        });
+        for (&chunk, record) in chunks.iter().zip(records) {
             self.send_seq += 1;
             self.enclave
                 .charge_shield_crypto_as(chunk.len() as u64, CostCategory::Network);
             self.metrics.records_sent.inc();
             self.metrics.bytes_sent.add(chunk.len() as u64);
+            self.metrics.crypto_bytes_sealed.add(chunk.len() as u64);
+            self.metrics
+                .crypto_seal_ns
+                .record(self.enclave.cost_model().shield_crypto_ns(chunk.len() as u64));
             self.transport.send(record);
         }
         Ok(())
@@ -398,17 +439,27 @@ impl<T: Transport> SecureChannel<T> {
         self.open_record(record).map(Some)
     }
 
-    fn open_record(&mut self, record: Vec<u8>) -> Result<Vec<u8>, ShieldError> {
-        for candidate in self.recv_seq..=self.recv_seq + self.loss_window {
-            let nonce = Nonce::from_counter(REC_DATA, candidate);
-            let aad = candidate.to_le_bytes();
-            if let Ok(plain) = aead::open(&self.recv_key, &nonce, &record, &aad) {
-                self.recv_seq = candidate + 1;
-                self.enclave
-                    .charge_shield_crypto_as(plain.len() as u64, CostCategory::Network);
-                self.metrics.records_received.inc();
-                self.metrics.bytes_received.add(plain.len() as u64);
-                return Ok(plain);
+    fn open_record(&mut self, mut record: Vec<u8>) -> Result<Vec<u8>, ShieldError> {
+        if record.len() >= aead::TAG_LEN {
+            let ct_len = record.len() - aead::TAG_LEN;
+            for candidate in self.recv_seq..=self.recv_seq + self.loss_window {
+                let nonce = Nonce::from_counter(REC_DATA, candidate);
+                let aad = candidate.to_le_bytes();
+                // Verify-then-decrypt in place: a candidate mismatch
+                // leaves the buffer as ciphertext for the next candidate,
+                // and a match turns the record's own buffer into the
+                // plaintext — no per-candidate decryption allocations.
+                let (buf, tag) = record.split_at_mut(ct_len);
+                if aead::open_in_place_detached(&self.recv_key, &nonce, buf, tag, &aad).is_ok() {
+                    record.truncate(ct_len);
+                    self.recv_seq = candidate + 1;
+                    self.enclave
+                        .charge_shield_crypto_as(record.len() as u64, CostCategory::Network);
+                    self.metrics.records_received.inc();
+                    self.metrics.bytes_received.add(record.len() as u64);
+                    self.metrics.crypto_bytes_opened.add(record.len() as u64);
+                    return Ok(record);
+                }
             }
         }
         self.metrics.records_rejected.inc();

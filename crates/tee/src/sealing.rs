@@ -40,23 +40,33 @@ pub(crate) fn sealing_key(
 }
 
 /// Seals `plaintext` with a fresh nonce under the derived key; the output
-/// embeds the nonce.
+/// embeds the nonce. Built in a single exactly-sized buffer: the payload
+/// is copied in once and encrypted in place, then the detached tag lands
+/// directly behind it.
 pub(crate) fn seal(key: &Key, nonce_seed: u64, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
     let nonce = Nonce::from_counter(SEAL_STREAM_ID, nonce_seed);
-    let mut out = nonce.as_bytes().to_vec();
-    out.extend_from_slice(&aead::seal(key, &nonce, plaintext, aad));
+    let mut out = Vec::with_capacity(aead::NONCE_LEN + plaintext.len() + aead::TAG_LEN);
+    out.extend_from_slice(nonce.as_bytes());
+    out.extend_from_slice(plaintext);
+    let tag = aead::seal_in_place_detached(key, &nonce, &mut out[aead::NONCE_LEN..], aad);
+    out.extend_from_slice(&tag);
     out
 }
 
 /// Nonce stream id reserved for sealed blobs.
 const SEAL_STREAM_ID: u32 = 0x5EA1_ED00;
 
-/// Unseals data produced by [`seal`].
+/// Unseals data produced by [`seal`]. The ciphertext is copied into the
+/// output buffer once and verified-then-decrypted in place there.
 pub(crate) fn unseal(key: &Key, sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, TeeError> {
-    if sealed.len() < aead::NONCE_LEN {
+    if sealed.len() < aead::NONCE_LEN + aead::TAG_LEN {
         return Err(TeeError::UnsealFailed);
     }
-    let (nonce_bytes, ciphertext) = sealed.split_at(aead::NONCE_LEN);
+    let (nonce_bytes, rest) = sealed.split_at(aead::NONCE_LEN);
     let nonce = Nonce::from_bytes(nonce_bytes.try_into().expect("length checked"));
-    aead::open(key, &nonce, ciphertext, aad).map_err(|_| TeeError::UnsealFailed)
+    let (ciphertext, tag) = rest.split_at(rest.len() - aead::TAG_LEN);
+    let mut out = ciphertext.to_vec();
+    aead::open_in_place_detached(key, &nonce, &mut out, tag, aad)
+        .map_err(|_| TeeError::UnsealFailed)?;
+    Ok(out)
 }

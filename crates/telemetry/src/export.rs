@@ -154,7 +154,22 @@ impl Snapshot {
     // ---- private wire format ---------------------------------------------
 
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        // Upper-bound the encoding size so the export buffer (which is
+        // then sealed and shipped through the net shield) allocates once:
+        // per metric a length-prefixed name plus the largest variant (a
+        // histogram: tag + buckets + count/sum/max), per span a
+        // length-prefixed name plus the fixed-width fields.
+        let metric_hint: usize = self
+            .metrics
+            .iter()
+            .map(|(n, _)| 8 + n.len() + 1 + 8 * (crate::metrics::HISTOGRAM_BUCKETS + 3))
+            .sum();
+        let span_hint: usize = self
+            .spans
+            .iter()
+            .map(|s| 8 + s.name.len() + 1 + 8 * (4 + COST_CATEGORIES))
+            .sum();
+        let mut out = Vec::with_capacity(MAGIC.len() + 16 + metric_hint + span_hint);
         out.extend_from_slice(MAGIC);
         put_u64(&mut out, self.taken_at_ns);
         put_u64(&mut out, self.metrics.len() as u64);

@@ -100,6 +100,52 @@ impl WorkerPool {
             }
         });
     }
+
+    /// Calls `f(item_index, &mut items[item_index])` for every item,
+    /// distributing contiguous index ranges over the workers.
+    ///
+    /// This is the generic (non-`f32`) sibling of
+    /// [`WorkerPool::run_on_blocks`], used by the shields to seal
+    /// independently-nonced chunks in parallel: each slot is written by
+    /// exactly one worker and `f` sees the global item index, so filling
+    /// a pre-sized slot vector produces bit-identical output for any
+    /// worker count. Worker 0 runs on the calling thread.
+    pub fn run_items<T: Send>(&self, items: &mut [T], f: &(impl Fn(usize, &mut T) + Sync)) {
+        if items.is_empty() {
+            return;
+        }
+        let ranges = partition(items.len(), self.workers);
+        if ranges.len() <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut rest: &mut [T] = items;
+            let mut regions = Vec::with_capacity(ranges.len());
+            for r in &ranges {
+                let (head, tail) = rest.split_at_mut(r.end - r.start);
+                regions.push((r.start, head));
+                rest = tail;
+            }
+            let mut regions = regions.into_iter();
+            // Worker 0 runs on the calling thread; the rest are spawned.
+            let local = regions.next();
+            for (first, region) in regions {
+                scope.spawn(move || {
+                    for (j, item) in region.iter_mut().enumerate() {
+                        f(first + j, item);
+                    }
+                });
+            }
+            if let Some((first, region)) = local {
+                for (j, item) in region.iter_mut().enumerate() {
+                    f(first + j, item);
+                }
+            }
+        });
+    }
 }
 
 /// Splits `items` work units into at most `workers` contiguous ranges.
@@ -188,6 +234,34 @@ mod tests {
     fn run_on_blocks_empty_output_is_noop() {
         let mut out: Vec<f32> = Vec::new();
         WorkerPool::new(4).run_on_blocks(&mut out, 8, &|_, _| panic!("no blocks expected"));
+    }
+
+    #[test]
+    fn run_items_visits_every_item_once() {
+        for (len, workers) in [(0usize, 3usize), (1, 1), (1, 4), (7, 3), (16, 4), (5, 8)] {
+            let mut items: Vec<Vec<u8>> = vec![Vec::new(); len];
+            WorkerPool::new(workers).run_items(&mut items, &|i, slot| {
+                slot.push(i as u8);
+            });
+            for (i, slot) in items.iter().enumerate() {
+                assert_eq!(slot[..], [i as u8], "len={len} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_items_matches_serial_for_any_worker_count() {
+        let build = |workers: usize| {
+            let mut items: Vec<u64> = (0..23).collect();
+            WorkerPool::new(workers).run_items(&mut items, &|i, v| {
+                *v = v.wrapping_mul(31).wrapping_add(i as u64);
+            });
+            items
+        };
+        let serial = build(1);
+        for workers in 2..8 {
+            assert_eq!(build(workers), serial, "workers={workers}");
+        }
     }
 
     #[test]

@@ -810,3 +810,140 @@ proptest! {
         prop_assert!(optimized.model().graph().len() < lite.graph().len());
     }
 }
+
+// ---- parallel-sealing worker-count parity ---------------------------------
+
+/// Test transport for cross-thread handshakes: retries empty receives (the
+/// two handshake halves run on different threads) and logs every record it
+/// sends so wire bytes can be compared across configurations.
+struct LoggedPipe {
+    inner: securetf_shield::net::PipeEnd,
+    sent: Arc<std::sync::Mutex<Vec<Vec<u8>>>>,
+}
+
+impl securetf_shield::net::Transport for LoggedPipe {
+    fn send(&self, message: Vec<u8>) {
+        self.sent.lock().unwrap().push(message.clone());
+        self.inner.send(message);
+    }
+
+    fn recv(&self) -> Option<Vec<u8>> {
+        for _ in 0..200_000 {
+            if let Some(m) = self.inner.recv() {
+                return Some(m);
+            }
+            std::thread::yield_now();
+        }
+        None
+    }
+}
+
+/// Builds an enclave on a platform with a *pinned* id so repeated runs
+/// derive identical platform secrets — required for comparing sealed
+/// bytes across configurations.
+fn pinned_enclave(platform_id: u64, code: &[u8]) -> Arc<securetf_tee::Enclave> {
+    let platform = Platform::builder().id(platform_id).build();
+    platform
+        .create_enclave(
+            &EnclaveImage::builder().code(code).build(),
+            ExecutionMode::Hardware,
+        )
+        .expect("enclave")
+}
+
+/// Writes `data` through a fresh fs shield sealing with `workers` threads
+/// and returns the resulting host disk image plus the read-back bytes.
+fn shielded_disk_image(workers: usize, data: &[u8]) -> (Vec<(String, Vec<u8>)>, Vec<u8>) {
+    let store = UntrustedStore::new();
+    let mut shield = FsShield::with_key(
+        pinned_enclave(0x5f70_0001, b"fs-worker-parity"),
+        store.clone(),
+        Key::from_bytes([0x21; 32]),
+    );
+    shield.set_worker_pool(securetf_tensor::kernels::WorkerPool::new(workers));
+    shield.write("/model/weights.bin", data).expect("write");
+    let image = store
+        .paths()
+        .into_iter()
+        .map(|p| {
+            let contents = store.raw_contents(&p).expect("listed path exists");
+            (p, contents)
+        })
+        .collect();
+    let back = shield.read("/model/weights.bin").expect("read");
+    (image, back)
+}
+
+/// Sends `chunks` over a fresh secure channel sealing with `workers`
+/// threads and returns the initiator's wire records plus what the peer
+/// decrypted.
+fn vectored_wire(workers: usize, chunks: &[Vec<u8>]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    use securetf_shield::net::{duplex, Role, SecureChannel};
+
+    let (pa, pb) = duplex(None);
+    let sent = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let la = LoggedPipe { inner: pa, sent: sent.clone() };
+    let lb = LoggedPipe { inner: pb, sent: Arc::new(std::sync::Mutex::new(Vec::new())) };
+    let ea = pinned_enclave(0x5f70_0002, b"net-worker-parity-a");
+    let eb = pinned_enclave(0x5f70_0003, b"net-worker-parity-b");
+    let init = std::thread::spawn(move || {
+        SecureChannel::handshake(la, ea, Role::Initiator).expect("initiator handshake")
+    });
+    let mut b = SecureChannel::handshake(lb, eb, Role::Responder).expect("responder handshake");
+    let mut a = init.join().expect("initiator thread");
+
+    a.set_worker_pool(securetf_tensor::kernels::WorkerPool::new(workers));
+    let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    a.send_vectored(&refs).expect("send_vectored");
+    let received: Vec<Vec<u8>> = chunks.iter().map(|_| b.recv().expect("recv")).collect();
+    let wire = sent.lock().unwrap().clone();
+    (wire, received)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Parallel chunked sealing in the fs shield is bit-identical to the
+    // serial path: the *entire* host disk image (chunk records, blob
+    // framing, sealed manifest) matches for every worker count, and every
+    // image reads back to the original payload.
+    #[test]
+    fn fs_disk_image_identical_for_any_worker_count(
+        len in 0usize..(3 * securetf_shield::fs::CHUNK_SIZE + 700),
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect();
+        let (serial_image, serial_back) = shielded_disk_image(1, &data);
+        prop_assert_eq!(&serial_back, &data);
+        for workers in [2usize, 4, 7] {
+            let (image, back) = shielded_disk_image(workers, &data);
+            prop_assert_eq!(&back, &data);
+            prop_assert_eq!(&image, &serial_image, "disk image diverged at {} workers", workers);
+        }
+    }
+
+    // Parallel vectored sends put byte-identical records on the wire for
+    // every worker count, and the peer decrypts them in order.
+    #[test]
+    fn vectored_send_wire_bytes_identical_for_any_worker_count(
+        sizes in prop::collection::vec(0usize..5000, 1..7),
+        seed in any::<u8>(),
+    ) {
+        let chunks: Vec<Vec<u8>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (0..n).map(|j| (j as u8) ^ seed.wrapping_add(i as u8)).collect()
+            })
+            .collect();
+        let (serial_wire, serial_recv) = vectored_wire(1, &chunks);
+        prop_assert_eq!(&serial_recv, &chunks);
+        for workers in [2usize, 5] {
+            let (wire, received) = vectored_wire(workers, &chunks);
+            prop_assert_eq!(&received, &chunks);
+            prop_assert_eq!(&wire, &serial_wire, "wire bytes diverged at {} workers", workers);
+        }
+    }
+}

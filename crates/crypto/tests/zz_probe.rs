@@ -1,0 +1,48 @@
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use securetf_crypto::aead::{AeadCtx, Key, Nonce};
+
+struct CountingAlloc;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LAYOUTS: [AtomicU64; 2] = [AtomicU64::new(0), AtomicU64::new(0)];
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let n = ALLOCS.fetch_add(1, Ordering::SeqCst);
+        if n >= 1000000 { }
+        let i = (LAYOUTS[0].load(Ordering::SeqCst) != 0) as usize;
+        if LAYOUTS[i].load(Ordering::SeqCst) == 0 { LAYOUTS[i].store(layout.size() as u64, Ordering::SeqCst); }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn probe_exact() {
+    let ctx = AeadCtx::new(Key::from_bytes([7u8; 32]));
+    let mut buf = vec![0xabu8; 64 * 1024];
+    let aad = [0x5au8; 13];
+
+    // reset layout trackers after setup
+    LAYOUTS[0].store(0, Ordering::SeqCst);
+    LAYOUTS[1].store(0, Ordering::SeqCst);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for seq in 0..32u64 {
+        let nonce = Nonce::from_counter(9, seq);
+        let tag = ctx.seal_in_place_detached(&nonce, &mut buf, &aad);
+        ctx.open_in_place_detached(&nonce, &mut buf, &tag, &aad)
+            .expect("roundtrip authenticates");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    eprintln!("window allocs = {}, first-two layout sizes = {} {}",
+        after - before,
+        LAYOUTS[0].load(Ordering::SeqCst),
+        LAYOUTS[1].load(Ordering::SeqCst));
+}
